@@ -1,0 +1,100 @@
+package vifi
+
+// One benchmark per table and figure of the paper's evaluation, plus the
+// ablations from DESIGN.md. Each benchmark regenerates its experiment at
+// a reduced scale per iteration (absolute durations are simulation
+// virtual-time; wall time per iteration stays in seconds). Run
+//
+//	go test -bench=. -benchmem
+//
+// for the full sweep, or cmd/vifi-bench for paper-scale reports.
+
+import (
+	"testing"
+
+	"github.com/vanlan/vifi/internal/experiment"
+)
+
+// benchScale keeps a single benchmark iteration around a second or two.
+const benchScale = 0.1
+
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		rep, err := experiment.Run(id, experiment.Options{Seed: int64(42 + i), Scale: benchScale})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 && testing.Verbose() {
+			b.Log("\n" + rep.String())
+		}
+	}
+}
+
+// BenchmarkFig1 regenerates Fig 1: the deployment layout maps.
+func BenchmarkFig1(b *testing.B) { benchExperiment(b, "fig1") }
+
+// BenchmarkFig2 regenerates Fig 2: packets/day vs number of basestations
+// for the six handoff policies.
+func BenchmarkFig2(b *testing.B) { benchExperiment(b, "fig2") }
+
+// BenchmarkFig3 regenerates Fig 3: trip connectivity timelines and the
+// session-length CDF.
+func BenchmarkFig3(b *testing.B) { benchExperiment(b, "fig3") }
+
+// BenchmarkFig4 regenerates Fig 4: median session length vs the adequacy
+// definition.
+func BenchmarkFig4(b *testing.B) { benchExperiment(b, "fig4") }
+
+// BenchmarkFig5 regenerates Fig 5: CDFs of basestations audible per
+// second across the three environments.
+func BenchmarkFig5(b *testing.B) { benchExperiment(b, "fig5") }
+
+// BenchmarkFig6 regenerates Fig 6: loss burstiness and cross-BS
+// independence.
+func BenchmarkFig6(b *testing.B) { benchExperiment(b, "fig6") }
+
+// BenchmarkFig7 regenerates Fig 7: ViFi's link-layer sessions against the
+// oracle and practical policies.
+func BenchmarkFig7(b *testing.B) { benchExperiment(b, "fig7") }
+
+// BenchmarkFig8 regenerates Fig 8: BRR vs ViFi trip timelines.
+func BenchmarkFig8(b *testing.B) { benchExperiment(b, "fig8") }
+
+// BenchmarkFig9 regenerates Fig 9: VanLAN TCP transfer times and
+// transfers per session.
+func BenchmarkFig9(b *testing.B) { benchExperiment(b, "fig9") }
+
+// BenchmarkFig10 regenerates Fig 10: DieselNet TCP transfers/second.
+func BenchmarkFig10(b *testing.B) { benchExperiment(b, "fig10") }
+
+// BenchmarkFig11 regenerates Fig 11: median uninterrupted VoIP session
+// lengths.
+func BenchmarkFig11(b *testing.B) { benchExperiment(b, "fig11") }
+
+// BenchmarkFig12 regenerates Fig 12: medium-usage efficiency.
+func BenchmarkFig12(b *testing.B) { benchExperiment(b, "fig12") }
+
+// BenchmarkTable1 regenerates Table 1: the detailed coordination
+// statistics.
+func BenchmarkTable1(b *testing.B) { benchExperiment(b, "table1") }
+
+// BenchmarkTable2 regenerates Table 2: the coordination-formulation
+// comparison.
+func BenchmarkTable2(b *testing.B) { benchExperiment(b, "table2") }
+
+// BenchmarkAblateAux regenerates the §5.5.2 symmetric-auxiliary study.
+func BenchmarkAblateAux(b *testing.B) { benchExperiment(b, "ablate-aux") }
+
+// BenchmarkAblateDiversity regenerates the §3.4.1 diversity-extent study.
+func BenchmarkAblateDiversity(b *testing.B) { benchExperiment(b, "ablate-diversity") }
+
+// BenchmarkAblateBackplane regenerates the backplane-capacity study.
+func BenchmarkAblateBackplane(b *testing.B) { benchExperiment(b, "ablate-backplane") }
+
+// BenchmarkAblateSalvage regenerates the salvage-window study.
+func BenchmarkAblateSalvage(b *testing.B) { benchExperiment(b, "ablate-salvage") }
+
+// BenchmarkAblateRetx regenerates the retransmission-percentile study.
+func BenchmarkAblateRetx(b *testing.B) { benchExperiment(b, "ablate-retx") }

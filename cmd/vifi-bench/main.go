@@ -1,0 +1,59 @@
+// Command vifi-bench regenerates the ViFi paper's tables and figures.
+//
+// Usage:
+//
+//	vifi-bench                 # every paper table/figure at full scale
+//	vifi-bench -run fig9       # one experiment
+//	vifi-bench -scale 0.2      # quicker, smaller runs
+//	vifi-bench -list           # available experiment ids
+//	vifi-bench -all            # paper set plus ablations
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"github.com/vanlan/vifi/internal/experiment"
+)
+
+func main() {
+	var (
+		run   = flag.String("run", "", "comma-separated experiment ids (default: the paper set)")
+		scale = flag.Float64("scale", 1.0, "duration/trial multiplier (1.0 = paper-shaped)")
+		seed  = flag.Int64("seed", 42, "random seed; equal seeds reproduce identical reports")
+		list  = flag.Bool("list", false, "list experiment ids and exit")
+		all   = flag.Bool("all", false, "run everything, including ablations")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, id := range experiment.IDs() {
+			fmt.Println(id)
+		}
+		return
+	}
+
+	ids := experiment.PaperOrder()
+	if *all {
+		ids = experiment.IDs()
+	}
+	if *run != "" {
+		ids = strings.Split(*run, ",")
+	}
+
+	opts := experiment.Options{Seed: *seed, Scale: *scale}
+	for _, id := range ids {
+		id = strings.TrimSpace(id)
+		start := time.Now()
+		rep, err := experiment.Run(id, opts)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "vifi-bench:", err)
+			os.Exit(1)
+		}
+		fmt.Println(rep)
+		fmt.Printf("(%s completed in %v)\n\n", id, time.Since(start).Round(time.Millisecond))
+	}
+}

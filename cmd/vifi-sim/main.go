@@ -1,0 +1,84 @@
+// Command vifi-sim runs one ViFi (or baseline) deployment scenario and
+// prints the application-level results.
+//
+// Usage:
+//
+//	vifi-sim -env vanlan -protocol vifi -workload voip -duration 600s
+//	vifi-sim -env dieselnet1 -protocol brr -workload tcp
+//	vifi-sim -env vanlan -protocol vifi -workload probes
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"github.com/vanlan/vifi/internal/core"
+	"github.com/vanlan/vifi/internal/experiment"
+)
+
+func main() {
+	var (
+		env      = flag.String("env", "vanlan", "environment: vanlan, dieselnet1, dieselnet6")
+		protocol = flag.String("protocol", "vifi", "protocol: vifi, brr, diversity-only")
+		workload = flag.String("workload", "voip", "workload: voip, tcp, probes")
+		duration = flag.Duration("duration", 10*time.Minute, "simulated duration")
+		seed     = flag.Int64("seed", 42, "random seed")
+	)
+	flag.Parse()
+
+	var e experiment.Env
+	switch *env {
+	case "vanlan":
+		e = experiment.EnvVanLAN
+	case "dieselnet1":
+		e = experiment.EnvDieselNetCh1
+	case "dieselnet6":
+		e = experiment.EnvDieselNetCh6
+	default:
+		fmt.Fprintf(os.Stderr, "vifi-sim: unknown environment %q\n", *env)
+		os.Exit(2)
+	}
+
+	var cfg core.Config
+	switch *protocol {
+	case "vifi":
+		cfg = core.DefaultConfig()
+	case "brr":
+		cfg = core.BRRConfig()
+	case "diversity-only":
+		cfg = core.DiversityOnlyConfig()
+	default:
+		fmt.Fprintf(os.Stderr, "vifi-sim: unknown protocol %q\n", *protocol)
+		os.Exit(2)
+	}
+
+	fmt.Printf("environment=%s protocol=%s duration=%v seed=%d\n\n", e, *protocol, *duration, *seed)
+	switch *workload {
+	case "voip":
+		q := experiment.RunVoIPWorkload(*seed, e, cfg, *duration).Quality
+		fmt.Printf("median disruption-free session: %.0f s\n", q.MedianSessionSec)
+		fmt.Printf("mean MoS (3s windows):          %.2f\n", q.MeanMoS)
+		fmt.Printf("interruptions:                  %d over %d windows\n", q.Interruptions, q.Windows)
+	case "tcp":
+		run := experiment.RunTCPWorkload(*seed, e, cfg, *duration)
+		st := run.Stats
+		fmt.Printf("completed transfers:   %d (%.3f /s)\n", st.Completed,
+			float64(st.Completed)/run.Duration.Seconds())
+		fmt.Printf("aborted transfers:     %d\n", st.Aborted)
+		fmt.Printf("median transfer time:  %.2f s (p90 %.2f s)\n",
+			st.MedianTransferTime(), st.TransferTimes.Quantile(0.9))
+		fmt.Printf("transfers per session: %.1f\n", st.TransfersPerSession())
+		fmt.Printf("salvaged packets:      %d\n", run.Salvaged)
+	case "probes":
+		run := experiment.RunProbeWorkload(*seed, e, cfg, *duration, nil)
+		for _, ratio := range []float64{0.3, 0.5, 0.7, 0.9} {
+			fmt.Printf("median session (1s, ≥%.0f%%): %.0f s\n",
+				ratio*100, run.MedianSession(time.Second, ratio))
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "vifi-sim: unknown workload %q\n", *workload)
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,87 @@
+// Command vifi-trace generates and inspects DieselNet-style beacon
+// traces (the per-second reception-ratio CSV format also used for real
+// traces from traces.cs.umass.edu).
+//
+// Usage:
+//
+//	vifi-trace -gen -channel 1 -duration 1h -o ch1.csv
+//	vifi-trace -inspect ch1.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"github.com/vanlan/vifi/internal/experiment"
+	"github.com/vanlan/vifi/internal/trace"
+)
+
+func main() {
+	var (
+		gen      = flag.Bool("gen", false, "generate a synthetic trace")
+		channel  = flag.Int("channel", 1, "DieselNet channel (1 or 6)")
+		duration = flag.Duration("duration", time.Hour, "profiling duration")
+		seed     = flag.Int64("seed", 42, "random seed")
+		out      = flag.String("o", "", "output CSV path (default stdout)")
+		inspect  = flag.String("inspect", "", "inspect an existing trace CSV")
+	)
+	flag.Parse()
+
+	switch {
+	case *gen:
+		tr := trace.GenerateDieselNet(*seed, *channel, *duration)
+		w := os.Stdout
+		if *out != "" {
+			f, err := os.Create(*out)
+			if err != nil {
+				fatal(err)
+			}
+			defer f.Close()
+			w = f
+		}
+		if err := tr.Write(w); err != nil {
+			fatal(err)
+		}
+		if *out != "" {
+			fmt.Printf("wrote %s: %d s × %d BSes\n", *out, tr.Seconds(), tr.NumBSes())
+		}
+	case *inspect != "":
+		f, err := os.Open(*inspect)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		tr, err := trace.Read(f)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("trace %s\n", *inspect)
+		for _, line := range experiment.TraceSummary(tr) {
+			fmt.Println(" ", line)
+		}
+		fmt.Println("  visibility CDF (#BSes with ≥1 beacon per second):")
+		counts := tr.VisibleCounts(0)
+		hist := map[int]int{}
+		for _, c := range counts {
+			hist[c]++
+		}
+		cum := 0
+		for n := 0; n <= tr.NumBSes(); n++ {
+			cum += hist[n]
+			if hist[n] == 0 && n > 0 {
+				continue
+			}
+			fmt.Printf("    ≤%2d BSes: %5.1f%%\n", n, 100*float64(cum)/float64(len(counts)))
+		}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "vifi-trace:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,41 @@
+// liveemu runs the ViFi relay path over real UDP sockets on loopback: a
+// hub process emulates the wireless ether with per-link loss, and three
+// nodes (vehicle, anchor, auxiliary) exchange actual wire frames with
+// wall-clock timers. It demonstrates the paper's core mechanism — an
+// auxiliary that overhears a packet but not its acknowledgment relays it
+// with the Eq 1–3 probability — outside the deterministic simulator.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/vanlan/vifi/internal/emu"
+)
+
+func main() {
+	fmt.Println("Live ViFi over UDP loopback")
+	fmt.Println("vehicle→anchor link: 30% delivery; vehicle→auxiliary: 90%")
+	fmt.Println()
+
+	cfg := emu.DefaultDemoConfig()
+	cfg.EnableRelay = false
+	off, err := emu.RunDemo(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg.EnableRelay = true
+	on, err := emu.RunDemo(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("%-18s %10s %12s %10s\n", "mode", "sent", "delivered", "relays")
+	fmt.Printf("%-18s %10d %12d %10d\n", "hard handoff", off.Sent, off.Delivered, off.Relayed)
+	fmt.Printf("%-18s %10d %12d %10d\n", "ViFi relaying", on.Sent, on.Delivered, on.Relayed)
+	fmt.Println()
+	fmt.Printf("delivery: %.0f%% → %.0f%% with opportunistic relaying over real sockets\n",
+		100*float64(off.Delivered)/float64(off.Sent),
+		100*float64(on.Delivered)/float64(on.Sent))
+	fmt.Printf("(hub forwarded %d frames, dropped %d)\n", on.Hub.Forwarded, on.Hub.Dropped)
+}

@@ -1,0 +1,39 @@
+// webdrive reproduces the paper's Web-browsing evaluation (Fig 9): a
+// vehicle repeatedly fetches a 10 KB page over mini-TCP while driving,
+// with the paper's 10-second no-progress abort. It compares hard handoff,
+// diversity without salvaging, and full ViFi — isolating what each
+// mechanism buys, exactly as Fig 9a does.
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/vanlan/vifi"
+)
+
+func main() {
+	const seed = 23
+	const airtime = 12 * time.Minute
+
+	arms := []struct {
+		name string
+		cfg  vifi.Protocol
+	}{
+		{"BRR (hard handoff)", vifi.HardHandoff()},
+		{"Only Diversity", vifi.DiversityOnly()},
+		{"ViFi (full)", vifi.DefaultProtocol()},
+	}
+
+	fmt.Println("Web browsing while driving: repeated 10 KB fetches on VanLAN")
+	fmt.Println()
+	fmt.Printf("%-20s %10s %12s %12s %18s\n",
+		"protocol", "completed", "median (s)", "p90 (s)", "transfers/session")
+	for _, arm := range arms {
+		st := vifi.NewVanLAN(seed, arm.cfg).RunTCP(airtime)
+		fmt.Printf("%-20s %10d %12.2f %12.2f %18.1f\n",
+			arm.name, st.Completed, st.MedianTransferTime(),
+			st.TransferTimes.Quantile(0.9), st.TransfersPerSession())
+	}
+	fmt.Println("\npaper shape: ViFi doubles successful transfers; salvaging adds ~10% over diversity alone")
+}

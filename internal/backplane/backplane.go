@@ -1,0 +1,200 @@
+// Package backplane models the inter-basestation communication plane of
+// the ViFi paper (§4.1): basestations reach each other and the Internet
+// over relatively thin broadband links or a wireless mesh, so the plane is
+// bandwidth-limited, adds latency, and can drop traffic.
+//
+// The model is a star: every node owns an access link (uplink + downlink,
+// each with its own serialization rate, propagation delay, random loss and
+// finite queue) joined by a core with a fixed transit delay. A message
+// from A to B crosses A's uplink, the core, and B's downlink. This is the
+// topology of "DSL-attached home/shop basestations behind an ISP" and is
+// deliberately not a high-capacity enterprise LAN — ViFi's claim is that
+// it works without one (§7, comparison with MRD/Divert).
+//
+// The package also powers failure injection: links can be taken down to
+// partition a basestation (used by the ViFi salvage tests).
+package backplane
+
+import (
+	"time"
+
+	"github.com/vanlan/vifi/internal/sim"
+)
+
+// LinkSpec describes one direction of an access link.
+type LinkSpec struct {
+	RateBps    float64       // serialization rate in bits/s
+	Delay      time.Duration // propagation delay
+	Loss       float64       // random loss probability per message
+	QueueBytes int           // FIFO capacity; 0 means unbounded
+}
+
+// Config describes the backplane.
+type Config struct {
+	Access    LinkSpec      // applied to every node's uplink and downlink
+	CoreDelay time.Duration // transit delay between any two access links
+}
+
+// DefaultConfig models a thin broadband backplane: 5 Mbit/s access links
+// with 8 ms one-way delay, 64 KiB of buffering and a 4 ms core.
+func DefaultConfig() Config {
+	return Config{
+		Access: LinkSpec{
+			RateBps:    5e6,
+			Delay:      8 * time.Millisecond,
+			Loss:       0,
+			QueueBytes: 64 << 10,
+		},
+		CoreDelay: 4 * time.Millisecond,
+	}
+}
+
+// Handler consumes messages delivered to a node.
+type Handler func(from uint16, payload []byte)
+
+// Stats counts backplane events.
+type Stats struct {
+	Sent          int
+	Delivered     int
+	DroppedQueue  int
+	DroppedLoss   int
+	DroppedDown   int
+	BytesSent     int
+	BytesDeliverd int
+}
+
+// qlink is one direction of an access link with a byte-counted FIFO.
+type qlink struct {
+	spec      LinkSpec
+	busyUntil time.Duration
+	queued    int // bytes committed but not yet serialized
+}
+
+// admit decides whether a message fits and returns its serialization
+// completion time. The caller must schedule the dequeue itself.
+func (l *qlink) admit(now time.Duration, size int) (done time.Duration, ok bool) {
+	if l.spec.QueueBytes > 0 && l.queued+size > l.spec.QueueBytes {
+		return 0, false
+	}
+	start := now
+	if l.busyUntil > start {
+		start = l.busyUntil
+	}
+	ser := time.Duration(float64(size*8) / l.spec.RateBps * float64(time.Second))
+	done = start + ser
+	l.busyUntil = done
+	l.queued += size
+	return done, true
+}
+
+type port struct {
+	addr    uint16
+	handler Handler
+	up      *qlink
+	down    *qlink
+	isDown  bool
+}
+
+// Net is the backplane network.
+type Net struct {
+	K     *sim.Kernel
+	cfg   Config
+	ports map[uint16]*port
+	rng   *sim.RNG
+	stats Stats
+}
+
+// New creates a backplane over the kernel.
+func New(k *sim.Kernel, cfg Config) *Net {
+	return &Net{
+		K:     k,
+		cfg:   cfg,
+		ports: map[uint16]*port{},
+		rng:   k.RNG("backplane"),
+	}
+}
+
+// Attach registers a node address with its delivery handler. Attaching an
+// existing address replaces its handler but keeps link state.
+func (n *Net) Attach(addr uint16, h Handler) {
+	if p, ok := n.ports[addr]; ok {
+		p.handler = h
+		return
+	}
+	n.ports[addr] = &port{
+		addr:    addr,
+		handler: h,
+		up:      &qlink{spec: n.cfg.Access},
+		down:    &qlink{spec: n.cfg.Access},
+	}
+}
+
+// SetDown partitions (or heals) a node's access link. While down, all
+// traffic to and from the node is dropped.
+func (n *Net) SetDown(addr uint16, down bool) {
+	if p, ok := n.ports[addr]; ok {
+		p.isDown = down
+	}
+}
+
+// Stats returns a copy of the counters.
+func (n *Net) Stats() Stats { return n.stats }
+
+// Send queues a message from one attached node to another. Unknown
+// addresses and partitioned endpoints drop silently (counted); the
+// delivery path is uplink serialization → core delay → downlink
+// serialization → handler. It reports whether the message was admitted to
+// the sender's uplink.
+func (n *Net) Send(from, to uint16, payload []byte) bool {
+	src, ok := n.ports[from]
+	if !ok {
+		return false
+	}
+	dst, ok := n.ports[to]
+	if !ok {
+		return false
+	}
+	n.stats.Sent++
+	n.stats.BytesSent += len(payload)
+	if src.isDown || dst.isDown {
+		n.stats.DroppedDown++
+		return false
+	}
+	now := n.K.Now()
+	size := len(payload)
+
+	upDone, ok := src.up.admit(now, size)
+	if !ok {
+		n.stats.DroppedQueue++
+		return false
+	}
+	buf := append([]byte(nil), payload...)
+	n.K.At(upDone, func() { src.up.queued -= size })
+
+	if n.rng.Bool(src.up.spec.Loss) || n.rng.Bool(dst.down.spec.Loss) {
+		n.stats.DroppedLoss++
+		return true // admitted, lost in flight
+	}
+
+	arriveDown := upDone + src.up.spec.Delay + n.cfg.CoreDelay
+	n.K.At(arriveDown, func() {
+		downDone, ok := dst.down.admit(n.K.Now(), size)
+		if !ok {
+			n.stats.DroppedQueue++
+			return
+		}
+		n.K.At(downDone, func() { dst.down.queued -= size })
+		n.K.At(downDone+dst.down.spec.Delay, func() {
+			if dst.isDown {
+				n.stats.DroppedDown++
+				return
+			}
+			n.stats.Delivered++
+			n.stats.BytesDeliverd += size
+			if dst.handler != nil {
+				dst.handler(from, buf)
+			}
+		})
+	})
+	return true
+}

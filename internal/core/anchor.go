@@ -1,0 +1,119 @@
+package core
+
+import (
+	"time"
+
+	"github.com/vanlan/vifi/internal/frame"
+)
+
+// salvageCacheTTL bounds how long downstream packets are remembered for
+// potential salvaging, comfortably above the salvage window.
+const salvageCacheTTL = 5 * time.Second
+
+// becomeAnchor runs when a vehicle's beacon names this basestation as its
+// anchor: register with the Internet gateway and pull stranded packets
+// from the previous anchor (§4.5).
+func (n *Node) becomeAnchor(veh, prevAnchor uint16) {
+	n.anchorFor[veh] = true
+	if n.bp == nil {
+		return
+	}
+	reg := &frame.Frame{Type: frame.TypeRegister, Src: n.addr, Dst: n.gatewayAddr, Target: veh}
+	if buf, err := reg.Marshal(); err == nil {
+		n.bp.Send(n.addr, n.gatewayAddr, buf)
+	}
+	if n.cfg.EnableSalvage && prevAnchor != frame.None && prevAnchor != n.addr {
+		req := &frame.Frame{Type: frame.TypeSalvageReq, Src: n.addr, Dst: prevAnchor, Target: veh}
+		if buf, err := req.Marshal(); err == nil {
+			if n.bp.Send(n.addr, prevAnchor, buf) {
+				n.emit(EvSalvageReq, Down, frame.PacketID{Src: veh}, 0, prevAnchor, MediumBackplane)
+			}
+		}
+	}
+}
+
+// handleBackplane dispatches messages arriving over the inter-BS plane.
+func (n *Node) handleBackplane(from uint16, payload []byte) {
+	f, err := frame.Unmarshal(payload)
+	if err != nil {
+		return
+	}
+	switch f.Type {
+	case frame.TypeRelay:
+		if from == n.gatewayAddr {
+			n.handleDownFromInternet(f)
+			return
+		}
+		n.handleUpstreamRelay(f)
+	case frame.TypeSalvageReq:
+		n.handleSalvageReq(from, f)
+	case frame.TypeSalvageData:
+		n.handleSalvageData(f)
+	}
+}
+
+// handleDownFromInternet accepts a downstream packet from the gateway
+// (f.Orig names the vehicle) and transmits it over the air, recording it
+// for potential salvaging.
+func (n *Node) handleDownFromInternet(f *frame.Frame) {
+	veh := f.Orig
+	d := &downPkt{payload: f.Payload, fromNetAt: n.K.Now()}
+	n.salvage[veh] = append(n.salvage[veh], d)
+	n.trimSalvage(veh)
+	n.sendDown(veh, f.Payload, d)
+}
+
+// handleUpstreamRelay accepts a relayed upstream packet from an auxiliary
+// (§4.3 step 4: acknowledge unless already acknowledged) and forwards it
+// to the gateway.
+func (n *Node) handleUpstreamRelay(f *frame.Frame) {
+	id := f.ID()
+	n.emit(EvDstRecvRelay, Up, id, f.Attempt, f.Src, MediumBackplane)
+	n.ackAndDeliver(id, f.Attempt, f.Payload, Up)
+}
+
+// handleSalvageReq answers a new anchor's pull: every unacknowledged
+// downstream packet for the vehicle that arrived from the Internet within
+// the salvage window is transferred (§4.5).
+func (n *Node) handleSalvageReq(from uint16, req *frame.Frame) {
+	if !n.cfg.EnableSalvage {
+		return
+	}
+	now := n.K.Now()
+	veh := req.Target
+	for _, d := range n.salvage[veh] {
+		if d.acked || now-d.fromNetAt > n.cfg.SalvageWindow {
+			continue
+		}
+		sf := &frame.Frame{Type: frame.TypeSalvageData, Src: n.addr, Dst: from,
+			Orig: veh, Payload: d.payload}
+		if buf, err := sf.Marshal(); err == nil {
+			if n.bp.Send(n.addr, from, buf) {
+				d.acked = true // handed over; stop considering it ours
+				n.emit(EvSalvaged, Down, frame.PacketID{Src: veh}, 0, from, MediumBackplane)
+			}
+		}
+	}
+}
+
+// handleSalvageData treats a salvaged packet as if it had just arrived
+// from the Internet (§4.5).
+func (n *Node) handleSalvageData(f *frame.Frame) {
+	n.handleDownFromInternet(&frame.Frame{Type: frame.TypeRelay, Orig: f.Orig, Payload: f.Payload})
+}
+
+// trimSalvage bounds the per-vehicle salvage cache.
+func (n *Node) trimSalvage(veh uint16) {
+	cache := n.salvage[veh]
+	now := n.K.Now()
+	keep := cache[:0]
+	for _, d := range cache {
+		if now-d.fromNetAt <= salvageCacheTTL {
+			keep = append(keep, d)
+		}
+	}
+	if len(keep) > 512 {
+		keep = keep[len(keep)-512:]
+	}
+	n.salvage[veh] = keep
+}

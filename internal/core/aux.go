@@ -1,0 +1,186 @@
+package core
+
+import (
+	"time"
+
+	"github.com/vanlan/vifi/internal/frame"
+)
+
+// pendTTL is a safety bound on how long an undecided overheard packet can
+// linger at an auxiliary.
+const pendTTL = 500 * time.Millisecond
+
+// considerPending evaluates an overheard, non-relayed data frame for the
+// auxiliary role (§4.3 step 3). The basestation must be in the vehicle's
+// current auxiliary set for the packet's vehicle.
+func (n *Node) considerPending(f *frame.Frame) {
+	now := n.K.Now()
+	// Identify the vehicle: upstream frames come from it, downstream
+	// frames are addressed to it.
+	var veh uint16
+	if f.FromVehicle {
+		veh = f.Src
+	} else if _, known := n.vehInfo[f.Dst]; known {
+		veh = f.Dst
+	} else {
+		return
+	}
+	vs := n.vehInfo[veh]
+	if vs == nil || now-vs.lastBeacon > n.cfg.ProbStale {
+		return
+	}
+	if !contains(vs.aux, n.addr) {
+		return // not designated an auxiliary for this vehicle
+	}
+	id := f.ID()
+	// Already at the destination? Then the ACK we saw is authoritative.
+	key := pendKey{id: id, attempt: f.Attempt}
+	if _, dup := n.pending[key]; dup {
+		return
+	}
+	n.emit(EvAuxHeard, dirOfFrame(f), id, f.Attempt, f.Src, MediumAir)
+	if len(n.pending) >= n.cfg.PendingCap {
+		// Evict the oldest pending entry.
+		for len(n.pendQ) > 0 {
+			old := n.pendQ[0]
+			n.pendQ = n.pendQ[1:]
+			if _, ok := n.pending[old]; ok {
+				delete(n.pending, old)
+				break
+			}
+		}
+	}
+	n.pending[key] = &pendPkt{f: f, heardAt: now, veh: veh}
+	n.pendQ = append(n.pendQ, key)
+}
+
+func dirOfFrame(f *frame.Frame) Direction {
+	if f.FromVehicle {
+		return Up
+	}
+	return Down
+}
+
+func contains(xs []uint16, x uint16) bool {
+	for _, v := range xs {
+		if v == x {
+			return true
+		}
+	}
+	return false
+}
+
+// relayTick is the auxiliary's periodic relay timer (§4.4: "Each auxiliary
+// BS has a timer that fires periodically... decides whether it needs to
+// relay any unacknowledged packet"). Firing times are jittered so
+// auxiliaries stay desynchronized, which suppresses duplicate relays via
+// overheard acknowledgments.
+func (n *Node) relayTick() {
+	now := n.K.Now()
+	for key, p := range n.pending {
+		age := now - p.heardAt
+		if age < n.cfg.AckWait {
+			continue // still within the acknowledgment window
+		}
+		delete(n.pending, key)
+		if age > pendTTL {
+			continue
+		}
+		n.decideRelay(key, p)
+	}
+	// Trim the eviction queue of settled keys.
+	for len(n.pendQ) > 0 {
+		if _, ok := n.pending[n.pendQ[0]]; ok {
+			break
+		}
+		n.pendQ = n.pendQ[1:]
+	}
+	n.K.After(n.cfg.RelayCheck+n.rng.Jitter(n.cfg.RelayCheck/2), n.relayTick)
+}
+
+// decideRelay computes this auxiliary's relay probability for the packet
+// and flips the coin (§4.4).
+func (n *Node) decideRelay(key pendKey, p *pendPkt) {
+	ctx, ok := n.buildRelayContext(p)
+	dir := dirOf(p)
+	if !ok {
+		n.emit(EvAuxDeclined, dir, key.id, key.attempt, p.f.Src, MediumAir)
+		return
+	}
+	prob := RelayProb(n.cfg.Coordinator, ctx)
+	if !n.rng.Bool(prob) {
+		n.emit(EvAuxDeclined, dir, key.id, key.attempt, p.f.Src, MediumAir)
+		return
+	}
+	n.relay(key, p, dir)
+}
+
+// buildRelayContext assembles Eq 3's inputs from the probability table and
+// the vehicle's beaconed auxiliary set.
+func (n *Node) buildRelayContext(p *pendPkt) (*RelayContext, bool) {
+	now := n.K.Now()
+	vs := n.vehInfo[p.veh]
+	if vs == nil {
+		return nil, false
+	}
+	var s, d uint16
+	if p.f.FromVehicle {
+		s, d = p.veh, p.f.Dst // upstream: vehicle → anchor
+	} else {
+		s, d = p.f.Src, p.veh // downstream: anchor → vehicle
+	}
+	aux := vs.aux
+	self := -1
+	ctx := &RelayContext{
+		Aux:    append([]uint16(nil), aux...),
+		C:      make([]float64, len(aux)),
+		PToDst: make([]float64, len(aux)),
+	}
+	psd := n.probs.Get(s, d, now)
+	for i, b := range aux {
+		psBi := n.probs.Get(s, b, now)
+		pdBi := n.probs.Get(d, b, now)
+		ctx.C[i] = Contention(psBi, psd, pdBi)
+		if p.f.FromVehicle {
+			// Upstream relays travel the inter-BS backplane, which the
+			// paper treats as reliable relative to the vehicle channel
+			// (§4.3: "relaying uses the inter-BS communication plane,
+			// which in many cases will be more reliable").
+			ctx.PToDst[i] = 1
+		} else {
+			ctx.PToDst[i] = n.probs.Get(b, d, now)
+		}
+		if b == n.addr {
+			self = i
+		}
+	}
+	if self < 0 {
+		return nil, false
+	}
+	ctx.Self = self
+	return ctx, true
+}
+
+// relay forwards the packet toward its destination: upstream over the
+// backplane, downstream over the air (§4.3: "Upstream packets are relayed
+// on the inter-BS backplane and downstream packets on the vehicle-BS
+// channel").
+func (n *Node) relay(key pendKey, p *pendPkt, dir Direction) {
+	rf := &frame.Frame{
+		Type: frame.TypeRelay, Src: n.addr, Dst: p.f.Dst,
+		Seq: p.f.Seq, Attempt: p.f.Attempt, Relayed: true,
+		Orig: p.f.Src, Payload: p.f.Payload,
+	}
+	if dir == Up {
+		buf, err := rf.Marshal()
+		if err != nil {
+			return
+		}
+		if n.bp != nil && n.bp.Send(n.addr, p.f.Dst, buf) {
+			n.emit(EvAuxRelayed, dir, key.id, key.attempt, p.f.Dst, MediumBackplane)
+		}
+		return
+	}
+	n.mac.Send(rf)
+	n.emit(EvAuxRelayed, dir, key.id, key.attempt, p.f.Dst, MediumAir)
+}

@@ -1,0 +1,78 @@
+package core
+
+import (
+	"fmt"
+
+	"github.com/vanlan/vifi/internal/backplane"
+	"github.com/vanlan/vifi/internal/mac"
+	"github.com/vanlan/vifi/internal/mobility"
+	"github.com/vanlan/vifi/internal/radio"
+	"github.com/vanlan/vifi/internal/sim"
+)
+
+// CellOptions parameterizes a full ViFi deployment.
+type CellOptions struct {
+	Protocol  Config
+	Radio     radio.Params
+	Backplane backplane.Config
+	// LinkFactory overrides the channel's default independent fading
+	// links; trace-driven experiments install schedule-driven links here.
+	LinkFactory radio.LinkFactory
+	// MAC overrides the default MAC configuration when non-zero.
+	MAC mac.Config
+	// Events receives protocol probe events (may be nil).
+	Events EventFunc
+}
+
+// DefaultCellOptions returns a deployment with the paper's settings.
+func DefaultCellOptions() CellOptions {
+	return CellOptions{
+		Protocol:  DefaultConfig(),
+		Radio:     radio.DefaultParams(),
+		Backplane: backplane.DefaultConfig(),
+	}
+}
+
+// Cell is one deployed ViFi cell: a shared radio channel, basestations on
+// a backplane with an Internet gateway, and a vehicle.
+type Cell struct {
+	K         *sim.Kernel
+	Channel   *radio.Channel
+	Backplane *backplane.Net
+	Gateway   *Gateway
+	BSes      []*Node
+	Vehicle   *Node
+}
+
+// NewCell builds and starts a deployment. Basestations are attached first
+// (addresses 0..len(bsMovers)-1), the vehicle last. All nodes begin
+// beaconing immediately; anchor selection settles after roughly one
+// probability window.
+func NewCell(k *sim.Kernel, opts CellOptions, bsMovers []mobility.Mover, vehMover mobility.Mover) *Cell {
+	if len(bsMovers) == 0 {
+		panic("core: a cell needs at least one basestation")
+	}
+	ch := radio.NewChannel(k, opts.Radio, opts.LinkFactory)
+	bp := backplane.New(k, opts.Backplane)
+	gw := NewGateway(k, bp, opts.Events)
+
+	c := &Cell{K: k, Channel: ch, Backplane: bp, Gateway: gw}
+	for i, mv := range bsMovers {
+		m := mac.NewWithConfig(k, ch, fmt.Sprintf("bs%d", i), mv, opts.MAC)
+		c.BSes = append(c.BSes, newNode(k, opts.Protocol, m, bp, gw.Addr(), false, opts.Events))
+	}
+	vm := mac.NewWithConfig(k, ch, "veh", vehMover, opts.MAC)
+	c.Vehicle = newNode(k, opts.Protocol, vm, nil, gw.Addr(), true, opts.Events)
+	return c
+}
+
+// NewVanLANCell builds a cell over the VanLAN campus: its eleven
+// basestations and the shuttle loop.
+func NewVanLANCell(k *sim.Kernel, opts CellOptions) *Cell {
+	v := mobility.NewVanLAN()
+	movers := make([]mobility.Mover, len(v.BSes))
+	for i, p := range v.BSes {
+		movers[i] = mobility.Fixed(p)
+	}
+	return NewCell(k, opts, movers, &mobility.RouteMover{Route: v.Route})
+}

@@ -1,0 +1,143 @@
+// Package core implements ViFi, the paper's primary contribution: a
+// diversity-based link-layer handoff protocol for vehicular WiFi clients
+// (§4). A vehicle designates the best basestation as its anchor (by BRR)
+// and every other audible basestation as an auxiliary. Auxiliaries that
+// opportunistically overhear a data frame but not its acknowledgment relay
+// it toward the destination with an independently computed probability
+// chosen so that the expected number of relays per packet is one,
+// favouring auxiliaries better connected to the destination (Eq 1–3).
+// Newly appointed anchors salvage recent unacknowledged downstream packets
+// from their predecessor over the backplane (§4.5), and sources retransmit
+// using an adaptive 99th-percentile acknowledgment-delay timer (§4.7).
+//
+// The same engine also runs the paper's baseline: BRR, the hard-handoff
+// protocol with auxiliary functionality switched off (§5.1), and the
+// alternative coordinator formulations ¬G1/¬G2/¬G3 used in §5.5.1.
+package core
+
+import (
+	"time"
+)
+
+// CoordinatorKind selects the relay-probability formulation.
+type CoordinatorKind int
+
+// Relay-probability formulations evaluated in the paper.
+const (
+	// CoordViFi is Eq 1–3: expected relays = 1, preference ∝ p(B→d).
+	CoordViFi CoordinatorKind = iota
+	// CoordNotG1 ignores other auxiliaries: r = p(B→d).
+	CoordNotG1
+	// CoordNotG2 ignores connectivity to the destination: r = 1/Σci.
+	CoordNotG2
+	// CoordNotG3 targets one expected *delivery* instead of one expected
+	// relay (the §5.5.1 optimization formulation).
+	CoordNotG3
+)
+
+// String implements fmt.Stringer.
+func (c CoordinatorKind) String() string {
+	switch c {
+	case CoordViFi:
+		return "ViFi"
+	case CoordNotG1:
+		return "¬G1"
+	case CoordNotG2:
+		return "¬G2"
+	case CoordNotG3:
+		return "¬G3"
+	default:
+		return "coord(?)"
+	}
+}
+
+// Config parameterizes a ViFi deployment. DefaultConfig gives the paper's
+// settings.
+type Config struct {
+	// Mode switches.
+	EnableRelay   bool // auxiliary relaying (off = the BRR baseline)
+	EnableSalvage bool // anchor-to-anchor salvaging (§4.5)
+	Coordinator   CoordinatorKind
+
+	// BeaconInterval is the beacon period (also the MAC's). 100 ms.
+	BeaconInterval time.Duration
+	// ProbWindow is the window over which beacon reception ratios are
+	// computed before EWMA folding (§4.6: per-second).
+	ProbWindow time.Duration
+	// ProbAlpha is the EWMA factor for reception probabilities (0.5).
+	ProbAlpha float64
+	// ProbStale ages out reception estimates and auxiliary membership.
+	ProbStale time.Duration
+
+	// AckWait is how long an auxiliary waits to overhear an acknowledgment
+	// before its relay timer may consider the packet.
+	AckWait time.Duration
+	// RelayCheck is the period of the auxiliary relay timer; each firing
+	// is jittered so auxiliaries stay desynchronized (§4.4).
+	RelayCheck time.Duration
+	// PendingCap bounds the per-auxiliary overheard-packet buffer.
+	PendingCap int
+
+	// MaxRetx is the number of link-layer retransmissions after the first
+	// attempt (§5.3: "at most three times"). 0 disables retransmission.
+	MaxRetx int
+	// RetxPercentile picks the acknowledgment-delay quantile used as the
+	// retransmission timer (§4.7: the 99th).
+	RetxPercentile float64
+	// RetxInit seeds the timer before enough samples exist; RetxMin and
+	// RetxMax clamp it.
+	RetxInit, RetxMin, RetxMax time.Duration
+
+	// SalvageWindow bounds how old an unacknowledged downstream packet may
+	// be and still be salvaged (§4.5: one second, from the minimum TCP
+	// RTO).
+	SalvageWindow time.Duration
+
+	// DataDst reserved sizes.
+	AckedCacheCap int // remembered (src,seq) pairs for dedup/re-acks
+}
+
+// DefaultConfig returns the paper's protocol settings.
+func DefaultConfig() Config {
+	return Config{
+		EnableRelay:   true,
+		EnableSalvage: true,
+		Coordinator:   CoordViFi,
+
+		BeaconInterval: 100 * time.Millisecond,
+		ProbWindow:     time.Second,
+		ProbAlpha:      0.5,
+		ProbStale:      3 * time.Second,
+
+		AckWait:    6 * time.Millisecond,
+		RelayCheck: 4 * time.Millisecond,
+		PendingCap: 128,
+
+		MaxRetx:        3,
+		RetxPercentile: 0.99,
+		RetxInit:       100 * time.Millisecond,
+		RetxMin:        60 * time.Millisecond,
+		RetxMax:        500 * time.Millisecond,
+
+		SalvageWindow: time.Second,
+
+		AckedCacheCap: 2048,
+	}
+}
+
+// BRRConfig returns the hard-handoff baseline: the same framework with
+// auxiliary relaying and salvaging switched off (§5.1).
+func BRRConfig() Config {
+	c := DefaultConfig()
+	c.EnableRelay = false
+	c.EnableSalvage = false
+	return c
+}
+
+// DiversityOnlyConfig returns ViFi with salvaging disabled — the middle
+// bar of Fig 9a, used to isolate the two mechanisms.
+func DiversityOnlyConfig() Config {
+	c := DefaultConfig()
+	c.EnableSalvage = false
+	return c
+}

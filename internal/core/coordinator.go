@@ -1,0 +1,144 @@
+package core
+
+import "sort"
+
+// RelayContext carries everything an auxiliary needs to compute its relay
+// probability for one overheard packet (§4.4): the contention
+// probabilities cᵢ of every auxiliary and each auxiliary's reception
+// probability toward the destination.
+type RelayContext struct {
+	// Aux lists the auxiliary basestation addresses B1..BK (including the
+	// deciding node).
+	Aux []uint16
+	// C[i] is cᵢ = p(s→Bᵢ)·(1 − p(s→d)·p(d→Bᵢ)) — the probability that
+	// auxiliary i is contending on this packet (Eq 3).
+	C []float64
+	// PToDst[i] is p(Bᵢ→d).
+	PToDst []float64
+	// Self is the index of the deciding auxiliary within Aux.
+	Self int
+}
+
+// Contention computes cᵢ from its factors (Eq 3): psBi is p(s→Bᵢ), psd is
+// p(s→d) and pdBi is p(d→Bᵢ). The two events — Bᵢ hearing the packet, and
+// Bᵢ missing the acknowledgment — are treated as independent, as in the
+// paper.
+func Contention(psBi, psd, pdBi float64) float64 {
+	c := psBi * (1 - psd*pdBi)
+	if c < 0 {
+		c = 0
+	}
+	if c > 1 {
+		c = 1
+	}
+	return c
+}
+
+// RelayProb returns the probability with which the deciding auxiliary
+// should relay the packet under the given coordinator formulation.
+// The result is always in [0, 1].
+func RelayProb(kind CoordinatorKind, ctx *RelayContext) float64 {
+	if ctx.Self < 0 || ctx.Self >= len(ctx.Aux) {
+		return 0
+	}
+	var p float64
+	switch kind {
+	case CoordViFi:
+		p = relayProbViFi(ctx)
+	case CoordNotG1:
+		// Ignore other auxiliaries: relay with the delivery ratio to the
+		// destination.
+		p = ctx.PToDst[ctx.Self]
+	case CoordNotG2:
+		// Ignore link quality to the destination: 1/Σci.
+		sum := 0.0
+		for _, c := range ctx.C {
+			sum += c
+		}
+		if sum <= 0 {
+			p = 1
+		} else {
+			p = 1 / sum
+		}
+	case CoordNotG3:
+		p = relayProbNotG3(ctx)
+	}
+	return clamp01(p)
+}
+
+// relayProbViFi solves Eq 1–2: Σ cᵢ·rᵢ = 1 with rᵢ = r·p(Bᵢ→d), giving
+// r = 1/Σ cᵢ·p(Bᵢ→d) and a relay probability of min(r·p(Bx→d), 1).
+func relayProbViFi(ctx *RelayContext) float64 {
+	mine := ctx.PToDst[ctx.Self]
+	if mine <= 0 {
+		// Relaying cannot reach the destination; stand down.
+		return 0
+	}
+	den := 0.0
+	for i := range ctx.C {
+		den += ctx.C[i] * ctx.PToDst[i]
+	}
+	if den <= 1e-9 {
+		// Pathological: nobody is expected to contend with useful
+		// connectivity; relay unconditionally rather than stay silent.
+		return 1
+	}
+	return mine / den
+}
+
+// relayProbNotG3 implements the §5.5.1 optimization: minimize Σ rᵢ·cᵢ
+// subject to Σ rᵢ·p(Bᵢ→d)·cᵢ ≥ 1 (one expected delivery). The optimal
+// solution water-fills auxiliaries in decreasing order of p(Bᵢ→d).
+func relayProbNotG3(ctx *RelayContext) float64 {
+	type aux struct {
+		idx  int
+		pd   float64
+		c    float64
+		prob float64
+	}
+	list := make([]aux, len(ctx.Aux))
+	for i := range list {
+		list[i] = aux{idx: i, pd: ctx.PToDst[i], c: ctx.C[i]}
+	}
+	// Deterministic order: better-connected first, ties by address so all
+	// auxiliaries derive the same global solution.
+	sort.Slice(list, func(i, j int) bool {
+		if list[i].pd != list[j].pd {
+			return list[i].pd > list[j].pd
+		}
+		return ctx.Aux[list[i].idx] < ctx.Aux[list[j].idx]
+	})
+	expected := 0.0 // running Σ rⱼ·pⱼ·cⱼ over already-assigned auxiliaries
+	for n := range list {
+		a := &list[n]
+		contrib := a.pd * a.c
+		switch {
+		case expected >= 1:
+			a.prob = 0
+		case contrib <= 0:
+			a.prob = 0
+		case expected+contrib <= 1:
+			a.prob = 1
+			expected += contrib
+		default:
+			a.prob = (1 - expected) / contrib
+			expected = 1
+		}
+	}
+	for _, a := range list {
+		if a.idx == ctx.Self {
+			return a.prob
+		}
+	}
+	return 0
+}
+
+func clamp01(p float64) float64 {
+	if p < 0 {
+		return 0
+	}
+	if p > 1 {
+		return 1
+	}
+	return p
+}

@@ -1,0 +1,234 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func ctxOf(aux []uint16, c, pd []float64, self int) *RelayContext {
+	return &RelayContext{Aux: aux, C: c, PToDst: pd, Self: self}
+}
+
+func TestContention(t *testing.T) {
+	// c = p(s→B)(1 − p(s→d)p(d→B)).
+	cases := []struct {
+		psBi, psd, pdBi, want float64
+	}{
+		{1, 1, 1, 0}, // B always hears, ack always heard → never contends
+		{1, 0, 1, 1}, // dst never gets it → always contends
+		{0.5, 0.8, 0.5, 0.5 * (1 - 0.4)},
+		{0, 0.5, 0.5, 0}, // B never hears the packet
+	}
+	for _, c := range cases {
+		if got := Contention(c.psBi, c.psd, c.pdBi); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("Contention(%v,%v,%v) = %v, want %v", c.psBi, c.psd, c.pdBi, got, c.want)
+		}
+	}
+}
+
+func TestContentionBounds(t *testing.T) {
+	f := func(a, b, c float64) bool {
+		p := Contention(math.Abs(a), math.Abs(b), math.Abs(c))
+		return p >= 0 && p <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestViFiSingleAux(t *testing.T) {
+	// One auxiliary: c·r = 1 ⇒ r = 1/c, clamped to 1.
+	ctx := ctxOf([]uint16{1}, []float64{0.5}, []float64{0.8}, 0)
+	if got := RelayProb(CoordViFi, ctx); got != 1 {
+		t.Errorf("single weak-contention aux should relay always, got %v", got)
+	}
+	// c=1, pd=1 ⇒ r = 1.
+	ctx = ctxOf([]uint16{1}, []float64{1}, []float64{1}, 0)
+	if got := RelayProb(CoordViFi, ctx); got != 1 {
+		t.Errorf("got %v, want 1", got)
+	}
+}
+
+func TestViFiExpectedRelaysIsOne(t *testing.T) {
+	// With many auxiliaries, Σ cᵢ·min(r·pᵢ,1) ≈ 1 when no clamping binds.
+	c := []float64{0.9, 0.8, 0.7, 0.6, 0.5}
+	pd := []float64{0.9, 0.7, 0.5, 0.3, 0.2}
+	aux := []uint16{1, 2, 3, 4, 5}
+	expected := 0.0
+	for i := range aux {
+		r := RelayProb(CoordViFi, ctxOf(aux, c, pd, i))
+		expected += c[i] * r
+	}
+	if math.Abs(expected-1) > 0.05 {
+		t.Errorf("expected relays = %v, want ≈1", expected)
+	}
+}
+
+func TestViFiPrefersBetterConnected(t *testing.T) {
+	// rᵢ/rⱼ = pᵢ/pⱼ (Eq 2) before clamping.
+	c := []float64{0.5, 0.5, 0.5}
+	pd := []float64{0.8, 0.4, 0.2}
+	aux := []uint16{1, 2, 3}
+	r0 := RelayProb(CoordViFi, ctxOf(aux, c, pd, 0))
+	r1 := RelayProb(CoordViFi, ctxOf(aux, c, pd, 1))
+	r2 := RelayProb(CoordViFi, ctxOf(aux, c, pd, 2))
+	if !(r0 > r1 && r1 > r2) {
+		t.Fatalf("ordering violated: %v %v %v", r0, r1, r2)
+	}
+	if r0 < 1 && r1 < 1 {
+		if math.Abs(r0/r1-2) > 1e-9 {
+			t.Errorf("r0/r1 = %v, want 2 (p ratio)", r0/r1)
+		}
+	}
+}
+
+func TestViFiZeroConnectivityStandsDown(t *testing.T) {
+	ctx := ctxOf([]uint16{1, 2}, []float64{0.5, 0.5}, []float64{0, 0.9}, 0)
+	if got := RelayProb(CoordViFi, ctx); got != 0 {
+		t.Errorf("aux with p(B→d)=0 relayed with prob %v", got)
+	}
+}
+
+func TestViFiPathologicalDenominator(t *testing.T) {
+	// Nobody else contends usefully; self has connectivity ⇒ relay.
+	ctx := ctxOf([]uint16{1, 2}, []float64{0, 0}, []float64{0.5, 0.5}, 0)
+	if got := RelayProb(CoordViFi, ctx); got != 1 {
+		t.Errorf("pathological case: got %v, want 1", got)
+	}
+}
+
+func TestNotG1IsOwnDeliveryRatio(t *testing.T) {
+	ctx := ctxOf([]uint16{1, 2, 3}, []float64{0.9, 0.9, 0.9}, []float64{0.3, 0.6, 0.9}, 1)
+	if got := RelayProb(CoordNotG1, ctx); got != 0.6 {
+		t.Errorf("¬G1 = %v, want 0.6", got)
+	}
+}
+
+func TestNotG2IgnoresConnectivity(t *testing.T) {
+	ctx := ctxOf([]uint16{1, 2}, []float64{0.5, 0.5}, []float64{0.1, 0.9}, 0)
+	a := RelayProb(CoordNotG2, ctx)
+	ctx.Self = 1
+	b := RelayProb(CoordNotG2, ctx)
+	if a != b {
+		t.Errorf("¬G2 should not depend on p(B→d): %v vs %v", a, b)
+	}
+	if math.Abs(a-1.0) > 1e-9 { // 1/(0.5+0.5)
+		t.Errorf("¬G2 = %v, want 1", a)
+	}
+}
+
+func TestNotG3WaterFilling(t *testing.T) {
+	// Best-connected aux relays first; the constraint Σ r·p·c ≥ 1 is met
+	// with as few relays as possible.
+	aux := []uint16{1, 2, 3}
+	c := []float64{1, 1, 1}
+	pd := []float64{0.9, 0.8, 0.2}
+	r0 := RelayProb(CoordNotG3, ctxOf(aux, c, pd, 0))
+	r1 := RelayProb(CoordNotG3, ctxOf(aux, c, pd, 1))
+	r2 := RelayProb(CoordNotG3, ctxOf(aux, c, pd, 2))
+	if r0 != 1 {
+		t.Errorf("best aux should relay surely, got %v", r0)
+	}
+	// After r0: expected = 0.9; remaining 0.1 falls to aux 1: r1 = 0.1/0.8.
+	if math.Abs(r1-0.125) > 1e-9 {
+		t.Errorf("second aux = %v, want 0.125", r1)
+	}
+	if r2 != 0 {
+		t.Errorf("third aux should stand down, got %v", r2)
+	}
+}
+
+func TestNotG3ExpectedDeliveryAtLeastOneWhenFeasible(t *testing.T) {
+	aux := []uint16{1, 2, 3, 4}
+	c := []float64{0.9, 0.8, 0.9, 0.7}
+	pd := []float64{0.6, 0.5, 0.4, 0.3}
+	delivered := 0.0
+	for i := range aux {
+		r := RelayProb(CoordNotG3, ctxOf(aux, c, pd, i))
+		delivered += r * pd[i] * c[i]
+	}
+	if delivered < 1-1e-9 {
+		t.Errorf("expected deliveries = %v, want ≥1", delivered)
+	}
+}
+
+func TestNotG3MoreRelaysThanViFi(t *testing.T) {
+	// The §5.5.1 observation: ¬G3 leads to more relayed transmissions.
+	aux := []uint16{1, 2, 3, 4, 5}
+	c := []float64{0.7, 0.7, 0.7, 0.7, 0.7}
+	pd := []float64{0.5, 0.5, 0.5, 0.5, 0.5}
+	vifi, g3 := 0.0, 0.0
+	for i := range aux {
+		vifi += c[i] * RelayProb(CoordViFi, ctxOf(aux, c, pd, i))
+		g3 += c[i] * RelayProb(CoordNotG3, ctxOf(aux, c, pd, i))
+	}
+	if g3 <= vifi {
+		t.Errorf("¬G3 expected relays (%v) should exceed ViFi's (%v)", g3, vifi)
+	}
+}
+
+// Property: every coordinator returns a probability in [0,1] for any
+// well-formed context.
+func TestRelayProbBoundsProperty(t *testing.T) {
+	kinds := []CoordinatorKind{CoordViFi, CoordNotG1, CoordNotG2, CoordNotG3}
+	f := func(rawC, rawPd []uint8, selfRaw uint8) bool {
+		n := len(rawC)
+		if len(rawPd) < n {
+			n = len(rawPd)
+		}
+		if n == 0 || n > 30 {
+			return true
+		}
+		aux := make([]uint16, n)
+		c := make([]float64, n)
+		pd := make([]float64, n)
+		for i := 0; i < n; i++ {
+			aux[i] = uint16(i + 1)
+			c[i] = float64(rawC[i]) / 255
+			pd[i] = float64(rawPd[i]) / 255
+		}
+		self := int(selfRaw) % n
+		for _, k := range kinds {
+			p := RelayProb(k, ctxOf(aux, c, pd, self))
+			if p < 0 || p > 1 || math.IsNaN(p) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: ViFi relay probability is monotone in own connectivity.
+func TestViFiMonotoneInOwnConnectivity(t *testing.T) {
+	f := func(rawPd uint8) bool {
+		aux := []uint16{1, 2, 3}
+		c := []float64{0.5, 0.5, 0.5}
+		low := float64(rawPd) / 512
+		high := low + 0.3
+		pLow := RelayProb(CoordViFi, ctxOf(aux, c, []float64{low, 0.5, 0.5}, 0))
+		pHigh := RelayProb(CoordViFi, ctxOf(aux, c, []float64{high, 0.5, 0.5}, 0))
+		return pHigh >= pLow-1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRelayProbBadSelf(t *testing.T) {
+	ctx := ctxOf([]uint16{1}, []float64{0.5}, []float64{0.5}, 5)
+	for _, k := range []CoordinatorKind{CoordViFi, CoordNotG1, CoordNotG2, CoordNotG3} {
+		if got := RelayProb(k, ctx); got != 0 {
+			t.Errorf("%v with out-of-range self = %v, want 0", k, got)
+		}
+	}
+}
+
+func TestCoordinatorKindString(t *testing.T) {
+	if CoordViFi.String() != "ViFi" || CoordNotG3.String() != "¬G3" {
+		t.Error("CoordinatorKind strings wrong")
+	}
+}

@@ -1,0 +1,88 @@
+package core
+
+import (
+	"time"
+
+	"github.com/vanlan/vifi/internal/frame"
+)
+
+// Direction distinguishes the two halves of the symmetric protocol.
+type Direction int
+
+// Packet directions.
+const (
+	// Up is vehicle → anchor (→ Internet).
+	Up Direction = iota
+	// Down is Internet → anchor → vehicle.
+	Down
+)
+
+// String implements fmt.Stringer.
+func (d Direction) String() string {
+	if d == Up {
+		return "up"
+	}
+	return "down"
+}
+
+// EventKind enumerates the protocol probe points used by the paper's
+// coordination analysis (Table 1, Table 2, Fig 12).
+type EventKind int
+
+// Protocol events.
+const (
+	// EvSrcTx: the source put a (re)transmission on the air.
+	EvSrcTx EventKind = iota
+	// EvDstRecvDirect: the destination decoded the source transmission.
+	EvDstRecvDirect
+	// EvDstRecvRelay: the destination decoded a relayed copy.
+	EvDstRecvRelay
+	// EvAuxHeard: an auxiliary overheard a source transmission.
+	EvAuxHeard
+	// EvAuxSuppressed: an overheard acknowledgment removed a pending
+	// packet before the relay decision.
+	EvAuxSuppressed
+	// EvAuxRelayed: an auxiliary relayed the packet (Medium tells where).
+	EvAuxRelayed
+	// EvAuxDeclined: the relay coin came up tails.
+	EvAuxDeclined
+	// EvAckRecv: the source received an acknowledgment.
+	EvAckRecv
+	// EvSrcDrop: the source gave up after exhausting retransmissions.
+	EvSrcDrop
+	// EvDeliver: the packet was delivered to the application side
+	// (vehicle app or Internet gateway), deduplicated.
+	EvDeliver
+	// EvSalvageReq: a new anchor asked the previous anchor for stranded
+	// packets.
+	EvSalvageReq
+	// EvSalvaged: a packet was handed over via salvage.
+	EvSalvaged
+	// EvAnchorChange: the vehicle designated a new anchor.
+	EvAnchorChange
+)
+
+// Medium tells which plane carried a relay.
+type Medium int
+
+// Relay media.
+const (
+	MediumAir Medium = iota
+	MediumBackplane
+)
+
+// Event is one probe record. The experiment harness aggregates these into
+// the paper's tables; normal operation ignores them.
+type Event struct {
+	Kind    EventKind
+	Dir     Direction
+	ID      frame.PacketID
+	Attempt uint8
+	Node    uint16 // the node reporting the event
+	Peer    uint16 // counterparty where meaningful (relay target, new anchor…)
+	Medium  Medium
+	At      time.Duration
+}
+
+// EventFunc consumes probe events.
+type EventFunc func(Event)

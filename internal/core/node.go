@@ -1,0 +1,463 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/vanlan/vifi/internal/backplane"
+	"github.com/vanlan/vifi/internal/frame"
+	"github.com/vanlan/vifi/internal/mac"
+	"github.com/vanlan/vifi/internal/radio"
+	"github.com/vanlan/vifi/internal/sim"
+)
+
+// DeliverFunc receives deduplicated application payloads. For a vehicle it
+// fires on downstream packets; for the gateway on upstream ones. from is
+// the original link-layer source.
+type DeliverFunc func(id frame.PacketID, payload []byte, from uint16)
+
+// vehState is a basestation's view of one vehicle, learned from its
+// beacons (§4.3: "Beacons enable all nearby BSes to learn the current
+// anchor and the set of auxiliary BSes").
+type vehState struct {
+	anchor     uint16
+	prevAnchor uint16
+	aux        []uint16
+	lastBeacon time.Duration
+}
+
+// outPkt is one unacknowledged outgoing packet at a source.
+type outPkt struct {
+	seq     uint32
+	dst     uint16 // fixed for anchors; re-resolved per attempt on vehicles
+	payload []byte
+	attempt uint8
+	txAt    time.Duration
+	timer   *sim.Timer
+	acked   bool
+	dropped bool
+	dir     Direction
+	salv    *downPkt // anchor: backing salvage-cache entry
+}
+
+// pendKey identifies one overheard transmission at an auxiliary.
+type pendKey struct {
+	id      frame.PacketID
+	attempt uint8
+}
+
+// pendPkt is an overheard, not-yet-decided packet at an auxiliary.
+type pendPkt struct {
+	f       *frame.Frame
+	heardAt time.Duration
+	veh     uint16
+}
+
+// downPkt is an anchor's record of a downstream packet for salvaging
+// (§4.5): what arrived from the Internet, when, and whether the vehicle
+// acknowledged it.
+type downPkt struct {
+	payload   []byte
+	fromNetAt time.Duration
+	acked     bool
+}
+
+// ackedInfo remembers a packet the node has acknowledged, for
+// deduplication and bitmap-triggered re-acknowledgment (§4.8).
+type ackedInfo struct {
+	attempt uint8
+	lastAck time.Duration
+}
+
+// reAckMin rate-limits bitmap-triggered acknowledgment repeats.
+const reAckMin = 20 * time.Millisecond
+
+// Node is one ViFi protocol entity — a vehicle or a basestation. Both run
+// the same engine; the isVehicle flag enables anchor selection and
+// beaconed designations, while basestations additionally run the
+// auxiliary (relay) and anchor (forwarding/salvage) roles.
+type Node struct {
+	K           *sim.Kernel
+	cfg         Config
+	mac         *mac.MAC
+	bp          *backplane.Net
+	addr        uint16
+	isVehicle   bool
+	gatewayAddr uint16
+
+	probs   *ProbTable
+	counter *beaconCounter
+	rng     *sim.RNG
+	events  EventFunc
+	deliver DeliverFunc
+
+	// Sender state.
+	nextSeq     uint32
+	outstanding map[uint32]*outPkt
+	delays      *delaySampler
+
+	// Receiver state.
+	acked  map[frame.PacketID]*ackedInfo
+	ackedQ []frame.PacketID
+
+	// Vehicle state.
+	anchor     uint16
+	prevAnchor uint16
+	auxList    []uint16
+
+	// Basestation state.
+	vehInfo   map[uint16]*vehState
+	pending   map[pendKey]*pendPkt
+	pendQ     []pendKey
+	salvage   map[uint16][]*downPkt
+	anchorFor map[uint16]bool
+
+	beaconSeq uint32
+}
+
+// newNode wires a protocol entity onto its MAC and (for basestations)
+// backplane. Cell is the public constructor.
+func newNode(k *sim.Kernel, cfg Config, m *mac.MAC, bp *backplane.Net,
+	gatewayAddr uint16, isVehicle bool, events EventFunc) *Node {
+
+	n := &Node{
+		K:           k,
+		cfg:         cfg,
+		mac:         m,
+		bp:          bp,
+		addr:        m.Addr(),
+		isVehicle:   isVehicle,
+		gatewayAddr: gatewayAddr,
+		probs:       NewProbTable(cfg.ProbAlpha, cfg.ProbStale),
+		rng:         k.RNG("core", fmt.Sprint(m.Addr())),
+		events:      events,
+		outstanding: map[uint32]*outPkt{},
+		delays:      newDelaySampler(512),
+		acked:       map[frame.PacketID]*ackedInfo{},
+		anchor:      frame.None,
+		prevAnchor:  frame.None,
+		vehInfo:     map[uint16]*vehState{},
+		pending:     map[pendKey]*pendPkt{},
+		salvage:     map[uint16][]*downPkt{},
+		anchorFor:   map[uint16]bool{},
+	}
+	n.counter = newBeaconCounter(n.probs, n.addr, cfg.ProbWindow, cfg.BeaconInterval)
+	m.SetHandler(mac.HandlerFunc(n.handleFrame))
+	if bp != nil && !isVehicle {
+		bp.Attach(n.addr, n.handleBackplane)
+	}
+	m.StartBeacons(n.buildBeacon)
+	k.After(cfg.ProbWindow+k.RNG("corewin", fmt.Sprint(m.Addr())).Jitter(cfg.ProbWindow/4), n.windowTick)
+	if !isVehicle && cfg.EnableRelay {
+		k.After(cfg.RelayCheck+n.rng.Jitter(cfg.RelayCheck), n.relayTick)
+	}
+	return n
+}
+
+// Addr returns the node's link-layer address.
+func (n *Node) Addr() uint16 { return n.addr }
+
+// Anchor returns the vehicle's current anchor (frame.None when none).
+func (n *Node) Anchor() uint16 { return n.anchor }
+
+// AuxCount returns the vehicle's current number of designated auxiliary
+// basestations (Table 1 row A1 samples this).
+func (n *Node) AuxCount() int { return len(n.auxList) }
+
+// SetDeliver installs the application delivery callback (vehicle side).
+func (n *Node) SetDeliver(d DeliverFunc) { n.deliver = d }
+
+// MAC exposes the node's MAC entity (stats, address).
+func (n *Node) MAC() *mac.MAC { return n.mac }
+
+// Probs exposes the node's probability table (diagnostics).
+func (n *Node) Probs() *ProbTable { return n.probs }
+
+// emit sends a probe event if a collector is installed.
+func (n *Node) emit(kind EventKind, dir Direction, id frame.PacketID, attempt uint8, peer uint16, medium Medium) {
+	if n.events == nil {
+		return
+	}
+	n.events(Event{Kind: kind, Dir: dir, ID: id, Attempt: attempt,
+		Node: n.addr, Peer: peer, Medium: medium, At: n.K.Now()})
+}
+
+// --- Periodic work -------------------------------------------------------
+
+// windowTick closes a probability window and, on vehicles, re-evaluates
+// the anchor/auxiliary designations.
+func (n *Node) windowTick() {
+	now := n.K.Now()
+	n.counter.flush(now)
+	if n.isVehicle {
+		n.selectAnchor(now)
+	}
+	n.K.After(n.cfg.ProbWindow, n.windowTick)
+}
+
+// usableBS is the minimum averaged beacon reception ratio for a
+// basestation to serve as anchor or auxiliary.
+const usableBS = 0.05
+
+// selectAnchor applies BRR anchor selection (§4.3: "Our implementation
+// uses BRR") and refreshes the auxiliary list ("all BSes that the vehicle
+// hears").
+func (n *Node) selectAnchor(now time.Duration) {
+	best := frame.None
+	bestVal := usableBS
+	for _, peer := range n.probs.FreshLocalPeers(n.addr, now) {
+		v := n.probs.Get(peer, n.addr, now)
+		if v > bestVal {
+			best, bestVal = peer, v
+		}
+	}
+	// Keep the current anchor while it stays usable and no strictly better
+	// candidate exists (argmax with first-wins stability).
+	if best != frame.None && best != n.anchor {
+		cur := 0.0
+		if n.anchor != frame.None {
+			cur = n.probs.Get(n.anchor, n.addr, now)
+		}
+		if bestVal > cur {
+			if n.anchor != frame.None {
+				n.prevAnchor = n.anchor
+			}
+			n.anchor = best
+			n.emit(EvAnchorChange, Up, frame.PacketID{}, 0, best, MediumAir)
+		}
+	} else if n.anchor != frame.None && n.probs.Get(n.anchor, n.addr, now) < usableBS {
+		// Anchor lost entirely.
+		n.prevAnchor = n.anchor
+		n.anchor = frame.None
+	}
+	// Auxiliaries: every other usable basestation.
+	n.auxList = n.auxList[:0]
+	for _, peer := range n.probs.FreshLocalPeers(n.addr, now) {
+		if peer == n.anchor {
+			continue
+		}
+		if n.probs.Get(peer, n.addr, now) >= usableBS {
+			n.auxList = append(n.auxList, peer)
+		}
+	}
+	if len(n.auxList) > 255 {
+		n.auxList = n.auxList[:255]
+	}
+}
+
+// buildBeacon produces this node's periodic beacon (§4.3, §4.6).
+func (n *Node) buildBeacon() *frame.Frame {
+	now := n.K.Now()
+	n.beaconSeq++
+	b := &frame.Beacon{Anchor: frame.None, PrevAnchor: frame.None,
+		Probs: n.probs.Report(n.addr, now)}
+	if n.isVehicle {
+		b.Anchor = n.anchor
+		b.PrevAnchor = n.prevAnchor
+		b.Aux = append([]uint16(nil), n.auxList...)
+	}
+	return &frame.Frame{
+		Type: frame.TypeBeacon, Src: n.addr, Dst: frame.Broadcast,
+		Seq: n.beaconSeq, FromVehicle: n.isVehicle, Beacon: b,
+	}
+}
+
+// --- Frame dispatch ------------------------------------------------------
+
+// handleFrame is the MAC upcall for every decoded over-the-air frame.
+func (n *Node) handleFrame(f *frame.Frame, info radio.RxInfo) {
+	switch f.Type {
+	case frame.TypeBeacon:
+		n.handleBeacon(f)
+	case frame.TypeData:
+		n.handleData(f)
+	case frame.TypeRelay:
+		n.handleAirRelay(f)
+	case frame.TypeAck:
+		n.handleAck(f)
+	}
+}
+
+// handleBeacon ingests probability reports and vehicle designations.
+func (n *Node) handleBeacon(f *frame.Frame) {
+	now := n.K.Now()
+	n.counter.hear(f.Src)
+	if f.Beacon != nil {
+		for _, pe := range f.Beacon.Probs {
+			if pe.To == n.addr {
+				continue // local measurement is authoritative
+			}
+			n.probs.ObserveGossip(pe.From, pe.To, pe.Prob, now)
+		}
+	}
+	if !f.FromVehicle || n.isVehicle || f.Beacon == nil {
+		return
+	}
+	// Basestation learning a vehicle's designations.
+	veh := f.Src
+	vs := n.vehInfo[veh]
+	if vs == nil {
+		vs = &vehState{anchor: frame.None, prevAnchor: frame.None}
+		n.vehInfo[veh] = vs
+	}
+	vs.anchor = f.Beacon.Anchor
+	vs.prevAnchor = f.Beacon.PrevAnchor
+	vs.aux = append(vs.aux[:0], f.Beacon.Aux...)
+	vs.lastBeacon = now
+
+	amAnchor := f.Beacon.Anchor == n.addr
+	if amAnchor && !n.anchorFor[veh] {
+		n.becomeAnchor(veh, f.Beacon.PrevAnchor)
+	} else if !amAnchor && n.anchorFor[veh] {
+		n.anchorFor[veh] = false
+	}
+}
+
+// handleData processes a non-relayed data frame heard on the air.
+func (n *Node) handleData(f *frame.Frame) {
+	if f.Dst == n.addr {
+		dir := Up
+		if n.isVehicle {
+			dir = Down
+		}
+		n.emit(EvDstRecvDirect, dir, f.ID(), f.Attempt, f.Src, MediumAir)
+		n.ackAndDeliver(f.ID(), f.Attempt, f.Payload, dir)
+		n.handleBitmap(f)
+		return
+	}
+	// Not for us: auxiliary opportunity (basestations only).
+	if !n.isVehicle && n.cfg.EnableRelay {
+		n.considerPending(f)
+	}
+}
+
+// handleAirRelay processes a relayed data frame on the air (downstream
+// relaying, §4.3 step 3).
+func (n *Node) handleAirRelay(f *frame.Frame) {
+	if f.Dst != n.addr {
+		return // relays are never re-relayed (§4.3: "only once")
+	}
+	dir := Up
+	if n.isVehicle {
+		dir = Down
+	}
+	n.emit(EvDstRecvRelay, dir, f.ID(), f.Attempt, f.Src, MediumAir)
+	n.ackAndDeliver(f.ID(), f.Attempt, f.Payload, dir)
+}
+
+// handleAck processes an over-the-air acknowledgment: sources settle
+// outstanding packets, auxiliaries suppress pending relays.
+func (n *Node) handleAck(f *frame.Frame) {
+	now := n.K.Now()
+	if f.AckSrc == n.addr {
+		if pkt, ok := n.outstanding[f.AckSeq]; ok && !pkt.acked && !pkt.dropped {
+			pkt.acked = true
+			if pkt.timer != nil {
+				pkt.timer.Stop()
+			}
+			if f.AckAttempt == pkt.attempt {
+				n.delays.add(now - pkt.txAt)
+			}
+			if pkt.salv != nil {
+				pkt.salv.acked = true
+			}
+			n.emit(EvAckRecv, pkt.dir, frame.PacketID{Src: n.addr, Seq: f.AckSeq}, f.AckAttempt, f.Src, MediumAir)
+		}
+	}
+	// Suppress any pending relay for this packet, regardless of attempt
+	// (the packet is at the destination).
+	if !n.isVehicle && n.cfg.EnableRelay {
+		id := frame.PacketID{Src: f.AckSrc, Seq: f.AckSeq}
+		for key, p := range n.pending {
+			if key.id == id {
+				dir := dirOf(p)
+				n.emit(EvAuxSuppressed, dir, id, key.attempt, f.Src, MediumAir)
+				delete(n.pending, key)
+			}
+		}
+	}
+}
+
+// handleBitmap re-acknowledges packets the sender still thinks are
+// unacknowledged (§4.8's 1-byte bitmap optimization).
+func (n *Node) handleBitmap(f *frame.Frame) {
+	if f.AckBitmap == 0 {
+		return
+	}
+	now := n.K.Now()
+	for i := 0; i < 8; i++ {
+		if f.AckBitmap&(1<<i) == 0 {
+			continue
+		}
+		if uint32(i+1) > f.Seq {
+			break
+		}
+		id := frame.PacketID{Src: f.Src, Seq: f.Seq - 1 - uint32(i)}
+		if info, ok := n.acked[id]; ok && now-info.lastAck >= reAckMin {
+			info.lastAck = now
+			n.sendAck(id, info.attempt)
+		}
+	}
+}
+
+// ackAndDeliver acknowledges a received data packet and delivers it once.
+func (n *Node) ackAndDeliver(id frame.PacketID, attempt uint8, payload []byte, dir Direction) {
+	now := n.K.Now()
+	info, seen := n.acked[id]
+	if seen {
+		// Duplicate (retransmission or relay duplicate): re-acknowledge,
+		// do not re-deliver.
+		info.attempt = attempt
+		info.lastAck = now
+		n.sendAck(id, attempt)
+		return
+	}
+	n.rememberAcked(id, attempt, now)
+	n.sendAck(id, attempt)
+
+	if n.isVehicle {
+		n.emit(EvDeliver, dir, id, attempt, id.Src, MediumAir)
+		if n.deliver != nil {
+			n.deliver(id, payload, id.Src)
+		}
+		return
+	}
+	// Anchor (or stale anchor) role: forward upstream payload to the
+	// Internet gateway over the backplane.
+	if n.bp != nil {
+		fwd := &frame.Frame{Type: frame.TypeRelay, Src: n.addr, Dst: n.gatewayAddr,
+			Seq: id.Seq, Orig: id.Src, Attempt: attempt, Payload: payload}
+		buf, err := fwd.Marshal()
+		if err == nil {
+			n.bp.Send(n.addr, n.gatewayAddr, buf)
+		}
+	}
+}
+
+// rememberAcked inserts into the bounded acknowledged-packet cache.
+func (n *Node) rememberAcked(id frame.PacketID, attempt uint8, now time.Duration) {
+	n.acked[id] = &ackedInfo{attempt: attempt, lastAck: now}
+	n.ackedQ = append(n.ackedQ, id)
+	for len(n.ackedQ) > n.cfg.AckedCacheCap {
+		old := n.ackedQ[0]
+		n.ackedQ = n.ackedQ[1:]
+		delete(n.acked, old)
+	}
+}
+
+// sendAck broadcasts an acknowledgment with queue priority (§4.3 step 2).
+func (n *Node) sendAck(id frame.PacketID, attempt uint8) {
+	n.mac.SendPriority(&frame.Frame{
+		Type: frame.TypeAck, Src: n.addr, Dst: frame.Broadcast,
+		AckSrc: id.Src, AckSeq: id.Seq, AckAttempt: attempt,
+		FromVehicle: n.isVehicle,
+	})
+}
+
+// dirOf infers a pending packet's direction.
+func dirOf(p *pendPkt) Direction {
+	if p.f.FromVehicle {
+		return Up
+	}
+	return Down
+}

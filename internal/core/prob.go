@@ -1,0 +1,159 @@
+package core
+
+import (
+	"time"
+
+	"github.com/vanlan/vifi/internal/frame"
+	"github.com/vanlan/vifi/internal/stats"
+)
+
+// probEntry is one directed reception-probability estimate.
+type probEntry struct {
+	ewma    *stats.EWMA // local measurements only
+	gossip  float64     // last value learned from a beacon
+	local   time.Duration
+	gossipT time.Duration
+	hasG    bool
+}
+
+// ProbTable holds a node's view of pairwise reception probabilities
+// p(a→b), fed by local beacon counting (authoritative) and by values
+// gossiped in peers' beacons (§4.6). Entries age out after the staleness
+// window so departed nodes stop influencing relay decisions.
+type ProbTable struct {
+	alpha float64
+	stale time.Duration
+	m     map[[2]uint16]*probEntry
+}
+
+// NewProbTable creates a table with the given EWMA factor and staleness.
+func NewProbTable(alpha float64, stale time.Duration) *ProbTable {
+	return &ProbTable{alpha: alpha, stale: stale, m: map[[2]uint16]*probEntry{}}
+}
+
+func (t *ProbTable) entry(from, to uint16) *probEntry {
+	k := [2]uint16{from, to}
+	e, ok := t.m[k]
+	if !ok {
+		e = &probEntry{ewma: stats.NewEWMA(t.alpha), local: -1, gossipT: -1}
+		t.m[k] = e
+	}
+	return e
+}
+
+// ObserveLocal folds a locally measured reception ratio for from→to
+// (normally to == self) at the given time.
+func (t *ProbTable) ObserveLocal(from, to uint16, ratio float64, now time.Duration) {
+	e := t.entry(from, to)
+	e.ewma.Update(ratio)
+	e.local = now
+}
+
+// ObserveGossip records a probability learned from a peer's beacon.
+// Local measurements always win while fresh.
+func (t *ProbTable) ObserveGossip(from, to uint16, p float64, now time.Duration) {
+	e := t.entry(from, to)
+	e.gossip = p
+	e.gossipT = now
+	e.hasG = true
+}
+
+// Get returns the current estimate of p(from→to), preferring fresh local
+// measurement over fresh gossip, and zero when nothing fresh is known.
+func (t *ProbTable) Get(from, to uint16, now time.Duration) float64 {
+	if from == to {
+		return 1
+	}
+	e, ok := t.m[[2]uint16{from, to}]
+	if !ok {
+		return 0
+	}
+	if e.local >= 0 && now-e.local <= t.stale {
+		return e.ewma.Value()
+	}
+	if e.hasG && now-e.gossipT <= t.stale {
+		return e.gossip
+	}
+	return 0
+}
+
+// FreshLocalPeers returns the peers x with a fresh local estimate of
+// p(x→self); used to build beacon prob reports and auxiliary sets.
+func (t *ProbTable) FreshLocalPeers(self uint16, now time.Duration) []uint16 {
+	var out []uint16
+	for k, e := range t.m {
+		if k[1] == self && e.local >= 0 && now-e.local <= t.stale {
+			out = append(out, k[0])
+		}
+	}
+	return out
+}
+
+// Report builds the beacon probability entries for a node: its fresh
+// local measurements (x→self) and the fresh gossiped values about its own
+// outgoing links (self→x), which it learned from x's beacons (§4.6).
+func (t *ProbTable) Report(self uint16, now time.Duration) []frame.ProbEntry {
+	var out []frame.ProbEntry
+	for k, e := range t.m {
+		if k[1] == self && e.local >= 0 && now-e.local <= t.stale {
+			out = append(out, frame.ProbEntry{From: k[0], To: self, Prob: e.ewma.Value()})
+		}
+		if k[0] == self && e.hasG && now-e.gossipT <= t.stale {
+			out = append(out, frame.ProbEntry{From: self, To: k[1], Prob: e.gossip})
+		}
+	}
+	if len(out) > 255 {
+		out = out[:255]
+	}
+	return out
+}
+
+// beaconCounter tracks beacons heard from each peer in the current
+// probe window and flushes per-window reception ratios into a ProbTable.
+type beaconCounter struct {
+	table    *ProbTable
+	self     uint16
+	window   time.Duration
+	expected float64 // beacons expected per window
+	heard    map[uint16]int
+	windowAt time.Duration
+}
+
+func newBeaconCounter(table *ProbTable, self uint16, window, beaconInterval time.Duration) *beaconCounter {
+	return &beaconCounter{
+		table:    table,
+		self:     self,
+		window:   window,
+		expected: float64(window) / float64(beaconInterval),
+		heard:    map[uint16]int{},
+	}
+}
+
+// hear records one beacon from the peer.
+func (b *beaconCounter) hear(peer uint16) { b.heard[peer]++ }
+
+// flush closes the window at time now: every peer heard at least once in
+// any window so far gets its ratio folded in (including zero ratios for
+// currently-known peers that went silent, so estimates decay).
+func (b *beaconCounter) flush(now time.Duration) {
+	// Fold ratios for peers heard this window.
+	for peer, n := range b.heard {
+		r := float64(n) / b.expected
+		if r > 1 {
+			r = 1
+		}
+		b.table.ObserveLocal(peer, b.self, r, now)
+	}
+	// Decay peers with fresh estimates that went silent this window, but
+	// once an estimate has decayed to noise stop refreshing it so the
+	// entry can age out entirely.
+	for _, peer := range b.table.FreshLocalPeers(b.self, now) {
+		if _, ok := b.heard[peer]; !ok {
+			if b.table.Get(peer, b.self, now) > 0.01 {
+				b.table.ObserveLocal(peer, b.self, 0, now)
+			}
+		}
+	}
+	b.heard = map[uint16]int{}
+	b.windowAt = now
+}

@@ -1,0 +1,195 @@
+package core
+
+import (
+	"sort"
+	"time"
+
+	"github.com/vanlan/vifi/internal/frame"
+)
+
+// delaySampler tracks recent acknowledgment delays and serves quantiles
+// for the adaptive retransmission timer (§4.7: "the source then picks as
+// the minimum retransmission time the 99th percentile of measured
+// delays").
+type delaySampler struct {
+	ring  []time.Duration
+	next  int
+	full  bool
+	cache time.Duration
+	dirty bool
+	cachq float64
+}
+
+func newDelaySampler(n int) *delaySampler {
+	return &delaySampler{ring: make([]time.Duration, n)}
+}
+
+func (d *delaySampler) add(v time.Duration) {
+	d.ring[d.next] = v
+	d.next++
+	if d.next == len(d.ring) {
+		d.next = 0
+		d.full = true
+	}
+	d.dirty = true
+}
+
+func (d *delaySampler) size() int {
+	if d.full {
+		return len(d.ring)
+	}
+	return d.next
+}
+
+// quantile returns the q-quantile of the window, or 0 when empty.
+func (d *delaySampler) quantile(q float64) time.Duration {
+	n := d.size()
+	if n == 0 {
+		return 0
+	}
+	if !d.dirty && q == d.cachq {
+		return d.cache
+	}
+	buf := make([]time.Duration, n)
+	copy(buf, d.ring[:n])
+	sort.Slice(buf, func(i, j int) bool { return buf[i] < buf[j] })
+	idx := int(q * float64(n-1))
+	d.cache = buf[idx]
+	d.cachq = q
+	d.dirty = false
+	return d.cache
+}
+
+// retxTimeout computes the current retransmission timer.
+func (n *Node) retxTimeout() time.Duration {
+	// Require a few samples before trusting the estimate.
+	if n.delays.size() < 8 {
+		return n.cfg.RetxInit
+	}
+	t := n.delays.quantile(n.cfg.RetxPercentile)
+	if t < n.cfg.RetxMin {
+		t = n.cfg.RetxMin
+	}
+	if t > n.cfg.RetxMax {
+		t = n.cfg.RetxMax
+	}
+	return t
+}
+
+// SendData transmits an application payload. On a vehicle it is addressed
+// to the current anchor (§4.3: upstream packets are forwarded through the
+// anchor); returns false — without consuming a sequence number — when the
+// vehicle has no anchor. Basestations use sendDown instead.
+func (n *Node) SendData(payload []byte) bool {
+	if !n.isVehicle {
+		panic("core: SendData on a basestation; use the gateway for downstream traffic")
+	}
+	if n.anchor == frame.None {
+		return false
+	}
+	n.enqueueData(n.anchor, payload, Up, nil)
+	return true
+}
+
+// sendDown transmits a downstream payload from an anchor to a vehicle.
+// salv links the packet to its salvage-cache entry.
+func (n *Node) sendDown(veh uint16, payload []byte, salv *downPkt) {
+	n.enqueueData(veh, payload, Down, salv)
+}
+
+// enqueueData allocates a sequence number and performs the first
+// transmission.
+func (n *Node) enqueueData(dst uint16, payload []byte, dir Direction, salv *downPkt) {
+	n.nextSeq++
+	pkt := &outPkt{
+		seq:     n.nextSeq,
+		dst:     dst,
+		payload: append([]byte(nil), payload...),
+		dir:     dir,
+		salv:    salv,
+	}
+	n.outstanding[pkt.seq] = pkt
+	n.pruneOutstanding()
+	n.transmit(pkt)
+}
+
+// transmit puts one attempt of the packet on the air and arms the
+// retransmission (or cleanup) timer.
+func (n *Node) transmit(pkt *outPkt) {
+	dst := pkt.dst
+	if n.isVehicle {
+		// Retransmissions chase the current anchor.
+		if n.anchor == frame.None {
+			// No anchor right now: retry when the timer next fires.
+			n.armRetx(pkt)
+			return
+		}
+		dst = n.anchor
+		pkt.dst = dst
+	}
+	f := &frame.Frame{
+		Type: frame.TypeData, Src: n.addr, Dst: dst,
+		Seq: pkt.seq, Attempt: pkt.attempt,
+		AckBitmap: n.buildBitmap(pkt.seq), FromVehicle: n.isVehicle,
+		Payload: pkt.payload,
+	}
+	pkt.txAt = n.K.Now()
+	n.mac.Send(f)
+	n.emit(EvSrcTx, pkt.dir, frame.PacketID{Src: n.addr, Seq: pkt.seq}, pkt.attempt, dst, MediumAir)
+	n.armRetx(pkt)
+}
+
+// armRetx schedules the packet's next retransmission check.
+func (n *Node) armRetx(pkt *outPkt) {
+	if pkt.timer != nil {
+		pkt.timer.Stop()
+	}
+	pkt.timer = n.K.After(n.retxTimeout(), func() { n.retxFire(pkt) })
+}
+
+// retxFire retransmits an unacknowledged packet or gives up after
+// MaxRetx retransmissions.
+func (n *Node) retxFire(pkt *outPkt) {
+	if pkt.acked || pkt.dropped {
+		return
+	}
+	if int(pkt.attempt) >= n.cfg.MaxRetx {
+		pkt.dropped = true
+		n.emit(EvSrcDrop, pkt.dir, frame.PacketID{Src: n.addr, Seq: pkt.seq}, pkt.attempt, pkt.dst, MediumAir)
+		return
+	}
+	pkt.attempt++
+	n.transmit(pkt)
+}
+
+// buildBitmap reports which of the eight packets before seq remain
+// unacknowledged at this sender (§4.8).
+func (n *Node) buildBitmap(seq uint32) uint8 {
+	var bm uint8
+	for i := 0; i < 8; i++ {
+		back := uint32(i + 1)
+		if seq <= back {
+			break
+		}
+		if pkt, ok := n.outstanding[seq-back]; ok && !pkt.acked {
+			bm |= 1 << i
+		}
+	}
+	return bm
+}
+
+// pruneOutstanding drops settled entries far behind the send window so the
+// map stays bounded while the bitmap window (8) keeps its history.
+func (n *Node) pruneOutstanding() {
+	if len(n.outstanding) < 64 {
+		return
+	}
+	for seq, pkt := range n.outstanding {
+		if seq+16 < n.nextSeq && (pkt.acked || pkt.dropped) {
+			if pkt.timer != nil {
+				pkt.timer.Stop()
+			}
+			delete(n.outstanding, seq)
+		}
+	}
+}

@@ -1,0 +1,394 @@
+// Package emu is the live, wall-clock twin of the deterministic simulator:
+// a ViFi cell emulated over real UDP sockets on the loopback interface.
+//
+// A Hub process stands in for the wireless ether: every node owns a UDP
+// socket, joins the hub, and broadcasts wire frames (internal/frame);
+// the hub forwards each frame to every other node subject to a per-link
+// delivery probability — the same reduction the paper's QualNet
+// methodology uses (§5.1). On top of this substrate, Vehicle and
+// Basestation run the ViFi data path live: broadcast data, broadcast
+// acknowledgments, opportunistic overhearing, Eq 1–3 relay probabilities,
+// and ack suppression — with real goroutines, timers and packet loss.
+//
+// The package exists because the paper's headline artifact was a running
+// deployment; this is the closest laptop-scale equivalent (see DESIGN.md's
+// substitution table) and it exercises the systems path the simulator
+// cannot: concurrency, sockets, wall-clock races.
+package emu
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+
+	"github.com/vanlan/vifi/internal/core"
+	"github.com/vanlan/vifi/internal/frame"
+)
+
+// maxDatagram bounds frames on the emulated ether.
+const maxDatagram = 4096
+
+// Hub is the emulated ether: it forwards every received frame to every
+// joined node except the sender, dropping each copy independently with
+// the configured link loss probability.
+type Hub struct {
+	conn *net.UDPConn
+	rng  *rand.Rand
+
+	mu    sync.Mutex
+	addrs map[uint16]*net.UDPAddr
+	loss  func(from, to uint16) float64
+
+	closed  chan struct{}
+	stats   HubStats
+	statsMu sync.Mutex
+}
+
+// HubStats counts forwarded and dropped frames.
+type HubStats struct {
+	Received  int
+	Forwarded int
+	Dropped   int
+}
+
+// NewHub starts a hub on a fresh loopback port. loss returns the delivery
+// failure probability for the directed pair (nil means lossless).
+func NewHub(seed int64, loss func(from, to uint16) float64) (*Hub, error) {
+	conn, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		return nil, fmt.Errorf("emu: hub listen: %w", err)
+	}
+	if loss == nil {
+		loss = func(uint16, uint16) float64 { return 0 }
+	}
+	h := &Hub{
+		conn:   conn,
+		rng:    rand.New(rand.NewSource(seed)),
+		addrs:  map[uint16]*net.UDPAddr{},
+		loss:   loss,
+		closed: make(chan struct{}),
+	}
+	go h.serve()
+	return h, nil
+}
+
+// Addr returns the hub's UDP address.
+func (h *Hub) Addr() *net.UDPAddr { return h.conn.LocalAddr().(*net.UDPAddr) }
+
+// Stats returns a copy of the hub counters.
+func (h *Hub) Stats() HubStats {
+	h.statsMu.Lock()
+	defer h.statsMu.Unlock()
+	return h.stats
+}
+
+// Close shuts the hub down.
+func (h *Hub) Close() error {
+	select {
+	case <-h.closed:
+		return nil
+	default:
+	}
+	close(h.closed)
+	return h.conn.Close()
+}
+
+func (h *Hub) serve() {
+	buf := make([]byte, maxDatagram)
+	for {
+		n, from, err := h.conn.ReadFromUDP(buf)
+		if err != nil {
+			select {
+			case <-h.closed:
+				return
+			default:
+				continue
+			}
+		}
+		f, err := frame.Unmarshal(buf[:n])
+		if err != nil {
+			continue
+		}
+		h.statsMu.Lock()
+		h.stats.Received++
+		h.statsMu.Unlock()
+
+		h.mu.Lock()
+		// Joining is implicit: the first frame from a source address
+		// registers it (nodes announce themselves with a beacon).
+		h.addrs[f.Src] = from
+		targets := make(map[uint16]*net.UDPAddr, len(h.addrs))
+		for id, a := range h.addrs {
+			if id != f.Src {
+				targets[id] = a
+			}
+		}
+		h.mu.Unlock()
+
+		pkt := append([]byte(nil), buf[:n]...)
+		for id, a := range targets {
+			drop := h.loss(f.Src, id)
+			h.mu.Lock()
+			lost := h.rng.Float64() < drop
+			h.mu.Unlock()
+			if lost {
+				h.statsMu.Lock()
+				h.stats.Dropped++
+				h.statsMu.Unlock()
+				continue
+			}
+			if _, err := h.conn.WriteToUDP(pkt, a); err == nil {
+				h.statsMu.Lock()
+				h.stats.Forwarded++
+				h.statsMu.Unlock()
+			}
+		}
+	}
+}
+
+// Node is one emulated radio: a UDP socket bound to the hub.
+type Node struct {
+	ID   uint16
+	conn *net.UDPConn
+	hub  *net.UDPAddr
+
+	handler func(*frame.Frame)
+	closed  chan struct{}
+}
+
+// NewNode creates a node and announces it to the hub with a beacon.
+func NewNode(id uint16, hub *net.UDPAddr, handler func(*frame.Frame)) (*Node, error) {
+	conn, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		return nil, fmt.Errorf("emu: node listen: %w", err)
+	}
+	n := &Node{ID: id, conn: conn, hub: hub, handler: handler, closed: make(chan struct{})}
+	go n.recvLoop()
+	// Announce.
+	if err := n.Send(&frame.Frame{Type: frame.TypeBeacon, Src: id, Dst: frame.Broadcast,
+		Beacon: &frame.Beacon{Anchor: frame.None, PrevAnchor: frame.None}}); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	return n, nil
+}
+
+// Send broadcasts a frame onto the emulated ether.
+func (n *Node) Send(f *frame.Frame) error {
+	buf, err := f.Marshal()
+	if err != nil {
+		return err
+	}
+	if len(buf) > maxDatagram {
+		return errors.New("emu: frame exceeds datagram size")
+	}
+	_, err = n.conn.WriteToUDP(buf, n.hub)
+	return err
+}
+
+// Close stops the node.
+func (n *Node) Close() error {
+	select {
+	case <-n.closed:
+		return nil
+	default:
+	}
+	close(n.closed)
+	return n.conn.Close()
+}
+
+func (n *Node) recvLoop() {
+	buf := make([]byte, maxDatagram)
+	for {
+		sz, _, err := n.conn.ReadFromUDP(buf)
+		if err != nil {
+			select {
+			case <-n.closed:
+				return
+			default:
+				continue
+			}
+		}
+		f, err := frame.Unmarshal(buf[:sz])
+		if err != nil {
+			continue
+		}
+		if n.handler != nil {
+			n.handler(f)
+		}
+	}
+}
+
+// DemoConfig parameterizes the live relay demonstration.
+type DemoConfig struct {
+	Seed int64
+	// Packets is how many upstream data packets the vehicle sends.
+	Packets int
+	// Interval between packets.
+	Interval time.Duration
+	// AckWait before an auxiliary decides to relay.
+	AckWait time.Duration
+	// PVehAnchor, PVehAux, PAnchorAux: delivery probabilities of the
+	// emulated links (vehicle→anchor is the weak one diversity rescues).
+	PVehAnchor, PVehAux, PAnchorAux float64
+	// EnableRelay switches the auxiliary on (off reproduces hard handoff).
+	EnableRelay bool
+}
+
+// DefaultDemoConfig returns a quick, convincing configuration.
+func DefaultDemoConfig() DemoConfig {
+	return DemoConfig{
+		Seed:        1,
+		Packets:     200,
+		Interval:    5 * time.Millisecond,
+		AckWait:     3 * time.Millisecond,
+		PVehAnchor:  0.3,
+		PVehAux:     0.9,
+		PAnchorAux:  0.95,
+		EnableRelay: true,
+	}
+}
+
+// DemoResult reports the live run.
+type DemoResult struct {
+	Sent      int
+	Delivered int
+	Relayed   int
+	Hub       HubStats
+}
+
+// RunDemo executes the ViFi upstream data path over real UDP sockets: a
+// vehicle (id 2) sends data to its anchor (id 0) over a weak emulated
+// link while an auxiliary (id 1) overhears well, suppresses on overheard
+// acknowledgments, and relays with the Eq 1–3 probability.
+func RunDemo(cfg DemoConfig) (*DemoResult, error) {
+	const (
+		anchorID uint16 = 0
+		auxID    uint16 = 1
+		vehID    uint16 = 2
+	)
+	loss := func(from, to uint16) float64 {
+		switch {
+		case from == vehID && to == anchorID:
+			return 1 - cfg.PVehAnchor
+		case from == vehID && to == auxID:
+			return 1 - cfg.PVehAux
+		case (from == anchorID && to == auxID) || (from == auxID && to == anchorID):
+			return 1 - cfg.PAnchorAux
+		case from == anchorID && to == vehID, from == auxID && to == vehID:
+			return 1 - cfg.PAnchorAux
+		default:
+			return 0
+		}
+	}
+	hub, err := NewHub(cfg.Seed, loss)
+	if err != nil {
+		return nil, err
+	}
+	defer hub.Close()
+
+	res := &DemoResult{}
+	var mu sync.Mutex
+	seen := map[frame.PacketID]bool{}
+
+	// Anchor: acknowledge and count unique deliveries.
+	var anchor *Node
+	anchor, err = NewNode(anchorID, hub.Addr(), func(f *frame.Frame) {
+		if (f.Type == frame.TypeData || f.Type == frame.TypeRelay) && f.Dst == anchorID {
+			id := f.ID()
+			mu.Lock()
+			if !seen[id] {
+				seen[id] = true
+				res.Delivered++
+			}
+			mu.Unlock()
+			anchor.Send(&frame.Frame{Type: frame.TypeAck, Src: anchorID, Dst: frame.Broadcast,
+				AckSrc: id.Src, AckSeq: id.Seq, AckAttempt: f.Attempt})
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer anchor.Close()
+
+	// Auxiliary: overhear, wait for the ack, then maybe relay (Eq 1–3).
+	type pend struct {
+		f     *frame.Frame
+		timer *time.Timer
+	}
+	var aux *Node
+	pending := map[frame.PacketID]*pend{}
+	relayRNG := rand.New(rand.NewSource(cfg.Seed + 1))
+	ctx := &core.RelayContext{
+		Aux:    []uint16{auxID},
+		C:      []float64{core.Contention(cfg.PVehAux, cfg.PVehAnchor, cfg.PAnchorAux)},
+		PToDst: []float64{cfg.PAnchorAux},
+		Self:   0,
+	}
+	relayProb := core.RelayProb(core.CoordViFi, ctx)
+	aux, err = NewNode(auxID, hub.Addr(), func(f *frame.Frame) {
+		switch f.Type {
+		case frame.TypeData:
+			if !cfg.EnableRelay || f.Dst != anchorID {
+				return
+			}
+			p := &pend{f: f}
+			id := f.ID()
+			mu.Lock()
+			pending[id] = p
+			mu.Unlock()
+			p.timer = time.AfterFunc(cfg.AckWait, func() {
+				mu.Lock()
+				_, still := pending[id]
+				delete(pending, id)
+				doRelay := still && relayRNG.Float64() < relayProb
+				if doRelay {
+					res.Relayed++
+				}
+				mu.Unlock()
+				if doRelay {
+					aux.Send(&frame.Frame{Type: frame.TypeRelay, Src: auxID, Dst: anchorID,
+						Seq: f.Seq, Attempt: f.Attempt, Relayed: true, Orig: f.Src,
+						Payload: f.Payload})
+				}
+			})
+		case frame.TypeAck:
+			mu.Lock()
+			if p, ok := pending[frame.PacketID{Src: f.AckSrc, Seq: f.AckSeq}]; ok {
+				p.timer.Stop()
+				delete(pending, frame.PacketID{Src: f.AckSrc, Seq: f.AckSeq})
+			}
+			mu.Unlock()
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer aux.Close()
+
+	// Vehicle: steady upstream stream.
+	veh, err := NewNode(vehID, hub.Addr(), nil)
+	if err != nil {
+		return nil, err
+	}
+	defer veh.Close()
+
+	// Give the announcement beacons a moment to register everyone.
+	time.Sleep(20 * time.Millisecond)
+	for i := 0; i < cfg.Packets; i++ {
+		f := &frame.Frame{Type: frame.TypeData, Src: vehID, Dst: anchorID,
+			Seq: uint32(i + 1), FromVehicle: true, Payload: []byte("live")}
+		if err := veh.Send(f); err != nil {
+			return nil, err
+		}
+		res.Sent++
+		time.Sleep(cfg.Interval)
+	}
+	// Drain stragglers.
+	time.Sleep(cfg.AckWait + 50*time.Millisecond)
+	res.Hub = hub.Stats()
+	return res, nil
+}

@@ -1,0 +1,153 @@
+package emu
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/vanlan/vifi/internal/frame"
+)
+
+func TestHubForwardsToOthers(t *testing.T) {
+	hub, err := NewHub(1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hub.Close()
+
+	var mu sync.Mutex
+	got := map[uint16][]frame.Type{}
+	mk := func(id uint16) *Node {
+		n, err := NewNode(id, hub.Addr(), func(f *frame.Frame) {
+			mu.Lock()
+			got[id] = append(got[id], f.Type)
+			mu.Unlock()
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return n
+	}
+	a := mk(1)
+	defer a.Close()
+	b := mk(2)
+	defer b.Close()
+	c := mk(3)
+	defer c.Close()
+	time.Sleep(30 * time.Millisecond)
+
+	if err := a.Send(&frame.Frame{Type: frame.TypeData, Src: 1, Dst: frame.Broadcast,
+		Seq: 9, Payload: []byte("x")}); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		mu.Lock()
+		okB := containsType(got[2], frame.TypeData)
+		okC := containsType(got[3], frame.TypeData)
+		okA := containsType(got[1], frame.TypeData)
+		mu.Unlock()
+		if okB && okC {
+			if okA {
+				t.Fatal("sender received its own frame")
+			}
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("data frame not forwarded: b=%v c=%v", okB, okC)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func containsType(ts []frame.Type, want frame.Type) bool {
+	for _, t := range ts {
+		if t == want {
+			return true
+		}
+	}
+	return false
+}
+
+func TestHubAppliesLoss(t *testing.T) {
+	// 1→2 always dropped; 1→3 always delivered.
+	hub, err := NewHub(2, func(from, to uint16) float64 {
+		if from == 1 && to == 2 {
+			return 1
+		}
+		return 0
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hub.Close()
+	var mu sync.Mutex
+	count := map[uint16]int{}
+	mk := func(id uint16) *Node {
+		n, err := NewNode(id, hub.Addr(), func(f *frame.Frame) {
+			if f.Type != frame.TypeData {
+				return
+			}
+			mu.Lock()
+			count[id]++
+			mu.Unlock()
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return n
+	}
+	a := mk(1)
+	defer a.Close()
+	b := mk(2)
+	defer b.Close()
+	c := mk(3)
+	defer c.Close()
+	time.Sleep(30 * time.Millisecond)
+	for i := 0; i < 20; i++ {
+		a.Send(&frame.Frame{Type: frame.TypeData, Src: 1, Dst: frame.Broadcast, Seq: uint32(i)})
+		time.Sleep(2 * time.Millisecond)
+	}
+	time.Sleep(100 * time.Millisecond)
+	mu.Lock()
+	defer mu.Unlock()
+	if count[2] != 0 {
+		t.Errorf("blocked link delivered %d frames", count[2])
+	}
+	if count[3] < 18 {
+		t.Errorf("open link delivered only %d/20 frames", count[3])
+	}
+	if hub.Stats().Dropped == 0 {
+		t.Error("hub recorded no drops")
+	}
+}
+
+func TestDemoRelayingImprovesDelivery(t *testing.T) {
+	base := DefaultDemoConfig()
+	base.Packets = 150
+	base.Interval = 2 * time.Millisecond
+
+	noRelay := base
+	noRelay.EnableRelay = false
+	off, err := RunDemo(noRelay)
+	if err != nil {
+		t.Fatal(err)
+	}
+	on, err := RunDemo(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	offRate := float64(off.Delivered) / float64(off.Sent)
+	onRate := float64(on.Delivered) / float64(on.Sent)
+	t.Logf("delivery without relay: %.2f, with relay: %.2f (relays: %d)", offRate, onRate, on.Relayed)
+	if offRate > 0.5 {
+		t.Errorf("weak link delivered %.2f without relays; emulated loss broken", offRate)
+	}
+	if on.Relayed == 0 {
+		t.Fatal("auxiliary never relayed")
+	}
+	if onRate < offRate+0.25 {
+		t.Errorf("relaying gained too little: %.2f → %.2f", offRate, onRate)
+	}
+}

@@ -1,0 +1,213 @@
+package experiment
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/vanlan/vifi/internal/backplane"
+	"github.com/vanlan/vifi/internal/core"
+	"github.com/vanlan/vifi/internal/frame"
+	"github.com/vanlan/vifi/internal/mobility"
+	"github.com/vanlan/vifi/internal/radio"
+	"github.com/vanlan/vifi/internal/sim"
+)
+
+// AblateAux probes the §5.5.2 limitation: coordination quality as the
+// number of (symmetric, equidistant) auxiliaries grows. False positives
+// and negatives should degrade at high, symmetric auxiliary counts.
+func AblateAux(o Options) *Report {
+	r := &Report{
+		ID:     "ablate-aux",
+		Title:  "Coordination vs number of symmetric auxiliaries (§5.5.2)",
+		Header: []string{"#aux", "false positives", "false negatives", "relays/pkt"},
+	}
+	dur := time.Duration(o.scaled(300)) * time.Second
+	for _, nAux := range []int{1, 2, 4, 8, 16, 24} {
+		col := NewCollector()
+		runSymmetricCell(o.Seed, nAux, dur, col)
+		down := col.Stats(core.Down)
+		relaysPerPkt := 0.0
+		if down.SourceTransmissions > 0 {
+			relaysPerPkt = float64(col.RelayAir[int(core.Down)]) / float64(down.SourceTransmissions)
+		}
+		r.AddRow(fmt.Sprint(nAux), pct(down.FalsePositiveRate), pct(down.FalseNegativeRate), f2(relaysPerPkt))
+	}
+	r.AddNote("paper shape: averages stay ≈1 relay/packet but the variance (and false positives) grow with many equidistant auxiliaries")
+	return r
+}
+
+// runSymmetricCell builds a cell with one anchor, nAux perfectly
+// symmetric auxiliaries, a mediocre anchor→vehicle link, and a steady
+// downstream packet stream.
+func runSymmetricCell(seed int64, nAux int, dur time.Duration, col *Collector) {
+	k := sim.NewKernel(seed)
+	nbs := nAux + 1
+	veh := radio.NodeID(nbs)
+	anchor := radio.NodeID(0)
+	opts := core.DefaultCellOptions()
+	cfg := core.DefaultConfig()
+	cfg.MaxRetx = 0
+	opts.Protocol = cfg
+	opts.Events = col.Handle
+	opts.LinkFactory = func(from, to radio.NodeID) radio.LinkModel {
+		switch {
+		case from == anchor && to == veh:
+			return radio.FixedLink(0.6) // anchor downstream: mediocre
+		case from == veh && to == anchor:
+			return radio.FixedLink(0.9)
+		case from == veh || to == veh:
+			return radio.FixedLink(0.55) // every auxiliary identical
+		default:
+			return radio.FixedLink(0.9) // BSes hear each other well
+		}
+	}
+	movers := make([]mobility.Mover, nbs)
+	for i := range movers {
+		movers[i] = mobility.Fixed{X: float64(i) * 10}
+	}
+	cell := core.NewCell(k, opts, movers, mobility.Fixed{X: float64(nbs) * 10})
+	k.RunUntil(3 * time.Second)
+	n := int((dur - 3*time.Second) / (50 * time.Millisecond))
+	for i := 0; i < n; i++ {
+		k.At(3*time.Second+time.Duration(i)*50*time.Millisecond, func() {
+			cell.Gateway.Send(cell.Vehicle.Addr(), make([]byte, 200))
+		})
+	}
+	k.RunUntil(dur)
+}
+
+// AblateDiversity probes §3.4.1's claim that two to three basestations
+// capture most of the diversity gain: ViFi VoIP session length on VanLAN
+// restricted to k basestations.
+func AblateDiversity(o Options) *Report {
+	r := &Report{
+		ID:     "ablate-diversity",
+		Title:  "ViFi gain vs number of available BSes (§3.4.1)",
+		Header: []string{"#BSes", "median VoIP session (s)", "mean MoS"},
+	}
+	dur := time.Duration(o.scaled(900)) * time.Second
+	v := mobility.NewVanLAN()
+	for _, nb := range []int{1, 2, 3, 5, 8, 11} {
+		k := sim.NewKernel(o.Seed)
+		opts := core.DefaultCellOptions()
+		movers := make([]mobility.Mover, nb)
+		for i := 0; i < nb; i++ {
+			movers[i] = mobility.Fixed(v.BSes[i])
+		}
+		cell := core.NewCell(k, opts, movers, &mobility.RouteMover{Route: v.Route})
+		q := voipOnCell(k, cell, dur)
+		r.AddRow(fmt.Sprint(nb), f1(q.MedianSessionSec), f2(q.MeanMoS))
+	}
+	r.AddNote("paper shape: most of the gain arrives by 2–3 BSes (§3.4.1)")
+	return r
+}
+
+// AblateBackplane sweeps the inter-BS plane's bandwidth and latency and
+// reports ViFi TCP performance, probing the §4.1 bandwidth-limited
+// assumption.
+func AblateBackplane(o Options) *Report {
+	r := &Report{
+		ID:     "ablate-backplane",
+		Title:  "ViFi TCP vs backplane capacity (§4.1)",
+		Header: []string{"backplane", "median transfer (s)", "transfers/session"},
+	}
+	dur := time.Duration(o.scaled(900)) * time.Second
+	cases := []struct {
+		name  string
+		rate  float64
+		delay time.Duration
+	}{
+		{"512 kbit/s, 40 ms", 512e3, 40 * time.Millisecond},
+		{"2 Mbit/s, 20 ms", 2e6, 20 * time.Millisecond},
+		{"5 Mbit/s, 8 ms (default)", 5e6, 8 * time.Millisecond},
+		{"100 Mbit/s, 1 ms (LAN)", 100e6, time.Millisecond},
+	}
+	for _, c := range cases {
+		k := sim.NewKernel(o.Seed)
+		opts := core.DefaultCellOptions()
+		opts.Backplane = backplane.Config{
+			Access:    backplane.LinkSpec{RateBps: c.rate, Delay: c.delay, QueueBytes: 64 << 10},
+			CoreDelay: c.delay / 2,
+		}
+		cell := core.NewVanLANCell(k, opts)
+		st := tcpOnCell(k, cell, dur)
+		r.AddRow(c.name, f2(st.MedianTransferTime()), f1(st.TransfersPerSession()))
+	}
+	r.AddNote("design claim: ViFi needs little backplane capacity — thin links should perform close to a LAN")
+	return r
+}
+
+// AblateSalvage sweeps the salvage window (§4.5) on the VanLAN TCP
+// workload.
+func AblateSalvage(o Options) *Report {
+	r := &Report{
+		ID:     "ablate-salvage",
+		Title:  "Salvage window sweep on VanLAN TCP (§4.5)",
+		Header: []string{"window", "median transfer (s)", "transfers/session", "salvaged"},
+	}
+	dur := time.Duration(o.scaled(1200)) * time.Second
+	for _, w := range []time.Duration{0, 500 * time.Millisecond, time.Second, 2 * time.Second, 4 * time.Second} {
+		cfg := core.DefaultConfig()
+		if w == 0 {
+			cfg.EnableSalvage = false
+		} else {
+			cfg.SalvageWindow = w
+		}
+		run := RunTCPWorkload(o.Seed, EnvVanLAN, cfg, dur)
+		r.AddRow(fmt.Sprintf("%gs", w.Seconds()),
+			f2(run.Stats.MedianTransferTime()),
+			f1(run.Stats.TransfersPerSession()),
+			fmt.Sprint(run.Salvaged))
+	}
+	r.AddNote("paper: the 1 s window (minimum TCP RTO) captures the disproportionate benefit; little beyond it")
+	return r
+}
+
+// AblateRetx sweeps the retransmission-timer percentile (§4.7).
+func AblateRetx(o Options) *Report {
+	r := &Report{
+		ID:     "ablate-retx",
+		Title:  "Retransmission-timer percentile sweep (§4.7)",
+		Header: []string{"percentile", "median transfer (s)", "spurious retx/pkt"},
+	}
+	dur := time.Duration(o.scaled(900)) * time.Second
+	for _, p := range []float64{0.5, 0.9, 0.99, 0.999} {
+		cfg := core.DefaultConfig()
+		cfg.RetxPercentile = p
+		col := NewCollector()
+		st := tcpOnEnv(o.Seed, EnvVanLAN, cfg, dur, col)
+		// Spurious retransmissions ≈ retransmitted attempts whose earlier
+		// attempt had already reached the destination.
+		spurious := spuriousRetxRate(col)
+		r.AddRow(fmt.Sprintf("%g", p), f2(st.MedianTransferTime()), f2(spurious))
+	}
+	r.AddNote("paper: the 99th percentile errs toward waiting, trading delay for fewer spurious retransmissions")
+	return r
+}
+
+// spuriousRetxRate computes retransmissions for packets that had already
+// been received, per delivered packet.
+func spuriousRetxRate(c *Collector) float64 {
+	received := map[frame.PacketID]uint8{} // earliest attempt received
+	for k, rec := range c.tx {
+		if rec.dstDirect || rec.relayRecv > 0 {
+			if cur, ok := received[k.id]; !ok || k.attempt < cur {
+				received[k.id] = k.attempt
+			}
+		}
+	}
+	spurious := 0
+	for k, rec := range c.tx {
+		if !rec.srcTx || k.attempt == 0 {
+			continue
+		}
+		if first, ok := received[k.id]; ok && k.attempt > first {
+			spurious++
+		}
+	}
+	delivered := c.Deliver[0] + c.Deliver[1]
+	if delivered == 0 {
+		return 0
+	}
+	return float64(spurious) / float64(delivered)
+}

@@ -1,0 +1,386 @@
+package experiment
+
+import (
+	"encoding/binary"
+	"fmt"
+	"time"
+
+	"github.com/vanlan/vifi/internal/core"
+	"github.com/vanlan/vifi/internal/frame"
+	"github.com/vanlan/vifi/internal/mobility"
+	"github.com/vanlan/vifi/internal/radio"
+	"github.com/vanlan/vifi/internal/sim"
+	"github.com/vanlan/vifi/internal/trace"
+	"github.com/vanlan/vifi/internal/transport"
+	"github.com/vanlan/vifi/internal/voip"
+)
+
+// Env names a deployment environment for protocol experiments.
+type Env int
+
+// Environments of the paper's evaluation.
+const (
+	EnvVanLAN Env = iota
+	EnvDieselNetCh1
+	EnvDieselNetCh6
+)
+
+// String implements fmt.Stringer.
+func (e Env) String() string {
+	switch e {
+	case EnvVanLAN:
+		return "VanLAN"
+	case EnvDieselNetCh1:
+		return "DieselNet Ch.1"
+	case EnvDieselNetCh6:
+		return "DieselNet Ch.6"
+	default:
+		return "env(?)"
+	}
+}
+
+// buildCell constructs a running cell for the environment: VanLAN runs
+// "live" on the fading channel over the campus layout (the deployment of
+// §5.1); DieselNet cells are trace-driven — vehicle↔BS links replay the
+// per-second beacon ratios and inter-BS links use the paper's
+// never-co-visible rule (§5.1).
+func buildCell(k *sim.Kernel, env Env, cfg core.Config, events core.EventFunc) (*core.Cell, time.Duration) {
+	opts := core.DefaultCellOptions()
+	opts.Protocol = cfg
+	opts.Events = events
+	switch env {
+	case EnvVanLAN:
+		return core.NewVanLANCell(k, opts), 0 // unbounded
+	case EnvDieselNetCh1, EnvDieselNetCh6:
+		ch := 1
+		if env == EnvDieselNetCh6 {
+			ch = 6
+		}
+		// One hour of synthetic DieselNet profiling per seed.
+		tr := traceFor(k, ch)
+		links := tr.ScheduleLinks()
+		inter := tr.InterBSRatios(k.RNG("interbs", fmt.Sprint(ch)))
+		nb := tr.NumBSes()
+		veh := radio.NodeID(nb)
+		opts.LinkFactory = func(from, to radio.NodeID) radio.LinkModel {
+			switch {
+			case from == veh:
+				return links[int(to)]
+			case to == veh:
+				return links[int(from)]
+			default:
+				return radio.FixedLink(inter[int(from)][int(to)])
+			}
+		}
+		movers := make([]mobility.Mover, nb)
+		for i := range movers {
+			movers[i] = mobility.Fixed{X: float64(i) * 50}
+		}
+		cell := core.NewCell(k, opts, movers, mobility.Fixed{X: float64(nb) * 50})
+		return cell, time.Duration(tr.Seconds()) * time.Second
+	default:
+		panic("experiment: unknown environment")
+	}
+}
+
+// traceCache memoizes synthetic DieselNet traces per (seed, channel): the
+// generation sweep dominates short benchmarks otherwise.
+var traceCache = map[[2]int64]*trace.Trace{}
+
+func traceFor(k *sim.Kernel, ch int) *trace.Trace {
+	seed := int64(k.RNG("traceseed").Uint64() % (1 << 30))
+	key := [2]int64{seed, int64(ch)}
+	if tr, ok := traceCache[key]; ok {
+		return tr
+	}
+	tr := trace.GenerateDieselNet(seed, ch, time.Hour)
+	traceCache[key] = tr
+	return tr
+}
+
+// --- Probe workload (link-layer experiments, Fig 7/8) ---------------------
+
+// ProbeRun is the outcome of the §5.2 link-layer workload: a 500-byte
+// packet each way every 100 ms, no link-layer retransmissions, with
+// per-slot delivery outcomes recorded.
+type ProbeRun struct {
+	SlotDur time.Duration
+	Up      []bool
+	Down    []bool
+	// Pos is the vehicle position per slot (VanLAN only; nil otherwise).
+	Pos []mobility.Point
+}
+
+// CombinedIntervalRatios reduces per-slot outcomes to per-interval
+// combined reception ratios.
+func (p *ProbeRun) CombinedIntervalRatios(interval time.Duration) []float64 {
+	spi := int(interval / p.SlotDur)
+	if spi < 1 {
+		spi = 1
+	}
+	n := len(p.Up) / spi
+	out := make([]float64, n)
+	for i := 0; i < n; i++ {
+		hit := 0
+		for j := i * spi; j < (i+1)*spi; j++ {
+			if p.Up[j] {
+				hit++
+			}
+			if p.Down[j] {
+				hit++
+			}
+		}
+		out[i] = float64(hit) / float64(2*spi)
+	}
+	return out
+}
+
+// MedianSession extracts the time-weighted median uninterrupted session
+// length for the given adequacy definition (interval, minimum ratio).
+func (p *ProbeRun) MedianSession(interval time.Duration, minRatio float64) float64 {
+	ratios := p.CombinedIntervalRatios(interval)
+	var lens []float64
+	run := 0
+	flush := func() {
+		if run > 0 {
+			lens = append(lens, float64(run)*interval.Seconds())
+			run = 0
+		}
+	}
+	for _, r := range ratios {
+		if r >= minRatio {
+			run++
+		} else {
+			flush()
+		}
+	}
+	flush()
+	return medianTimeWeighted(lens)
+}
+
+func medianTimeWeighted(lens []float64) float64 {
+	if len(lens) == 0 {
+		return 0
+	}
+	cp := append([]float64(nil), lens...)
+	for i := 1; i < len(cp); i++ {
+		for j := i; j > 0 && cp[j] < cp[j-1]; j-- {
+			cp[j], cp[j-1] = cp[j-1], cp[j]
+		}
+	}
+	total := 0.0
+	for _, l := range cp {
+		total += l
+	}
+	cum := 0.0
+	for _, l := range cp {
+		cum += l
+		if cum >= total/2 {
+			return l
+		}
+	}
+	return cp[len(cp)-1]
+}
+
+// RunProbeWorkload drives the §5.2 experiment for one protocol config.
+func RunProbeWorkload(seed int64, env Env, cfg core.Config, duration time.Duration, events core.EventFunc) *ProbeRun {
+	cfg.MaxRetx = 0 // link-layer experiments disable retransmissions
+	k := sim.NewKernel(seed)
+	cell, limit := buildCell(k, env, cfg, events)
+	if limit > 0 && duration > limit {
+		duration = limit
+	}
+	const slot = 100 * time.Millisecond
+	warm := 2 * time.Second
+	slots := int((duration - warm) / slot)
+	run := &ProbeRun{
+		SlotDur: slot,
+		Up:      make([]bool, slots),
+		Down:    make([]bool, slots),
+	}
+	if env == EnvVanLAN {
+		run.Pos = make([]mobility.Point, slots)
+	}
+
+	payload := func(i int) []byte {
+		b := make([]byte, 500)
+		binary.BigEndian.PutUint32(b, uint32(i))
+		return b
+	}
+	slotOf := func(p []byte) int {
+		if len(p) < 4 {
+			return -1
+		}
+		return int(binary.BigEndian.Uint32(p))
+	}
+	cell.Gateway.SetDeliver(func(id frame.PacketID, p []byte, from uint16) {
+		if i := slotOf(p); i >= 0 && i < slots {
+			run.Up[i] = true
+		}
+	})
+	cell.Vehicle.SetDeliver(func(id frame.PacketID, p []byte, from uint16) {
+		if i := slotOf(p); i >= 0 && i < slots {
+			run.Down[i] = true
+		}
+	})
+	for i := 0; i < slots; i++ {
+		i := i
+		k.At(warm+time.Duration(i)*slot, func() {
+			cell.Vehicle.SendData(payload(i))
+			cell.Gateway.Send(cell.Vehicle.Addr(), payload(i))
+			if run.Pos != nil {
+				run.Pos[i] = cell.Channel.Position(cell.Vehicle.MAC().ID())
+			}
+		})
+	}
+	k.RunUntil(warm + time.Duration(slots)*slot + 2*time.Second)
+	return run
+}
+
+// --- TCP workload (Fig 9/10, Table 1, Fig 12) -----------------------------
+
+// TCPRun reports one TCP workload execution.
+type TCPRun struct {
+	Stats     *transport.WorkloadStats
+	Collector *Collector
+	Duration  time.Duration
+	Salvaged  int
+}
+
+// RunTCPWorkload drives the §5.3.1 workload: repeated 10 KB downloads
+// through the cell with the 10 s stall abort.
+func RunTCPWorkload(seed int64, env Env, cfg core.Config, duration time.Duration) *TCPRun {
+	k := sim.NewKernel(seed)
+	col := NewCollector()
+	cell, limit := buildCell(k, env, cfg, col.Handle)
+	if limit > 0 && duration > limit {
+		duration = limit
+	}
+	// Sample the auxiliary-set size each second (Table 1 row A1).
+	var sample func()
+	sample = func() {
+		col.AuxCountSamples = append(col.AuxCountSamples, cell.Vehicle.AuxCount())
+		if k.Now() < duration {
+			k.After(time.Second, sample)
+		}
+	}
+	k.After(2*time.Second, sample)
+	st := tcpOnCell(k, cell, duration)
+	return &TCPRun{Stats: st, Collector: col, Duration: duration - 2*time.Second, Salvaged: col.Salvaged}
+}
+
+// tcpOnCell runs the repeated-transfer workload over an already-built
+// cell until the deadline and returns its statistics.
+func tcpOnCell(k *sim.Kernel, cell *core.Cell, duration time.Duration) *transport.WorkloadStats {
+	wcfg := transport.DefaultWorkloadConfig()
+	clientSend := func(p []byte) bool { return cell.Vehicle.SendData(p) }
+	serverSend := func(p []byte) bool { return cell.Gateway.Send(cell.Vehicle.Addr(), p) }
+	w := transport.NewWorkload(k, wcfg, true, clientSend, serverSend)
+	cell.Vehicle.SetDeliver(func(id frame.PacketID, p []byte, from uint16) { w.ClientDeliver(p) })
+	cell.Gateway.SetDeliver(func(id frame.PacketID, p []byte, from uint16) { w.ServerDeliver(p) })
+	k.After(2*time.Second, w.Start)
+	k.RunUntil(duration)
+	return w.Stop()
+}
+
+// tcpOnEnv builds a cell for the environment with the given collector and
+// runs the TCP workload.
+func tcpOnEnv(seed int64, env Env, cfg core.Config, duration time.Duration, col *Collector) *transport.WorkloadStats {
+	k := sim.NewKernel(seed)
+	var events core.EventFunc
+	if col != nil {
+		events = col.Handle
+	}
+	cell, limit := buildCell(k, env, cfg, events)
+	if limit > 0 && duration > limit {
+		duration = limit
+	}
+	return tcpOnCell(k, cell, duration)
+}
+
+// --- VoIP workload (Fig 11) ------------------------------------------------
+
+// VoIPRun reports one VoIP workload execution.
+type VoIPRun struct {
+	Quality voip.Quality
+}
+
+// RunVoIPWorkload drives the §5.3.2 workload: a bidirectional G.729
+// stream, scored with the E-model and the 3-second MoS<2 interruption
+// rule. Link-layer retransmissions stay enabled (≤3) as in the paper's
+// application experiments.
+func RunVoIPWorkload(seed int64, env Env, cfg core.Config, duration time.Duration) *VoIPRun {
+	k := sim.NewKernel(seed)
+	cell, limit := buildCell(k, env, cfg, nil)
+	if limit > 0 && duration > limit {
+		duration = limit
+	}
+	return &VoIPRun{Quality: voipOnCell(k, cell, duration)}
+}
+
+// voipOnCell runs the bidirectional G.729 stream over an already-built
+// cell and scores the call.
+func voipOnCell(k *sim.Kernel, cell *core.Cell, duration time.Duration) voip.Quality {
+	warm := 2 * time.Second
+	span := duration - warm
+	call := voip.NewCall()
+
+	type sent struct {
+		at   time.Duration
+		done bool
+	}
+	var upSent, downSent []sent
+
+	mkPayload := func(seq int) []byte {
+		b := make([]byte, voip.PacketBytes)
+		binary.BigEndian.PutUint32(b, uint32(seq))
+		return b
+	}
+	seqOf := func(p []byte) int {
+		if len(p) < 4 {
+			return -1
+		}
+		return int(binary.BigEndian.Uint32(p))
+	}
+	record := func(list []sent, seq int, now time.Duration) {
+		if seq < 0 || seq >= len(list) || list[seq].done {
+			return
+		}
+		list[seq].done = true
+		call.Add(voip.PacketOutcome{
+			SentAt:   list[seq].at - warm,
+			Received: true,
+			Delay:    now - list[seq].at,
+		})
+	}
+	cell.Gateway.SetDeliver(func(id frame.PacketID, p []byte, from uint16) {
+		record(upSent, seqOf(p), k.Now())
+	})
+	cell.Vehicle.SetDeliver(func(id frame.PacketID, p []byte, from uint16) {
+		record(downSent, seqOf(p), k.Now())
+	})
+
+	n := int(span / voip.PacketInterval)
+	upSent = make([]sent, n)
+	downSent = make([]sent, n)
+	for i := 0; i < n; i++ {
+		i := i
+		at := warm + time.Duration(i)*voip.PacketInterval
+		k.At(at, func() {
+			upSent[i] = sent{at: k.Now()}
+			downSent[i] = sent{at: k.Now()}
+			cell.Vehicle.SendData(mkPayload(i))
+			cell.Gateway.Send(cell.Vehicle.Addr(), mkPayload(i))
+		})
+	}
+	k.RunUntil(duration + time.Second)
+	// Unreceived packets are losses.
+	for _, list := range [][]sent{upSent, downSent} {
+		for _, s := range list {
+			if !s.done && s.at > 0 {
+				call.Add(voip.PacketOutcome{SentAt: s.at - warm, Received: false})
+			}
+		}
+	}
+	return call.Score(span)
+}

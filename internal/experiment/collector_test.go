@@ -1,0 +1,157 @@
+package experiment
+
+import (
+	"math"
+	"testing"
+
+	"github.com/vanlan/vifi/internal/core"
+	"github.com/vanlan/vifi/internal/frame"
+)
+
+// feed pushes a scripted event sequence for one transmission.
+func feed(c *Collector, dir core.Direction, seq uint32, attempt uint8, kinds ...core.EventKind) {
+	for _, k := range kinds {
+		c.Handle(core.Event{
+			Kind: k, Dir: dir, Attempt: attempt,
+			ID: frame.PacketID{Src: 9, Seq: seq},
+		})
+	}
+}
+
+func TestCollectorStatsSyntheticTable1(t *testing.T) {
+	c := NewCollector()
+	// Transmission 1: reaches dst directly, one aux heard it and relayed
+	// anyway (false positive).
+	feed(c, core.Down, 1, 0, core.EvSrcTx, core.EvDstRecvDirect, core.EvAuxHeard, core.EvAuxRelayed)
+	// Transmission 2: reaches dst; aux heard and was suppressed by the ack.
+	feed(c, core.Down, 2, 0, core.EvSrcTx, core.EvDstRecvDirect, core.EvAuxHeard, core.EvAuxSuppressed)
+	// Transmission 3: fails; one aux heard, declined (false negative).
+	feed(c, core.Down, 3, 0, core.EvSrcTx, core.EvAuxHeard, core.EvAuxDeclined)
+	// Transmission 4: fails; aux heard and relayed; relay received.
+	feed(c, core.Down, 4, 0, core.EvSrcTx, core.EvAuxHeard, core.EvAuxRelayed, core.EvDstRecvRelay)
+	// Transmission 5: fails with nobody overhearing (coverage failure).
+	feed(c, core.Down, 5, 0, core.EvSrcTx)
+
+	s := c.Stats(core.Down)
+	if s.SourceTransmissions != 5 {
+		t.Fatalf("srcTx = %d, want 5", s.SourceTransmissions)
+	}
+	if got, want := s.DirectSuccess, 2.0/5.0; math.Abs(got-want) > 1e-12 {
+		t.Errorf("B1 = %v, want %v", got, want)
+	}
+	// B2: 1 relay on 2 successes.
+	if got, want := s.FalsePositiveRate, 0.5; got != want {
+		t.Errorf("B2 = %v, want %v", got, want)
+	}
+	if s.MeanRelaysOnFP != 1 {
+		t.Errorf("B3 = %v, want 1", s.MeanRelaysOnFP)
+	}
+	// C2: of the 3 failures, 2 were overheard.
+	if got, want := s.FailedOverheard, 2.0/3.0; math.Abs(got-want) > 1e-12 {
+		t.Errorf("C2 = %v, want %v", got, want)
+	}
+	// C3: failures with zero relays = 2 of 3 (decline + unheard).
+	if got, want := s.FalseNegativeRate, 2.0/3.0; math.Abs(got-want) > 1e-12 {
+		t.Errorf("C3 = %v, want %v", got, want)
+	}
+	// Conditioned on heard: 1 of 2.
+	if got, want := s.FalseNegativeGivenHeard, 0.5; got != want {
+		t.Errorf("C3|heard = %v, want %v", got, want)
+	}
+	// C4: 1 of 2 relays reached the destination.
+	if got, want := s.RelayDelivery, 0.5; got != want {
+		t.Errorf("C4 = %v, want %v", got, want)
+	}
+	// A2/A3: 4 of 5 transmissions overheard once; 3 contended.
+	if got, want := s.MeanAuxHeard, 4.0/5.0; math.Abs(got-want) > 1e-12 {
+		t.Errorf("A2 = %v, want %v", got, want)
+	}
+	if got, want := s.MeanAuxContending, 3.0/5.0; math.Abs(got-want) > 1e-12 {
+		t.Errorf("A3 = %v, want %v", got, want)
+	}
+	// Counterfactuals: deterministic relaying = contenders on successes
+	// (1, the suppressed one was not contending) / 2 successes = wait:
+	// suppression removes contention, so detFP counts tx1's relay-decided
+	// aux only.
+	if s.DeterministicFPRate != 0.5 {
+		t.Errorf("deterministic FP = %v, want 0.5", s.DeterministicFPRate)
+	}
+	if s.AllHeardFPRate != 1.0 { // 2 aux heard across 2 successes
+		t.Errorf("all-heard FP = %v, want 1", s.AllHeardFPRate)
+	}
+}
+
+func TestCollectorDirectionsSeparate(t *testing.T) {
+	c := NewCollector()
+	feed(c, core.Up, 1, 0, core.EvSrcTx, core.EvDstRecvDirect)
+	feed(c, core.Down, 1, 0, core.EvSrcTx)
+	up := c.Stats(core.Up)
+	down := c.Stats(core.Down)
+	if up.SourceTransmissions != 1 || down.SourceTransmissions != 1 {
+		t.Fatalf("direction mixing: up=%d down=%d", up.SourceTransmissions, down.SourceTransmissions)
+	}
+	if up.DirectSuccess != 1 || down.DirectSuccess != 0 {
+		t.Errorf("success mixing: up=%v down=%v", up.DirectSuccess, down.DirectSuccess)
+	}
+}
+
+func TestCollectorAttemptsAreDistinct(t *testing.T) {
+	c := NewCollector()
+	feed(c, core.Up, 7, 0, core.EvSrcTx)                       // attempt 0 fails
+	feed(c, core.Up, 7, 1, core.EvSrcTx, core.EvDstRecvDirect) // attempt 1 succeeds
+	s := c.Stats(core.Up)
+	if s.SourceTransmissions != 2 {
+		t.Fatalf("attempts merged: %d", s.SourceTransmissions)
+	}
+	if s.DirectSuccess != 0.5 {
+		t.Errorf("per-transmission success = %v, want 0.5", s.DirectSuccess)
+	}
+}
+
+func TestCollectorEfficiencyCounting(t *testing.T) {
+	c := NewCollector()
+	c.Handle(core.Event{Kind: core.EvSrcTx, Dir: core.Down, ID: frame.PacketID{Seq: 1}})
+	c.Handle(core.Event{Kind: core.EvAuxRelayed, Dir: core.Down, Medium: core.MediumAir, ID: frame.PacketID{Seq: 1}})
+	c.Handle(core.Event{Kind: core.EvDeliver, Dir: core.Down, ID: frame.PacketID{Seq: 1}})
+	// Downstream: 1 delivery over 2 wireless transmissions.
+	if got := c.Efficiency(core.Down); got != 0.5 {
+		t.Errorf("down efficiency = %v, want 0.5", got)
+	}
+	// Upstream relays on the backplane do not count.
+	c.Handle(core.Event{Kind: core.EvSrcTx, Dir: core.Up, ID: frame.PacketID{Seq: 2}})
+	c.Handle(core.Event{Kind: core.EvAuxRelayed, Dir: core.Up, Medium: core.MediumBackplane, ID: frame.PacketID{Seq: 2}})
+	c.Handle(core.Event{Kind: core.EvDeliver, Dir: core.Up, ID: frame.PacketID{Seq: 2}})
+	if got := c.Efficiency(core.Up); got != 1.0 {
+		t.Errorf("up efficiency = %v, want 1.0", got)
+	}
+}
+
+func TestPerfectRelaySyntheticBounds(t *testing.T) {
+	c := NewCollector()
+	// Failure overheard by an aux: the oracle relays once.
+	feed(c, core.Up, 1, 0, core.EvSrcTx, core.EvAuxHeard)
+	// Success: no relay needed.
+	feed(c, core.Up, 2, 0, core.EvSrcTx, core.EvDstRecvDirect)
+	// Failure nobody heard: lost under any scheme.
+	feed(c, core.Up, 3, 0, core.EvSrcTx)
+	// Upstream: 2 delivered (direct + backplane relay) / 3 wireless tx.
+	if got, want := c.PerfectRelayEfficiency(core.Up), 2.0/3.0; math.Abs(got-want) > 1e-12 {
+		t.Errorf("perfect up = %v, want %v", got, want)
+	}
+}
+
+func TestMedianAuxCountOddEven(t *testing.T) {
+	c := NewCollector()
+	c.AuxCountSamples = []int{5, 1, 3}
+	if got := c.MedianAuxCount(); got != 3 {
+		t.Errorf("median = %d, want 3", got)
+	}
+	c.AuxCountSamples = []int{4, 1}
+	if got := c.MedianAuxCount(); got != 4 { // upper median by convention
+		t.Errorf("median = %d, want 4", got)
+	}
+	c.AuxCountSamples = nil
+	if got := c.MedianAuxCount(); got != 0 {
+		t.Errorf("empty median = %d", got)
+	}
+}

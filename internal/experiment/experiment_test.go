@@ -1,0 +1,206 @@
+package experiment
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/vanlan/vifi/internal/core"
+)
+
+// tiny returns options small enough for CI while still exercising every
+// code path.
+func tiny() Options { return Options{Seed: 7, Scale: 0.08} }
+
+func TestReportRendering(t *testing.T) {
+	r := &Report{ID: "x", Title: "T", Header: []string{"a", "bb"}}
+	r.AddRow("1", "2")
+	r.AddNote("hello %d", 5)
+	s := r.String()
+	for _, want := range []string{"== x: T ==", "a", "bb", "note: hello 5"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("rendering missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestRegistryComplete(t *testing.T) {
+	// Every paper table/figure must be registered.
+	for _, id := range PaperOrder() {
+		if _, err := Run(id, Options{}); err != nil {
+			// Run executes; we only check registration here by looking at
+			// unknown-id errors, so probe the registry directly instead.
+			t.Errorf("paper experiment %s missing: %v", id, err)
+		}
+		break // executing all at full scale is the bench's job
+	}
+	if _, err := Run("nope", tiny()); err == nil {
+		t.Error("unknown id accepted")
+	}
+	ids := IDs()
+	if len(ids) < len(PaperOrder()) {
+		t.Errorf("registry has %d ids, need at least %d", len(ids), len(PaperOrder()))
+	}
+}
+
+func TestScaledFloor(t *testing.T) {
+	o := Options{Scale: 0.001}
+	if got := o.scaled(10); got != 1 {
+		t.Errorf("scaled floor = %d, want 1", got)
+	}
+	o = Options{Scale: 2}
+	if got := o.scaled(10); got != 20 {
+		t.Errorf("scaled = %d, want 20", got)
+	}
+}
+
+func TestFig2ShapeTiny(t *testing.T) {
+	r := Fig2(tiny())
+	if len(r.Rows) != 6 {
+		t.Fatalf("fig2 rows = %d, want 6 BS densities", len(r.Rows))
+	}
+	if len(r.Header) != 7 {
+		t.Fatalf("fig2 header = %v", r.Header)
+	}
+}
+
+// parsePct reads a "12.3%" cell.
+func parsePct(t *testing.T, s string) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(strings.TrimSuffix(strings.TrimSpace(s), "%"), 64)
+	if err != nil {
+		t.Fatalf("bad percentage cell %q: %v", s, err)
+	}
+	return v
+}
+
+func TestFig5CDFsMonotone(t *testing.T) {
+	r := Fig5(tiny())
+	// Each CDF column must be non-decreasing down the rows.
+	prev := make([]float64, 6)
+	for _, row := range r.Rows {
+		for c := 1; c < len(row); c++ {
+			v := parsePct(t, row[c])
+			if v < prev[c-1]-1e-9 {
+				t.Errorf("CDF column %d decreases at row %v", c, row)
+			}
+			prev[c-1] = v
+		}
+	}
+}
+
+func TestFig6BurstShape(t *testing.T) {
+	r := Fig6(Options{Seed: 3, Scale: 0.2})
+	// Row 1 is P(loss|loss,k=1): must exceed the unconditional loss in
+	// row 0.
+	uncond := parsePct(t, r.Rows[0][1])
+	c1 := parsePct(t, r.Rows[1][1])
+	if c1 <= uncond {
+		t.Errorf("burstiness absent: c1=%v uncond=%v", c1, uncond)
+	}
+}
+
+func TestProbeRunReductions(t *testing.T) {
+	run := &ProbeRun{
+		SlotDur: 100 * time.Millisecond,
+		Up:      []bool{true, true, false, false, true, true, true, true, false, false},
+		Down:    []bool{true, true, true, true, true, true, true, true, false, false},
+	}
+	ratios := run.CombinedIntervalRatios(500 * time.Millisecond)
+	if len(ratios) != 2 {
+		t.Fatalf("ratios = %v", ratios)
+	}
+	if ratios[0] != 0.8 || ratios[1] != 0.6 {
+		t.Errorf("ratios = %v, want [0.8 0.6]", ratios)
+	}
+	if med := run.MedianSession(500*time.Millisecond, 0.5); med != 1.0 {
+		t.Errorf("median session = %v, want 1.0", med)
+	}
+}
+
+func TestMedianTimeWeightedHelper(t *testing.T) {
+	if got := medianTimeWeighted(nil); got != 0 {
+		t.Errorf("empty = %v", got)
+	}
+	if got := medianTimeWeighted([]float64{1, 1, 8}); got != 8 {
+		t.Errorf("weighted median = %v, want 8", got)
+	}
+}
+
+func TestCollectorTable1Pipeline(t *testing.T) {
+	// A miniature TCP run must populate every Table 1 statistic without
+	// NaNs or out-of-range values.
+	run := RunTCPWorkload(11, EnvVanLAN, core.DefaultConfig(), 60*time.Second)
+	for _, dir := range []core.Direction{core.Up, core.Down} {
+		s := run.Collector.Stats(dir)
+		if s.SourceTransmissions == 0 {
+			t.Fatalf("%v: no source transmissions recorded", dir)
+		}
+		for name, v := range map[string]float64{
+			"direct":  s.DirectSuccess,
+			"failed":  s.FailedOverheard,
+			"fn":      s.FalseNegativeRate,
+			"relayed": s.RelayDelivery,
+		} {
+			if v < 0 || v > 1 {
+				t.Errorf("%v %s out of range: %v", dir, name, v)
+			}
+		}
+		if s.MeanAuxHeard < 0 || s.MeanAuxContending > s.MeanAuxHeard+1e-9 {
+			t.Errorf("%v aux counters inconsistent: heard=%v contending=%v",
+				dir, s.MeanAuxHeard, s.MeanAuxContending)
+		}
+	}
+	if run.Collector.MedianAuxCount() < 0 {
+		t.Error("negative aux count")
+	}
+}
+
+func TestEfficiencyBounds(t *testing.T) {
+	run := RunTCPWorkload(12, EnvVanLAN, core.DefaultConfig(), 60*time.Second)
+	for _, dir := range []core.Direction{core.Up, core.Down} {
+		e := run.Collector.Efficiency(dir)
+		p := run.Collector.PerfectRelayEfficiency(dir)
+		if e < 0 || e > 1.2 {
+			t.Errorf("%v efficiency = %v", dir, e)
+		}
+		if p < 0 || p > 1.2 {
+			t.Errorf("%v perfect-relay efficiency = %v", dir, p)
+		}
+	}
+}
+
+func TestVoIPWorkloadRuns(t *testing.T) {
+	run := RunVoIPWorkload(13, EnvVanLAN, core.DefaultConfig(), 90*time.Second)
+	q := run.Quality
+	if q.Windows == 0 {
+		t.Fatal("no VoIP windows scored")
+	}
+	if q.MeanMoS < 1 || q.MeanMoS > 4.5 {
+		t.Errorf("mean MoS = %v", q.MeanMoS)
+	}
+}
+
+func TestProbeWorkloadTraceDriven(t *testing.T) {
+	run := RunProbeWorkload(14, EnvDieselNetCh1, core.DefaultConfig(), 60*time.Second, nil)
+	if len(run.Up) == 0 || len(run.Down) == 0 {
+		t.Fatal("probe run empty")
+	}
+	anyUp := false
+	for _, ok := range run.Up {
+		if ok {
+			anyUp = true
+			break
+		}
+	}
+	if !anyUp {
+		t.Error("no upstream probe ever delivered on the trace")
+	}
+}
+
+func TestEnvString(t *testing.T) {
+	if EnvVanLAN.String() != "VanLAN" || EnvDieselNetCh6.String() != "DieselNet Ch.6" {
+		t.Error("env strings wrong")
+	}
+}

@@ -1,0 +1,279 @@
+package experiment
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"github.com/vanlan/vifi/internal/handoff"
+	"github.com/vanlan/vifi/internal/radio"
+	"github.com/vanlan/vifi/internal/sim"
+	"github.com/vanlan/vifi/internal/stats"
+	"github.com/vanlan/vifi/internal/trace"
+)
+
+// vanlanProbes generates (and caches per options) the §3 measurement
+// trace used by Figs 2–4.
+func vanlanProbes(o Options, trips int, subset []int) *trace.ProbeTrace {
+	cfg := trace.DefaultVanLANConfig(o.Seed)
+	cfg.Trips = trips
+	cfg.BSSubset = subset
+	return trace.GenerateVanLANProbes(cfg)
+}
+
+// Fig2 reproduces "Average number of packets delivered per day by various
+// methods" versus the number of basestations: random BS subsets of each
+// size, ten trials, six policies, packets scaled to the shuttle's ten
+// trips per day.
+func Fig2(o Options) *Report {
+	r := &Report{
+		ID:     "fig2",
+		Title:  "Packets delivered per day vs number of BSes (VanLAN)",
+		Header: []string{"#BSes", "AllBSes", "BestBS", "History", "RSSI", "BRR", "Sticky"},
+	}
+	trials := o.scaled(10)
+	trips := o.scaled(4)
+	const tripsPerDay = 10
+	rng := sim.NewKernel(o.Seed).RNG("fig2-subsets")
+	order := []string{"AllBSes", "BestBS", "History", "RSSI", "BRR", "Sticky"}
+	for _, nb := range []int{2, 4, 6, 8, 10, 11} {
+		sums := map[string]*stats.Sample{}
+		for _, name := range order {
+			sums[name] = stats.NewSample(trials)
+		}
+		for trial := 0; trial < trials; trial++ {
+			subset := rng.Sample(11, nb)
+			pt := vanlanProbes(Options{Seed: o.Seed + int64(trial*131), Scale: o.Scale}, trips, subset)
+			for _, p := range handoff.AllPolicies() {
+				res := handoff.Evaluate(pt, p, time.Second)
+				perDay := float64(res.Delivered()) / float64(trips) * tripsPerDay / 1000
+				sums[p.Name()].Add(perDay)
+			}
+		}
+		row := []string{fmt.Sprint(nb)}
+		for _, name := range order {
+			m, hw := sums[name].MeanCI95()
+			row = append(row, fmt.Sprintf("%.1fK ±%.1f", m, hw))
+		}
+		r.AddRow(row...)
+	}
+	r.AddNote("paper shape: AllBSes > BestBS > History≈RSSI≈BRR ≫ Sticky; all but Sticky within ~25%% of AllBSes; rising with density")
+	return r
+}
+
+// sparkline renders a connectivity timeline: '#' adequate seconds, '.'
+// interrupted ones (the black lines and dark circles of Fig 3/8).
+func sparkline(adequate []bool) string {
+	var b strings.Builder
+	for _, ok := range adequate {
+		if ok {
+			b.WriteByte('#')
+		} else {
+			b.WriteByte('.')
+		}
+	}
+	return b.String()
+}
+
+// Fig3 reproduces the example-trip connectivity timelines (a–c) and the
+// session-length CDF (d).
+func Fig3(o Options) *Report {
+	r := &Report{
+		ID:     "fig3",
+		Title:  "Connectivity timelines for one trip and session-length CDF",
+		Header: []string{"series", "value"},
+	}
+	pt := vanlanProbes(o, o.scaled(6), nil)
+	for _, p := range []handoff.Policy{handoff.NewBRR(), handoff.NewBestBS(), handoff.NewAllBSes()} {
+		tl := handoff.TripTimeline(pt, p, 1, 0.5)
+		r.AddRow(fmt.Sprintf("(%s) trip timeline", p.Name()), sparkline(tl.Adequate))
+		r.AddRow(fmt.Sprintf("(%s) interruptions", p.Name()), fmt.Sprint(len(tl.Interruptions)))
+	}
+	// (d): CDF of time spent in sessions of a given length.
+	r.AddRow("", "")
+	r.AddRow("session CDF", "len(s): %time ≤ len")
+	for _, p := range []handoff.Policy{handoff.NewSticky(), handoff.NewBRR(), handoff.NewBestBS(), handoff.NewAllBSes()} {
+		res := handoff.Evaluate(pt, p, time.Second)
+		lens := res.Sessions(0.5)
+		xs, ps := handoff.SessionTimeCDF(lens)
+		var cells []string
+		for _, q := range []float64{25, 50, 75} {
+			x := 0.0
+			for i := range xs {
+				if ps[i] >= q {
+					x = xs[i]
+					break
+				}
+			}
+			cells = append(cells, fmt.Sprintf("p%.0f=%.0fs", q, x))
+		}
+		r.AddRow(fmt.Sprintf("(%s)", p.Name()), strings.Join(cells, " "))
+	}
+	r.AddNote("paper shape: median session AllBSes > 2× BestBS and > 7× BRR; Sticky worst")
+	return r
+}
+
+// Fig4 reproduces the median-session sweeps: (a) versus the averaging
+// interval at 50%% reception, (b) versus the reception-ratio threshold at
+// a one-second interval.
+func Fig4(o Options) *Report {
+	r := &Report{
+		ID:     "fig4",
+		Title:  "Median session length vs adequacy definition (VanLAN)",
+		Header: []string{"sweep", "x", "AllBSes", "BestBS", "BRR", "Sticky"},
+	}
+	pt := vanlanProbes(o, o.scaled(8), nil)
+	policies := []func() handoff.Policy{
+		func() handoff.Policy { return handoff.NewAllBSes() },
+		func() handoff.Policy { return handoff.NewBestBS() },
+		func() handoff.Policy { return handoff.NewBRR() },
+		func() handoff.Policy { return handoff.NewSticky() },
+	}
+	for _, iv := range []time.Duration{500 * time.Millisecond, time.Second,
+		2 * time.Second, 4 * time.Second, 8 * time.Second, 16 * time.Second} {
+		row := []string{"(a) interval", fmt.Sprintf("%gs", iv.Seconds())}
+		for _, mk := range policies {
+			med := handoff.Evaluate(pt, mk(), iv).MedianSessionTimeWeighted(0.5)
+			row = append(row, fmt.Sprintf("%.0fs", med))
+		}
+		r.AddRow(row...)
+	}
+	for _, ratio := range []float64{0.1, 0.3, 0.5, 0.7, 0.9} {
+		row := []string{"(b) ratio", pct(ratio)}
+		for _, mk := range policies {
+			med := handoff.Evaluate(pt, mk(), time.Second).MedianSessionTimeWeighted(ratio)
+			row = append(row, fmt.Sprintf("%.0fs", med))
+		}
+		r.AddRow(row...)
+	}
+	r.AddNote("paper shape: methods converge when the requirement is lax; multi-BS advantage grows as it tightens")
+	return r
+}
+
+// Fig5 reproduces the CDFs of the number of basestations audible per
+// second: (a) at least one beacon, (b) at least 50%% of beacons, for
+// VanLAN and both DieselNet channels.
+func Fig5(o Options) *Report {
+	r := &Report{
+		ID:    "fig5",
+		Title: "CDF of #BSes heard per 1-second period",
+		Header: []string{"#BSes ≤", "VanLAN ≥1", "Ch1 ≥1", "Ch6 ≥1",
+			"VanLAN ≥50%", "Ch1 ≥50%", "Ch6 ≥50%"},
+	}
+	pt := vanlanProbes(o, o.scaled(4), nil)
+	dur := time.Duration(o.scaled(40)) * time.Minute
+	ch1 := trace.GenerateDieselNet(o.Seed, 1, dur)
+	ch6 := trace.GenerateDieselNet(o.Seed, 6, dur)
+
+	cdfOf := func(counts []int) *stats.CDF {
+		s := stats.NewSample(len(counts))
+		for _, c := range counts {
+			s.Add(float64(c))
+		}
+		return stats.NewCDF(s)
+	}
+	sets := []*stats.CDF{
+		cdfOf(pt.VisibleCounts(0)), cdfOf(ch1.VisibleCounts(0)), cdfOf(ch6.VisibleCounts(0)),
+		cdfOf(pt.VisibleCounts(0.5)), cdfOf(ch1.VisibleCounts(0.5)), cdfOf(ch6.VisibleCounts(0.5)),
+	}
+	for n := 0; n <= 10; n++ {
+		row := []string{fmt.Sprint(n)}
+		for _, c := range sets {
+			row = append(row, pct(c.P(float64(n))))
+		}
+		r.AddRow(row...)
+	}
+	r.AddNote("paper shape: vehicles regularly hear multiple BSes on one channel in all three environments")
+	return r
+}
+
+// Fig6 reproduces the burst-loss evidence: (a) P(loss i+k | loss i) as a
+// function of k for 10 ms sends, (b) the two-basestation conditional
+// reception table for 20 ms sends.
+func Fig6(o Options) *Report {
+	r := &Report{
+		ID:     "fig6",
+		Title:  "Burstiness and cross-BS independence of losses",
+		Header: []string{"quantity", "value"},
+	}
+	k := sim.NewKernel(o.Seed)
+	p := radio.DefaultParams()
+
+	// (a) single BS sending every 10 ms at a fixed vehicular distance.
+	n := o.scaled(300000)
+	linkA := radio.NewFadingLink(p, k.RNG("fig6a"))
+	coin := k.RNG("fig6a-coin")
+	lost := make([]bool, n)
+	for i := range lost {
+		lost[i] = !coin.Bool(linkA.ReceiveProb(time.Duration(i)*10*time.Millisecond, 80))
+	}
+	uncond := 0
+	for _, v := range lost {
+		if v {
+			uncond++
+		}
+	}
+	uncondP := float64(uncond) / float64(n)
+	cond := func(kk int) float64 {
+		num, den := 0, 0
+		for i := 0; i+kk < n; i++ {
+			if lost[i] {
+				den++
+				if lost[i+kk] {
+					num++
+				}
+			}
+		}
+		if den == 0 {
+			return 0
+		}
+		return float64(num) / float64(den)
+	}
+	r.AddRow("(a) unconditional loss", pct1(uncondP))
+	for _, kk := range []int{1, 2, 5, 10, 20, 50, 100, 200, 500, 1000, 2000} {
+		if kk >= n {
+			break
+		}
+		r.AddRow(fmt.Sprintf("(a) P(loss i+%d | loss i)", kk), pct1(cond(kk)))
+	}
+
+	// (b) two BSes sending every 20 ms.
+	m := o.scaled(200000)
+	la := radio.NewFadingLink(p, k.RNG("fig6b-A"))
+	lb := radio.NewFadingLink(p, k.RNG("fig6b-B"))
+	ca := k.RNG("fig6b-coinA")
+	cb := k.RNG("fig6b-coinB")
+	recvA := make([]bool, m)
+	recvB := make([]bool, m)
+	for i := 0; i < m; i++ {
+		at := time.Duration(i) * 20 * time.Millisecond
+		recvA[i] = ca.Bool(la.ReceiveProb(at, 80))
+		recvB[i] = cb.Bool(lb.ReceiveProb(at, 80))
+	}
+	frac := func(pred func(i int) (bool, bool)) float64 {
+		num, den := 0, 0
+		for i := 0; i+1 < m; i++ {
+			c, e := pred(i)
+			if c {
+				den++
+				if e {
+					num++
+				}
+			}
+		}
+		if den == 0 {
+			return 0
+		}
+		return float64(num) / float64(den)
+	}
+	pa := frac(func(i int) (bool, bool) { return true, recvA[i] })
+	pb := frac(func(i int) (bool, bool) { return true, recvB[i] })
+	r.AddRow("(b) P(A)", f2(pa))
+	r.AddRow("(b) P(A i+1 | ¬A i)", f2(frac(func(i int) (bool, bool) { return !recvA[i], recvA[i+1] })))
+	r.AddRow("(b) P(B i+1 | ¬A i)", f2(frac(func(i int) (bool, bool) { return !recvA[i], recvB[i+1] })))
+	r.AddRow("(b) P(B)", f2(pb))
+	r.AddRow("(b) P(B i+1 | ¬B i)", f2(frac(func(i int) (bool, bool) { return !recvB[i], recvB[i+1] })))
+	r.AddRow("(b) P(A i+1 | ¬B i)", f2(frac(func(i int) (bool, bool) { return !recvB[i], recvA[i+1] })))
+	r.AddNote("paper shape: conditional loss ≫ unconditional at small k, decaying to it; the other BS is barely affected by a loss (Fig 6b)")
+	return r
+}

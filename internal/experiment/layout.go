@@ -1,0 +1,85 @@
+package experiment
+
+import (
+	"strings"
+
+	"github.com/vanlan/vifi/internal/mobility"
+)
+
+// Fig1 renders the deployment maps — the paper's Fig 1 (VanLAN) plus the
+// DieselNet town — as ASCII grids: basestations as letters, the vehicle
+// route as dots. It exists to make the geometry auditable: the layouts
+// drive every coverage-dependent result in this reproduction.
+func Fig1(o Options) *Report {
+	r := &Report{
+		ID:     "fig1",
+		Title:  "Deployment layouts (B0..: basestations, ·: vehicle route)",
+		Header: []string{"map"},
+	}
+	v := mobility.NewVanLAN()
+	r.AddRow("VanLAN (828×559 m, 11 BSes on 5 buildings, shuttle loop):")
+	for _, line := range renderMap(v.BSes, v.Route, 86, 24) {
+		r.AddRow(line)
+	}
+	dn := mobility.NewDieselNet(1)
+	r.AddRow("")
+	r.AddRow("DieselNet Ch.1 (town core ≈ x 500–1400, bus loop with outskirts):")
+	for _, line := range renderMap(dn.BSes, dn.Route, 100, 12) {
+		r.AddRow(line)
+	}
+	r.AddNote("route dots are 2-second samples; 0–9 then A.. index basestations")
+	return r
+}
+
+// renderMap rasterizes basestations and one route lap onto a w×h grid.
+func renderMap(bses []mobility.Point, route *mobility.Route, w, h int) []string {
+	minX, minY := bses[0].X, bses[0].Y
+	maxX, maxY := minX, minY
+	expand := func(p mobility.Point) {
+		if p.X < minX {
+			minX = p.X
+		}
+		if p.X > maxX {
+			maxX = p.X
+		}
+		if p.Y < minY {
+			minY = p.Y
+		}
+		if p.Y > maxY {
+			maxY = p.Y
+		}
+	}
+	for _, b := range bses {
+		expand(b)
+	}
+	for d := 0.0; d < route.Length(); d += 10 {
+		expand(route.PositionAtDistance(d))
+	}
+	grid := make([][]rune, h)
+	for y := range grid {
+		grid[y] = []rune(strings.Repeat(" ", w))
+	}
+	plot := func(p mobility.Point, c rune) {
+		x := int((p.X - minX) / (maxX - minX + 1e-9) * float64(w-1))
+		// Screen y grows downward; map y grows upward.
+		y := h - 1 - int((p.Y-minY)/(maxY-minY+1e-9)*float64(h-1))
+		if x >= 0 && x < w && y >= 0 && y < h {
+			grid[y][x] = c
+		}
+	}
+	for d := 0.0; d < route.Length(); d += route.SpeedMPS * 2 {
+		plot(route.PositionAtDistance(d), '·')
+	}
+	for i, b := range bses {
+		c := rune('0' + i)
+		if i >= 10 {
+			c = rune('A' + i - 10)
+		}
+		plot(b, c)
+	}
+	out := make([]string, h)
+	for y := range grid {
+		out[y] = string(grid[y])
+	}
+	return out
+}

@@ -1,0 +1,59 @@
+package experiment
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Runner produces one report.
+type Runner func(Options) *Report
+
+// registry maps experiment ids to runners.
+var registry = map[string]Runner{
+	"fig1":   Fig1,
+	"fig2":   Fig2,
+	"fig3":   Fig3,
+	"fig4":   Fig4,
+	"fig5":   Fig5,
+	"fig6":   Fig6,
+	"fig7":   Fig7,
+	"fig8":   Fig8,
+	"fig9":   Fig9,
+	"fig10":  Fig10,
+	"fig11":  Fig11,
+	"fig12":  Fig12,
+	"table1": Table1,
+	"table2": Table2,
+
+	// Ablations and extensions (DESIGN.md §4).
+	"ablate-aux":       AblateAux,
+	"ablate-diversity": AblateDiversity,
+	"ablate-backplane": AblateBackplane,
+	"ablate-salvage":   AblateSalvage,
+	"ablate-retx":      AblateRetx,
+}
+
+// IDs returns all experiment ids in a stable order.
+func IDs() []string {
+	out := make([]string, 0, len(registry))
+	for id := range registry {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Run executes one experiment by id.
+func Run(id string, o Options) (*Report, error) {
+	r, ok := registry[id]
+	if !ok {
+		return nil, fmt.Errorf("experiment: unknown id %q (have %v)", id, IDs())
+	}
+	return r(o), nil
+}
+
+// PaperOrder lists the paper's tables and figures in presentation order.
+func PaperOrder() []string {
+	return []string{"fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7",
+		"fig8", "fig9", "fig10", "fig11", "fig12", "table1", "table2"}
+}

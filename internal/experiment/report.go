@@ -1,0 +1,106 @@
+// Package experiment contains one runner per table and figure of the ViFi
+// paper's evaluation (§3 and §5), plus the ablation studies listed in
+// DESIGN.md. Each runner returns a Report — the textual equivalent of the
+// paper's plot or table — and is reachable both from cmd/vifi-bench and
+// from the root bench_test.go benchmarks.
+package experiment
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Options control experiment scale and reproducibility.
+type Options struct {
+	// Seed drives all randomness; equal seeds give identical reports.
+	Seed int64
+	// Scale multiplies run durations and trial counts. 1.0 is the
+	// paper-shaped run; benchmarks use smaller values for speed.
+	Scale float64
+}
+
+// DefaultOptions returns full-scale options with a fixed seed.
+func DefaultOptions() Options { return Options{Seed: 42, Scale: 1.0} }
+
+// scaled returns max(1, round(n·Scale)) for trial counts.
+func (o Options) scaled(n int) int {
+	v := int(float64(n)*o.Scale + 0.5)
+	if v < 1 {
+		v = 1
+	}
+	return v
+}
+
+// Report is the textual reproduction of one paper table or figure.
+type Report struct {
+	ID     string
+	Title  string
+	Header []string
+	Rows   [][]string
+	Notes  []string
+}
+
+// AddRow appends one formatted row.
+func (r *Report) AddRow(cells ...string) { r.Rows = append(r.Rows, cells) }
+
+// AddNote appends an explanatory note printed under the table.
+func (r *Report) AddNote(format string, args ...any) {
+	r.Notes = append(r.Notes, fmt.Sprintf(format, args...))
+}
+
+// String renders the report as an aligned text table.
+func (r *Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", r.ID, r.Title)
+	widths := make([]int, len(r.Header))
+	for i, h := range r.Header {
+		widths[i] = len([]rune(h))
+	}
+	for _, row := range r.Rows {
+		for i, c := range row {
+			if i < len(widths) && len([]rune(c)) > widths[i] {
+				widths[i] = len([]rune(c))
+			}
+		}
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(c)
+			if i < len(widths) {
+				for p := len([]rune(c)); p < widths[i]; p++ {
+					b.WriteByte(' ')
+				}
+			}
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(r.Header)
+	total := 0
+	for _, w := range widths {
+		total += w + 2
+	}
+	b.WriteString(strings.Repeat("-", total))
+	b.WriteByte('\n')
+	for _, row := range r.Rows {
+		writeRow(row)
+	}
+	for _, n := range r.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// f2 formats a float with two decimals.
+func f2(v float64) string { return fmt.Sprintf("%.2f", v) }
+
+// f1 formats a float with one decimal.
+func f1(v float64) string { return fmt.Sprintf("%.1f", v) }
+
+// pct formats a ratio as a percentage.
+func pct(v float64) string { return fmt.Sprintf("%.0f%%", v*100) }
+
+// pct1 formats a ratio as a percentage with one decimal.
+func pct1(v float64) string { return fmt.Sprintf("%.1f%%", v*100) }

@@ -1,0 +1,396 @@
+// Package frame defines the over-the-air and over-backplane wire format of
+// the ViFi reproduction and its binary codec.
+//
+// All protocol traffic — data packets, ViFi acknowledgments, beacons with
+// embedded anchor/auxiliary designations and reception-probability reports
+// (§4.3, §4.6 of the paper), and backplane salvage messages (§4.5) — is
+// serialized through this package, so protocol logic is always exercised
+// against real byte images, including truncation and corruption, not
+// in-memory structs. A CRC-32 trailer detects corruption; decoding is
+// strict and returns typed errors.
+//
+// Wire layout (big endian):
+//
+//	offset  size  field
+//	0       1     magic 'V'
+//	1       1     version (1)
+//	2       1     type
+//	3       1     flags (bit0: relayed)
+//	4       2     src node id
+//	6       2     dst node id (0xFFFF = broadcast)
+//	8       4     seq
+//	12      1     ack bitmap (data frames; §4.8 "1-byte bitmap")
+//	13      ...   type-specific body
+//	len-4   4     CRC-32 (IEEE) over everything before it
+package frame
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"math"
+)
+
+// Type discriminates frame bodies.
+type Type uint8
+
+// Frame types. Data, Ack and Beacon travel over the air; SalvageReq,
+// SalvageData and Relay travel over the inter-BS backplane.
+const (
+	TypeData Type = iota + 1
+	TypeAck
+	TypeBeacon
+	TypeSalvageReq
+	TypeSalvageData
+	TypeRelay
+	// TypeRegister tells the Internet gateway which basestation is now the
+	// anchor for a vehicle (the "existing solutions" hook of §4: Mobile IP
+	// style registration, reduced to its essence).
+	TypeRegister
+)
+
+// String implements fmt.Stringer.
+func (t Type) String() string {
+	switch t {
+	case TypeData:
+		return "data"
+	case TypeAck:
+		return "ack"
+	case TypeBeacon:
+		return "beacon"
+	case TypeSalvageReq:
+		return "salvage-req"
+	case TypeSalvageData:
+		return "salvage-data"
+	case TypeRelay:
+		return "relay"
+	case TypeRegister:
+		return "register"
+	default:
+		return fmt.Sprintf("type(%d)", uint8(t))
+	}
+}
+
+// Broadcast is the destination id addressing every listener.
+const Broadcast uint16 = 0xFFFF
+
+// None marks an absent node reference (e.g. no previous anchor yet).
+const None uint16 = 0xFFFE
+
+// Codec errors.
+var (
+	ErrTooShort   = errors.New("frame: buffer too short")
+	ErrBadMagic   = errors.New("frame: bad magic")
+	ErrBadVersion = errors.New("frame: unsupported version")
+	ErrBadType    = errors.New("frame: unknown type")
+	ErrChecksum   = errors.New("frame: checksum mismatch")
+	ErrTruncated  = errors.New("frame: truncated body")
+	ErrOversize   = errors.New("frame: field exceeds wire limits")
+)
+
+const (
+	magic      = 'V'
+	version    = 1
+	headerLen  = 13
+	trailerLen = 4
+)
+
+// ProbEntry reports a directed reception probability p(From→To), the unit
+// of the beacon dissemination scheme of §4.6.
+type ProbEntry struct {
+	From, To uint16
+	Prob     float64 // [0,1], quantized to 1/255 on the wire
+}
+
+// Beacon is the body of a TypeBeacon frame. Vehicles fill Anchor,
+// PrevAnchor and Aux (§4.3); all nodes fill Probs with the reception
+// probabilities they have measured or learned (§4.6).
+type Beacon struct {
+	Anchor     uint16
+	PrevAnchor uint16
+	Aux        []uint16
+	Probs      []ProbEntry
+}
+
+// Frame is the decoded representation of any wire frame.
+type Frame struct {
+	Type    Type
+	Src     uint16
+	Dst     uint16
+	Seq     uint32
+	Relayed bool
+	// FromVehicle marks frames originated by a vehicle (flags bit 1);
+	// basestations use it to recognize vehicle beacons.
+	FromVehicle bool
+	// AckBitmap signals which of the eight packets before Seq the sender
+	// has NOT seen acknowledged (bit i ↔ Seq-1-i), §4.8.
+	AckBitmap uint8
+	// Attempt distinguishes retransmissions of the same Seq so that
+	// acknowledgments are "not confused with an earlier transmission"
+	// (§4.7) and per-transmission statistics (Table 1) are exact.
+	Attempt uint8
+
+	// Payload is the application payload for TypeData, TypeSalvageData and
+	// TypeRelay frames.
+	Payload []byte
+
+	// AckSrc/AckSeq/AckAttempt identify the acknowledged transmission for
+	// TypeAck.
+	AckSrc     uint16
+	AckSeq     uint32
+	AckAttempt uint8
+
+	// Beacon is non-nil for TypeBeacon.
+	Beacon *Beacon
+
+	// Orig identifies the original source of an encapsulated packet for
+	// TypeRelay and TypeSalvageData; Target is the vehicle a
+	// TypeSalvageReq asks about.
+	Orig   uint16
+	Target uint16
+}
+
+// quantizeProb maps [0,1] to a wire byte.
+func quantizeProb(p float64) uint8 {
+	if p <= 0 {
+		return 0
+	}
+	if p >= 1 {
+		return 255
+	}
+	return uint8(math.Round(p * 255))
+}
+
+// dequantizeProb maps a wire byte back to [0,1].
+func dequantizeProb(b uint8) float64 { return float64(b) / 255 }
+
+// Marshal encodes the frame to a fresh byte slice.
+func (f *Frame) Marshal() ([]byte, error) {
+	size := headerLen + trailerLen
+	switch f.Type {
+	case TypeData:
+		size += 1 + 2 + len(f.Payload)
+	case TypeAck:
+		size += 2 + 4 + 1
+	case TypeBeacon:
+		if f.Beacon == nil {
+			return nil, fmt.Errorf("%w: beacon frame without body", ErrBadType)
+		}
+		if len(f.Beacon.Aux) > 255 || len(f.Beacon.Probs) > 255 {
+			return nil, ErrOversize
+		}
+		size += 2 + 2 + 1 + 2*len(f.Beacon.Aux) + 1 + 5*len(f.Beacon.Probs)
+	case TypeSalvageReq:
+		size += 2
+	case TypeSalvageData, TypeRelay:
+		size += 2 + 1 + 2 + len(f.Payload)
+	case TypeRegister:
+		size += 2
+	default:
+		return nil, fmt.Errorf("%w: %d", ErrBadType, f.Type)
+	}
+	if len(f.Payload) > 0xFFFF {
+		return nil, ErrOversize
+	}
+
+	buf := make([]byte, size)
+	buf[0] = magic
+	buf[1] = version
+	buf[2] = byte(f.Type)
+	if f.Relayed {
+		buf[3] |= 1
+	}
+	if f.FromVehicle {
+		buf[3] |= 2
+	}
+	binary.BigEndian.PutUint16(buf[4:], f.Src)
+	binary.BigEndian.PutUint16(buf[6:], f.Dst)
+	binary.BigEndian.PutUint32(buf[8:], f.Seq)
+	buf[12] = f.AckBitmap
+
+	b := buf[headerLen:]
+	switch f.Type {
+	case TypeData:
+		b[0] = f.Attempt
+		binary.BigEndian.PutUint16(b[1:], uint16(len(f.Payload)))
+		copy(b[3:], f.Payload)
+	case TypeAck:
+		binary.BigEndian.PutUint16(b, f.AckSrc)
+		binary.BigEndian.PutUint32(b[2:], f.AckSeq)
+		b[6] = f.AckAttempt
+	case TypeBeacon:
+		bc := f.Beacon
+		binary.BigEndian.PutUint16(b, bc.Anchor)
+		binary.BigEndian.PutUint16(b[2:], bc.PrevAnchor)
+		b[4] = byte(len(bc.Aux))
+		o := 5
+		for _, a := range bc.Aux {
+			binary.BigEndian.PutUint16(b[o:], a)
+			o += 2
+		}
+		b[o] = byte(len(bc.Probs))
+		o++
+		for _, pe := range bc.Probs {
+			binary.BigEndian.PutUint16(b[o:], pe.From)
+			binary.BigEndian.PutUint16(b[o+2:], pe.To)
+			b[o+4] = quantizeProb(pe.Prob)
+			o += 5
+		}
+	case TypeSalvageReq:
+		binary.BigEndian.PutUint16(b, f.Target)
+	case TypeSalvageData, TypeRelay:
+		binary.BigEndian.PutUint16(b, f.Orig)
+		b[2] = f.Attempt
+		binary.BigEndian.PutUint16(b[3:], uint16(len(f.Payload)))
+		copy(b[5:], f.Payload)
+	case TypeRegister:
+		binary.BigEndian.PutUint16(b, f.Target)
+	}
+
+	crc := crc32.ChecksumIEEE(buf[:size-trailerLen])
+	binary.BigEndian.PutUint32(buf[size-trailerLen:], crc)
+	return buf, nil
+}
+
+// Unmarshal decodes a frame from buf. The returned frame's Payload aliases
+// a fresh copy, never buf itself, so callers may recycle buf.
+func Unmarshal(buf []byte) (*Frame, error) {
+	if len(buf) < headerLen+trailerLen {
+		return nil, ErrTooShort
+	}
+	if buf[0] != magic {
+		return nil, ErrBadMagic
+	}
+	if buf[1] != version {
+		return nil, ErrBadVersion
+	}
+	want := binary.BigEndian.Uint32(buf[len(buf)-trailerLen:])
+	if crc32.ChecksumIEEE(buf[:len(buf)-trailerLen]) != want {
+		return nil, ErrChecksum
+	}
+
+	f := &Frame{
+		Type:        Type(buf[2]),
+		Relayed:     buf[3]&1 != 0,
+		FromVehicle: buf[3]&2 != 0,
+		Src:         binary.BigEndian.Uint16(buf[4:]),
+		Dst:         binary.BigEndian.Uint16(buf[6:]),
+		Seq:         binary.BigEndian.Uint32(buf[8:]),
+		AckBitmap:   buf[12],
+	}
+	b := buf[headerLen : len(buf)-trailerLen]
+	switch f.Type {
+	case TypeData:
+		if len(b) < 3 {
+			return nil, ErrTruncated
+		}
+		f.Attempt = b[0]
+		n := int(binary.BigEndian.Uint16(b[1:]))
+		if len(b) < 3+n {
+			return nil, ErrTruncated
+		}
+		f.Payload = append([]byte(nil), b[3:3+n]...)
+	case TypeAck:
+		if len(b) < 7 {
+			return nil, ErrTruncated
+		}
+		f.AckSrc = binary.BigEndian.Uint16(b)
+		f.AckSeq = binary.BigEndian.Uint32(b[2:])
+		f.AckAttempt = b[6]
+	case TypeBeacon:
+		bc := &Beacon{}
+		if len(b) < 5 {
+			return nil, ErrTruncated
+		}
+		bc.Anchor = binary.BigEndian.Uint16(b)
+		bc.PrevAnchor = binary.BigEndian.Uint16(b[2:])
+		nAux := int(b[4])
+		o := 5
+		if len(b) < o+2*nAux+1 {
+			return nil, ErrTruncated
+		}
+		for i := 0; i < nAux; i++ {
+			bc.Aux = append(bc.Aux, binary.BigEndian.Uint16(b[o:]))
+			o += 2
+		}
+		nProbs := int(b[o])
+		o++
+		if len(b) < o+5*nProbs {
+			return nil, ErrTruncated
+		}
+		for i := 0; i < nProbs; i++ {
+			bc.Probs = append(bc.Probs, ProbEntry{
+				From: binary.BigEndian.Uint16(b[o:]),
+				To:   binary.BigEndian.Uint16(b[o+2:]),
+				Prob: dequantizeProb(b[o+4]),
+			})
+			o += 5
+		}
+		f.Beacon = bc
+	case TypeSalvageReq, TypeRegister:
+		if len(b) < 2 {
+			return nil, ErrTruncated
+		}
+		f.Target = binary.BigEndian.Uint16(b)
+	case TypeSalvageData, TypeRelay:
+		if len(b) < 5 {
+			return nil, ErrTruncated
+		}
+		f.Orig = binary.BigEndian.Uint16(b)
+		f.Attempt = b[2]
+		n := int(binary.BigEndian.Uint16(b[3:]))
+		if len(b) < 5+n {
+			return nil, ErrTruncated
+		}
+		f.Payload = append([]byte(nil), b[5:5+n]...)
+	default:
+		return nil, fmt.Errorf("%w: %d", ErrBadType, buf[2])
+	}
+	return f, nil
+}
+
+// WireSize returns the encoded size of the frame without allocating.
+func (f *Frame) WireSize() int {
+	size := headerLen + trailerLen
+	switch f.Type {
+	case TypeData:
+		size += 3 + len(f.Payload)
+	case TypeAck:
+		size += 7
+	case TypeBeacon:
+		if f.Beacon != nil {
+			size += 6 + 2*len(f.Beacon.Aux) + 5*len(f.Beacon.Probs)
+		}
+	case TypeSalvageReq, TypeRegister:
+		size += 2
+	case TypeSalvageData, TypeRelay:
+		size += 5 + len(f.Payload)
+	}
+	return size
+}
+
+// PacketID identifies a data packet end to end: the original source and
+// its sequence number. Relays preserve it, so duplicate suppression and
+// acknowledgment matching work across paths (§4.7 "Each packet carries a
+// unique identifier").
+type PacketID struct {
+	Src uint16
+	Seq uint32
+}
+
+// ID returns the packet identity of a data-bearing frame. For relayed and
+// salvaged frames the original source is used.
+func (f *Frame) ID() PacketID {
+	switch f.Type {
+	case TypeRelay, TypeSalvageData:
+		return PacketID{Src: f.Orig, Seq: f.Seq}
+	default:
+		return PacketID{Src: f.Src, Seq: f.Seq}
+	}
+}
+
+func (f *Frame) String() string {
+	return fmt.Sprintf("%s src=%d dst=%d seq=%d relayed=%v len=%d",
+		f.Type, f.Src, f.Dst, f.Seq, f.Relayed, len(f.Payload))
+}

@@ -1,0 +1,355 @@
+package frame
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func roundtrip(t *testing.T, f *Frame) *Frame {
+	t.Helper()
+	buf, err := f.Marshal()
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	if len(buf) != f.WireSize() {
+		t.Errorf("WireSize = %d, encoded = %d", f.WireSize(), len(buf))
+	}
+	g, err := Unmarshal(buf)
+	if err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	return g
+}
+
+func TestDataRoundtrip(t *testing.T) {
+	f := &Frame{
+		Type: TypeData, Src: 3, Dst: Broadcast, Seq: 1234567,
+		Relayed: false, AckBitmap: 0b1010_0001,
+		Payload: []byte("twenty-byte voip pkt"),
+	}
+	g := roundtrip(t, f)
+	if g.Type != TypeData || g.Src != 3 || g.Dst != Broadcast || g.Seq != 1234567 {
+		t.Errorf("header mismatch: %+v", g)
+	}
+	if g.AckBitmap != 0b1010_0001 {
+		t.Errorf("bitmap mismatch: %08b", g.AckBitmap)
+	}
+	if !bytes.Equal(g.Payload, f.Payload) {
+		t.Errorf("payload mismatch: %q", g.Payload)
+	}
+}
+
+func TestDataEmptyPayload(t *testing.T) {
+	f := &Frame{Type: TypeData, Src: 1, Dst: 2, Seq: 0}
+	g := roundtrip(t, f)
+	if len(g.Payload) != 0 {
+		t.Errorf("payload = %v, want empty", g.Payload)
+	}
+}
+
+func TestAckRoundtrip(t *testing.T) {
+	f := &Frame{Type: TypeAck, Src: 7, Dst: Broadcast, Seq: 9, AckSrc: 12, AckSeq: 4242}
+	g := roundtrip(t, f)
+	if g.AckSrc != 12 || g.AckSeq != 4242 {
+		t.Errorf("ack fields: %+v", g)
+	}
+}
+
+func TestBeaconRoundtrip(t *testing.T) {
+	f := &Frame{
+		Type: TypeBeacon, Src: 5, Dst: Broadcast, Seq: 77,
+		Beacon: &Beacon{
+			Anchor:     2,
+			PrevAnchor: None,
+			Aux:        []uint16{1, 3, 4},
+			Probs: []ProbEntry{
+				{From: 1, To: 5, Prob: 0.75},
+				{From: 5, To: 2, Prob: 1.0},
+				{From: 3, To: 5, Prob: 0.0},
+			},
+		},
+	}
+	g := roundtrip(t, f)
+	if g.Beacon == nil {
+		t.Fatal("beacon body lost")
+	}
+	if g.Beacon.Anchor != 2 || g.Beacon.PrevAnchor != None {
+		t.Errorf("anchor fields: %+v", g.Beacon)
+	}
+	if !reflect.DeepEqual(g.Beacon.Aux, f.Beacon.Aux) {
+		t.Errorf("aux mismatch: %v", g.Beacon.Aux)
+	}
+	for i, pe := range g.Beacon.Probs {
+		if pe.From != f.Beacon.Probs[i].From || pe.To != f.Beacon.Probs[i].To {
+			t.Errorf("prob entry %d ids: %+v", i, pe)
+		}
+		if math.Abs(pe.Prob-f.Beacon.Probs[i].Prob) > 1.0/254 {
+			t.Errorf("prob entry %d quantization error: %v vs %v", i, pe.Prob, f.Beacon.Probs[i].Prob)
+		}
+	}
+}
+
+func TestBeaconEmpty(t *testing.T) {
+	f := &Frame{Type: TypeBeacon, Src: 1, Dst: Broadcast, Beacon: &Beacon{Anchor: None, PrevAnchor: None}}
+	g := roundtrip(t, f)
+	if len(g.Beacon.Aux) != 0 || len(g.Beacon.Probs) != 0 {
+		t.Errorf("empty beacon gained entries: %+v", g.Beacon)
+	}
+}
+
+func TestBeaconWithoutBodyFails(t *testing.T) {
+	f := &Frame{Type: TypeBeacon, Src: 1}
+	if _, err := f.Marshal(); err == nil {
+		t.Error("marshal of beacon without body succeeded")
+	}
+}
+
+func TestSalvageReqRoundtrip(t *testing.T) {
+	f := &Frame{Type: TypeSalvageReq, Src: 4, Dst: 9, Seq: 1, Target: 11}
+	g := roundtrip(t, f)
+	if g.Target != 11 {
+		t.Errorf("target = %d, want 11", g.Target)
+	}
+}
+
+func TestRelayAndSalvageDataRoundtrip(t *testing.T) {
+	for _, typ := range []Type{TypeRelay, TypeSalvageData} {
+		f := &Frame{
+			Type: typ, Src: 2, Dst: 6, Seq: 500, Relayed: true,
+			Orig: 13, Payload: bytes.Repeat([]byte{0xAB}, 500),
+		}
+		g := roundtrip(t, f)
+		if g.Orig != 13 || !g.Relayed || !bytes.Equal(g.Payload, f.Payload) {
+			t.Errorf("%v roundtrip mismatch", typ)
+		}
+		if g.ID() != (PacketID{Src: 13, Seq: 500}) {
+			t.Errorf("%v ID = %+v, want orig identity", typ, g.ID())
+		}
+	}
+}
+
+func TestIDForDirectFrames(t *testing.T) {
+	f := &Frame{Type: TypeData, Src: 8, Seq: 99}
+	if f.ID() != (PacketID{Src: 8, Seq: 99}) {
+		t.Errorf("ID = %+v", f.ID())
+	}
+}
+
+func TestCorruptionDetected(t *testing.T) {
+	f := &Frame{Type: TypeData, Src: 1, Dst: 2, Seq: 3, Payload: []byte("payload")}
+	buf, _ := f.Marshal()
+	for i := range buf {
+		cp := append([]byte(nil), buf...)
+		cp[i] ^= 0x40
+		if _, err := Unmarshal(cp); err == nil {
+			t.Errorf("corruption at byte %d undetected", i)
+		}
+	}
+}
+
+func TestTruncationDetected(t *testing.T) {
+	f := &Frame{Type: TypeBeacon, Src: 1, Dst: Broadcast,
+		Beacon: &Beacon{Anchor: 1, PrevAnchor: 2, Aux: []uint16{3}, Probs: []ProbEntry{{1, 2, 0.5}}}}
+	buf, _ := f.Marshal()
+	for n := 0; n < len(buf); n++ {
+		if _, err := Unmarshal(buf[:n]); err == nil {
+			t.Errorf("truncation to %d bytes undetected", n)
+		}
+	}
+}
+
+func TestUnmarshalErrors(t *testing.T) {
+	if _, err := Unmarshal(nil); !errors.Is(err, ErrTooShort) {
+		t.Errorf("nil buffer: %v", err)
+	}
+	f := &Frame{Type: TypeData, Src: 1, Dst: 2}
+	buf, _ := f.Marshal()
+
+	bad := append([]byte(nil), buf...)
+	bad[0] = 'X'
+	if _, err := Unmarshal(bad); !errors.Is(err, ErrBadMagic) {
+		t.Errorf("bad magic: %v", err)
+	}
+
+	bad = append([]byte(nil), buf...)
+	bad[1] = 99
+	if _, err := Unmarshal(bad); !errors.Is(err, ErrBadVersion) {
+		t.Errorf("bad version: %v", err)
+	}
+
+	bad = append([]byte(nil), buf...)
+	bad[len(bad)-1] ^= 1
+	if _, err := Unmarshal(bad); !errors.Is(err, ErrChecksum) {
+		t.Errorf("bad checksum: %v", err)
+	}
+}
+
+func TestMarshalUnknownType(t *testing.T) {
+	f := &Frame{Type: 200}
+	if _, err := f.Marshal(); !errors.Is(err, ErrBadType) {
+		t.Errorf("unknown type: %v", err)
+	}
+}
+
+func TestPayloadNotAliased(t *testing.T) {
+	f := &Frame{Type: TypeData, Src: 1, Dst: 2, Payload: []byte("aaaa")}
+	buf, _ := f.Marshal()
+	g, _ := Unmarshal(buf)
+	buf[16] = 'Z' // inside payload area (13 header + attempt + 2 len)
+	if g.Payload[0] == 'Z' {
+		t.Error("decoded payload aliases input buffer")
+	}
+}
+
+func TestAttemptRoundtrip(t *testing.T) {
+	d := &Frame{Type: TypeData, Src: 1, Dst: 2, Seq: 7, Attempt: 3, Payload: []byte("x")}
+	if g := roundtrip(t, d); g.Attempt != 3 {
+		t.Errorf("data attempt = %d, want 3", g.Attempt)
+	}
+	a := &Frame{Type: TypeAck, Src: 2, Dst: Broadcast, AckSrc: 1, AckSeq: 7, AckAttempt: 3}
+	if g := roundtrip(t, a); g.AckAttempt != 3 {
+		t.Errorf("ack attempt = %d, want 3", g.AckAttempt)
+	}
+	r := &Frame{Type: TypeRelay, Src: 5, Dst: 2, Seq: 7, Orig: 1, Attempt: 2, Payload: []byte("y")}
+	if g := roundtrip(t, r); g.Attempt != 2 {
+		t.Errorf("relay attempt = %d, want 2", g.Attempt)
+	}
+}
+
+func TestRegisterRoundtrip(t *testing.T) {
+	f := &Frame{Type: TypeRegister, Src: 4, Dst: 100, Target: 11}
+	g := roundtrip(t, f)
+	if g.Target != 11 || g.Type != TypeRegister {
+		t.Errorf("register roundtrip: %+v", g)
+	}
+}
+
+func TestQuantization(t *testing.T) {
+	cases := []struct {
+		in   float64
+		want uint8
+	}{{-1, 0}, {0, 0}, {1, 255}, {2, 255}, {0.5, 128}}
+	for _, c := range cases {
+		if got := quantizeProb(c.in); got != c.want {
+			t.Errorf("quantize(%v) = %d, want %d", c.in, got, c.want)
+		}
+	}
+	for b := 0; b <= 255; b++ {
+		p := dequantizeProb(uint8(b))
+		if p < 0 || p > 1 {
+			t.Fatalf("dequantize(%d) = %v out of range", b, p)
+		}
+	}
+}
+
+// Property: any data frame roundtrips exactly.
+func TestDataRoundtripProperty(t *testing.T) {
+	f := func(src, dst uint16, seq uint32, relayed bool, bitmap uint8, payload []byte) bool {
+		if len(payload) > 2000 {
+			payload = payload[:2000]
+		}
+		in := &Frame{Type: TypeData, Src: src, Dst: dst, Seq: seq,
+			Relayed: relayed, AckBitmap: bitmap, Payload: payload}
+		buf, err := in.Marshal()
+		if err != nil {
+			return false
+		}
+		out, err := Unmarshal(buf)
+		if err != nil {
+			return false
+		}
+		return out.Src == src && out.Dst == dst && out.Seq == seq &&
+			out.Relayed == relayed && out.AckBitmap == bitmap &&
+			bytes.Equal(out.Payload, payload)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: any beacon roundtrips with ≤1/254 probability error.
+func TestBeaconRoundtripProperty(t *testing.T) {
+	f := func(anchor, prev uint16, aux []uint16, rawProbs []uint16) bool {
+		if len(aux) > 255 {
+			aux = aux[:255]
+		}
+		if len(rawProbs) > 255 {
+			rawProbs = rawProbs[:255]
+		}
+		probs := make([]ProbEntry, len(rawProbs))
+		for i, r := range rawProbs {
+			probs[i] = ProbEntry{From: r, To: r ^ 0xFF, Prob: float64(r%1000) / 999}
+		}
+		in := &Frame{Type: TypeBeacon, Src: 1, Dst: Broadcast,
+			Beacon: &Beacon{Anchor: anchor, PrevAnchor: prev, Aux: aux, Probs: probs}}
+		buf, err := in.Marshal()
+		if err != nil {
+			return false
+		}
+		out, err := Unmarshal(buf)
+		if err != nil || out.Beacon == nil {
+			return false
+		}
+		if out.Beacon.Anchor != anchor || out.Beacon.PrevAnchor != prev {
+			return false
+		}
+		if len(out.Beacon.Aux) != len(aux) || len(out.Beacon.Probs) != len(probs) {
+			return false
+		}
+		for i := range aux {
+			if out.Beacon.Aux[i] != aux[i] {
+				return false
+			}
+		}
+		for i := range probs {
+			if math.Abs(out.Beacon.Probs[i].Prob-probs[i].Prob) > 1.0/254 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Unmarshal never panics on arbitrary input.
+func TestUnmarshalFuzzSafety(t *testing.T) {
+	f := func(data []byte) bool {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Fatalf("Unmarshal panicked on %x: %v", data, r)
+			}
+		}()
+		_, _ = Unmarshal(data)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkMarshalData(b *testing.B) {
+	f := &Frame{Type: TypeData, Src: 1, Dst: Broadcast, Seq: 1, Payload: make([]byte, 500)}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := f.Marshal(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkUnmarshalData(b *testing.B) {
+	f := &Frame{Type: TypeData, Src: 1, Dst: Broadcast, Seq: 1, Payload: make([]byte, 500)}
+	buf, _ := f.Marshal()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Unmarshal(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,225 @@
+// Package mac implements the broadcast-mode 802.11-style MAC used by the
+// ViFi reproduction (§4.8 of the paper): all frames are broadcast (no
+// link-layer retransmission, no exponential backoff), collision avoidance
+// relies on carrier sense, at most one frame is pending at the interface
+// at any time, and every node emits periodic beacons.
+//
+// The MAC sits between a protocol entity (internal/core, internal/handoff)
+// and the radio channel (internal/radio); frames cross it as wire bytes
+// via internal/frame.
+package mac
+
+import (
+	"time"
+
+	"github.com/vanlan/vifi/internal/frame"
+	"github.com/vanlan/vifi/internal/mobility"
+	"github.com/vanlan/vifi/internal/radio"
+	"github.com/vanlan/vifi/internal/sim"
+)
+
+// Config holds MAC tunables. Zero fields take defaults from DefaultConfig.
+type Config struct {
+	// BeaconInterval is the period of beacon emission. The paper's nodes
+	// beacon periodically (§4.6); we default to the common 100 ms.
+	BeaconInterval time.Duration
+	// QueueCap bounds the transmit queue in frames; beyond it, new data
+	// frames are dropped (drop-tail).
+	QueueCap int
+	// BackoffMin/Max bound the uniform retry delay when the medium is
+	// sensed busy.
+	BackoffMin, BackoffMax time.Duration
+}
+
+// DefaultConfig returns the standard MAC configuration.
+func DefaultConfig() Config {
+	return Config{
+		BeaconInterval: 100 * time.Millisecond,
+		QueueCap:       64,
+		BackoffMin:     100 * time.Microsecond,
+		BackoffMax:     900 * time.Microsecond,
+	}
+}
+
+func (c Config) withDefaults() Config {
+	d := DefaultConfig()
+	if c.BeaconInterval == 0 {
+		c.BeaconInterval = d.BeaconInterval
+	}
+	if c.QueueCap == 0 {
+		c.QueueCap = d.QueueCap
+	}
+	if c.BackoffMin == 0 {
+		c.BackoffMin = d.BackoffMin
+	}
+	if c.BackoffMax == 0 {
+		c.BackoffMax = d.BackoffMax
+	}
+	return c
+}
+
+// Handler consumes decoded frames arriving from the radio.
+type Handler interface {
+	HandleFrame(f *frame.Frame, info radio.RxInfo)
+}
+
+// HandlerFunc adapts a function to Handler.
+type HandlerFunc func(f *frame.Frame, info radio.RxInfo)
+
+// HandleFrame implements Handler.
+func (h HandlerFunc) HandleFrame(f *frame.Frame, info radio.RxInfo) { h(f, info) }
+
+// Stats counts MAC-level events.
+type Stats struct {
+	Enqueued     int
+	Sent         int
+	SentByType   [8]int // indexed by frame.Type
+	DroppedFull  int
+	BusyDefers   int
+	DecodeErrors int
+	BeaconsSent  int
+}
+
+// MAC is one node's medium access entity.
+type MAC struct {
+	K   *sim.Kernel
+	ch  *radio.Channel
+	id  radio.NodeID
+	cfg Config
+	rng *sim.RNG
+
+	handler  Handler
+	beaconFn func() *frame.Frame
+
+	queue   [][]byte // marshaled frames; index 0 is next out
+	qTypes  []frame.Type
+	sending bool
+	stats   Stats
+}
+
+// New attaches a new MAC to the channel. name must be unique per channel;
+// mover supplies the node's position over time.
+func New(k *sim.Kernel, ch *radio.Channel, name string, mover mobility.Mover) *MAC {
+	m := &MAC{
+		K:   k,
+		ch:  ch,
+		cfg: DefaultConfig(),
+		rng: k.RNG("mac", name),
+	}
+	m.id = ch.Attach(name, mover, radio.ReceiverFunc(m.radioReceive))
+	return m
+}
+
+// NewWithConfig is New with explicit configuration.
+func NewWithConfig(k *sim.Kernel, ch *radio.Channel, name string, mover mobility.Mover, cfg Config) *MAC {
+	m := New(k, ch, name, mover)
+	m.cfg = cfg.withDefaults()
+	return m
+}
+
+// ID returns the node's radio identifier; protocol layers use it as the
+// node's address (uint16 on the wire).
+func (m *MAC) ID() radio.NodeID { return m.id }
+
+// Addr returns the node's wire address.
+func (m *MAC) Addr() uint16 { return uint16(m.id) }
+
+// SetHandler installs the upper-layer frame consumer.
+func (m *MAC) SetHandler(h Handler) { m.handler = h }
+
+// Stats returns a copy of the MAC counters.
+func (m *MAC) Stats() Stats { return m.stats }
+
+// QueueLen reports frames waiting (not counting one on the air).
+func (m *MAC) QueueLen() int { return len(m.queue) }
+
+// StartBeacons begins periodic beacon emission. fn is invoked at each
+// beacon time to produce the frame; returning nil skips that beacon. The
+// first beacon fires after a random fraction of the interval so that
+// nodes desynchronize.
+func (m *MAC) StartBeacons(fn func() *frame.Frame) {
+	m.beaconFn = fn
+	first := time.Duration(m.rng.Float64() * float64(m.cfg.BeaconInterval))
+	m.K.After(first, m.beaconTick)
+}
+
+func (m *MAC) beaconTick() {
+	if m.beaconFn != nil {
+		if f := m.beaconFn(); f != nil {
+			if m.send(f, false) {
+				m.stats.BeaconsSent++
+			}
+		}
+	}
+	m.K.After(m.cfg.BeaconInterval, m.beaconTick)
+}
+
+// Send queues a frame for transmission. It reports whether the frame was
+// accepted (false means the queue was full and the frame dropped).
+func (m *MAC) Send(f *frame.Frame) bool { return m.send(f, false) }
+
+// SendPriority queues a frame at the head of the queue. ViFi uses it for
+// acknowledgments, which must win the race against relay timers at other
+// nodes (§4.3 step 2).
+func (m *MAC) SendPriority(f *frame.Frame) bool { return m.send(f, true) }
+
+func (m *MAC) send(f *frame.Frame, front bool) bool {
+	buf, err := f.Marshal()
+	if err != nil {
+		panic("mac: unmarshalable frame: " + err.Error())
+	}
+	if len(m.queue) >= m.cfg.QueueCap {
+		m.stats.DroppedFull++
+		return false
+	}
+	if front {
+		m.queue = append([][]byte{buf}, m.queue...)
+		m.qTypes = append([]frame.Type{f.Type}, m.qTypes...)
+	} else {
+		m.queue = append(m.queue, buf)
+		m.qTypes = append(m.qTypes, f.Type)
+	}
+	m.stats.Enqueued++
+	m.pump()
+	return true
+}
+
+// pump moves the head frame to the air when allowed: never more than one
+// outstanding frame, defer while the medium is busy.
+func (m *MAC) pump() {
+	if m.sending || len(m.queue) == 0 {
+		return
+	}
+	if m.ch.Busy(m.id) {
+		m.stats.BusyDefers++
+		d := m.cfg.BackoffMin +
+			time.Duration(m.rng.Float64()*float64(m.cfg.BackoffMax-m.cfg.BackoffMin))
+		m.K.After(d, m.pump)
+		return
+	}
+	buf := m.queue[0]
+	typ := m.qTypes[0]
+	m.queue = m.queue[1:]
+	m.qTypes = m.qTypes[1:]
+	m.sending = true
+	m.stats.Sent++
+	if int(typ) < len(m.stats.SentByType) {
+		m.stats.SentByType[typ]++
+	}
+	m.ch.Broadcast(m.id, buf, func() {
+		m.sending = false
+		m.pump()
+	})
+}
+
+// radioReceive decodes and dispatches an arriving frame.
+func (m *MAC) radioReceive(payload []byte, info radio.RxInfo) {
+	f, err := frame.Unmarshal(payload)
+	if err != nil {
+		m.stats.DecodeErrors++
+		return
+	}
+	if m.handler != nil {
+		m.handler.HandleFrame(f, info)
+	}
+}

@@ -1,0 +1,300 @@
+package radio
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/vanlan/vifi/internal/mobility"
+	"github.com/vanlan/vifi/internal/sim"
+)
+
+// NodeID identifies a radio attached to a Channel. IDs are small dense
+// integers assigned by Attach in attachment order.
+type NodeID int
+
+// RxInfo carries per-frame PHY metadata delivered with a received frame,
+// mirroring what the paper's modified driver logs (§2.1).
+type RxInfo struct {
+	From NodeID
+	At   time.Duration // reception completion time
+	RSSI float64       // synthetic RSSI in dBm
+	Dist float64       // true distance at transmit time (diagnostic)
+}
+
+// Receiver consumes frames delivered by the channel.
+type Receiver interface {
+	// RadioReceive is called once per correctly decoded frame. The payload
+	// slice is owned by the receiver (the channel never reuses it).
+	RadioReceive(payload []byte, info RxInfo)
+}
+
+// ReceiverFunc adapts a function to the Receiver interface.
+type ReceiverFunc func(payload []byte, info RxInfo)
+
+// RadioReceive implements Receiver.
+func (f ReceiverFunc) RadioReceive(payload []byte, info RxInfo) { f(payload, info) }
+
+// LinkFactory builds the LinkModel for a directed (from, to) pair. The
+// default factory creates independent FadingLinks; trace-driven
+// experiments install ScheduleLinks instead.
+type LinkFactory func(from, to NodeID) LinkModel
+
+// reception is one in-flight frame at one receiver. It carries its own
+// damage state so that collisions can void it without racing against
+// receptions that complete at the same instant.
+type reception struct {
+	from NodeID
+	rssi float64
+	end  time.Duration
+	ok   bool
+}
+
+// node is the channel's view of one attached radio.
+type node struct {
+	id      NodeID
+	name    string
+	mover   mobility.Mover
+	recv    Receiver
+	txUntil time.Duration // transmitting until (half duplex)
+	cur     *reception    // latest reception locking this receiver
+}
+
+// Stats aggregates channel-level counters, used by the efficiency
+// experiments (Fig 12) and by tests.
+type Stats struct {
+	Transmissions int // frames put on the air
+	Deliveries    int // frame receptions (per receiver)
+	Collisions    int // receptions destroyed by overlap
+	HalfDuplex    int // receptions missed because receiver was sending
+	ChannelLosses int // receptions lost to the link model
+}
+
+// Channel is the shared broadcast medium. All attached nodes hear all
+// transmissions subject to the per-link LinkModel, half-duplex operation
+// and collision rules. The channel is single-threaded on the simulation
+// kernel.
+// linkState bundles the model and the private randomness of one directed
+// link. The RNG streams are created once and advanced across the whole
+// simulation; recreating them per frame would freeze the coin flips.
+type linkState struct {
+	model LinkModel
+	loss  *sim.RNG
+	noise *sim.RNG
+}
+
+type Channel struct {
+	K       *sim.Kernel
+	P       Params
+	factory LinkFactory
+	nodes   []*node
+	links   map[[2]NodeID]*linkState
+	stats   Stats
+}
+
+// NewChannel creates a channel over the kernel with the given parameters.
+// If factory is nil, independent FadingLinks are created per directed pair,
+// each seeded from the kernel's labeled RNG streams.
+func NewChannel(k *sim.Kernel, p Params, factory LinkFactory) *Channel {
+	c := &Channel{K: k, P: p, links: map[[2]NodeID]*linkState{}}
+	if factory == nil {
+		factory = func(from, to NodeID) LinkModel {
+			return NewFadingLink(p, k.RNG("link", fmt.Sprint(from), fmt.Sprint(to)))
+		}
+	}
+	c.factory = factory
+	return c
+}
+
+// Attach registers a radio with the channel and returns its NodeID.
+func (c *Channel) Attach(name string, mover mobility.Mover, recv Receiver) NodeID {
+	id := NodeID(len(c.nodes))
+	c.nodes = append(c.nodes, &node{id: id, name: name, mover: mover, recv: recv})
+	return id
+}
+
+// SetReceiver replaces the receiver of an attached node (used when protocol
+// stacks are wired up after attachment).
+func (c *Channel) SetReceiver(id NodeID, recv Receiver) { c.nodes[id].recv = recv }
+
+// NodeName returns the name given at attachment.
+func (c *Channel) NodeName(id NodeID) string { return c.nodes[id].name }
+
+// NumNodes returns the number of attached radios.
+func (c *Channel) NumNodes() int { return len(c.nodes) }
+
+// Stats returns a copy of the channel counters.
+func (c *Channel) Stats() Stats { return c.stats }
+
+// Position returns a node's current position.
+func (c *Channel) Position(id NodeID) mobility.Point {
+	return c.nodes[id].mover.Position(c.K.Now())
+}
+
+// link returns (creating if needed) the state for the directed pair.
+func (c *Channel) link(from, to NodeID) *linkState {
+	key := [2]NodeID{from, to}
+	l, ok := c.links[key]
+	if !ok {
+		l = &linkState{
+			model: c.factory(from, to),
+			loss:  c.K.RNG("loss", fmt.Sprint(from), fmt.Sprint(to)),
+			noise: c.K.RNG("rssi", fmt.Sprint(from), fmt.Sprint(to)),
+		}
+		c.links[key] = l
+	}
+	return l
+}
+
+// Link exposes the LinkModel for a directed pair (diagnostics and
+// experiment instrumentation).
+func (c *Channel) Link(from, to NodeID) LinkModel { return c.link(from, to).model }
+
+// ReceiveProb reports the instantaneous reception probability from one
+// node to another given their current positions. This is the oracle the
+// idealized policies (BestBS, AllBSes, PerfectRelay) consult.
+func (c *Channel) ReceiveProb(from, to NodeID) float64 {
+	now := c.K.Now()
+	d := c.nodes[from].mover.Position(now).Dist(c.nodes[to].mover.Position(now))
+	return c.link(from, to).model.ReceiveProb(now, d)
+}
+
+// Busy reports whether the medium is sensed busy at the node: either the
+// node itself is transmitting, or some in-flight transmission originates
+// within carrier-sense range.
+func (c *Channel) Busy(id NodeID) bool {
+	now := c.K.Now()
+	me := c.nodes[id]
+	if me.txUntil > now {
+		return true
+	}
+	pos := me.mover.Position(now)
+	for _, n := range c.nodes {
+		if n.id == id || n.txUntil <= now {
+			continue
+		}
+		if n.mover.Position(now).Dist(pos) <= c.P.SenseRangeM {
+			return true
+		}
+	}
+	return false
+}
+
+// Transmitting reports whether the node is currently on the air.
+func (c *Channel) Transmitting(id NodeID) bool {
+	return c.nodes[id].txUntil > c.K.Now()
+}
+
+// Broadcast puts a frame on the air from the given node. Every other node
+// receives it with its link-model probability, subject to half-duplex and
+// collision rules. Returns the frame's airtime. If txDone is non-nil it is
+// invoked when the frame leaves the air (the MAC uses this to release its
+// one-outstanding-frame gate); the channel always schedules the
+// end-of-airtime event so virtual time advances even when every reception
+// is lost.
+//
+// The payload is copied once per successful delivery; the caller keeps
+// ownership of the passed slice.
+func (c *Channel) Broadcast(from NodeID, payload []byte, txDone func()) time.Duration {
+	now := c.K.Now()
+	src := c.nodes[from]
+	airtime := c.P.Airtime(len(payload))
+	end := now + airtime
+	if src.txUntil > now {
+		// Model guard: the MAC enforces one outstanding frame, so this is
+		// a programming error in the caller.
+		panic(fmt.Sprintf("radio: node %d (%s) transmit while transmitting", from, src.name))
+	}
+	src.txUntil = end
+	c.stats.Transmissions++
+
+	// A node that begins transmitting loses any frame it was receiving.
+	if src.cur != nil && src.cur.end > now && src.cur.ok {
+		src.cur.ok = false
+		c.stats.HalfDuplex++
+	}
+
+	srcPos := src.mover.Position(now)
+	for _, dst := range c.nodes {
+		if dst.id == from {
+			continue
+		}
+		c.deliver(src, dst, srcPos, payload, now, end)
+	}
+	// Schedule the tx-done notification after the delivery events so that
+	// receptions completing exactly at end are processed before the sender
+	// reuses the medium (FIFO among equal timestamps).
+	c.K.At(end, func() {
+		if txDone != nil {
+			txDone()
+		}
+	})
+	return airtime
+}
+
+// deliver decides and schedules the reception of one frame at one node.
+func (c *Channel) deliver(src, dst *node, srcPos mobility.Point, payload []byte, now, end time.Duration) {
+	dstPos := dst.mover.Position(now)
+	dist := srcPos.Dist(dstPos)
+	ls := c.link(src.id, dst.id)
+	pr := ls.model.ReceiveProb(now, dist)
+
+	// Half duplex: a transmitting receiver hears nothing.
+	if dst.txUntil > now {
+		if pr > 0 {
+			c.stats.HalfDuplex++
+		}
+		return
+	}
+
+	rssi := c.P.rssi(dist, ls.noise.NormFloat64()*c.P.RSSINoiseDB)
+
+	// Collision handling: if the destination is locked onto another frame
+	// that is still in flight (strictly: ends after now), the stronger
+	// frame survives only with a clear capture margin; otherwise both are
+	// destroyed. A frame ending exactly now has completed reception and
+	// is not collided with.
+	if prev := dst.cur; prev != nil && prev.end > now {
+		switch {
+		case rssi >= prev.rssi+c.P.CaptureDB:
+			// New frame captures the receiver; the old one is lost.
+			if prev.ok {
+				prev.ok = false
+				c.stats.Collisions++
+			}
+		case prev.rssi >= rssi+c.P.CaptureDB:
+			// Existing frame survives; the new one is lost.
+			c.stats.Collisions++
+			return
+		default:
+			// Mutual destruction.
+			if prev.ok {
+				prev.ok = false
+				c.stats.Collisions++
+			}
+			c.stats.Collisions++
+			return
+		}
+	}
+
+	// Channel loss?
+	ok := ls.loss.Float64() < pr
+	rx := &reception{from: src.id, rssi: rssi, end: end, ok: ok}
+	dst.cur = rx
+	if !ok {
+		c.stats.ChannelLosses++
+		return
+	}
+	buf := make([]byte, len(payload))
+	copy(buf, payload)
+	info := RxInfo{From: src.id, At: end, RSSI: rssi, Dist: dist}
+	d := dst
+	c.K.At(end, func() {
+		if !rx.ok {
+			return // destroyed by a collision or half-duplex turnaround
+		}
+		c.stats.Deliveries++
+		if d.recv != nil {
+			d.recv.RadioReceive(buf, info)
+		}
+	})
+}

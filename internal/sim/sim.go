@@ -1,0 +1,307 @@
+// Package sim provides the discrete-event simulation kernel underneath the
+// ViFi reproduction: a virtual clock, a binary-heap event scheduler, and
+// deterministic, stream-splittable random number generation.
+//
+// All protocol and channel code in this repository is written against this
+// kernel so that every experiment is reproducible bit-for-bit from a seed.
+// The kernel is single-goroutine by design — wireless simulations are
+// latency-dominated, not CPU-parallel, and determinism matters more than
+// core count here. The UDP emulator (internal/emu) is the concurrent,
+// wall-clock twin of this kernel.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"time"
+)
+
+// Event is a callback scheduled to run at a virtual time.
+type Event func()
+
+// item is a scheduled event inside the kernel's heap.
+type item struct {
+	at    time.Duration
+	seq   uint64 // tie-breaker: FIFO among equal timestamps
+	fn    Event
+	index int
+	dead  bool
+}
+
+// eventHeap implements container/heap over scheduled items.
+type eventHeap []*item
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	it := x.(*item)
+	it.index = len(*h)
+	*h = append(*h, it)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	it.index = -1
+	return it
+}
+
+// Timer is a handle to a scheduled event that can be cancelled.
+type Timer struct {
+	it *item
+}
+
+// Stop cancels the timer if it has not fired. It reports whether the
+// timer was still pending.
+func (t *Timer) Stop() bool {
+	if t == nil || t.it == nil || t.it.dead || t.it.index == -1 {
+		return false
+	}
+	t.it.dead = true
+	return true
+}
+
+// Pending reports whether the timer is still scheduled and uncancelled.
+func (t *Timer) Pending() bool {
+	return t != nil && t.it != nil && !t.it.dead && t.it.index != -1
+}
+
+// Kernel is a discrete-event simulation kernel. The zero value is not
+// usable; construct with NewKernel.
+type Kernel struct {
+	now    time.Duration
+	events eventHeap
+	seq    uint64
+	root   uint64 // root seed for RNG streams
+	nrun   uint64 // events executed
+}
+
+// NewKernel returns a kernel whose clock starts at zero and whose RNG
+// streams derive from seed.
+func NewKernel(seed int64) *Kernel {
+	return &Kernel{root: splitmix(uint64(seed))}
+}
+
+// Now returns the current virtual time.
+func (k *Kernel) Now() time.Duration { return k.now }
+
+// EventsRun returns the number of events executed so far (useful in tests
+// and for progress accounting).
+func (k *Kernel) EventsRun() uint64 { return k.nrun }
+
+// Pending returns the number of scheduled (possibly cancelled) events.
+func (k *Kernel) Pending() int { return len(k.events) }
+
+// At schedules fn to run at absolute virtual time at. Scheduling in the
+// past panics: it always indicates a protocol bug.
+func (k *Kernel) At(at time.Duration, fn Event) *Timer {
+	if at < k.now {
+		panic(fmt.Sprintf("sim: schedule at %v before now %v", at, k.now))
+	}
+	k.seq++
+	it := &item{at: at, seq: k.seq, fn: fn}
+	heap.Push(&k.events, it)
+	return &Timer{it: it}
+}
+
+// After schedules fn to run d after the current time.
+func (k *Kernel) After(d time.Duration, fn Event) *Timer {
+	if d < 0 {
+		d = 0
+	}
+	return k.At(k.now+d, fn)
+}
+
+// Step executes the earliest pending event. It reports false when the
+// event queue is empty.
+func (k *Kernel) Step() bool {
+	for len(k.events) > 0 {
+		it := heap.Pop(&k.events).(*item)
+		if it.dead {
+			continue
+		}
+		k.now = it.at
+		k.nrun++
+		it.fn()
+		return true
+	}
+	return false
+}
+
+// Run executes events until the queue drains.
+func (k *Kernel) Run() {
+	for k.Step() {
+	}
+}
+
+// RunUntil executes events with timestamps ≤ deadline, then advances the
+// clock to deadline. Events scheduled beyond the deadline remain queued.
+func (k *Kernel) RunUntil(deadline time.Duration) {
+	for len(k.events) > 0 {
+		// Peek.
+		it := k.events[0]
+		if it.dead {
+			heap.Pop(&k.events)
+			continue
+		}
+		if it.at > deadline {
+			break
+		}
+		k.Step()
+	}
+	if k.now < deadline {
+		k.now = deadline
+	}
+}
+
+// RNG returns a deterministic random stream derived from the kernel seed
+// and the given labels. Identical labels yield identical streams, so each
+// link, node or process can own an independent stream that does not
+// perturb any other — adding a new consumer of randomness never changes
+// existing experiments.
+func (k *Kernel) RNG(labels ...string) *RNG {
+	h := k.root
+	for _, l := range labels {
+		for i := 0; i < len(l); i++ {
+			h = splitmix(h ^ uint64(l[i]))
+		}
+		h = splitmix(h ^ 0x9e3779b97f4a7c15)
+	}
+	return NewRNG(h)
+}
+
+// splitmix is the SplitMix64 finalizer, used both to derive stream seeds
+// and as the core of RNG.
+func splitmix(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	z := x
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// RNG is a small, fast, deterministic random number generator
+// (xoshiro256** seeded via SplitMix64). It intentionally does not share
+// state with math/rand so experiments stay reproducible regardless of what
+// other packages do.
+type RNG struct {
+	s [4]uint64
+}
+
+// NewRNG returns an RNG seeded from the given value.
+func NewRNG(seed uint64) *RNG {
+	var r RNG
+	x := seed
+	for i := range r.s {
+		x = splitmix(x)
+		r.s[i] = x
+	}
+	// xoshiro must not be seeded all-zero.
+	if r.s[0]|r.s[1]|r.s[2]|r.s[3] == 0 {
+		r.s[0] = 0x9e3779b97f4a7c15
+	}
+	return &r
+}
+
+func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
+
+// Uint64 returns a uniformly distributed 64-bit value.
+func (r *RNG) Uint64() uint64 {
+	result := rotl(r.s[1]*5, 7) * 9
+	t := r.s[1] << 17
+	r.s[2] ^= r.s[0]
+	r.s[3] ^= r.s[1]
+	r.s[1] ^= r.s[2]
+	r.s[0] ^= r.s[3]
+	r.s[2] ^= t
+	r.s[3] = rotl(r.s[3], 45)
+	return result
+}
+
+// Float64 returns a uniform value in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Intn returns a uniform value in [0, n). It panics if n ≤ 0.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("sim: Intn with non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Bool returns true with probability p.
+func (r *RNG) Bool(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	if p >= 1 {
+		return true
+	}
+	return r.Float64() < p
+}
+
+// NormFloat64 returns a standard normal variate (Box–Muller).
+func (r *RNG) NormFloat64() float64 {
+	for {
+		u := r.Float64()
+		if u == 0 {
+			continue
+		}
+		v := r.Float64()
+		return math.Sqrt(-2*math.Log(u)) * math.Cos(2*math.Pi*v)
+	}
+}
+
+// ExpFloat64 returns an exponential variate with rate 1.
+func (r *RNG) ExpFloat64() float64 {
+	for {
+		u := r.Float64()
+		if u == 0 {
+			continue
+		}
+		return -math.Log(u)
+	}
+}
+
+// Jitter returns a uniform value in [-d/2, d/2], handy for desynchronizing
+// periodic processes such as beacons and relay timers.
+func (r *RNG) Jitter(d time.Duration) time.Duration {
+	return time.Duration((r.Float64() - 0.5) * float64(d))
+}
+
+// Perm returns a random permutation of [0, n).
+func (r *RNG) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}
+
+// Sample returns k distinct values from [0, n) in random order.
+// It panics if k > n.
+func (r *RNG) Sample(n, k int) []int {
+	if k > n {
+		panic("sim: Sample k > n")
+	}
+	return r.Perm(n)[:k]
+}

@@ -1,0 +1,400 @@
+// Package stats provides the small statistical toolkit used throughout the
+// ViFi reproduction: empirical CDFs, quantiles, confidence intervals,
+// exponentially weighted moving averages, online moment accumulators and
+// fixed-bin histograms.
+//
+// The package is deliberately dependency-free and allocation-conscious; the
+// experiment harnesses construct millions of samples per run.
+package stats
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// ErrNoSamples is returned by reductions over an empty sample set.
+var ErrNoSamples = errors.New("stats: no samples")
+
+// Sample is a growable collection of float64 observations.
+//
+// The zero value is ready to use. Sample keeps insertion order until a
+// quantile or CDF is requested, at which point it sorts a private copy (or
+// itself, via Sort, when the caller permits).
+type Sample struct {
+	xs     []float64
+	sorted bool
+}
+
+// NewSample returns a Sample pre-sized for n observations.
+func NewSample(n int) *Sample {
+	return &Sample{xs: make([]float64, 0, n)}
+}
+
+// Add appends one observation.
+func (s *Sample) Add(x float64) {
+	s.xs = append(s.xs, x)
+	s.sorted = false
+}
+
+// AddAll appends every observation in xs.
+func (s *Sample) AddAll(xs ...float64) {
+	s.xs = append(s.xs, xs...)
+	s.sorted = false
+}
+
+// Len reports the number of observations.
+func (s *Sample) Len() int { return len(s.xs) }
+
+// Values returns the underlying observations. The slice is shared with the
+// Sample; callers must not modify it.
+func (s *Sample) Values() []float64 { return s.xs }
+
+// Sort sorts the sample in place. Subsequent quantile queries are O(1).
+func (s *Sample) Sort() {
+	if !s.sorted {
+		sort.Float64s(s.xs)
+		s.sorted = true
+	}
+}
+
+// Mean returns the arithmetic mean, or 0 for an empty sample.
+func (s *Sample) Mean() float64 {
+	if len(s.xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range s.xs {
+		sum += x
+	}
+	return sum / float64(len(s.xs))
+}
+
+// Sum returns the sum of all observations.
+func (s *Sample) Sum() float64 {
+	sum := 0.0
+	for _, x := range s.xs {
+		sum += x
+	}
+	return sum
+}
+
+// Variance returns the unbiased sample variance, or 0 when fewer than two
+// observations are present.
+func (s *Sample) Variance() float64 {
+	n := len(s.xs)
+	if n < 2 {
+		return 0
+	}
+	m := s.Mean()
+	ss := 0.0
+	for _, x := range s.xs {
+		d := x - m
+		ss += d * d
+	}
+	return ss / float64(n-1)
+}
+
+// Stddev returns the sample standard deviation.
+func (s *Sample) Stddev() float64 { return math.Sqrt(s.Variance()) }
+
+// Quantile returns the q-quantile (0 ≤ q ≤ 1) using linear interpolation
+// between closest ranks. It sorts the sample if necessary.
+func (s *Sample) Quantile(q float64) float64 {
+	if len(s.xs) == 0 {
+		return 0
+	}
+	s.Sort()
+	return quantileSorted(s.xs, q)
+}
+
+// Median returns the 0.5-quantile.
+func (s *Sample) Median() float64 { return s.Quantile(0.5) }
+
+// Min returns the smallest observation, or 0 for an empty sample.
+func (s *Sample) Min() float64 {
+	if len(s.xs) == 0 {
+		return 0
+	}
+	s.Sort()
+	return s.xs[0]
+}
+
+// Max returns the largest observation, or 0 for an empty sample.
+func (s *Sample) Max() float64 {
+	if len(s.xs) == 0 {
+		return 0
+	}
+	s.Sort()
+	return s.xs[len(s.xs)-1]
+}
+
+// quantileSorted computes the interpolated q-quantile of sorted xs.
+func quantileSorted(xs []float64, q float64) float64 {
+	if q <= 0 {
+		return xs[0]
+	}
+	if q >= 1 {
+		return xs[len(xs)-1]
+	}
+	pos := q * float64(len(xs)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return xs[lo]
+	}
+	frac := pos - float64(lo)
+	return xs[lo]*(1-frac) + xs[hi]*frac
+}
+
+// MeanCI95 returns the sample mean together with the half-width of its 95 %
+// normal-approximation confidence interval (1.96·s/√n). For n < 2 the
+// half-width is 0. The paper reports 95 % confidence intervals on all bar
+// charts; this mirrors that convention.
+func (s *Sample) MeanCI95() (mean, halfWidth float64) {
+	n := len(s.xs)
+	mean = s.Mean()
+	if n < 2 {
+		return mean, 0
+	}
+	halfWidth = 1.96 * s.Stddev() / math.Sqrt(float64(n))
+	return mean, halfWidth
+}
+
+// MedianCI95 estimates a 95 % confidence interval for the median using the
+// binomial order-statistic method. It returns the median and the lower and
+// upper bounds. For very small samples the bounds degrade to min/max.
+func (s *Sample) MedianCI95() (median, lo, hi float64) {
+	n := len(s.xs)
+	if n == 0 {
+		return 0, 0, 0
+	}
+	s.Sort()
+	median = quantileSorted(s.xs, 0.5)
+	if n < 6 {
+		return median, s.xs[0], s.xs[n-1]
+	}
+	// Order statistics around n/2 ± 1.96·√(n)/2.
+	d := 1.96 * math.Sqrt(float64(n)) / 2
+	loIdx := int(math.Floor(float64(n)/2 - d))
+	hiIdx := int(math.Ceil(float64(n)/2 + d))
+	if loIdx < 0 {
+		loIdx = 0
+	}
+	if hiIdx > n-1 {
+		hiIdx = n - 1
+	}
+	return median, s.xs[loIdx], s.xs[hiIdx]
+}
+
+// CDF is an empirical cumulative distribution function over a fixed,
+// sorted set of observations.
+type CDF struct {
+	xs []float64
+}
+
+// NewCDF builds an empirical CDF from the sample. The sample is copied.
+func NewCDF(s *Sample) *CDF {
+	xs := make([]float64, len(s.xs))
+	copy(xs, s.xs)
+	sort.Float64s(xs)
+	return &CDF{xs: xs}
+}
+
+// CDFOf builds an empirical CDF directly from a slice (copied).
+func CDFOf(values []float64) *CDF {
+	xs := make([]float64, len(values))
+	copy(xs, values)
+	sort.Float64s(xs)
+	return &CDF{xs: xs}
+}
+
+// Len reports the number of observations underlying the CDF.
+func (c *CDF) Len() int { return len(c.xs) }
+
+// P returns P[X ≤ x], the fraction of observations ≤ x.
+func (c *CDF) P(x float64) float64 {
+	if len(c.xs) == 0 {
+		return 0
+	}
+	// Index of first element > x.
+	i := sort.Search(len(c.xs), func(i int) bool { return c.xs[i] > x })
+	return float64(i) / float64(len(c.xs))
+}
+
+// Inverse returns the smallest x with P[X ≤ x] ≥ p (the p-quantile).
+func (c *CDF) Inverse(p float64) float64 {
+	if len(c.xs) == 0 {
+		return 0
+	}
+	return quantileSorted(c.xs, p)
+}
+
+// Points returns (x, P[X ≤ x]) pairs suitable for plotting, deduplicating
+// repeated x values. The returned slices are freshly allocated.
+func (c *CDF) Points() (xs, ps []float64) {
+	n := len(c.xs)
+	if n == 0 {
+		return nil, nil
+	}
+	for i := 0; i < n; i++ {
+		if i+1 < n && c.xs[i+1] == c.xs[i] {
+			continue
+		}
+		xs = append(xs, c.xs[i])
+		ps = append(ps, float64(i+1)/float64(n))
+	}
+	return xs, ps
+}
+
+// EWMA is an exponentially weighted moving average with smoothing factor
+// alpha: avg ← alpha·x + (1−alpha)·avg. The paper uses alpha = 0.5 for both
+// RSSI and beacon-reception-ratio averaging (§3.1, §4.6).
+type EWMA struct {
+	alpha float64
+	value float64
+	init  bool
+}
+
+// NewEWMA returns an EWMA with the given smoothing factor in (0, 1].
+func NewEWMA(alpha float64) *EWMA {
+	if alpha <= 0 || alpha > 1 {
+		panic(fmt.Sprintf("stats: EWMA alpha %v out of (0,1]", alpha))
+	}
+	return &EWMA{alpha: alpha}
+}
+
+// Update folds one observation into the average and returns the new value.
+// The first observation initializes the average.
+func (e *EWMA) Update(x float64) float64 {
+	if !e.init {
+		e.value = x
+		e.init = true
+		return e.value
+	}
+	e.value = e.alpha*x + (1-e.alpha)*e.value
+	return e.value
+}
+
+// Value returns the current average (0 before any update).
+func (e *EWMA) Value() float64 { return e.value }
+
+// Initialized reports whether at least one observation has been folded in.
+func (e *EWMA) Initialized() bool { return e.init }
+
+// Reset clears the average to its pristine state.
+func (e *EWMA) Reset() { e.value, e.init = 0, false }
+
+// Online accumulates count, mean and variance in a single pass using
+// Welford's algorithm. The zero value is ready to use.
+type Online struct {
+	n    int
+	mean float64
+	m2   float64
+}
+
+// Add folds one observation into the accumulator.
+func (o *Online) Add(x float64) {
+	o.n++
+	d := x - o.mean
+	o.mean += d / float64(o.n)
+	o.m2 += d * (x - o.mean)
+}
+
+// N returns the number of observations.
+func (o *Online) N() int { return o.n }
+
+// Mean returns the running mean.
+func (o *Online) Mean() float64 { return o.mean }
+
+// Variance returns the unbiased running variance.
+func (o *Online) Variance() float64 {
+	if o.n < 2 {
+		return 0
+	}
+	return o.m2 / float64(o.n-1)
+}
+
+// Stddev returns the running standard deviation.
+func (o *Online) Stddev() float64 { return math.Sqrt(o.Variance()) }
+
+// Histogram is a fixed-width-bin histogram over [min, max). Observations
+// outside the range are clamped into the first or last bin.
+type Histogram struct {
+	min, max float64
+	bins     []int
+	total    int
+}
+
+// NewHistogram creates a histogram with n equal bins spanning [min, max).
+func NewHistogram(min, max float64, n int) *Histogram {
+	if n <= 0 || max <= min {
+		panic("stats: invalid histogram parameters")
+	}
+	return &Histogram{min: min, max: max, bins: make([]int, n)}
+}
+
+// Add records one observation.
+func (h *Histogram) Add(x float64) {
+	i := int((x - h.min) / (h.max - h.min) * float64(len(h.bins)))
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(h.bins) {
+		i = len(h.bins) - 1
+	}
+	h.bins[i]++
+	h.total++
+}
+
+// Count returns the number of observations in bin i.
+func (h *Histogram) Count(i int) int { return h.bins[i] }
+
+// Total returns the number of observations recorded.
+func (h *Histogram) Total() int { return h.total }
+
+// Bins returns the number of bins.
+func (h *Histogram) Bins() int { return len(h.bins) }
+
+// BinCenter returns the midpoint of bin i.
+func (h *Histogram) BinCenter(i int) float64 {
+	w := (h.max - h.min) / float64(len(h.bins))
+	return h.min + (float64(i)+0.5)*w
+}
+
+// Fraction returns the fraction of observations falling in bin i.
+func (h *Histogram) Fraction(i int) float64 {
+	if h.total == 0 {
+		return 0
+	}
+	return float64(h.bins[i]) / float64(h.total)
+}
+
+// Ratio is a convenience counter for reception-ratio style statistics:
+// successes over trials.
+type Ratio struct {
+	Hit, Total int
+}
+
+// Observe records one trial with the given outcome.
+func (r *Ratio) Observe(hit bool) {
+	r.Total++
+	if hit {
+		r.Hit++
+	}
+}
+
+// Value returns Hit/Total, or 0 when no trials were observed.
+func (r *Ratio) Value() float64 {
+	if r.Total == 0 {
+		return 0
+	}
+	return float64(r.Hit) / float64(r.Total)
+}
+
+// Merge folds another ratio into r.
+func (r *Ratio) Merge(o Ratio) {
+	r.Hit += o.Hit
+	r.Total += o.Total
+}

@@ -1,0 +1,339 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, eps float64) bool { return math.Abs(a-b) <= eps }
+
+func TestSampleBasics(t *testing.T) {
+	s := NewSample(4)
+	if s.Len() != 0 {
+		t.Fatalf("new sample len = %d, want 0", s.Len())
+	}
+	s.AddAll(3, 1, 4, 1, 5)
+	if s.Len() != 5 {
+		t.Fatalf("len = %d, want 5", s.Len())
+	}
+	if got := s.Sum(); got != 14 {
+		t.Errorf("sum = %v, want 14", got)
+	}
+	if got := s.Mean(); !almostEqual(got, 2.8, 1e-12) {
+		t.Errorf("mean = %v, want 2.8", got)
+	}
+	if got := s.Min(); got != 1 {
+		t.Errorf("min = %v, want 1", got)
+	}
+	if got := s.Max(); got != 5 {
+		t.Errorf("max = %v, want 5", got)
+	}
+}
+
+func TestSampleEmptyReductions(t *testing.T) {
+	var s Sample
+	if s.Mean() != 0 || s.Median() != 0 || s.Min() != 0 || s.Max() != 0 {
+		t.Error("empty sample reductions should be 0")
+	}
+	if s.Variance() != 0 || s.Stddev() != 0 {
+		t.Error("empty sample spread should be 0")
+	}
+	m, hw := s.MeanCI95()
+	if m != 0 || hw != 0 {
+		t.Error("empty sample CI should be 0")
+	}
+}
+
+func TestQuantileInterpolation(t *testing.T) {
+	var s Sample
+	s.AddAll(10, 20, 30, 40)
+	cases := []struct{ q, want float64 }{
+		{0, 10}, {1, 40}, {0.5, 25}, {1.0 / 3, 20}, {0.25, 17.5},
+	}
+	for _, c := range cases {
+		if got := s.Quantile(c.q); !almostEqual(got, c.want, 1e-9) {
+			t.Errorf("Quantile(%v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+}
+
+func TestQuantileSingleElement(t *testing.T) {
+	var s Sample
+	s.Add(7)
+	for _, q := range []float64{0, 0.3, 0.5, 1} {
+		if got := s.Quantile(q); got != 7 {
+			t.Errorf("Quantile(%v) = %v, want 7", q, got)
+		}
+	}
+}
+
+func TestVarianceKnown(t *testing.T) {
+	var s Sample
+	s.AddAll(2, 4, 4, 4, 5, 5, 7, 9)
+	// Population variance is 4, sample (unbiased) variance is 32/7.
+	if got, want := s.Variance(), 32.0/7.0; !almostEqual(got, want, 1e-12) {
+		t.Errorf("variance = %v, want %v", got, want)
+	}
+}
+
+func TestMeanCI95ShrinksWithN(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	small, large := NewSample(100), NewSample(10000)
+	for i := 0; i < 100; i++ {
+		small.Add(rng.NormFloat64())
+	}
+	for i := 0; i < 10000; i++ {
+		large.Add(rng.NormFloat64())
+	}
+	_, hwSmall := small.MeanCI95()
+	_, hwLarge := large.MeanCI95()
+	if hwLarge >= hwSmall {
+		t.Errorf("CI did not shrink: n=100 hw=%v, n=10000 hw=%v", hwSmall, hwLarge)
+	}
+}
+
+func TestMedianCI95Brackets(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	s := NewSample(1000)
+	for i := 0; i < 1000; i++ {
+		s.Add(rng.Float64())
+	}
+	med, lo, hi := s.MedianCI95()
+	if !(lo <= med && med <= hi) {
+		t.Errorf("median CI does not bracket median: lo=%v med=%v hi=%v", lo, med, hi)
+	}
+	if lo < 0.4 || hi > 0.6 {
+		t.Errorf("uniform median CI unexpectedly wide: [%v, %v]", lo, hi)
+	}
+}
+
+func TestCDFBasics(t *testing.T) {
+	c := CDFOf([]float64{1, 2, 2, 3})
+	cases := []struct{ x, want float64 }{
+		{0.5, 0}, {1, 0.25}, {2, 0.75}, {2.5, 0.75}, {3, 1}, {9, 1},
+	}
+	for _, cse := range cases {
+		if got := c.P(cse.x); !almostEqual(got, cse.want, 1e-12) {
+			t.Errorf("P(%v) = %v, want %v", cse.x, got, cse.want)
+		}
+	}
+	if got := c.Inverse(0.5); !almostEqual(got, 2, 1e-12) {
+		t.Errorf("Inverse(0.5) = %v, want 2", got)
+	}
+}
+
+func TestCDFPointsDeduplicated(t *testing.T) {
+	c := CDFOf([]float64{5, 5, 5, 7})
+	xs, ps := c.Points()
+	if len(xs) != 2 || xs[0] != 5 || xs[1] != 7 {
+		t.Fatalf("xs = %v, want [5 7]", xs)
+	}
+	if !almostEqual(ps[0], 0.75, 1e-12) || ps[1] != 1 {
+		t.Errorf("ps = %v, want [0.75 1]", ps)
+	}
+}
+
+func TestCDFEmpty(t *testing.T) {
+	c := CDFOf(nil)
+	if c.P(3) != 0 || c.Inverse(0.5) != 0 || c.Len() != 0 {
+		t.Error("empty CDF should return zeros")
+	}
+	xs, ps := c.Points()
+	if xs != nil || ps != nil {
+		t.Error("empty CDF points should be nil")
+	}
+}
+
+// Property: a CDF is monotone non-decreasing and bounded in [0,1].
+func TestCDFMonotoneProperty(t *testing.T) {
+	f := func(values []float64, probes []float64) bool {
+		c := CDFOf(values)
+		sort.Float64s(probes)
+		prev := 0.0
+		for _, x := range probes {
+			p := c.P(x)
+			if p < prev-1e-12 || p < 0 || p > 1 {
+				return false
+			}
+			prev = p
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Quantile is monotone in q and brackets to [min, max].
+func TestQuantileMonotoneProperty(t *testing.T) {
+	f := func(raw []float64) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		// Avoid NaN/Inf noise from quick's generator.
+		var s Sample
+		for _, x := range raw {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				return true
+			}
+			s.Add(x)
+		}
+		prev := math.Inf(-1)
+		for q := 0.0; q <= 1.0; q += 0.1 {
+			v := s.Quantile(q)
+			if v < prev {
+				return false
+			}
+			prev = v
+		}
+		return s.Quantile(0) == s.Min() && s.Quantile(1) == s.Max()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEWMAKnownSequence(t *testing.T) {
+	e := NewEWMA(0.5)
+	if e.Initialized() {
+		t.Fatal("fresh EWMA reports initialized")
+	}
+	e.Update(1)
+	if got := e.Value(); got != 1 {
+		t.Fatalf("after first update value = %v, want 1", got)
+	}
+	e.Update(0)
+	if got := e.Value(); !almostEqual(got, 0.5, 1e-12) {
+		t.Errorf("value = %v, want 0.5", got)
+	}
+	e.Update(1)
+	if got := e.Value(); !almostEqual(got, 0.75, 1e-12) {
+		t.Errorf("value = %v, want 0.75", got)
+	}
+	e.Reset()
+	if e.Initialized() || e.Value() != 0 {
+		t.Error("reset did not clear EWMA")
+	}
+}
+
+func TestEWMAConvergesToConstant(t *testing.T) {
+	e := NewEWMA(0.5)
+	for i := 0; i < 64; i++ {
+		e.Update(0.7)
+	}
+	if !almostEqual(e.Value(), 0.7, 1e-9) {
+		t.Errorf("EWMA of constant = %v, want 0.7", e.Value())
+	}
+}
+
+func TestEWMABadAlphaPanics(t *testing.T) {
+	for _, a := range []float64{0, -1, 1.5} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewEWMA(%v) did not panic", a)
+				}
+			}()
+			NewEWMA(a)
+		}()
+	}
+}
+
+func TestOnlineMatchesSample(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	var o Online
+	var s Sample
+	for i := 0; i < 5000; i++ {
+		x := rng.NormFloat64()*3 + 11
+		o.Add(x)
+		s.Add(x)
+	}
+	if o.N() != s.Len() {
+		t.Fatalf("n mismatch: %d vs %d", o.N(), s.Len())
+	}
+	if !almostEqual(o.Mean(), s.Mean(), 1e-9) {
+		t.Errorf("mean mismatch: %v vs %v", o.Mean(), s.Mean())
+	}
+	if !almostEqual(o.Variance(), s.Variance(), 1e-6) {
+		t.Errorf("variance mismatch: %v vs %v", o.Variance(), s.Variance())
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(0, 10, 5)
+	for _, x := range []float64{0, 1.9, 2, 9.99, 10, 100, -5} {
+		h.Add(x)
+	}
+	if h.Total() != 7 {
+		t.Fatalf("total = %d, want 7", h.Total())
+	}
+	// Bin 0 holds [0,2): values 0, 1.9 and the clamped -5.
+	if got := h.Count(0); got != 3 {
+		t.Errorf("bin 0 count = %d, want 3", got)
+	}
+	// Bin 4 holds [8,10): 9.99 plus clamped 10 and 100.
+	if got := h.Count(4); got != 3 {
+		t.Errorf("bin 4 count = %d, want 3", got)
+	}
+	if got := h.Count(1); got != 1 { // [2,4): value 2
+		t.Errorf("bin 1 count = %d, want 1", got)
+	}
+	if !almostEqual(h.BinCenter(0), 1, 1e-12) {
+		t.Errorf("bin 0 center = %v, want 1", h.BinCenter(0))
+	}
+	if !almostEqual(h.Fraction(0), 3.0/7.0, 1e-12) {
+		t.Errorf("bin 0 fraction = %v", h.Fraction(0))
+	}
+}
+
+func TestHistogramPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewHistogram with max<=min did not panic")
+		}
+	}()
+	NewHistogram(5, 5, 3)
+}
+
+func TestRatio(t *testing.T) {
+	var r Ratio
+	if r.Value() != 0 {
+		t.Error("empty ratio should be 0")
+	}
+	r.Observe(true)
+	r.Observe(true)
+	r.Observe(false)
+	if !almostEqual(r.Value(), 2.0/3.0, 1e-12) {
+		t.Errorf("ratio = %v, want 2/3", r.Value())
+	}
+	var other Ratio
+	other.Observe(false)
+	r.Merge(other)
+	if !almostEqual(r.Value(), 0.5, 1e-12) {
+		t.Errorf("merged ratio = %v, want 0.5", r.Value())
+	}
+}
+
+func TestMeanCI95Coverage(t *testing.T) {
+	// The 95% CI of the mean should cover the true mean ~95% of the time.
+	rng := rand.New(rand.NewSource(4))
+	covered := 0
+	const trials = 400
+	for i := 0; i < trials; i++ {
+		s := NewSample(50)
+		for j := 0; j < 50; j++ {
+			s.Add(rng.NormFloat64())
+		}
+		m, hw := s.MeanCI95()
+		if m-hw <= 0 && 0 <= m+hw {
+			covered++
+		}
+	}
+	frac := float64(covered) / trials
+	if frac < 0.88 || frac > 0.99 {
+		t.Errorf("CI coverage = %v, want ≈0.95", frac)
+	}
+}

@@ -1,0 +1,84 @@
+package transport
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"github.com/vanlan/vifi/internal/sim"
+)
+
+// Property: for any loss rate strictly below 1, a transfer eventually
+// completes, the receiver's contiguous byte counter never regresses, and
+// acknowledged bytes never exceed what the receiver holds.
+func TestTransferEventuallyCompletesProperty(t *testing.T) {
+	f := func(seed int64, lossRaw uint8, sizeRaw uint8) bool {
+		// Loss capped at 44 % per direction: beyond that the exponential
+		// RTO backoff (1 s floor, 16 s cap) legitimately needs more
+		// virtual time than the property's budget.
+		loss := float64(lossRaw%45) / 100   // 0–44 %
+		size := (int(sizeRaw)%20 + 1) * 512 // 0.5–10 KB
+		k := sim.NewKernel(seed)
+		fwd := newPipe(k, 5*time.Millisecond, loss, "f")
+		rev := newPipe(k, 5*time.Millisecond, loss, "r")
+		done := false
+		var s *Sender
+		var r *Receiver
+		s = NewSender(k, DefaultConfig(), 1, size, fwd.send, func(res TransferResult) {
+			done = res.Completed
+		})
+		r = NewReceiver(k, 1, rev.send)
+		prevRecv := 0
+		fwd.out = func(b []byte) {
+			r.Deliver(b)
+			if r.Received() < prevRecv {
+				t.Fatal("receiver regressed")
+			}
+			prevRecv = r.Received()
+			if s.Progress() > r.Received() {
+				t.Fatalf("sender acked %d > receiver has %d", s.Progress(), r.Received())
+			}
+		}
+		rev.out = s.Deliver
+		s.Start()
+		k.RunUntil(30 * time.Minute)
+		return done && r.Received() == size
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the receiver's cumulative ack equals the length of the
+// contiguous prefix delivered, under arbitrary segment arrival orders.
+func TestReceiverCumulativeAckProperty(t *testing.T) {
+	f := func(seed int64, order []uint8) bool {
+		if len(order) == 0 || len(order) > 30 {
+			return true
+		}
+		k := sim.NewKernel(seed)
+		var lastAck uint32
+		r := NewReceiver(k, 5, func(b []byte) bool {
+			seg, err := parseSegment(b)
+			if err == nil && seg.Flags&flagACK != 0 {
+				lastAck = seg.Ack
+			}
+			return true
+		})
+		const mss = 100
+		n := len(order)
+		// Deliver segments 0..n-1 in the scrambled order given.
+		for _, o := range order {
+			idx := int(o) % n
+			r.Deliver((&segment{Conn: 5, Seq: uint32(idx * mss), Payload: make([]byte, mss)}).marshal())
+		}
+		// Deliver any missing ones in order to close gaps.
+		for i := 0; i < n; i++ {
+			r.Deliver((&segment{Conn: 5, Seq: uint32(i * mss), Payload: make([]byte, mss)}).marshal())
+		}
+		return int(lastAck) == n*mss && r.Received() == n*mss
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,390 @@
+// Package transport implements the application workloads of the ViFi
+// paper's evaluation: a miniature TCP (connection setup, slow start,
+// AIMD, duplicate-ack fast retransmit, exponential RTO backoff) driving
+// repeated 10 KB transfers with the paper's 10-second no-progress abort
+// (§5.3.1), plus a reference cellular link for the EVDO comparison.
+//
+// The mini-TCP deliberately reproduces the dynamics the paper's TCP
+// results hinge on — loss-triggered retransmission timeouts and their
+// exponential backoff on a lossy link layer — while staying compact. It
+// runs over any datagram service (the ViFi cell, the BRR baseline, the
+// cellular model) through the SendFunc/Deliver pair.
+package transport
+
+import (
+	"encoding/binary"
+	"errors"
+	"time"
+
+	"github.com/vanlan/vifi/internal/sim"
+)
+
+// SendFunc transmits one datagram toward the peer. It reports whether the
+// datagram was accepted for transmission (a vehicle without an anchor
+// rejects, which TCP experiences as loss).
+type SendFunc func(payload []byte) bool
+
+// Segment flags.
+const (
+	flagSYN uint8 = 1 << iota
+	flagACK
+	flagFIN
+)
+
+// segment is the mini-TCP wire unit, carried as an opaque payload by the
+// link layer.
+type segment struct {
+	Flags   uint8
+	Conn    uint32
+	Seq     uint32 // first byte offset of Payload
+	Ack     uint32 // next expected byte (valid when flagACK)
+	Payload []byte
+}
+
+const segHeaderLen = 1 + 4 + 4 + 4 + 2
+
+var errSegment = errors.New("transport: malformed segment")
+
+func (s *segment) marshal() []byte {
+	buf := make([]byte, segHeaderLen+len(s.Payload))
+	buf[0] = s.Flags
+	binary.BigEndian.PutUint32(buf[1:], s.Conn)
+	binary.BigEndian.PutUint32(buf[5:], s.Seq)
+	binary.BigEndian.PutUint32(buf[9:], s.Ack)
+	binary.BigEndian.PutUint16(buf[13:], uint16(len(s.Payload)))
+	copy(buf[segHeaderLen:], s.Payload)
+	return buf
+}
+
+func parseSegment(buf []byte) (*segment, error) {
+	if len(buf) < segHeaderLen {
+		return nil, errSegment
+	}
+	n := int(binary.BigEndian.Uint16(buf[13:]))
+	if len(buf) < segHeaderLen+n {
+		return nil, errSegment
+	}
+	return &segment{
+		Flags:   buf[0],
+		Conn:    binary.BigEndian.Uint32(buf[1:]),
+		Seq:     binary.BigEndian.Uint32(buf[5:]),
+		Ack:     binary.BigEndian.Uint32(buf[9:]),
+		Payload: append([]byte(nil), buf[segHeaderLen:segHeaderLen+n]...),
+	}, nil
+}
+
+// Config holds mini-TCP tunables.
+type Config struct {
+	MSS          int           // segment payload size
+	InitCwnd     int           // initial window in segments
+	SSThresh     int           // initial slow-start threshold in segments
+	RTOInit      time.Duration // before any RTT sample (RFC 6298: 1 s)
+	RTOMin       time.Duration // the paper leans on the 1 s minimum TCP RTO
+	RTOMax       time.Duration
+	DupAckThresh int
+}
+
+// DefaultConfig returns the evaluation settings.
+func DefaultConfig() Config {
+	return Config{
+		MSS:          1000,
+		InitCwnd:     2,
+		SSThresh:     32,
+		RTOInit:      1 * time.Second,
+		RTOMin:       1 * time.Second,
+		RTOMax:       16 * time.Second,
+		DupAckThresh: 3,
+	}
+}
+
+// TransferResult reports one finished (or aborted) transfer.
+type TransferResult struct {
+	Bytes     int
+	Duration  time.Duration
+	Completed bool
+}
+
+// Sender is the data-sending half of one mini-TCP transfer. It connects,
+// streams size bytes, and reports completion through done.
+type Sender struct {
+	K    *sim.Kernel
+	cfg  Config
+	send SendFunc
+	conn uint32
+	size int
+	done func(TransferResult)
+
+	started     time.Duration
+	established bool
+	finished    bool
+
+	sndUna   int // lowest unacknowledged byte
+	sndNxt   int // next byte to send
+	cwnd     float64
+	ssthresh float64
+	dupAcks  int
+
+	srtt, rttvar time.Duration
+	hasRTT       bool
+	rto          time.Duration
+	backoff      int
+	rtoTimer     *sim.Timer
+	// RTT sampling (Karn's rule: only non-retransmitted segments).
+	sampleSeq int
+	sampleAt  time.Duration
+	sampling  bool
+
+	// Counters.
+	SegmentsSent int
+	Timeouts     int
+	FastRetx     int
+}
+
+// NewSender creates a sender for one transfer of size bytes.
+func NewSender(k *sim.Kernel, cfg Config, conn uint32, size int, send SendFunc, done func(TransferResult)) *Sender {
+	return &Sender{
+		K: k, cfg: cfg, send: send, conn: conn, size: size, done: done,
+		cwnd:     float64(cfg.InitCwnd * cfg.MSS),
+		ssthresh: float64(cfg.SSThresh * cfg.MSS),
+		rto:      cfg.RTOInit,
+	}
+}
+
+// Start sends the SYN.
+func (s *Sender) Start() {
+	s.started = s.K.Now()
+	s.sendSYN()
+	s.armRTO()
+}
+
+func (s *Sender) sendSYN() {
+	s.SegmentsSent++
+	s.send((&segment{Flags: flagSYN, Conn: s.conn}).marshal())
+}
+
+// Deliver feeds a datagram from the link layer into the sender.
+func (s *Sender) Deliver(buf []byte) {
+	seg, err := parseSegment(buf)
+	if err != nil || seg.Conn != s.conn || s.finished {
+		return
+	}
+	switch {
+	case seg.Flags&flagSYN != 0 && seg.Flags&flagACK != 0:
+		if !s.established {
+			s.established = true
+			s.pump()
+		}
+	case seg.Flags&flagACK != 0:
+		s.handleAck(int(seg.Ack))
+	}
+}
+
+func (s *Sender) handleAck(ack int) {
+	now := s.K.Now()
+	if ack > s.sndUna {
+		// New data acknowledged.
+		if s.sampling && ack > s.sampleSeq {
+			s.updateRTT(now - s.sampleAt)
+			s.sampling = false
+		}
+		acked := ack - s.sndUna
+		s.sndUna = ack
+		s.dupAcks = 0
+		s.backoff = 0
+		if s.cwnd < s.ssthresh {
+			s.cwnd += float64(acked) // slow start
+		} else {
+			s.cwnd += float64(s.cfg.MSS) * float64(acked) / s.cwnd // AIMD
+		}
+		if s.sndUna >= s.size {
+			s.complete(true)
+			return
+		}
+		s.armRTO()
+		s.pump()
+		return
+	}
+	if ack == s.sndUna && s.sndNxt > s.sndUna {
+		s.dupAcks++
+		if s.dupAcks == s.cfg.DupAckThresh {
+			// Fast retransmit.
+			s.FastRetx++
+			s.ssthresh = max64(s.cwnd/2, float64(2*s.cfg.MSS))
+			s.cwnd = s.ssthresh
+			s.retransmit()
+		}
+	}
+}
+
+func (s *Sender) updateRTT(sample time.Duration) {
+	if !s.hasRTT {
+		s.srtt = sample
+		s.rttvar = sample / 2
+		s.hasRTT = true
+	} else {
+		d := s.srtt - sample
+		if d < 0 {
+			d = -d
+		}
+		s.rttvar = (3*s.rttvar + d) / 4
+		s.srtt = (7*s.srtt + sample) / 8
+	}
+	s.rto = s.srtt + 4*s.rttvar
+	if s.rto < s.cfg.RTOMin {
+		s.rto = s.cfg.RTOMin
+	}
+	if s.rto > s.cfg.RTOMax {
+		s.rto = s.cfg.RTOMax
+	}
+}
+
+// pump sends as much as the congestion window allows.
+func (s *Sender) pump() {
+	if !s.established || s.finished {
+		return
+	}
+	for s.sndNxt < s.size && s.sndNxt-s.sndUna+s.cfg.MSS <= int(s.cwnd) {
+		end := s.sndNxt + s.cfg.MSS
+		if end > s.size {
+			end = s.size
+		}
+		s.sendData(s.sndNxt, end)
+		if !s.sampling {
+			s.sampling = true
+			s.sampleSeq = end
+			s.sampleAt = s.K.Now()
+		}
+		s.sndNxt = end
+	}
+}
+
+func (s *Sender) sendData(from, to int) {
+	s.SegmentsSent++
+	payload := make([]byte, to-from)
+	s.send((&segment{Conn: s.conn, Seq: uint32(from), Payload: payload}).marshal())
+}
+
+// retransmit resends the earliest unacknowledged segment.
+func (s *Sender) retransmit() {
+	if !s.established {
+		s.sendSYN()
+		s.armRTO()
+		return
+	}
+	end := s.sndUna + s.cfg.MSS
+	if end > s.size {
+		end = s.size
+	}
+	if end > s.sndNxt {
+		end = s.sndNxt
+	}
+	if end > s.sndUna {
+		s.sendData(s.sndUna, end)
+	}
+	s.sampling = false // Karn's rule
+	s.armRTO()
+}
+
+func (s *Sender) armRTO() {
+	if s.rtoTimer != nil {
+		s.rtoTimer.Stop()
+	}
+	d := s.rto << s.backoff
+	if d > s.cfg.RTOMax {
+		d = s.cfg.RTOMax
+	}
+	s.rtoTimer = s.K.After(d, s.onRTO)
+}
+
+func (s *Sender) onRTO() {
+	if s.finished {
+		return
+	}
+	s.Timeouts++
+	s.backoff++
+	s.ssthresh = max64(s.cwnd/2, float64(2*s.cfg.MSS))
+	s.cwnd = float64(s.cfg.MSS) // collapse to one segment
+	s.dupAcks = 0
+	s.retransmit()
+}
+
+// Abort cancels the transfer (the workload's 10 s no-progress guard).
+func (s *Sender) Abort() { s.complete(false) }
+
+// Progress returns bytes acknowledged so far.
+func (s *Sender) Progress() int { return s.sndUna }
+
+func (s *Sender) complete(ok bool) {
+	if s.finished {
+		return
+	}
+	s.finished = true
+	if s.rtoTimer != nil {
+		s.rtoTimer.Stop()
+	}
+	if s.done != nil {
+		s.done(TransferResult{Bytes: s.sndUna, Duration: s.K.Now() - s.started, Completed: ok})
+	}
+}
+
+func max64(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Receiver is the data-receiving half: it completes the handshake,
+// acknowledges cumulatively, and buffers out-of-order segments.
+type Receiver struct {
+	K    *sim.Kernel
+	send SendFunc
+	conn uint32
+
+	rcvNxt int
+	ooo    map[int][]byte // out-of-order: seq → payload
+
+	SegmentsReceived int
+	AcksSent         int
+}
+
+// NewReceiver creates the receiving half of a transfer.
+func NewReceiver(k *sim.Kernel, conn uint32, send SendFunc) *Receiver {
+	return &Receiver{K: k, send: send, conn: conn, ooo: map[int][]byte{}}
+}
+
+// Received reports contiguous bytes received so far.
+func (r *Receiver) Received() int { return r.rcvNxt }
+
+// Deliver feeds a datagram from the link layer into the receiver.
+func (r *Receiver) Deliver(buf []byte) {
+	seg, err := parseSegment(buf)
+	if err != nil || seg.Conn != r.conn {
+		return
+	}
+	if seg.Flags&flagSYN != 0 {
+		// Handshake: SYN-ACK (repeated SYNs re-elicit it).
+		r.send((&segment{Flags: flagSYN | flagACK, Conn: r.conn}).marshal())
+		return
+	}
+	if len(seg.Payload) > 0 {
+		r.SegmentsReceived++
+		seq := int(seg.Seq)
+		if seq == r.rcvNxt {
+			r.rcvNxt += len(seg.Payload)
+			// Drain contiguous out-of-order data.
+			for {
+				p, ok := r.ooo[r.rcvNxt]
+				if !ok {
+					break
+				}
+				delete(r.ooo, r.rcvNxt)
+				r.rcvNxt += len(p)
+			}
+		} else if seq > r.rcvNxt {
+			r.ooo[seq] = seg.Payload
+		}
+		r.AcksSent++
+		r.send((&segment{Flags: flagACK, Conn: r.conn, Ack: uint32(r.rcvNxt)}).marshal())
+	}
+}

@@ -1,0 +1,290 @@
+package transport
+
+import (
+	"testing"
+	"time"
+
+	"github.com/vanlan/vifi/internal/sim"
+)
+
+// pipe is a lossy, delayed datagram channel for unit-testing TCP without
+// the full protocol stack.
+type pipe struct {
+	k     *sim.Kernel
+	delay time.Duration
+	loss  float64
+	rng   *sim.RNG
+	out   func([]byte)
+	sent  int
+}
+
+func newPipe(k *sim.Kernel, delay time.Duration, loss float64, label string) *pipe {
+	return &pipe{k: k, delay: delay, loss: loss, rng: k.RNG("pipe", label)}
+}
+
+func (p *pipe) send(b []byte) bool {
+	p.sent++
+	if p.rng.Bool(p.loss) {
+		return true
+	}
+	buf := append([]byte(nil), b...)
+	p.k.After(p.delay, func() {
+		if p.out != nil {
+			p.out(buf)
+		}
+	})
+	return true
+}
+
+// runTransfer wires a sender and receiver through two pipes and runs one
+// transfer to completion (or the deadline).
+func runTransfer(t *testing.T, seed int64, size int, delay time.Duration, loss float64,
+	deadline time.Duration) (TransferResult, *Sender, *Receiver) {
+	t.Helper()
+	k := sim.NewKernel(seed)
+	fwd := newPipe(k, delay, loss, "fwd")
+	rev := newPipe(k, delay, loss, "rev")
+	var result TransferResult
+	gotResult := false
+	s := NewSender(k, DefaultConfig(), 1, size, fwd.send, func(r TransferResult) {
+		result = r
+		gotResult = true
+	})
+	r := NewReceiver(k, 1, rev.send)
+	fwd.out = r.Deliver
+	rev.out = s.Deliver
+	s.Start()
+	k.RunUntil(deadline)
+	if !gotResult {
+		s.Abort()
+		k.Run()
+	}
+	return result, s, r
+}
+
+func TestTransferCompletesCleanLink(t *testing.T) {
+	res, s, r := runTransfer(t, 1, 10*1024, 10*time.Millisecond, 0, 30*time.Second)
+	if !res.Completed {
+		t.Fatal("transfer did not complete on a clean link")
+	}
+	if res.Bytes != 10*1024 {
+		t.Errorf("bytes = %d", res.Bytes)
+	}
+	if r.Received() != 10*1024 {
+		t.Errorf("receiver got %d bytes", r.Received())
+	}
+	if s.Timeouts != 0 {
+		t.Errorf("timeouts on clean link: %d", s.Timeouts)
+	}
+	// 10 KB in MSS=1000 segments with initial cwnd 2 and 20 ms RTT:
+	// handshake (1 RTT) + ~3 window rounds ≈ 4–5 RTTs ≈ ≤ 0.2 s.
+	if res.Duration > 300*time.Millisecond {
+		t.Errorf("clean transfer took %v", res.Duration)
+	}
+}
+
+func TestSlowStartGrowth(t *testing.T) {
+	// Larger transfer: segment count should be ≈ size/MSS with few
+	// retransmissions, and duration should reflect exponential window
+	// growth rather than one-segment-per-RTT.
+	res, s, _ := runTransfer(t, 2, 100*1024, 25*time.Millisecond, 0, 60*time.Second)
+	if !res.Completed {
+		t.Fatal("transfer did not complete")
+	}
+	if s.SegmentsSent > 110 {
+		t.Errorf("sent %d segments for 100 segments of data", s.SegmentsSent)
+	}
+	// 100 segments, cwnd doubling from 2: ~6 rounds + handshake at 50 ms
+	// RTT ⇒ well under 1 s.
+	if res.Duration > time.Second {
+		t.Errorf("transfer took %v; slow start broken?", res.Duration)
+	}
+}
+
+func TestTransferSurvivesLoss(t *testing.T) {
+	res, s, _ := runTransfer(t, 3, 10*1024, 10*time.Millisecond, 0.1, 120*time.Second)
+	if !res.Completed {
+		t.Fatalf("transfer did not complete through 10%% loss (sent %d, timeouts %d)",
+			s.SegmentsSent, s.Timeouts)
+	}
+	if s.Timeouts == 0 && s.FastRetx == 0 {
+		t.Error("no recovery events despite loss")
+	}
+}
+
+func TestHeavyLossSlowsTransfer(t *testing.T) {
+	clean, _, _ := runTransfer(t, 4, 10*1024, 10*time.Millisecond, 0, 120*time.Second)
+	lossy, _, _ := runTransfer(t, 4, 10*1024, 10*time.Millisecond, 0.25, 120*time.Second)
+	if !lossy.Completed {
+		t.Skip("transfer did not finish; acceptable under heavy loss")
+	}
+	if lossy.Duration < clean.Duration*2 {
+		t.Errorf("25%% loss barely hurt: %v vs %v", lossy.Duration, clean.Duration)
+	}
+}
+
+func TestRTOBackoffExponential(t *testing.T) {
+	// A dead link: the sender should back off exponentially, not spam.
+	k := sim.NewKernel(5)
+	s := NewSender(k, DefaultConfig(), 1, 10*1024, func([]byte) bool { return true }, nil)
+	s.Start()
+	k.RunUntil(30 * time.Second)
+	// With RTOInit=1s and doubling: retransmissions at 1,2,4,8,16 s → ≤6
+	// transmissions in 30 s (the initial SYN plus ~5 backoffs).
+	if s.SegmentsSent > 7 {
+		t.Errorf("sent %d segments on a dead link in 30s; backoff broken", s.SegmentsSent)
+	}
+	if s.Timeouts < 4 {
+		t.Errorf("timeouts = %d, want several", s.Timeouts)
+	}
+}
+
+func TestReceiverReordersOutOfOrder(t *testing.T) {
+	k := sim.NewKernel(6)
+	var acks [][]byte
+	r := NewReceiver(k, 9, func(b []byte) bool { acks = append(acks, b); return true })
+	seg := func(seq int, n int) []byte {
+		return (&segment{Conn: 9, Seq: uint32(seq), Payload: make([]byte, n)}).marshal()
+	}
+	r.Deliver(seg(1000, 1000)) // out of order
+	if r.Received() != 0 {
+		t.Fatalf("received = %d before the gap filled", r.Received())
+	}
+	r.Deliver(seg(0, 1000)) // fills the gap; both drain
+	if r.Received() != 2000 {
+		t.Fatalf("received = %d, want 2000", r.Received())
+	}
+	last, err := parseSegment(acks[len(acks)-1])
+	if err != nil || last.Ack != 2000 {
+		t.Errorf("last ack = %+v, %v", last, err)
+	}
+}
+
+func TestReceiverIgnoresWrongConn(t *testing.T) {
+	k := sim.NewKernel(7)
+	r := NewReceiver(k, 1, func([]byte) bool { return true })
+	r.Deliver((&segment{Conn: 2, Seq: 0, Payload: make([]byte, 100)}).marshal())
+	if r.Received() != 0 {
+		t.Error("segment for another connection accepted")
+	}
+	r.Deliver([]byte{1, 2, 3})
+	if r.Received() != 0 {
+		t.Error("garbage accepted")
+	}
+}
+
+func TestSegmentRoundtrip(t *testing.T) {
+	in := &segment{Flags: flagSYN | flagACK, Conn: 77, Seq: 1234, Ack: 5678,
+		Payload: []byte("data")}
+	out, err := parseSegment(in.marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Flags != in.Flags || out.Conn != 77 || out.Seq != 1234 || out.Ack != 5678 ||
+		string(out.Payload) != "data" {
+		t.Errorf("roundtrip mismatch: %+v", out)
+	}
+}
+
+func TestWorkloadSessionsOnFlappingLink(t *testing.T) {
+	// A link that dies for 25 s mid-run must abort a transfer (ending a
+	// session) and recover afterwards.
+	k := sim.NewKernel(8)
+	dead := func() bool {
+		now := k.Now()
+		return now > 20*time.Second && now < 45*time.Second
+	}
+	mkSend := func(label string, out *func([]byte)) SendFunc {
+		p := newPipe(k, 15*time.Millisecond, 0, label)
+		return func(b []byte) bool {
+			if dead() {
+				return true // swallowed by the outage
+			}
+			p.out = *out
+			return p.send(b)
+		}
+	}
+	cfg := DefaultWorkloadConfig()
+	var w *Workload
+	var clientOut, serverOut func([]byte)
+	clientSend := mkSend("c", &serverOut)
+	serverSend := mkSend("s", &clientOut)
+	w = NewWorkload(k, cfg, true, clientSend, serverSend)
+	clientOut = w.ClientDeliver
+	serverOut = w.ServerDeliver
+	w.Start()
+	k.RunUntil(90 * time.Second)
+	st := w.Stop()
+
+	if st.Completed < 10 {
+		t.Errorf("completed only %d transfers", st.Completed)
+	}
+	if st.Aborted == 0 {
+		t.Error("the outage aborted no transfer")
+	}
+	if len(st.Sessions) < 2 {
+		t.Errorf("sessions = %v, want the outage to split them", st.Sessions)
+	}
+	if st.MedianTransferTime() <= 0 || st.MedianTransferTime() > 2 {
+		t.Errorf("median transfer time = %v s", st.MedianTransferTime())
+	}
+}
+
+func TestWorkloadStatsAccounting(t *testing.T) {
+	ws := newWorkloadStats()
+	ws.transferDone(TransferResult{Completed: true, Duration: time.Second})
+	ws.transferDone(TransferResult{Completed: true, Duration: 2 * time.Second})
+	ws.transferDone(TransferResult{Completed: false})
+	ws.transferDone(TransferResult{Completed: true, Duration: time.Second})
+	ws.finish()
+	if ws.Completed != 3 || ws.Aborted != 1 {
+		t.Errorf("completed/aborted = %d/%d", ws.Completed, ws.Aborted)
+	}
+	if len(ws.Sessions) != 2 || ws.Sessions[0] != 2 || ws.Sessions[1] != 1 {
+		t.Errorf("sessions = %v", ws.Sessions)
+	}
+	if got := ws.TransfersPerSession(); got != 1.5 {
+		t.Errorf("transfers/session = %v, want 1.5", got)
+	}
+}
+
+func TestCellularLinkLatencyAndRate(t *testing.T) {
+	k := sim.NewKernel(9)
+	c := NewCellularLink(k)
+	c.Loss = 0
+	var gotAt []time.Duration
+	c.Bind(func(b []byte) { gotAt = append(gotAt, k.Now()) }, nil)
+	c.SendDown(make([]byte, 3000)) // 10 ms at 2.4 Mbps
+	c.SendDown(make([]byte, 3000))
+	k.Run()
+	if len(gotAt) != 2 {
+		t.Fatalf("deliveries = %d", len(gotAt))
+	}
+	ser := time.Duration(float64(3000*8) / 2.4e6 * float64(time.Second))
+	if gotAt[0] != ser+75*time.Millisecond {
+		t.Errorf("first delivery at %v, want %v", gotAt[0], ser+75*time.Millisecond)
+	}
+	if gotAt[1]-gotAt[0] != ser {
+		t.Errorf("spacing %v, want serialization %v", gotAt[1]-gotAt[0], ser)
+	}
+}
+
+func TestTCPOverCellularReference(t *testing.T) {
+	// The §5.3.1 sanity point: a 10 KB fetch over the EVDO-like link
+	// completes in several hundred ms (the paper measured 0.75 s down).
+	k := sim.NewKernel(10)
+	link := NewCellularLink(k)
+	link.Loss = 0
+	var res TransferResult
+	s := NewSender(k, DefaultConfig(), 1, 10*1024, link.SendDown, func(r TransferResult) { res = r })
+	r := NewReceiver(k, 1, link.SendUp)
+	link.Bind(r.Deliver, s.Deliver)
+	s.Start()
+	k.RunUntil(10 * time.Second)
+	if !res.Completed {
+		t.Fatal("cellular transfer did not complete")
+	}
+	if res.Duration < 300*time.Millisecond || res.Duration > 1500*time.Millisecond {
+		t.Errorf("cellular 10KB fetch took %v, want several hundred ms", res.Duration)
+	}
+}

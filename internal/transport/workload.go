@@ -1,0 +1,280 @@
+package transport
+
+import (
+	"time"
+
+	"github.com/vanlan/vifi/internal/sim"
+	"github.com/vanlan/vifi/internal/stats"
+)
+
+// WorkloadConfig parameterizes the repeated-transfer workload of §5.3.1.
+type WorkloadConfig struct {
+	TCP Config
+	// TransferBytes is the file size (10 KB in the paper).
+	TransferBytes int
+	// StallTimeout aborts a transfer making no progress (10 s).
+	StallTimeout time.Duration
+	// Gap is the pause between consecutive transfers.
+	Gap time.Duration
+}
+
+// DefaultWorkloadConfig returns the paper's workload.
+func DefaultWorkloadConfig() WorkloadConfig {
+	return WorkloadConfig{
+		TCP:           DefaultConfig(),
+		TransferBytes: 10 * 1024,
+		StallTimeout:  10 * time.Second,
+		Gap:           100 * time.Millisecond,
+	}
+}
+
+// WorkloadStats aggregates the paper's two TCP measures: per-transfer
+// completion times and completed transfers per session, where a session
+// ends when a transfer is terminated for lack of progress (§5.3.1).
+type WorkloadStats struct {
+	TransferTimes *stats.Sample // seconds, completed transfers only
+	Sessions      []int         // completed transfers per session
+	Completed     int
+	Aborted       int
+	currentRun    int
+}
+
+func newWorkloadStats() *WorkloadStats {
+	return &WorkloadStats{TransferTimes: stats.NewSample(256)}
+}
+
+func (w *WorkloadStats) transferDone(r TransferResult) {
+	if r.Completed {
+		w.Completed++
+		w.currentRun++
+		w.TransferTimes.Add(r.Duration.Seconds())
+	} else {
+		w.Aborted++
+		w.Sessions = append(w.Sessions, w.currentRun)
+		w.currentRun = 0
+	}
+}
+
+// finish closes the trailing session.
+func (w *WorkloadStats) finish() {
+	w.Sessions = append(w.Sessions, w.currentRun)
+	w.currentRun = 0
+}
+
+// MedianTransferTime returns the median completion time in seconds.
+func (w *WorkloadStats) MedianTransferTime() float64 { return w.TransferTimes.Median() }
+
+// TransfersPerSession returns the mean completed transfers per session
+// (Fig 9b).
+func (w *WorkloadStats) TransfersPerSession() float64 {
+	if len(w.Sessions) == 0 {
+		return float64(w.Completed)
+	}
+	total := 0
+	for _, s := range w.Sessions {
+		total += s
+	}
+	return float64(total) / float64(len(w.Sessions))
+}
+
+// Workload repeatedly transfers a file in one direction over a pair of
+// datagram channels, applying the stall-abort rule. Wire it to a ViFi
+// cell (or any datagram service) via the two SendFuncs, and feed received
+// datagrams to ClientDeliver/ServerDeliver.
+type Workload struct {
+	K   *sim.Kernel
+	cfg WorkloadConfig
+
+	clientSend SendFunc // toward the server
+	serverSend SendFunc // toward the client
+
+	// Download: server sends the file; the vehicle (client) receives.
+	// Upload reverses the sender role.
+	download bool
+
+	conn     uint32
+	sender   *Sender
+	receiver *Receiver
+	stats    *WorkloadStats
+	stopped  bool
+
+	lastProgress int
+	stallTimer   *sim.Timer
+}
+
+// NewWorkload builds the workload. download selects the transfer
+// direction: true fetches from the wired host to the vehicle.
+func NewWorkload(k *sim.Kernel, cfg WorkloadConfig, download bool, clientSend, serverSend SendFunc) *Workload {
+	return &Workload{
+		K: k, cfg: cfg,
+		clientSend: clientSend, serverSend: serverSend,
+		download: download,
+		stats:    newWorkloadStats(),
+	}
+}
+
+// Start begins the first transfer.
+func (w *Workload) Start() { w.startTransfer() }
+
+// Stop halts the workload and closes the trailing session.
+func (w *Workload) Stop() *WorkloadStats {
+	if !w.stopped {
+		w.stopped = true
+		if w.stallTimer != nil {
+			w.stallTimer.Stop()
+		}
+		w.stats.finish()
+	}
+	return w.stats
+}
+
+// Stats exposes the accumulating statistics.
+func (w *Workload) Stats() *WorkloadStats { return w.stats }
+
+// ClientDeliver feeds a datagram that arrived at the vehicle.
+func (w *Workload) ClientDeliver(payload []byte) {
+	if w.stopped {
+		return
+	}
+	if w.download {
+		if w.receiver != nil {
+			w.receiver.Deliver(payload)
+		}
+	} else if w.sender != nil {
+		w.sender.Deliver(payload)
+	}
+}
+
+// ServerDeliver feeds a datagram that arrived at the wired host.
+func (w *Workload) ServerDeliver(payload []byte) {
+	if w.stopped {
+		return
+	}
+	if w.download {
+		if w.sender != nil {
+			w.sender.Deliver(payload)
+		}
+	} else if w.receiver != nil {
+		w.receiver.Deliver(payload)
+	}
+}
+
+func (w *Workload) startTransfer() {
+	if w.stopped {
+		return
+	}
+	w.conn++
+	done := func(r TransferResult) { w.transferDone(r) }
+	if w.download {
+		// Server sends, client receives. The client's SYN is modeled by
+		// the sender living on the server side being started directly:
+		// the handshake segments still cross the link both ways.
+		w.sender = NewSender(w.K, w.cfg.TCP, w.conn, w.cfg.TransferBytes, w.serverSend, done)
+		w.receiver = NewReceiver(w.K, w.conn, w.clientSend)
+	} else {
+		w.sender = NewSender(w.K, w.cfg.TCP, w.conn, w.cfg.TransferBytes, w.clientSend, done)
+		w.receiver = NewReceiver(w.K, w.conn, w.serverSend)
+	}
+	w.lastProgress = 0
+	w.sender.Start()
+	w.armStall()
+}
+
+func (w *Workload) armStall() {
+	if w.stallTimer != nil {
+		w.stallTimer.Stop()
+	}
+	w.stallTimer = w.K.After(w.cfg.StallTimeout, w.checkStall)
+}
+
+func (w *Workload) checkStall() {
+	if w.stopped || w.sender == nil {
+		return
+	}
+	if w.sender.Progress() > w.lastProgress {
+		w.lastProgress = w.sender.Progress()
+		w.armStall()
+		return
+	}
+	// No progress for the whole window: terminate and start afresh
+	// (§5.3.1: "Transfers that make no progress for ten seconds are
+	// terminated and started afresh").
+	w.sender.Abort()
+}
+
+func (w *Workload) transferDone(r TransferResult) {
+	if w.stallTimer != nil {
+		w.stallTimer.Stop()
+	}
+	w.stats.transferDone(r)
+	if w.stopped {
+		return
+	}
+	w.K.After(w.cfg.Gap, w.startTransfer)
+}
+
+// CellularLink models the EVDO Rev. A reference of §5.3.1: an always-on,
+// asymmetric, moderately lossy pipe with fixed one-way latency. Payloads
+// sent through it arrive at the far side after serialization + latency.
+type CellularLink struct {
+	K          *sim.Kernel
+	DownBps    float64
+	UpBps      float64
+	OneWay     time.Duration
+	Loss       float64
+	rng        *sim.RNG
+	downBusyAt time.Duration
+	upBusyAt   time.Duration
+	toVehicle  func([]byte)
+	toServer   func([]byte)
+}
+
+// NewCellularLink creates the reference link. Defaults approximate EVDO
+// Rev. A: 2.4 Mbit/s down, 0.8 Mbit/s up, 75 ms one-way, 1 % loss.
+func NewCellularLink(k *sim.Kernel) *CellularLink {
+	return &CellularLink{
+		K: k, DownBps: 2.4e6, UpBps: 0.8e6,
+		OneWay: 75 * time.Millisecond, Loss: 0.01,
+		rng: k.RNG("cellular"),
+	}
+}
+
+// Bind installs the two delivery callbacks.
+func (c *CellularLink) Bind(toVehicle, toServer func([]byte)) {
+	c.toVehicle = toVehicle
+	c.toServer = toServer
+}
+
+// SendDown carries a payload from the wired host to the vehicle.
+func (c *CellularLink) SendDown(p []byte) bool {
+	return c.push(p, c.DownBps, &c.downBusyAt, func(b []byte) {
+		if c.toVehicle != nil {
+			c.toVehicle(b)
+		}
+	})
+}
+
+// SendUp carries a payload from the vehicle to the wired host.
+func (c *CellularLink) SendUp(p []byte) bool {
+	return c.push(p, c.UpBps, &c.upBusyAt, func(b []byte) {
+		if c.toServer != nil {
+			c.toServer(b)
+		}
+	})
+}
+
+func (c *CellularLink) push(p []byte, rate float64, busy *time.Duration, out func([]byte)) bool {
+	if c.rng.Bool(c.Loss) {
+		return true // accepted, lost in flight
+	}
+	now := c.K.Now()
+	start := now
+	if *busy > start {
+		start = *busy
+	}
+	ser := time.Duration(float64(len(p)*8) / rate * float64(time.Second))
+	*busy = start + ser
+	buf := append([]byte(nil), p...)
+	c.K.At(*busy+c.OneWay, func() { out(buf) })
+	return true
+}

@@ -1,0 +1,178 @@
+// Package vifi is a production-quality Go reproduction of "Interactive
+// WiFi Connectivity For Moving Vehicles" (Balasubramanian, Mahajan,
+// Venkataramani, Levine, Zahorjan — SIGCOMM 2008): the ViFi protocol, the
+// paper's hard-handoff baselines, the vehicular channel and testbed
+// substrates it was evaluated on, the application workloads (short TCP
+// transfers and G.729 VoIP), and one harness per table and figure of the
+// paper's evaluation.
+//
+// # Quick start
+//
+//	dep := vifi.NewVanLAN(42, vifi.DefaultProtocol())
+//	quality := dep.RunVoIP(10 * time.Minute)
+//	fmt.Printf("median disruption-free call: %.0fs\n", quality.MedianSessionSec)
+//
+// Swap vifi.DefaultProtocol() for vifi.HardHandoff() to measure the BRR
+// baseline the paper compares against, or use Experiment to regenerate
+// any of the paper's figures.
+//
+// Everything is deterministic: equal seeds give byte-identical results.
+// See DESIGN.md for the system inventory and EXPERIMENTS.md for
+// paper-versus-measured numbers.
+package vifi
+
+import (
+	"time"
+
+	"github.com/vanlan/vifi/internal/core"
+	"github.com/vanlan/vifi/internal/experiment"
+	"github.com/vanlan/vifi/internal/frame"
+	"github.com/vanlan/vifi/internal/mobility"
+	"github.com/vanlan/vifi/internal/sim"
+	"github.com/vanlan/vifi/internal/trace"
+	"github.com/vanlan/vifi/internal/transport"
+	"github.com/vanlan/vifi/internal/voip"
+)
+
+// Protocol is a ViFi protocol configuration (see DefaultProtocol,
+// HardHandoff and DiversityOnly for the paper's three arms).
+type Protocol = core.Config
+
+// DefaultProtocol returns full ViFi: opportunistic relaying with the
+// Eq 1–3 coordinator, salvaging, adaptive retransmission.
+func DefaultProtocol() Protocol { return core.DefaultConfig() }
+
+// HardHandoff returns the BRR baseline: the same engine with auxiliary
+// relaying and salvaging switched off (the paper's §5 comparison arm).
+func HardHandoff() Protocol { return core.BRRConfig() }
+
+// DiversityOnly returns ViFi without salvaging (Fig 9's middle bar).
+func DiversityOnly() Protocol { return core.DiversityOnlyConfig() }
+
+// VoIPQuality summarizes a VoIP run: the time-weighted median
+// uninterrupted session length, mean MoS and interruption count.
+type VoIPQuality = voip.Quality
+
+// TCPStats summarizes a repeated-transfer TCP run.
+type TCPStats = transport.WorkloadStats
+
+// Deployment is a runnable ViFi environment: VanLAN (live channel
+// simulation over the campus layout) or DieselNet (trace-driven).
+type Deployment struct {
+	seed int64
+	env  experiment.Env
+	cfg  Protocol
+}
+
+// NewVanLAN returns the Redmond campus deployment: eleven basestations,
+// the shuttle loop, and the calibrated vehicular channel.
+func NewVanLAN(seed int64, cfg Protocol) *Deployment {
+	return &Deployment{seed: seed, env: experiment.EnvVanLAN, cfg: cfg}
+}
+
+// NewDieselNet returns the trace-driven Amherst deployment for channel 1
+// or 6 (panics on other channels, mirroring the profiled dataset).
+func NewDieselNet(seed int64, channel int, cfg Protocol) *Deployment {
+	switch channel {
+	case 1:
+		return &Deployment{seed: seed, env: experiment.EnvDieselNetCh1, cfg: cfg}
+	case 6:
+		return &Deployment{seed: seed, env: experiment.EnvDieselNetCh6, cfg: cfg}
+	default:
+		panic("vifi: DieselNet was profiled on channels 1 and 6 only")
+	}
+}
+
+// RunVoIP drives a bidirectional G.729 call for the duration and scores
+// it with the paper's E-model and interruption rule (§5.3.2).
+func (d *Deployment) RunVoIP(duration time.Duration) VoIPQuality {
+	return experiment.RunVoIPWorkload(d.seed, d.env, d.cfg, duration).Quality
+}
+
+// RunTCP drives the paper's repeated 10 KB transfer workload with the
+// 10-second stall abort (§5.3.1).
+func (d *Deployment) RunTCP(duration time.Duration) *TCPStats {
+	return experiment.RunTCPWorkload(d.seed, d.env, d.cfg, duration).Stats
+}
+
+// LinkSessionMedian runs the §5.2 link-layer probe workload (500-byte
+// packets each way every 100 ms, no retransmissions) and returns the
+// time-weighted median uninterrupted session length for the adequacy
+// definition (interval, minimum combined reception ratio).
+func (d *Deployment) LinkSessionMedian(duration, interval time.Duration, minRatio float64) float64 {
+	run := experiment.RunProbeWorkload(d.seed, d.env, d.cfg, duration, nil)
+	return run.MedianSession(interval, minRatio)
+}
+
+// Experiment regenerates one of the paper's tables or figures (ids:
+// fig2…fig12, table1, table2, plus the ablations listed by Experiments()).
+// Scale multiplies run durations and trial counts; 1.0 is paper-shaped.
+func Experiment(id string, seed int64, scale float64) (string, error) {
+	rep, err := experiment.Run(id, experiment.Options{Seed: seed, Scale: scale})
+	if err != nil {
+		return "", err
+	}
+	return rep.String(), nil
+}
+
+// Experiments lists every available experiment id.
+func Experiments() []string { return experiment.IDs() }
+
+// GenerateDieselNetTrace synthesizes a DieselNet-style per-second beacon
+// reception trace (see internal/trace for the CSV interchange format that
+// also accepts the real traces from traces.cs.umass.edu).
+func GenerateDieselNetTrace(seed int64, channel int, duration time.Duration) *Trace {
+	return trace.GenerateDieselNet(seed, channel, duration)
+}
+
+// Trace is a per-second vehicle↔basestation reception-ratio trace.
+type Trace = trace.Trace
+
+// --- Low-level access for advanced scenarios ------------------------------
+
+// Kernel is the deterministic discrete-event kernel all simulations run
+// on. Build custom cells against it with NewCell.
+type Kernel = sim.Kernel
+
+// NewKernel returns a kernel seeded for reproducibility.
+func NewKernel(seed int64) *Kernel { return sim.NewKernel(seed) }
+
+// Cell is a deployed protocol cell: channel, backplane, gateway,
+// basestations and vehicle.
+type Cell = core.Cell
+
+// CellOptions configures a custom cell.
+type CellOptions = core.CellOptions
+
+// DefaultCellOptions returns the paper's channel, backplane and protocol
+// settings.
+func DefaultCellOptions() CellOptions { return core.DefaultCellOptions() }
+
+// NewCell wires a custom deployment: arbitrary basestation positions and
+// vehicle movement. See the examples directory for usage.
+func NewCell(k *Kernel, opts CellOptions, bsMovers []Mover, veh Mover) *Cell {
+	return core.NewCell(k, opts, bsMovers, veh)
+}
+
+// Mover supplies a node position over time.
+type Mover = mobility.Mover
+
+// Fixed is a stationary Mover (a basestation).
+type Fixed = mobility.Fixed
+
+// Point is a position in meters.
+type Point = mobility.Point
+
+// Route is a constant-speed waypoint path.
+type Route = mobility.Route
+
+// NewRoute builds a route; loop makes it circular.
+func NewRoute(waypoints []Point, speedMPS float64, loop bool) *Route {
+	return mobility.NewRoute(waypoints, speedMPS, loop)
+}
+
+// RouteMover drives a vehicle along a route.
+type RouteMover = mobility.RouteMover
+
+// PacketID identifies a data packet end to end.
+type PacketID = frame.PacketID

@@ -7,12 +7,19 @@
 //	vifi-bench -scale 0.2      # quicker, smaller runs
 //	vifi-bench -list           # available experiment ids
 //	vifi-bench -all            # paper set plus ablations
+//	vifi-bench -parallel 8     # worker-pool width (default GOMAXPROCS)
+//
+// Reports go to stdout; per-figure wall times and engine statistics go to
+// stderr, so stdout is byte-identical for any -parallel value.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
@@ -20,40 +27,110 @@ import (
 )
 
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("vifi-bench", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		run   = flag.String("run", "", "comma-separated experiment ids (default: the paper set)")
-		scale = flag.Float64("scale", 1.0, "duration/trial multiplier (1.0 = paper-shaped)")
-		seed  = flag.Int64("seed", 42, "random seed; equal seeds reproduce identical reports")
-		list  = flag.Bool("list", false, "list experiment ids and exit")
-		all   = flag.Bool("all", false, "run everything, including ablations")
+		runIDs   = fs.String("run", "", "comma-separated experiment ids (default: the paper set)")
+		scale    = fs.Float64("scale", 1.0, "duration/trial multiplier (1.0 = paper-shaped)")
+		seed     = fs.Int64("seed", 42, "random seed; equal seeds reproduce identical reports")
+		list     = fs.Bool("list", false, "list experiment ids and exit")
+		all      = fs.Bool("all", false, "run everything, including ablations")
+		parallel = fs.Int("parallel", runtime.GOMAXPROCS(0), "simulation worker-pool width; 1 = serial")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0
+		}
+		return 2
+	}
 
 	if *list {
 		for _, id := range experiment.IDs() {
-			fmt.Println(id)
+			fmt.Fprintln(stdout, id)
 		}
-		return
+		return 0
 	}
 
 	ids := experiment.PaperOrder()
 	if *all {
 		ids = experiment.IDs()
 	}
-	if *run != "" {
-		ids = strings.Split(*run, ",")
+	if *runIDs != "" {
+		ids = strings.Split(*runIDs, ",")
+		for i := range ids {
+			ids[i] = strings.TrimSpace(ids[i])
+		}
+	}
+	// Validate ids before computing anything: a typo must fail fast, not
+	// after minutes of simulation.
+	known := map[string]bool{}
+	for _, id := range experiment.IDs() {
+		known[id] = true
+	}
+	for _, id := range ids {
+		if !known[id] {
+			fmt.Fprintf(stderr, "vifi-bench: unknown experiment id %q (see -list)\n", id)
+			return 1
+		}
 	}
 
-	opts := experiment.Options{Seed: *seed, Scale: *scale}
-	for _, id := range ids {
-		id = strings.TrimSpace(id)
-		start := time.Now()
-		rep, err := experiment.Run(id, opts)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "vifi-bench:", err)
-			os.Exit(1)
-		}
-		fmt.Println(rep)
-		fmt.Printf("(%s completed in %v)\n\n", id, time.Since(start).Round(time.Millisecond))
+	eng := experiment.NewEngine(*parallel)
+	opts := experiment.Options{Seed: *seed, Scale: *scale, Engine: eng}
+
+	type outcome struct {
+		rep     *experiment.Report
+		err     error
+		elapsed time.Duration
 	}
+	results := make([]outcome, len(ids))
+	exec := func(i int) {
+		t0 := time.Now()
+		rep, err := experiment.Run(ids[i], opts)
+		results[i] = outcome{rep: rep, err: err, elapsed: time.Since(t0)}
+	}
+	// emit streams one finished report, preserving request order.
+	emit := func(i int) error {
+		if results[i].err != nil {
+			fmt.Fprintln(stderr, "vifi-bench:", results[i].err)
+			return results[i].err
+		}
+		fmt.Fprintln(stdout, results[i].rep)
+		fmt.Fprintf(stderr, "(%s completed in %v)\n", ids[i], results[i].elapsed.Round(time.Millisecond))
+		return nil
+	}
+	start := time.Now()
+	if *parallel > 1 {
+		// Every figure runner starts at once; runners mostly merge — the
+		// engine's bounded pool carries the simulation work, and the
+		// shared run-cache deduplicates identical workloads across
+		// figures. Reports stream in request order as they complete.
+		ready := make([]chan struct{}, len(ids))
+		for i := range ids {
+			ready[i] = make(chan struct{})
+			go func(i int) {
+				exec(i)
+				close(ready[i])
+			}(i)
+		}
+		for i := range ids {
+			<-ready[i]
+			if emit(i) != nil {
+				return 1
+			}
+		}
+	} else {
+		for i := range ids {
+			exec(i)
+			if emit(i) != nil {
+				return 1
+			}
+		}
+	}
+	fmt.Fprintf(stderr, "total %v · %d workers · %d jobs run · %d run-cache hits\n",
+		time.Since(start).Round(time.Millisecond), eng.Workers(), eng.Jobs(), eng.CacheHits())
+	return 0
 }

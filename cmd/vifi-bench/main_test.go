@@ -1,0 +1,69 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestListFlag(t *testing.T) {
+	var out, errb strings.Builder
+	if code := run([]string{"-list"}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+	for _, id := range []string{"fig1", "fig12", "table2", "ablate-aux"} {
+		if !strings.Contains(out.String(), id) {
+			t.Errorf("-list missing %s", id)
+		}
+	}
+}
+
+func TestBadFlag(t *testing.T) {
+	var out, errb strings.Builder
+	if code := run([]string{"-nope"}, &out, &errb); code != 2 {
+		t.Errorf("bad flag exit = %d, want 2", code)
+	}
+}
+
+func TestHelpExitsZero(t *testing.T) {
+	var out, errb strings.Builder
+	if code := run([]string{"-h"}, &out, &errb); code != 0 {
+		t.Errorf("-h exit = %d, want 0", code)
+	}
+	if !strings.Contains(errb.String(), "-parallel") {
+		t.Error("usage text missing -parallel")
+	}
+}
+
+func TestUnknownExperiment(t *testing.T) {
+	var out, errb strings.Builder
+	if code := run([]string{"-run", "fig99", "-scale", "0.05"}, &out, &errb); code != 1 {
+		t.Errorf("unknown experiment exit = %d, want 1", code)
+	}
+	if !strings.Contains(errb.String(), "fig99") {
+		t.Errorf("stderr does not name the bad id: %s", errb.String())
+	}
+}
+
+// TestTinyEndToEnd runs one cheap figure serially and in parallel and
+// checks stdout is identical (the cmd-level half of the tentpole's
+// correctness gate; report timing goes to stderr by design).
+func TestTinyEndToEnd(t *testing.T) {
+	outputs := make([]string, 2)
+	for i, par := range []string{"1", "3"} {
+		var out, errb strings.Builder
+		code := run([]string{"-run", "fig3,fig5", "-scale", "0.05", "-parallel", par}, &out, &errb)
+		if code != 0 {
+			t.Fatalf("-parallel %s: exit %d, stderr: %s", par, code, errb.String())
+		}
+		if !strings.Contains(out.String(), "== fig3:") || !strings.Contains(out.String(), "== fig5:") {
+			t.Fatalf("-parallel %s: reports missing:\n%s", par, out.String())
+		}
+		if !strings.Contains(errb.String(), "run-cache hits") {
+			t.Errorf("-parallel %s: engine summary missing from stderr", par)
+		}
+		outputs[i] = out.String()
+	}
+	if outputs[0] != outputs[1] {
+		t.Error("stdout differs between -parallel 1 and -parallel 3")
+	}
+}

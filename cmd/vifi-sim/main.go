@@ -1,17 +1,23 @@
 // Command vifi-sim runs one ViFi (or baseline) deployment scenario and
-// prints the application-level results.
+// prints the application-level results. -protocol accepts a
+// comma-separated list; the arms run as jobs on the experiment engine's
+// worker pool and print in the order given.
 //
 // Usage:
 //
 //	vifi-sim -env vanlan -protocol vifi -workload voip -duration 600s
 //	vifi-sim -env dieselnet1 -protocol brr -workload tcp
-//	vifi-sim -env vanlan -protocol vifi -workload probes
+//	vifi-sim -env vanlan -protocol vifi,brr -workload probes -parallel 2
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"runtime"
+	"strings"
 	"time"
 
 	"github.com/vanlan/vifi/internal/core"
@@ -19,14 +25,26 @@ import (
 )
 
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("vifi-sim", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		env      = flag.String("env", "vanlan", "environment: vanlan, dieselnet1, dieselnet6")
-		protocol = flag.String("protocol", "vifi", "protocol: vifi, brr, diversity-only")
-		workload = flag.String("workload", "voip", "workload: voip, tcp, probes")
-		duration = flag.Duration("duration", 10*time.Minute, "simulated duration")
-		seed     = flag.Int64("seed", 42, "random seed")
+		env      = fs.String("env", "vanlan", "environment: vanlan, dieselnet1, dieselnet6")
+		protocol = fs.String("protocol", "vifi", "comma-separated protocols: vifi, brr, diversity-only")
+		workload = fs.String("workload", "voip", "workload: voip, tcp, probes")
+		duration = fs.Duration("duration", 10*time.Minute, "simulated duration")
+		seed     = fs.Int64("seed", 42, "random seed")
+		parallel = fs.Int("parallel", runtime.GOMAXPROCS(0), "simulation worker-pool width; 1 = serial")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0
+		}
+		return 2
+	}
 
 	var e experiment.Env
 	switch *env {
@@ -37,48 +55,79 @@ func main() {
 	case "dieselnet6":
 		e = experiment.EnvDieselNetCh6
 	default:
-		fmt.Fprintf(os.Stderr, "vifi-sim: unknown environment %q\n", *env)
-		os.Exit(2)
+		fmt.Fprintf(stderr, "vifi-sim: unknown environment %q\n", *env)
+		return 2
 	}
 
-	var cfg core.Config
-	switch *protocol {
-	case "vifi":
-		cfg = core.DefaultConfig()
-	case "brr":
-		cfg = core.BRRConfig()
-	case "diversity-only":
-		cfg = core.DiversityOnlyConfig()
-	default:
-		fmt.Fprintf(os.Stderr, "vifi-sim: unknown protocol %q\n", *protocol)
-		os.Exit(2)
+	names := strings.Split(*protocol, ",")
+	cfgs := make([]core.Config, len(names))
+	for i, name := range names {
+		names[i] = strings.TrimSpace(name)
+		switch names[i] {
+		case "vifi":
+			cfgs[i] = core.DefaultConfig()
+		case "brr":
+			cfgs[i] = core.BRRConfig()
+		case "diversity-only":
+			cfgs[i] = core.DiversityOnlyConfig()
+		default:
+			fmt.Fprintf(stderr, "vifi-sim: unknown protocol %q\n", names[i])
+			return 2
+		}
 	}
 
-	fmt.Printf("environment=%s protocol=%s duration=%v seed=%d\n\n", e, *protocol, *duration, *seed)
+	eng := experiment.NewEngine(*parallel)
 	switch *workload {
 	case "voip":
-		q := experiment.RunVoIPWorkload(*seed, e, cfg, *duration).Quality
-		fmt.Printf("median disruption-free session: %.0f s\n", q.MedianSessionSec)
-		fmt.Printf("mean MoS (3s windows):          %.2f\n", q.MeanMoS)
-		fmt.Printf("interruptions:                  %d over %d windows\n", q.Interruptions, q.Windows)
+		futs := make([]experiment.Future[*experiment.VoIPRun], len(cfgs))
+		for i, cfg := range cfgs {
+			futs[i] = eng.VoIP(*seed, e, cfg, *duration)
+		}
+		for i, name := range names {
+			q := futs[i].Wait().Quality
+			printHeader(stdout, e, name, *duration, *seed)
+			fmt.Fprintf(stdout, "median disruption-free session: %.0f s\n", q.MedianSessionSec)
+			fmt.Fprintf(stdout, "mean MoS (3s windows):          %.2f\n", q.MeanMoS)
+			fmt.Fprintf(stdout, "interruptions:                  %d over %d windows\n\n", q.Interruptions, q.Windows)
+		}
 	case "tcp":
-		run := experiment.RunTCPWorkload(*seed, e, cfg, *duration)
-		st := run.Stats
-		fmt.Printf("completed transfers:   %d (%.3f /s)\n", st.Completed,
-			float64(st.Completed)/run.Duration.Seconds())
-		fmt.Printf("aborted transfers:     %d\n", st.Aborted)
-		fmt.Printf("median transfer time:  %.2f s (p90 %.2f s)\n",
-			st.MedianTransferTime(), st.TransferTimes.Quantile(0.9))
-		fmt.Printf("transfers per session: %.1f\n", st.TransfersPerSession())
-		fmt.Printf("salvaged packets:      %d\n", run.Salvaged)
+		futs := make([]experiment.Future[*experiment.TCPRun], len(cfgs))
+		for i, cfg := range cfgs {
+			futs[i] = eng.TCP(*seed, e, cfg, *duration)
+		}
+		for i, name := range names {
+			run := futs[i].Wait()
+			st := run.Stats
+			printHeader(stdout, e, name, *duration, *seed)
+			fmt.Fprintf(stdout, "completed transfers:   %d (%.3f /s)\n", st.Completed,
+				float64(st.Completed)/run.Duration.Seconds())
+			fmt.Fprintf(stdout, "aborted transfers:     %d\n", st.Aborted)
+			fmt.Fprintf(stdout, "median transfer time:  %.2f s (p90 %.2f s)\n",
+				st.MedianTransferTime(), st.TransferTimes.Quantile(0.9))
+			fmt.Fprintf(stdout, "transfers per session: %.1f\n", st.TransfersPerSession())
+			fmt.Fprintf(stdout, "salvaged packets:      %d\n\n", run.Salvaged)
+		}
 	case "probes":
-		run := experiment.RunProbeWorkload(*seed, e, cfg, *duration, nil)
-		for _, ratio := range []float64{0.3, 0.5, 0.7, 0.9} {
-			fmt.Printf("median session (1s, ≥%.0f%%): %.0f s\n",
-				ratio*100, run.MedianSession(time.Second, ratio))
+		futs := make([]experiment.Future[*experiment.ProbeRun], len(cfgs))
+		for i, cfg := range cfgs {
+			futs[i] = eng.Probe(*seed, e, cfg, *duration)
+		}
+		for i, name := range names {
+			run := futs[i].Wait()
+			printHeader(stdout, e, name, *duration, *seed)
+			for _, ratio := range []float64{0.3, 0.5, 0.7, 0.9} {
+				fmt.Fprintf(stdout, "median session (1s, ≥%.0f%%): %.0f s\n",
+					ratio*100, run.MedianSession(time.Second, ratio))
+			}
+			fmt.Fprintln(stdout)
 		}
 	default:
-		fmt.Fprintf(os.Stderr, "vifi-sim: unknown workload %q\n", *workload)
-		os.Exit(2)
+		fmt.Fprintf(stderr, "vifi-sim: unknown workload %q\n", *workload)
+		return 2
 	}
+	return 0
+}
+
+func printHeader(w io.Writer, e experiment.Env, protocol string, d time.Duration, seed int64) {
+	fmt.Fprintf(w, "environment=%s protocol=%s duration=%v seed=%d\n", e, protocol, d, seed)
 }

@@ -9,8 +9,10 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"time"
 
@@ -19,49 +21,60 @@ import (
 )
 
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("vifi-trace", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		gen      = flag.Bool("gen", false, "generate a synthetic trace")
-		channel  = flag.Int("channel", 1, "DieselNet channel (1 or 6)")
-		duration = flag.Duration("duration", time.Hour, "profiling duration")
-		seed     = flag.Int64("seed", 42, "random seed")
-		out      = flag.String("o", "", "output CSV path (default stdout)")
-		inspect  = flag.String("inspect", "", "inspect an existing trace CSV")
+		gen      = fs.Bool("gen", false, "generate a synthetic trace")
+		channel  = fs.Int("channel", 1, "DieselNet channel (1 or 6)")
+		duration = fs.Duration("duration", time.Hour, "profiling duration")
+		seed     = fs.Int64("seed", 42, "random seed")
+		out      = fs.String("o", "", "output CSV path (default stdout)")
+		inspect  = fs.String("inspect", "", "inspect an existing trace CSV")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0
+		}
+		return 2
+	}
 
 	switch {
 	case *gen:
 		tr := trace.GenerateDieselNet(*seed, *channel, *duration)
-		w := os.Stdout
+		w := stdout
 		if *out != "" {
 			f, err := os.Create(*out)
 			if err != nil {
-				fatal(err)
+				return fatal(stderr, err)
 			}
 			defer f.Close()
 			w = f
 		}
 		if err := tr.Write(w); err != nil {
-			fatal(err)
+			return fatal(stderr, err)
 		}
 		if *out != "" {
-			fmt.Printf("wrote %s: %d s × %d BSes\n", *out, tr.Seconds(), tr.NumBSes())
+			fmt.Fprintf(stdout, "wrote %s: %d s × %d BSes\n", *out, tr.Seconds(), tr.NumBSes())
 		}
 	case *inspect != "":
 		f, err := os.Open(*inspect)
 		if err != nil {
-			fatal(err)
+			return fatal(stderr, err)
 		}
 		defer f.Close()
 		tr, err := trace.Read(f)
 		if err != nil {
-			fatal(err)
+			return fatal(stderr, err)
 		}
-		fmt.Printf("trace %s\n", *inspect)
+		fmt.Fprintf(stdout, "trace %s\n", *inspect)
 		for _, line := range experiment.TraceSummary(tr) {
-			fmt.Println(" ", line)
+			fmt.Fprintln(stdout, " ", line)
 		}
-		fmt.Println("  visibility CDF (#BSes with ≥1 beacon per second):")
+		fmt.Fprintln(stdout, "  visibility CDF (#BSes with ≥1 beacon per second):")
 		counts := tr.VisibleCounts(0)
 		hist := map[int]int{}
 		for _, c := range counts {
@@ -73,15 +86,16 @@ func main() {
 			if hist[n] == 0 && n > 0 {
 				continue
 			}
-			fmt.Printf("    ≤%2d BSes: %5.1f%%\n", n, 100*float64(cum)/float64(len(counts)))
+			fmt.Fprintf(stdout, "    ≤%2d BSes: %5.1f%%\n", n, 100*float64(cum)/float64(len(counts)))
 		}
 	default:
-		flag.Usage()
-		os.Exit(2)
+		fs.Usage()
+		return 2
 	}
+	return 0
 }
 
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "vifi-trace:", err)
-	os.Exit(1)
+func fatal(stderr io.Writer, err error) int {
+	fmt.Fprintln(stderr, "vifi-trace:", err)
+	return 1
 }

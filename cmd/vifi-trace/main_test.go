@@ -1,0 +1,69 @@
+package main
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestNoModeIsUsageError(t *testing.T) {
+	var out, errb strings.Builder
+	if code := run(nil, &out, &errb); code != 2 {
+		t.Errorf("exit = %d, want 2", code)
+	}
+}
+
+func TestHelpExitsZero(t *testing.T) {
+	var out, errb strings.Builder
+	if code := run([]string{"-h"}, &out, &errb); code != 0 {
+		t.Errorf("-h exit = %d, want 0", code)
+	}
+}
+
+func TestGenToStdout(t *testing.T) {
+	var out, errb strings.Builder
+	args := []string{"-gen", "-channel", "6", "-duration", "2m"}
+	if code := run(args, &out, &errb); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+	lines := strings.Split(strings.TrimSpace(out.String()), "\n")
+	// Header plus one row per second.
+	if len(lines) != 121 {
+		t.Errorf("CSV lines = %d, want 121", len(lines))
+	}
+	if !strings.HasPrefix(lines[0], "second,") {
+		t.Errorf("bad header: %s", lines[0])
+	}
+}
+
+// TestGenInspectRoundTrip writes a trace CSV and inspects it back.
+func TestGenInspectRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ch1.csv")
+	var out, errb strings.Builder
+	if code := run([]string{"-gen", "-duration", "3m", "-o", path}, &out, &errb); code != 0 {
+		t.Fatalf("gen exit %d, stderr: %s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "wrote "+path) {
+		t.Errorf("missing confirmation: %s", out.String())
+	}
+
+	out.Reset()
+	if code := run([]string{"-inspect", path}, &out, &errb); code != 0 {
+		t.Fatalf("inspect exit %d, stderr: %s", code, errb.String())
+	}
+	for _, want := range []string{"seconds: 180", "basestations:", "visibility CDF"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("inspect output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestInspectMissingFile(t *testing.T) {
+	var out, errb strings.Builder
+	if code := run([]string{"-inspect", "/nonexistent/zzz.csv"}, &out, &errb); code != 1 {
+		t.Errorf("exit = %d, want 1", code)
+	}
+	if !strings.Contains(errb.String(), "vifi-trace:") {
+		t.Errorf("stderr missing prefix: %s", errb.String())
+	}
+}

@@ -1,0 +1,3 @@
+module github.com/vanlan/vifi
+
+go 1.24

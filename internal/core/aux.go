@@ -1,6 +1,8 @@
 package core
 
 import (
+	"cmp"
+	"slices"
 	"time"
 
 	"github.com/vanlan/vifi/internal/frame"
@@ -77,7 +79,28 @@ func contains(xs []uint16, x uint16) bool {
 // overheard acknowledgments.
 func (n *Node) relayTick() {
 	now := n.K.Now()
-	for key, p := range n.pending {
+	// Decide in a deterministic order: each decision consumes the relay
+	// RNG stream, so map-iteration order here would change coin flips and
+	// break seed reproducibility. The scratch buffer and the ≤1 fast path
+	// keep the common near-empty tick allocation- and sort-free.
+	keys := n.relayScratch[:0]
+	for key := range n.pending {
+		keys = append(keys, key)
+	}
+	if len(keys) > 1 {
+		slices.SortFunc(keys, func(a, b pendKey) int {
+			if c := cmp.Compare(a.id.Src, b.id.Src); c != 0 {
+				return c
+			}
+			if c := cmp.Compare(a.id.Seq, b.id.Seq); c != 0 {
+				return c
+			}
+			return cmp.Compare(a.attempt, b.attempt)
+		})
+	}
+	n.relayScratch = keys
+	for _, key := range keys {
+		p := n.pending[key]
 		age := now - p.heardAt
 		if age < n.cfg.AckWait {
 			continue // still within the acknowledgment window

@@ -111,6 +111,9 @@ type Node struct {
 	pendQ     []pendKey
 	salvage   map[uint16][]*downPkt
 	anchorFor map[uint16]bool
+	// relayScratch is relayTick's reusable key buffer (sorted there for
+	// deterministic relay decisions).
+	relayScratch []pendKey
 
 	beaconSeq uint32
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"slices"
 	"time"
 
 	"github.com/vanlan/vifi/internal/frame"
@@ -78,7 +79,10 @@ func (t *ProbTable) Get(from, to uint16, now time.Duration) float64 {
 }
 
 // FreshLocalPeers returns the peers x with a fresh local estimate of
-// p(x→self); used to build beacon prob reports and auxiliary sets.
+// p(x→self); used to build beacon prob reports and auxiliary sets. The
+// result is sorted: callers break argmax ties and order auxiliary sets by
+// it, and map-iteration order would leak nondeterminism into anchor
+// choice, relay probabilities and ultimately whole reports.
 func (t *ProbTable) FreshLocalPeers(self uint16, now time.Duration) []uint16 {
 	var out []uint16
 	for k, e := range t.m {
@@ -86,6 +90,7 @@ func (t *ProbTable) FreshLocalPeers(self uint16, now time.Duration) []uint16 {
 			out = append(out, k[0])
 		}
 	}
+	slices.Sort(out)
 	return out
 }
 
@@ -102,6 +107,14 @@ func (t *ProbTable) Report(self uint16, now time.Duration) []frame.ProbEntry {
 			out = append(out, frame.ProbEntry{From: self, To: k[1], Prob: e.gossip})
 		}
 	}
+	// Deterministic report order: the 255-entry truncation below must not
+	// depend on map-iteration order.
+	slices.SortFunc(out, func(a, b frame.ProbEntry) int {
+		if a.From != b.From {
+			return int(a.From) - int(b.From)
+		}
+		return int(a.To) - int(b.To)
+	})
 	if len(out) > 255 {
 		out = out[:255]
 	}

@@ -294,9 +294,12 @@ func RunDemo(cfg DemoConfig) (*DemoResult, error) {
 	var mu sync.Mutex
 	seen := map[frame.PacketID]bool{}
 
-	// Anchor: acknowledge and count unique deliveries.
+	// Anchor: acknowledge and count unique deliveries. The handler runs on
+	// the node's receive goroutine, which starts inside NewNode — before
+	// the anchor variable below is assigned — so the node pointer is
+	// published under mu and the handler re-reads it there.
 	var anchor *Node
-	anchor, err = NewNode(anchorID, hub.Addr(), func(f *frame.Frame) {
+	node, err := NewNode(anchorID, hub.Addr(), func(f *frame.Frame) {
 		if (f.Type == frame.TypeData || f.Type == frame.TypeRelay) && f.Dst == anchorID {
 			id := f.ID()
 			mu.Lock()
@@ -304,14 +307,21 @@ func RunDemo(cfg DemoConfig) (*DemoResult, error) {
 				seen[id] = true
 				res.Delivered++
 			}
+			a := anchor
 			mu.Unlock()
-			anchor.Send(&frame.Frame{Type: frame.TypeAck, Src: anchorID, Dst: frame.Broadcast,
+			if a == nil {
+				return // frame raced ahead of construction; nothing to ack with
+			}
+			a.Send(&frame.Frame{Type: frame.TypeAck, Src: anchorID, Dst: frame.Broadcast,
 				AckSrc: id.Src, AckSeq: id.Seq, AckAttempt: f.Attempt})
 		}
 	})
 	if err != nil {
 		return nil, err
 	}
+	mu.Lock()
+	anchor = node
+	mu.Unlock()
 	defer anchor.Close()
 
 	// Auxiliary: overhear, wait for the ack, then maybe relay (Eq 1–3).
@@ -329,7 +339,7 @@ func RunDemo(cfg DemoConfig) (*DemoResult, error) {
 		Self:   0,
 	}
 	relayProb := core.RelayProb(core.CoordViFi, ctx)
-	aux, err = NewNode(auxID, hub.Addr(), func(f *frame.Frame) {
+	auxNode, err := NewNode(auxID, hub.Addr(), func(f *frame.Frame) {
 		switch f.Type {
 		case frame.TypeData:
 			if !cfg.EnableRelay || f.Dst != anchorID {
@@ -348,9 +358,10 @@ func RunDemo(cfg DemoConfig) (*DemoResult, error) {
 				if doRelay {
 					res.Relayed++
 				}
+				a := aux
 				mu.Unlock()
-				if doRelay {
-					aux.Send(&frame.Frame{Type: frame.TypeRelay, Src: auxID, Dst: anchorID,
+				if doRelay && a != nil {
+					a.Send(&frame.Frame{Type: frame.TypeRelay, Src: auxID, Dst: anchorID,
 						Seq: f.Seq, Attempt: f.Attempt, Relayed: true, Orig: f.Src,
 						Payload: f.Payload})
 				}
@@ -367,6 +378,9 @@ func RunDemo(cfg DemoConfig) (*DemoResult, error) {
 	if err != nil {
 		return nil, err
 	}
+	mu.Lock()
+	aux = auxNode
+	mu.Unlock()
 	defer aux.Close()
 
 	// Vehicle: steady upstream stream.

@@ -10,6 +10,8 @@ import (
 	"github.com/vanlan/vifi/internal/mobility"
 	"github.com/vanlan/vifi/internal/radio"
 	"github.com/vanlan/vifi/internal/sim"
+	"github.com/vanlan/vifi/internal/transport"
+	"github.com/vanlan/vifi/internal/voip"
 )
 
 // AblateAux probes the §5.5.2 limitation: coordination quality as the
@@ -21,10 +23,19 @@ func AblateAux(o Options) *Report {
 		Title:  "Coordination vs number of symmetric auxiliaries (§5.5.2)",
 		Header: []string{"#aux", "false positives", "false negatives", "relays/pkt"},
 	}
+	eng := o.engine()
 	dur := time.Duration(o.scaled(300)) * time.Second
-	for _, nAux := range []int{1, 2, 4, 8, 16, 24} {
-		col := NewCollector()
-		runSymmetricCell(o.Seed, nAux, dur, col)
+	counts := []int{1, 2, 4, 8, 16, 24}
+	futs := make([]Future[*Collector], len(counts))
+	for i, nAux := range counts {
+		futs[i] = goJob(eng, func() *Collector {
+			col := NewCollector()
+			runSymmetricCell(o.Seed, nAux, dur, col)
+			return col
+		})
+	}
+	for i, nAux := range counts {
+		col := futs[i].Wait()
 		down := col.Stats(core.Down)
 		relaysPerPkt := 0.0
 		if down.SourceTransmissions > 0 {
@@ -85,17 +96,25 @@ func AblateDiversity(o Options) *Report {
 		Title:  "ViFi gain vs number of available BSes (§3.4.1)",
 		Header: []string{"#BSes", "median VoIP session (s)", "mean MoS"},
 	}
+	eng := o.engine()
 	dur := time.Duration(o.scaled(900)) * time.Second
-	v := mobility.NewVanLAN()
-	for _, nb := range []int{1, 2, 3, 5, 8, 11} {
-		k := sim.NewKernel(o.Seed)
-		opts := core.DefaultCellOptions()
-		movers := make([]mobility.Mover, nb)
-		for i := 0; i < nb; i++ {
-			movers[i] = mobility.Fixed(v.BSes[i])
-		}
-		cell := core.NewCell(k, opts, movers, &mobility.RouteMover{Route: v.Route})
-		q := voipOnCell(k, cell, dur)
+	counts := []int{1, 2, 3, 5, 8, 11}
+	futs := make([]Future[voip.Quality], len(counts))
+	for i, nb := range counts {
+		futs[i] = goJob(eng, func() voip.Quality {
+			v := mobility.NewVanLAN()
+			k := sim.NewKernel(o.Seed)
+			opts := core.DefaultCellOptions()
+			movers := make([]mobility.Mover, nb)
+			for j := 0; j < nb; j++ {
+				movers[j] = mobility.Fixed(v.BSes[j])
+			}
+			cell := core.NewCell(k, opts, movers, &mobility.RouteMover{Route: v.Route})
+			return voipOnCell(k, cell, dur)
+		})
+	}
+	for i, nb := range counts {
+		q := futs[i].Wait()
 		r.AddRow(fmt.Sprint(nb), f1(q.MedianSessionSec), f2(q.MeanMoS))
 	}
 	r.AddNote("paper shape: most of the gain arrives by 2–3 BSes (§3.4.1)")
@@ -122,15 +141,22 @@ func AblateBackplane(o Options) *Report {
 		{"5 Mbit/s, 8 ms (default)", 5e6, 8 * time.Millisecond},
 		{"100 Mbit/s, 1 ms (LAN)", 100e6, time.Millisecond},
 	}
-	for _, c := range cases {
-		k := sim.NewKernel(o.Seed)
-		opts := core.DefaultCellOptions()
-		opts.Backplane = backplane.Config{
-			Access:    backplane.LinkSpec{RateBps: c.rate, Delay: c.delay, QueueBytes: 64 << 10},
-			CoreDelay: c.delay / 2,
-		}
-		cell := core.NewVanLANCell(k, opts)
-		st := tcpOnCell(k, cell, dur)
+	eng := o.engine()
+	futs := make([]Future[*transport.WorkloadStats], len(cases))
+	for i, c := range cases {
+		futs[i] = goJob(eng, func() *transport.WorkloadStats {
+			k := sim.NewKernel(o.Seed)
+			opts := core.DefaultCellOptions()
+			opts.Backplane = backplane.Config{
+				Access:    backplane.LinkSpec{RateBps: c.rate, Delay: c.delay, QueueBytes: 64 << 10},
+				CoreDelay: c.delay / 2,
+			}
+			cell := core.NewVanLANCell(k, opts)
+			return tcpOnCell(k, cell, dur)
+		})
+	}
+	for i, c := range cases {
+		st := futs[i].Wait()
 		r.AddRow(c.name, f2(st.MedianTransferTime()), f1(st.TransfersPerSession()))
 	}
 	r.AddNote("design claim: ViFi needs little backplane capacity — thin links should perform close to a LAN")
@@ -145,15 +171,21 @@ func AblateSalvage(o Options) *Report {
 		Title:  "Salvage window sweep on VanLAN TCP (§4.5)",
 		Header: []string{"window", "median transfer (s)", "transfers/session", "salvaged"},
 	}
+	eng := o.engine()
 	dur := time.Duration(o.scaled(1200)) * time.Second
-	for _, w := range []time.Duration{0, 500 * time.Millisecond, time.Second, 2 * time.Second, 4 * time.Second} {
+	windows := []time.Duration{0, 500 * time.Millisecond, time.Second, 2 * time.Second, 4 * time.Second}
+	futs := make([]Future[*TCPRun], len(windows))
+	for i, w := range windows {
 		cfg := core.DefaultConfig()
 		if w == 0 {
 			cfg.EnableSalvage = false
 		} else {
 			cfg.SalvageWindow = w
 		}
-		run := RunTCPWorkload(o.Seed, EnvVanLAN, cfg, dur)
+		futs[i] = eng.TCP(o.Seed, EnvVanLAN, cfg, dur)
+	}
+	for i, w := range windows {
+		run := futs[i].Wait()
 		r.AddRow(fmt.Sprintf("%gs", w.Seconds()),
 			f2(run.Stats.MedianTransferTime()),
 			f1(run.Stats.TransfersPerSession()),
@@ -170,16 +202,29 @@ func AblateRetx(o Options) *Report {
 		Title:  "Retransmission-timer percentile sweep (§4.7)",
 		Header: []string{"percentile", "median transfer (s)", "spurious retx/pkt"},
 	}
+	eng := o.engine()
 	dur := time.Duration(o.scaled(900)) * time.Second
-	for _, p := range []float64{0.5, 0.9, 0.99, 0.999} {
+	percentiles := []float64{0.5, 0.9, 0.99, 0.999}
+	type retxResult struct {
+		st  *transport.WorkloadStats
+		col *Collector
+	}
+	futs := make([]Future[retxResult], len(percentiles))
+	for i, p := range percentiles {
 		cfg := core.DefaultConfig()
 		cfg.RetxPercentile = p
-		col := NewCollector()
-		st := tcpOnEnv(o.Seed, EnvVanLAN, cfg, dur, col)
+		futs[i] = goJob(eng, func() retxResult {
+			col := NewCollector()
+			st := tcpOnEnv(o.Seed, EnvVanLAN, cfg, dur, col)
+			return retxResult{st: st, col: col}
+		})
+	}
+	for i, p := range percentiles {
+		res := futs[i].Wait()
 		// Spurious retransmissions ≈ retransmitted attempts whose earlier
 		// attempt had already reached the destination.
-		spurious := spuriousRetxRate(col)
-		r.AddRow(fmt.Sprintf("%g", p), f2(st.MedianTransferTime()), f2(spurious))
+		spurious := spuriousRetxRate(res.col)
+		r.AddRow(fmt.Sprintf("%g", p), f2(res.st.MedianTransferTime()), f2(spurious))
 	}
 	r.AddNote("paper: the 99th percentile errs toward waiting, trading delay for fewer spurious retransmissions")
 	return r

@@ -3,6 +3,7 @@ package experiment
 import (
 	"encoding/binary"
 	"fmt"
+	"sync"
 	"time"
 
 	"github.com/vanlan/vifi/internal/core"
@@ -84,18 +85,34 @@ func buildCell(k *sim.Kernel, env Env, cfg core.Config, events core.EventFunc) (
 }
 
 // traceCache memoizes synthetic DieselNet traces per (seed, channel): the
-// generation sweep dominates short benchmarks otherwise.
-var traceCache = map[[2]int64]*trace.Trace{}
+// generation sweep dominates short benchmarks otherwise. Cells built by
+// concurrent engine jobs share it; the per-key once lets distinct traces
+// generate in parallel while same-key callers block only on their own
+// generation. The cached Trace is read-only after generation.
+type traceSlot struct {
+	once sync.Once
+	tr   *trace.Trace
+}
+
+var (
+	traceMu    sync.Mutex
+	traceCache = map[[2]int64]*traceSlot{}
+)
 
 func traceFor(k *sim.Kernel, ch int) *trace.Trace {
 	seed := int64(k.RNG("traceseed").Uint64() % (1 << 30))
 	key := [2]int64{seed, int64(ch)}
-	if tr, ok := traceCache[key]; ok {
-		return tr
+	traceMu.Lock()
+	slot, ok := traceCache[key]
+	if !ok {
+		slot = &traceSlot{}
+		traceCache[key] = slot
 	}
-	tr := trace.GenerateDieselNet(seed, ch, time.Hour)
-	traceCache[key] = tr
-	return tr
+	traceMu.Unlock()
+	slot.once.Do(func() {
+		slot.tr = trace.GenerateDieselNet(seed, ch, time.Hour)
+	})
+	return slot.tr
 }
 
 // --- Probe workload (link-layer experiments, Fig 7/8) ---------------------

@@ -240,7 +240,10 @@ func (c *Collector) Efficiency(dir core.Direction) float64 {
 // the relay succeeds with ViFi's observed relay delivery rate when ViFi
 // relayed, and is assumed successful when ViFi did not relay.
 func (c *Collector) PerfectRelayEfficiency(dir core.Direction) float64 {
-	var srcTx, delivered, relayTx float64
+	// Integer counters only inside the map loop: map iteration order is
+	// random, and accumulating floats in it would make the result depend
+	// on the iteration (equal seeds could render differently).
+	var srcTx, sure, rated, relayTx int
 	relayRate := c.Stats(dir).RelayDelivery
 	for _, r := range c.tx {
 		if r.dir != dir || !r.srcTx {
@@ -248,7 +251,7 @@ func (c *Collector) PerfectRelayEfficiency(dir core.Direction) float64 {
 		}
 		srcTx++
 		if r.dstDirect {
-			delivered++
+			sure++
 			continue
 		}
 		if r.auxHeard == 0 {
@@ -257,12 +260,12 @@ func (c *Collector) PerfectRelayEfficiency(dir core.Direction) float64 {
 		// The oracle relays exactly once.
 		relayTx++
 		if dir == core.Up {
-			delivered++ // backplane relay, reliable, not on the medium
+			sure++ // backplane relay, reliable, not on the medium
 		} else {
 			if r.relays > 0 {
-				delivered += relayRate
+				rated++
 			} else {
-				delivered++
+				sure++
 			}
 		}
 	}
@@ -273,5 +276,5 @@ func (c *Collector) PerfectRelayEfficiency(dir core.Direction) float64 {
 	if tx == 0 {
 		return 0
 	}
-	return delivered / tx
+	return (float64(sure) + relayRate*float64(rated)) / float64(tx)
 }

@@ -1,0 +1,132 @@
+package experiment
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/vanlan/vifi/internal/core"
+)
+
+// determinismSample is the figure subset the regression tests sweep: it
+// covers the probe, TCP and VoIP workloads, both environments
+// (live-channel VanLAN and trace-driven DieselNet), the measurement-trace
+// path (fig2), the collector pipeline (table2) and a custom-cell ablation.
+var determinismSample = []string{"fig2", "fig6", "fig8", "fig10", "fig11", "table2", "ablate-aux"}
+
+// TestEqualSeedsByteIdenticalReports is the package's reproducibility
+// contract: rendering the same experiment twice with equal options gives
+// byte-identical text.
+func TestEqualSeedsByteIdenticalReports(t *testing.T) {
+	for _, id := range determinismSample {
+		o := Options{Seed: 17, Scale: 0.04}
+		a, err := Run(id, o)
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		b, err := Run(id, o)
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		if a.String() != b.String() {
+			t.Errorf("%s: equal seeds diverged:\n--- first\n%s\n--- second\n%s", id, a, b)
+		}
+	}
+}
+
+// TestParallelMatchesSerial is the engine's correctness gate: a shared
+// multi-worker engine must render byte-identically to the serial inline
+// path, figure by figure.
+func TestParallelMatchesSerial(t *testing.T) {
+	eng := NewEngine(4)
+	for _, id := range determinismSample {
+		serial, err := Run(id, Options{Seed: 23, Scale: 0.04})
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		par, err := Run(id, Options{Seed: 23, Scale: 0.04, Engine: eng})
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		if serial.String() != par.String() {
+			t.Errorf("%s: parallel output differs from serial:\n--- serial\n%s\n--- parallel\n%s",
+				id, serial, par)
+		}
+	}
+}
+
+// TestRunCacheSharesIdenticalWorkloads checks the memoization contract:
+// two figures needing the same (seed, env, config, duration) run get one
+// execution and the same result object.
+func TestRunCacheSharesIdenticalWorkloads(t *testing.T) {
+	eng := NewEngine(2)
+	cfg := core.DefaultConfig()
+	a := eng.TCP(5, EnvVanLAN, cfg, 30*time.Second)
+	b := eng.TCP(5, EnvVanLAN, cfg, 30*time.Second)
+	if a.Wait() != b.Wait() {
+		t.Error("identical TCP jobs returned distinct results")
+	}
+	if hits := eng.CacheHits(); hits != 1 {
+		t.Errorf("cache hits = %d, want 1", hits)
+	}
+	// A differing duration must miss.
+	c := eng.TCP(5, EnvVanLAN, cfg, 31*time.Second)
+	if c.Wait() == a.Wait() {
+		t.Error("different durations shared a result")
+	}
+	// MaxRetx is normalized away for probe jobs (the workload forces it
+	// to zero), so configs differing only there share a run.
+	p1 := eng.Probe(5, EnvVanLAN, cfg, 20*time.Second)
+	retx := cfg
+	retx.MaxRetx = 0
+	p2 := eng.Probe(5, EnvVanLAN, retx, 20*time.Second)
+	if p1.Wait() != p2.Wait() {
+		t.Error("probe jobs differing only in MaxRetx did not share")
+	}
+}
+
+// TestSharedTCPRunConcurrentQuantiles guards the cache's immutability
+// contract: quantile queries lazily sort the sample, so cached runs are
+// frozen (pre-sorted) before publication. Two figures quantiling the same
+// shared run concurrently must be race-free (run with -race).
+func TestSharedTCPRunConcurrentQuantiles(t *testing.T) {
+	eng := NewEngine(4)
+	futs := []Future[*TCPRun]{
+		eng.TCP(3, EnvVanLAN, core.DefaultConfig(), 40*time.Second),
+		eng.TCP(3, EnvVanLAN, core.DefaultConfig(), 40*time.Second),
+	}
+	medians := make([]float64, len(futs))
+	var wg sync.WaitGroup
+	for i, f := range futs {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			run := f.Wait()
+			medians[i] = run.Stats.MedianTransferTime()
+			run.Stats.TransferTimes.Quantile(0.9)
+		}()
+	}
+	wg.Wait()
+	if medians[0] != medians[1] {
+		t.Errorf("shared run gave different medians: %v vs %v", medians[0], medians[1])
+	}
+}
+
+// TestWorkloadLevelDeterminism pins the lower layer directly: two
+// executions of one workload with one seed agree on outcome counts.
+func TestWorkloadLevelDeterminism(t *testing.T) {
+	a := RunTCPWorkload(31, EnvDieselNetCh1, core.DefaultConfig(), 45*time.Second)
+	b := RunTCPWorkload(31, EnvDieselNetCh1, core.DefaultConfig(), 45*time.Second)
+	if a.Stats.Completed != b.Stats.Completed || a.Stats.Aborted != b.Stats.Aborted ||
+		a.Salvaged != b.Salvaged {
+		t.Errorf("TCP diverged: %d/%d/%d vs %d/%d/%d",
+			a.Stats.Completed, a.Stats.Aborted, a.Salvaged,
+			b.Stats.Completed, b.Stats.Aborted, b.Salvaged)
+	}
+	qa := RunVoIPWorkload(37, EnvVanLAN, core.DefaultConfig(), 45*time.Second).Quality
+	qb := RunVoIPWorkload(37, EnvVanLAN, core.DefaultConfig(), 45*time.Second).Quality
+	if qa.MeanMoS != qb.MeanMoS || qa.Interruptions != qb.Interruptions {
+		t.Errorf("VoIP diverged: %v/%d vs %v/%d",
+			qa.MeanMoS, qa.Interruptions, qb.MeanMoS, qb.Interruptions)
+	}
+}

@@ -9,45 +9,54 @@ import (
 	"github.com/vanlan/vifi/internal/radio"
 	"github.com/vanlan/vifi/internal/sim"
 	"github.com/vanlan/vifi/internal/stats"
-	"github.com/vanlan/vifi/internal/trace"
 )
-
-// vanlanProbes generates (and caches per options) the §3 measurement
-// trace used by Figs 2–4.
-func vanlanProbes(o Options, trips int, subset []int) *trace.ProbeTrace {
-	cfg := trace.DefaultVanLANConfig(o.Seed)
-	cfg.Trips = trips
-	cfg.BSSubset = subset
-	return trace.GenerateVanLANProbes(cfg)
-}
 
 // Fig2 reproduces "Average number of packets delivered per day by various
 // methods" versus the number of basestations: random BS subsets of each
 // size, ten trials, six policies, packets scaled to the shuttle's ten
-// trips per day.
+// trips per day. Every (density, trial) pair is one engine job: subsets
+// are drawn serially first (preserving the serial RNG draw order), the
+// jobs run in any order, and the merge accumulates per-policy samples in
+// (density, trial) order — byte-identical to a serial sweep.
 func Fig2(o Options) *Report {
 	r := &Report{
 		ID:     "fig2",
 		Title:  "Packets delivered per day vs number of BSes (VanLAN)",
 		Header: []string{"#BSes", "AllBSes", "BestBS", "History", "RSSI", "BRR", "Sticky"},
 	}
+	eng := o.engine()
 	trials := o.scaled(10)
 	trips := o.scaled(4)
 	const tripsPerDay = 10
 	rng := sim.NewKernel(o.Seed).RNG("fig2-subsets")
 	order := []string{"AllBSes", "BestBS", "History", "RSSI", "BRR", "Sticky"}
-	for _, nb := range []int{2, 4, 6, 8, 10, 11} {
+	densities := []int{2, 4, 6, 8, 10, 11}
+	jobs := make([][]Future[map[string]float64], len(densities))
+	for d := range densities {
+		jobs[d] = make([]Future[map[string]float64], trials)
+		for trial := 0; trial < trials; trial++ {
+			subset := rng.Sample(11, densities[d])
+			seed := o.Seed + int64(trial*131)
+			jobs[d][trial] = goJob(eng, func() map[string]float64 {
+				pt := generateVanLANProbes(seed, trips, subset)
+				perDay := make(map[string]float64, 6)
+				for _, p := range handoff.AllPolicies() {
+					res := handoff.Evaluate(pt, p, time.Second)
+					perDay[p.Name()] = float64(res.Delivered()) / float64(trips) * tripsPerDay / 1000
+				}
+				return perDay
+			})
+		}
+	}
+	for d, nb := range densities {
 		sums := map[string]*stats.Sample{}
 		for _, name := range order {
 			sums[name] = stats.NewSample(trials)
 		}
 		for trial := 0; trial < trials; trial++ {
-			subset := rng.Sample(11, nb)
-			pt := vanlanProbes(Options{Seed: o.Seed + int64(trial*131), Scale: o.Scale}, trips, subset)
+			perDay := jobs[d][trial].Wait()
 			for _, p := range handoff.AllPolicies() {
-				res := handoff.Evaluate(pt, p, time.Second)
-				perDay := float64(res.Delivered()) / float64(trips) * tripsPerDay / 1000
-				sums[p.Name()].Add(perDay)
+				sums[p.Name()].Add(perDay[p.Name()])
 			}
 		}
 		row := []string{fmt.Sprint(nb)}
@@ -83,31 +92,64 @@ func Fig3(o Options) *Report {
 		Title:  "Connectivity timelines for one trip and session-length CDF",
 		Header: []string{"series", "value"},
 	}
-	pt := vanlanProbes(o, o.scaled(6), nil)
-	for _, p := range []handoff.Policy{handoff.NewBRR(), handoff.NewBestBS(), handoff.NewAllBSes()} {
-		tl := handoff.TripTimeline(pt, p, 1, 0.5)
-		r.AddRow(fmt.Sprintf("(%s) trip timeline", p.Name()), sparkline(tl.Adequate))
-		r.AddRow(fmt.Sprintf("(%s) interruptions", p.Name()), fmt.Sprint(len(tl.Interruptions)))
+	eng := o.engine()
+	// The trace generates first; the per-policy replays over it then run
+	// as pool-bounded jobs (the trace is read-only once built).
+	pt := eng.VanLANProbes(o.Seed, o.scaled(6), nil).Wait()
+	tlPolicies := []func() handoff.Policy{
+		func() handoff.Policy { return handoff.NewBRR() },
+		func() handoff.Policy { return handoff.NewBestBS() },
+		func() handoff.Policy { return handoff.NewAllBSes() },
+	}
+	tlJobs := make([]Future[[2][2]string], len(tlPolicies))
+	for i, mk := range tlPolicies {
+		tlJobs[i] = goJob(eng, func() [2][2]string {
+			p := mk()
+			tl := handoff.TripTimeline(pt, p, 1, 0.5)
+			return [2][2]string{
+				{fmt.Sprintf("(%s) trip timeline", p.Name()), sparkline(tl.Adequate)},
+				{fmt.Sprintf("(%s) interruptions", p.Name()), fmt.Sprint(len(tl.Interruptions))},
+			}
+		})
+	}
+	cdfPolicies := []func() handoff.Policy{
+		func() handoff.Policy { return handoff.NewSticky() },
+		func() handoff.Policy { return handoff.NewBRR() },
+		func() handoff.Policy { return handoff.NewBestBS() },
+		func() handoff.Policy { return handoff.NewAllBSes() },
+	}
+	cdfJobs := make([]Future[[2]string], len(cdfPolicies))
+	for i, mk := range cdfPolicies {
+		cdfJobs[i] = goJob(eng, func() [2]string {
+			p := mk()
+			res := handoff.Evaluate(pt, p, time.Second)
+			lens := res.Sessions(0.5)
+			xs, ps := handoff.SessionTimeCDF(lens)
+			var cells []string
+			for _, q := range []float64{25, 50, 75} {
+				x := 0.0
+				for i := range xs {
+					if ps[i] >= q {
+						x = xs[i]
+						break
+					}
+				}
+				cells = append(cells, fmt.Sprintf("p%.0f=%.0fs", q, x))
+			}
+			return [2]string{fmt.Sprintf("(%s)", p.Name()), strings.Join(cells, " ")}
+		})
+	}
+	for _, f := range tlJobs {
+		rows := f.Wait()
+		r.AddRow(rows[0][0], rows[0][1])
+		r.AddRow(rows[1][0], rows[1][1])
 	}
 	// (d): CDF of time spent in sessions of a given length.
 	r.AddRow("", "")
 	r.AddRow("session CDF", "len(s): %time ≤ len")
-	for _, p := range []handoff.Policy{handoff.NewSticky(), handoff.NewBRR(), handoff.NewBestBS(), handoff.NewAllBSes()} {
-		res := handoff.Evaluate(pt, p, time.Second)
-		lens := res.Sessions(0.5)
-		xs, ps := handoff.SessionTimeCDF(lens)
-		var cells []string
-		for _, q := range []float64{25, 50, 75} {
-			x := 0.0
-			for i := range xs {
-				if ps[i] >= q {
-					x = xs[i]
-					break
-				}
-			}
-			cells = append(cells, fmt.Sprintf("p%.0f=%.0fs", q, x))
-		}
-		r.AddRow(fmt.Sprintf("(%s)", p.Name()), strings.Join(cells, " "))
+	for _, f := range cdfJobs {
+		row := f.Wait()
+		r.AddRow(row[0], row[1])
 	}
 	r.AddNote("paper shape: median session AllBSes > 2× BestBS and > 7× BRR; Sticky worst")
 	return r
@@ -122,29 +164,42 @@ func Fig4(o Options) *Report {
 		Title:  "Median session length vs adequacy definition (VanLAN)",
 		Header: []string{"sweep", "x", "AllBSes", "BestBS", "BRR", "Sticky"},
 	}
-	pt := vanlanProbes(o, o.scaled(8), nil)
+	eng := o.engine()
+	pt := eng.VanLANProbes(o.Seed, o.scaled(8), nil).Wait()
 	policies := []func() handoff.Policy{
 		func() handoff.Policy { return handoff.NewAllBSes() },
 		func() handoff.Policy { return handoff.NewBestBS() },
 		func() handoff.Policy { return handoff.NewBRR() },
 		func() handoff.Policy { return handoff.NewSticky() },
 	}
-	for _, iv := range []time.Duration{500 * time.Millisecond, time.Second,
-		2 * time.Second, 4 * time.Second, 8 * time.Second, 16 * time.Second} {
-		row := []string{"(a) interval", fmt.Sprintf("%gs", iv.Seconds())}
-		for _, mk := range policies {
-			med := handoff.Evaluate(pt, mk(), iv).MedianSessionTimeWeighted(0.5)
-			row = append(row, fmt.Sprintf("%.0fs", med))
-		}
-		r.AddRow(row...)
+	// One pool job per sweep row: each replays the trace under four
+	// policies, which is the figure's actual compute.
+	intervals := []time.Duration{500 * time.Millisecond, time.Second,
+		2 * time.Second, 4 * time.Second, 8 * time.Second, 16 * time.Second}
+	ratios := []float64{0.1, 0.3, 0.5, 0.7, 0.9}
+	rowJobs := make([]Future[[]string], 0, len(intervals)+len(ratios))
+	for _, iv := range intervals {
+		rowJobs = append(rowJobs, goJob(eng, func() []string {
+			row := []string{"(a) interval", fmt.Sprintf("%gs", iv.Seconds())}
+			for _, mk := range policies {
+				med := handoff.Evaluate(pt, mk(), iv).MedianSessionTimeWeighted(0.5)
+				row = append(row, fmt.Sprintf("%.0fs", med))
+			}
+			return row
+		}))
 	}
-	for _, ratio := range []float64{0.1, 0.3, 0.5, 0.7, 0.9} {
-		row := []string{"(b) ratio", pct(ratio)}
-		for _, mk := range policies {
-			med := handoff.Evaluate(pt, mk(), time.Second).MedianSessionTimeWeighted(ratio)
-			row = append(row, fmt.Sprintf("%.0fs", med))
-		}
-		r.AddRow(row...)
+	for _, ratio := range ratios {
+		rowJobs = append(rowJobs, goJob(eng, func() []string {
+			row := []string{"(b) ratio", pct(ratio)}
+			for _, mk := range policies {
+				med := handoff.Evaluate(pt, mk(), time.Second).MedianSessionTimeWeighted(ratio)
+				row = append(row, fmt.Sprintf("%.0fs", med))
+			}
+			return row
+		}))
+	}
+	for _, f := range rowJobs {
+		r.AddRow(f.Wait()...)
 	}
 	r.AddNote("paper shape: methods converge when the requirement is lax; multi-BS advantage grows as it tightens")
 	return r
@@ -160,10 +215,12 @@ func Fig5(o Options) *Report {
 		Header: []string{"#BSes ≤", "VanLAN ≥1", "Ch1 ≥1", "Ch6 ≥1",
 			"VanLAN ≥50%", "Ch1 ≥50%", "Ch6 ≥50%"},
 	}
-	pt := vanlanProbes(o, o.scaled(4), nil)
+	eng := o.engine()
 	dur := time.Duration(o.scaled(40)) * time.Minute
-	ch1 := trace.GenerateDieselNet(o.Seed, 1, dur)
-	ch6 := trace.GenerateDieselNet(o.Seed, 6, dur)
+	ptF := eng.VanLANProbes(o.Seed, o.scaled(4), nil)
+	ch1F := eng.DieselNetTrace(o.Seed, 1, dur)
+	ch6F := eng.DieselNetTrace(o.Seed, 6, dur)
+	pt, ch1, ch6 := ptF.Wait(), ch1F.Wait(), ch6F.Wait()
 
 	cdfOf := func(counts []int) *stats.CDF {
 		s := stats.NewSample(len(counts))
@@ -172,9 +229,18 @@ func Fig5(o Options) *Report {
 		}
 		return stats.NewCDF(s)
 	}
-	sets := []*stats.CDF{
-		cdfOf(pt.VisibleCounts(0)), cdfOf(ch1.VisibleCounts(0)), cdfOf(ch6.VisibleCounts(0)),
-		cdfOf(pt.VisibleCounts(0.5)), cdfOf(ch1.VisibleCounts(0.5)), cdfOf(ch6.VisibleCounts(0.5)),
+	// Build the six CDFs as pool jobs; each scans a full trace.
+	cdfJobs := []Future[*stats.CDF]{
+		goJob(eng, func() *stats.CDF { return cdfOf(pt.VisibleCounts(0)) }),
+		goJob(eng, func() *stats.CDF { return cdfOf(ch1.VisibleCounts(0)) }),
+		goJob(eng, func() *stats.CDF { return cdfOf(ch6.VisibleCounts(0)) }),
+		goJob(eng, func() *stats.CDF { return cdfOf(pt.VisibleCounts(0.5)) }),
+		goJob(eng, func() *stats.CDF { return cdfOf(ch1.VisibleCounts(0.5)) }),
+		goJob(eng, func() *stats.CDF { return cdfOf(ch6.VisibleCounts(0.5)) }),
+	}
+	sets := make([]*stats.CDF, len(cdfJobs))
+	for i, f := range cdfJobs {
+		sets[i] = f.Wait()
 	}
 	for n := 0; n <= 10; n++ {
 		row := []string{fmt.Sprint(n)}
@@ -196,10 +262,28 @@ func Fig6(o Options) *Report {
 		Title:  "Burstiness and cross-BS independence of losses",
 		Header: []string{"quantity", "value"},
 	}
+	eng := o.engine()
+
+	// The two halves are independent Monte Carlo sweeps; each runs as one
+	// job with its own kernel. Named RNG streams derive from (seed, label)
+	// only, so the values match the previous single-kernel execution.
+	aF := goJob(eng, func() [][2]string { return fig6BurstRows(o) })
+	bF := goJob(eng, func() [][2]string { return fig6IndependenceRows(o) })
+	for _, row := range aF.Wait() {
+		r.AddRow(row[0], row[1])
+	}
+	for _, row := range bF.Wait() {
+		r.AddRow(row[0], row[1])
+	}
+	r.AddNote("paper shape: conditional loss ≫ unconditional at small k, decaying to it; the other BS is barely affected by a loss (Fig 6b)")
+	return r
+}
+
+// fig6BurstRows computes Fig 6a: single BS sending every 10 ms at a fixed
+// vehicular distance.
+func fig6BurstRows(o Options) [][2]string {
 	k := sim.NewKernel(o.Seed)
 	p := radio.DefaultParams()
-
-	// (a) single BS sending every 10 ms at a fixed vehicular distance.
 	n := o.scaled(300000)
 	linkA := radio.NewFadingLink(p, k.RNG("fig6a"))
 	coin := k.RNG("fig6a-coin")
@@ -229,15 +313,20 @@ func Fig6(o Options) *Report {
 		}
 		return float64(num) / float64(den)
 	}
-	r.AddRow("(a) unconditional loss", pct1(uncondP))
+	rows := [][2]string{{"(a) unconditional loss", pct1(uncondP)}}
 	for _, kk := range []int{1, 2, 5, 10, 20, 50, 100, 200, 500, 1000, 2000} {
 		if kk >= n {
 			break
 		}
-		r.AddRow(fmt.Sprintf("(a) P(loss i+%d | loss i)", kk), pct1(cond(kk)))
+		rows = append(rows, [2]string{fmt.Sprintf("(a) P(loss i+%d | loss i)", kk), pct1(cond(kk))})
 	}
+	return rows
+}
 
-	// (b) two BSes sending every 20 ms.
+// fig6IndependenceRows computes Fig 6b: two BSes sending every 20 ms.
+func fig6IndependenceRows(o Options) [][2]string {
+	k := sim.NewKernel(o.Seed)
+	p := radio.DefaultParams()
 	m := o.scaled(200000)
 	la := radio.NewFadingLink(p, k.RNG("fig6b-A"))
 	lb := radio.NewFadingLink(p, k.RNG("fig6b-B"))
@@ -268,12 +357,12 @@ func Fig6(o Options) *Report {
 	}
 	pa := frac(func(i int) (bool, bool) { return true, recvA[i] })
 	pb := frac(func(i int) (bool, bool) { return true, recvB[i] })
-	r.AddRow("(b) P(A)", f2(pa))
-	r.AddRow("(b) P(A i+1 | ¬A i)", f2(frac(func(i int) (bool, bool) { return !recvA[i], recvA[i+1] })))
-	r.AddRow("(b) P(B i+1 | ¬A i)", f2(frac(func(i int) (bool, bool) { return !recvA[i], recvB[i+1] })))
-	r.AddRow("(b) P(B)", f2(pb))
-	r.AddRow("(b) P(B i+1 | ¬B i)", f2(frac(func(i int) (bool, bool) { return !recvB[i], recvB[i+1] })))
-	r.AddRow("(b) P(A i+1 | ¬B i)", f2(frac(func(i int) (bool, bool) { return !recvB[i], recvA[i+1] })))
-	r.AddNote("paper shape: conditional loss ≫ unconditional at small k, decaying to it; the other BS is barely affected by a loss (Fig 6b)")
-	return r
+	return [][2]string{
+		{"(b) P(A)", f2(pa)},
+		{"(b) P(A i+1 | ¬A i)", f2(frac(func(i int) (bool, bool) { return !recvA[i], recvA[i+1] }))},
+		{"(b) P(B i+1 | ¬A i)", f2(frac(func(i int) (bool, bool) { return !recvA[i], recvB[i+1] }))},
+		{"(b) P(B)", f2(pb)},
+		{"(b) P(B i+1 | ¬B i)", f2(frac(func(i int) (bool, bool) { return !recvB[i], recvB[i+1] }))},
+		{"(b) P(A i+1 | ¬B i)", f2(frac(func(i int) (bool, bool) { return !recvB[i], recvA[i+1] }))},
+	}
 }

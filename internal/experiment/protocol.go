@@ -18,28 +18,40 @@ func Fig7(o Options) *Report {
 		Title:  "Link-layer median session length: ViFi vs handoff policies (VanLAN)",
 		Header: []string{"sweep", "x", "AllBSes", "ViFi", "BestBS", "BRR"},
 	}
+	eng := o.engine()
 	dur := time.Duration(o.scaled(900)) * time.Second
-	vifi := RunProbeWorkload(o.Seed, EnvVanLAN, core.DefaultConfig(), dur, nil)
-	brr := RunProbeWorkload(o.Seed, EnvVanLAN, core.BRRConfig(), dur, nil)
-	pt := vanlanProbes(o, o.scaled(8), nil)
+	vifiF := eng.Probe(o.Seed, EnvVanLAN, core.DefaultConfig(), dur)
+	brrF := eng.Probe(o.Seed, EnvVanLAN, core.BRRConfig(), dur)
+	ptF := eng.VanLANProbes(o.Seed, o.scaled(8), nil)
+	vifi, brr, pt := vifiF.Wait(), brrF.Wait(), ptF.Wait()
 
+	// Each sweep row replays the measurement trace for the two oracles and
+	// reduces both live runs — pool jobs, merged in declaration order.
 	oracle := func(mk func() handoff.Policy, iv time.Duration, ratio float64) float64 {
 		return handoff.Evaluate(pt, mk(), iv).MedianSessionTimeWeighted(ratio)
 	}
+	var rowJobs []Future[[]string]
 	for _, iv := range []time.Duration{500 * time.Millisecond, time.Second,
 		2 * time.Second, 4 * time.Second, 8 * time.Second} {
-		r.AddRow("(a) interval", fmt.Sprintf("%gs", iv.Seconds()),
-			fmt.Sprintf("%.0fs", oracle(func() handoff.Policy { return handoff.NewAllBSes() }, iv, 0.5)),
-			fmt.Sprintf("%.0fs", vifi.MedianSession(iv, 0.5)),
-			fmt.Sprintf("%.0fs", oracle(func() handoff.Policy { return handoff.NewBestBS() }, iv, 0.5)),
-			fmt.Sprintf("%.0fs", brr.MedianSession(iv, 0.5)))
+		rowJobs = append(rowJobs, goJob(eng, func() []string {
+			return []string{"(a) interval", fmt.Sprintf("%gs", iv.Seconds()),
+				fmt.Sprintf("%.0fs", oracle(func() handoff.Policy { return handoff.NewAllBSes() }, iv, 0.5)),
+				fmt.Sprintf("%.0fs", vifi.MedianSession(iv, 0.5)),
+				fmt.Sprintf("%.0fs", oracle(func() handoff.Policy { return handoff.NewBestBS() }, iv, 0.5)),
+				fmt.Sprintf("%.0fs", brr.MedianSession(iv, 0.5))}
+		}))
 	}
 	for _, ratio := range []float64{0.1, 0.3, 0.5, 0.7, 0.9} {
-		r.AddRow("(b) ratio", pct(ratio),
-			fmt.Sprintf("%.0fs", oracle(func() handoff.Policy { return handoff.NewAllBSes() }, time.Second, ratio)),
-			fmt.Sprintf("%.0fs", vifi.MedianSession(time.Second, ratio)),
-			fmt.Sprintf("%.0fs", oracle(func() handoff.Policy { return handoff.NewBestBS() }, time.Second, ratio)),
-			fmt.Sprintf("%.0fs", brr.MedianSession(time.Second, ratio)))
+		rowJobs = append(rowJobs, goJob(eng, func() []string {
+			return []string{"(b) ratio", pct(ratio),
+				fmt.Sprintf("%.0fs", oracle(func() handoff.Policy { return handoff.NewAllBSes() }, time.Second, ratio)),
+				fmt.Sprintf("%.0fs", vifi.MedianSession(time.Second, ratio)),
+				fmt.Sprintf("%.0fs", oracle(func() handoff.Policy { return handoff.NewBestBS() }, time.Second, ratio)),
+				fmt.Sprintf("%.0fs", brr.MedianSession(time.Second, ratio))}
+		}))
+	}
+	for _, f := range rowJobs {
+		r.AddRow(f.Wait()...)
 	}
 	r.AddNote("paper shape: ViFi beats the BestBS oracle and approaches AllBSes; BRR trails badly")
 	return r
@@ -52,12 +64,18 @@ func Fig8(o Options) *Report {
 		Title:  "BRR vs ViFi along a VanLAN path segment",
 		Header: []string{"protocol", "timeline (1s cells: # adequate, . interrupted)"},
 	}
+	eng := o.engine()
 	dur := time.Duration(o.scaled(400)) * time.Second
-	for _, c := range []struct {
+	arms := []struct {
 		name string
 		cfg  core.Config
-	}{{"BRR", core.BRRConfig()}, {"ViFi", core.DefaultConfig()}} {
-		run := RunProbeWorkload(o.Seed, EnvVanLAN, c.cfg, dur, nil)
+	}{{"BRR", core.BRRConfig()}, {"ViFi", core.DefaultConfig()}}
+	futs := make([]Future[*ProbeRun], len(arms))
+	for i, c := range arms {
+		futs[i] = eng.Probe(o.Seed, EnvVanLAN, c.cfg, dur)
+	}
+	for i, c := range arms {
+		run := futs[i].Wait()
 		ratios := run.CombinedIntervalRatios(time.Second)
 		adequate := make([]bool, len(ratios))
 		interruptions := 0
@@ -85,16 +103,22 @@ func Fig9(o Options) *Report {
 		Title:  "TCP performance in VanLAN (10 KB transfers)",
 		Header: []string{"protocol", "median transfer (s)", "p90 transfer (s)", "transfers/session", "completed", "aborted", "salvaged pkts"},
 	}
+	eng := o.engine()
 	dur := time.Duration(o.scaled(1200)) * time.Second
-	for _, c := range []struct {
+	arms := []struct {
 		name string
 		cfg  core.Config
 	}{
 		{"BRR", core.BRRConfig()},
 		{"Only Diversity", core.DiversityOnlyConfig()},
 		{"ViFi", core.DefaultConfig()},
-	} {
-		run := RunTCPWorkload(o.Seed, EnvVanLAN, c.cfg, dur)
+	}
+	futs := make([]Future[*TCPRun], len(arms))
+	for i, c := range arms {
+		futs[i] = eng.TCP(o.Seed, EnvVanLAN, c.cfg, dur)
+	}
+	for i, c := range arms {
+		run := futs[i].Wait()
 		r.AddRow(c.name,
 			f2(run.Stats.MedianTransferTime()),
 			f2(run.Stats.TransferTimes.Quantile(0.9)),
@@ -116,14 +140,22 @@ func Fig10(o Options) *Report {
 		Title:  "TCP performance in DieselNet (transfers/second)",
 		Header: []string{"environment", "BRR", "ViFi", "gain"},
 	}
+	eng := o.engine()
 	dur := time.Duration(o.scaled(1800)) * time.Second
-	for _, env := range []Env{EnvDieselNetCh1, EnvDieselNetCh6} {
-		rate := func(cfg core.Config) float64 {
-			run := RunTCPWorkload(o.Seed, env, cfg, dur)
+	envs := []Env{EnvDieselNetCh1, EnvDieselNetCh6}
+	brrF := make([]Future[*TCPRun], len(envs))
+	vifiF := make([]Future[*TCPRun], len(envs))
+	for i, env := range envs {
+		brrF[i] = eng.TCP(o.Seed, env, core.BRRConfig(), dur)
+		vifiF[i] = eng.TCP(o.Seed, env, core.DefaultConfig(), dur)
+	}
+	for i, env := range envs {
+		rate := func(f Future[*TCPRun]) float64 {
+			run := f.Wait()
 			return float64(run.Stats.Completed) / run.Duration.Seconds()
 		}
-		b := rate(core.BRRConfig())
-		v := rate(core.DefaultConfig())
+		b := rate(brrF[i])
+		v := rate(vifiF[i])
 		gain := "n/a"
 		if b > 0 {
 			gain = fmt.Sprintf("%.1fx", v/b)
@@ -143,17 +175,34 @@ func Fig11(o Options) *Report {
 		Title:  "Median length of uninterrupted VoIP sessions",
 		Header: []string{"environment", "BRR session (s)", "ViFi session (s)", "gain", "BRR MoS", "ViFi MoS"},
 	}
+	eng := o.engine()
 	dur := time.Duration(o.scaled(1200)) * time.Second
 	runs := o.scaled(3)
-	for _, env := range []Env{EnvVanLAN, EnvDieselNetCh1, EnvDieselNetCh6} {
-		// Pool session lengths and window MoS across several runs, as the
-		// paper pools sessions across days of driving.
-		pooled := func(cfg core.Config) (median, meanMoS float64) {
+	envs := []Env{EnvVanLAN, EnvDieselNetCh1, EnvDieselNetCh6}
+	// Schedule every (env, protocol, replicate) run up front, then pool in
+	// declaration order — the paper pools sessions across days of driving.
+	futs := map[Env]map[bool][]Future[*VoIPRun]{}
+	for _, env := range envs {
+		futs[env] = map[bool][]Future[*VoIPRun]{}
+		for _, brr := range []bool{true, false} {
+			cfg := core.DefaultConfig()
+			if brr {
+				cfg = core.BRRConfig()
+			}
+			fs := make([]Future[*VoIPRun], runs)
+			for i := 0; i < runs; i++ {
+				fs[i] = eng.VoIP(o.Seed+int64(i*977), env, cfg, dur)
+			}
+			futs[env][brr] = fs
+		}
+	}
+	for _, env := range envs {
+		pooled := func(fs []Future[*VoIPRun]) (median, meanMoS float64) {
 			var lens []float64
 			var mosSum float64
 			var mosN int
-			for i := 0; i < runs; i++ {
-				q := RunVoIPWorkload(o.Seed+int64(i*977), env, cfg, dur).Quality
+			for _, f := range fs {
+				q := f.Wait().Quality
 				lens = append(lens, q.SessionLens...)
 				mosSum += q.MeanMoS * float64(q.Windows)
 				mosN += q.Windows
@@ -163,8 +212,8 @@ func Fig11(o Options) *Report {
 			}
 			return medianTimeWeighted(lens), meanMoS
 		}
-		bMed, bMoS := pooled(core.BRRConfig())
-		vMed, vMoS := pooled(core.DefaultConfig())
+		bMed, bMoS := pooled(futs[env][true])
+		vMed, vMoS := pooled(futs[env][false])
 		gain := "n/a"
 		if bMed > 0 {
 			gain = fmt.Sprintf("%.1fx", vMed/bMed)
@@ -184,9 +233,12 @@ func Fig12(o Options) *Report {
 		Title:  "Efficiency of medium usage (VanLAN TCP workload)",
 		Header: []string{"direction", "BRR", "ViFi", "PerfectRelay"},
 	}
+	eng := o.engine()
 	dur := time.Duration(o.scaled(1200)) * time.Second
-	brr := RunTCPWorkload(o.Seed, EnvVanLAN, core.BRRConfig(), dur).Collector
-	vifi := RunTCPWorkload(o.Seed, EnvVanLAN, core.DefaultConfig(), dur).Collector
+	brrF := eng.TCP(o.Seed, EnvVanLAN, core.BRRConfig(), dur)
+	vifiF := eng.TCP(o.Seed, EnvVanLAN, core.DefaultConfig(), dur)
+	brr := brrF.Wait().Collector
+	vifi := vifiF.Wait().Collector
 	for _, dir := range []core.Direction{core.Up, core.Down} {
 		r.AddRow(dir.String(),
 			f2(brr.Efficiency(dir)),
@@ -206,7 +258,7 @@ func Table1(o Options) *Report {
 		Header: []string{"row", "statistic", "upstream", "downstream"},
 	}
 	dur := time.Duration(o.scaled(1200)) * time.Second
-	run := RunTCPWorkload(o.Seed, EnvVanLAN, core.DefaultConfig(), dur)
+	run := o.engine().TCP(o.Seed, EnvVanLAN, core.DefaultConfig(), dur).Wait()
 	col := run.Collector
 	up := col.Stats(core.Up)
 	down := col.Stats(core.Down)
@@ -236,12 +288,15 @@ func Table2(o Options) *Report {
 		Title:  "Downstream coordination mechanisms on DieselNet Ch.1",
 		Header: []string{"mechanism", "false positives", "false negatives*"},
 	}
+	eng := o.engine()
 	dur := time.Duration(o.scaled(1500)) * time.Second
-	for _, c := range []core.CoordinatorKind{core.CoordViFi, core.CoordNotG1, core.CoordNotG2, core.CoordNotG3} {
-		cfg := DefaultTableConfig(c)
-		col := NewCollector()
-		RunProbeWorkload(o.Seed, EnvDieselNetCh1, cfg, dur, col.Handle)
-		down := col.Stats(core.Down)
+	kinds := []core.CoordinatorKind{core.CoordViFi, core.CoordNotG1, core.CoordNotG2, core.CoordNotG3}
+	futs := make([]Future[*Collector], len(kinds))
+	for i, c := range kinds {
+		futs[i] = eng.ProbeCollect(o.Seed, EnvDieselNetCh1, DefaultTableConfig(c), dur)
+	}
+	for i, c := range kinds {
+		down := futs[i].Wait().Stats(core.Down)
 		r.AddRow(c.String(), pct(down.FalsePositiveRate), pct(down.FalseNegativeGivenHeard))
 	}
 	r.AddNote("*false negatives conditioned on ≥1 auxiliary overhearing the failure — coordination failures, not coverage gaps (our synthetic traces spend more time out of coverage than the originals)")

@@ -1,0 +1,69 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestPaperOrderSubsetOfIDs checks every paper table/figure id is
+// registered.
+func TestPaperOrderSubsetOfIDs(t *testing.T) {
+	have := map[string]bool{}
+	for _, id := range IDs() {
+		have[id] = true
+	}
+	for _, id := range PaperOrder() {
+		if !have[id] {
+			t.Errorf("PaperOrder id %q not in IDs()", id)
+		}
+	}
+}
+
+func TestIDsSortedAndStable(t *testing.T) {
+	ids := IDs()
+	for i := 1; i < len(ids); i++ {
+		if ids[i-1] >= ids[i] {
+			t.Fatalf("IDs() not strictly sorted at %d: %v", i, ids)
+		}
+	}
+}
+
+func TestRunUnknownID(t *testing.T) {
+	_, err := Run("fig99", Options{Seed: 1, Scale: 0.05})
+	if err == nil {
+		t.Fatal("unknown id accepted")
+	}
+	for _, want := range []string{"fig99", "unknown id"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error %q does not mention %q", err, want)
+		}
+	}
+}
+
+// TestEveryRunnerProducesReport executes every registered experiment at a
+// sharply reduced scale through one shared engine and checks each yields a
+// non-empty, well-formed report.
+func TestEveryRunnerProducesReport(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full registry sweep in -short mode")
+	}
+	o := Options{Seed: 7, Scale: 0.03, Engine: NewEngine(0)}
+	for _, id := range IDs() {
+		rep, err := Run(id, o)
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		if rep.ID != id {
+			t.Errorf("%s: report carries id %q", id, rep.ID)
+		}
+		if rep.Title == "" || len(rep.Header) == 0 {
+			t.Errorf("%s: missing title or header", id)
+		}
+		if len(rep.Rows) == 0 {
+			t.Errorf("%s: empty report", id)
+		}
+		if s := rep.String(); !strings.Contains(s, id) {
+			t.Errorf("%s: rendering lacks the id:\n%s", id, s)
+		}
+	}
+}

@@ -17,10 +17,24 @@ type Options struct {
 	// Scale multiplies run durations and trial counts. 1.0 is the
 	// paper-shaped run; benchmarks use smaller values for speed.
 	Scale float64
+	// Engine schedules the experiment's simulation runs. nil runs every
+	// job serially in the calling goroutine (still through a per-figure
+	// run-cache); a shared Engine adds bounded parallelism and
+	// cross-figure memoization. Reports are byte-identical either way.
+	Engine *Engine
 }
 
 // DefaultOptions returns full-scale options with a fixed seed.
 func DefaultOptions() Options { return Options{Seed: 42, Scale: 1.0} }
+
+// engine returns the configured engine, or a fresh serial inline engine
+// so figures can be called directly without one.
+func (o Options) engine() *Engine {
+	if o.Engine != nil {
+		return o.Engine
+	}
+	return newInlineEngine()
+}
 
 // scaled returns max(1, round(n·Scale)) for trial counts.
 func (o Options) scaled(n int) int {

@@ -16,9 +16,11 @@
 // baseline the paper compares against, or use Experiment to regenerate
 // any of the paper's figures.
 //
-// Everything is deterministic: equal seeds give byte-identical results.
-// See DESIGN.md for the system inventory and EXPERIMENTS.md for
-// paper-versus-measured numbers.
+// Everything is deterministic: equal seeds give byte-identical results,
+// even when experiments run on the parallel engine's worker pool
+// (cmd/vifi-bench -parallel N). See DESIGN.md for the system inventory
+// and EXPERIMENTS.md for paper-versus-measured numbers and how to
+// regenerate them.
 package vifi
 
 import (

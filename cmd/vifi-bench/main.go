@@ -9,20 +9,37 @@
 //	vifi-bench -all            # paper set plus ablations
 //	vifi-bench -parallel 8     # worker-pool width (default GOMAXPROCS)
 //
+// Performance instrumentation:
+//
+//	vifi-bench -cpuprofile cpu.out          # pprof CPU profile of the run
+//	vifi-bench -memprofile mem.out          # pprof heap profile at exit
+//	vifi-bench -benchjson BENCH_2026.json   # per-experiment ns/allocs/bytes
+//
+// -benchjson measures each experiment's wall time and allocator traffic
+// and writes a JSON perf-trajectory file (see cmd/vifi-benchcmp for the
+// CI regression gate over the same schema). Accurate per-experiment
+// attribution requires exclusive use of the allocator and an unshared
+// run-cache, so -benchjson forces -parallel 1 and gives every experiment
+// a fresh engine (costs are never deduplicated across experiments, and a
+// given -run id measures the same regardless of what ran before it).
+//
 // Reports go to stdout; per-figure wall times and engine statistics go to
 // stderr, so stdout is byte-identical for any -parallel value.
 package main
 
 import (
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
+	"github.com/vanlan/vifi/internal/benchfmt"
 	"github.com/vanlan/vifi/internal/experiment"
 )
 
@@ -34,12 +51,15 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("vifi-bench", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		runIDs   = fs.String("run", "", "comma-separated experiment ids (default: the paper set)")
-		scale    = fs.Float64("scale", 1.0, "duration/trial multiplier (1.0 = paper-shaped)")
-		seed     = fs.Int64("seed", 42, "random seed; equal seeds reproduce identical reports")
-		list     = fs.Bool("list", false, "list experiment ids and exit")
-		all      = fs.Bool("all", false, "run everything, including ablations")
-		parallel = fs.Int("parallel", runtime.GOMAXPROCS(0), "simulation worker-pool width; 1 = serial")
+		runIDs     = fs.String("run", "", "comma-separated experiment ids (default: the paper set)")
+		scale      = fs.Float64("scale", 1.0, "duration/trial multiplier (1.0 = paper-shaped)")
+		seed       = fs.Int64("seed", 42, "random seed; equal seeds reproduce identical reports")
+		list       = fs.Bool("list", false, "list experiment ids and exit")
+		all        = fs.Bool("all", false, "run everything, including ablations")
+		parallel   = fs.Int("parallel", runtime.GOMAXPROCS(0), "simulation worker-pool width; 1 = serial")
+		cpuprofile = fs.String("cpuprofile", "", "write a pprof CPU profile to this file")
+		memprofile = fs.String("memprofile", "", "write a pprof heap profile to this file at exit")
+		benchjson  = fs.String("benchjson", "", "write per-experiment ns/op, allocs/op, B/op to this JSON file (forces -parallel 1)")
 	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -54,6 +74,35 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 		return 0
 	}
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(stderr, "vifi-bench:", err)
+			return 1
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(stderr, "vifi-bench:", err)
+			return 1
+		}
+		defer pprof.StopCPUProfile()
+	}
+	defer func() {
+		if *memprofile == "" {
+			return
+		}
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			fmt.Fprintln(stderr, "vifi-bench:", err)
+			return
+		}
+		defer f.Close()
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintln(stderr, "vifi-bench:", err)
+		}
+	}()
 
 	ids := experiment.PaperOrder()
 	if *all {
@@ -78,6 +127,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 	}
 
+	measure := *benchjson != ""
+	if measure && *parallel != 1 {
+		// Concurrent workers share the allocator, so per-experiment
+		// attribution of allocs/op needs the serial path.
+		fmt.Fprintln(stderr, "vifi-bench: -benchjson forces -parallel 1")
+		*parallel = 1
+	}
+
 	eng := experiment.NewEngine(*parallel)
 	opts := experiment.Options{Seed: *seed, Scale: *scale, Engine: eng}
 
@@ -85,12 +142,36 @@ func run(args []string, stdout, stderr io.Writer) int {
 		rep     *experiment.Report
 		err     error
 		elapsed time.Duration
+		bench   benchfmt.Entry
 	}
 	results := make([]outcome, len(ids))
+	engines := make([]*experiment.Engine, len(ids))
 	exec := func(i int) {
+		runOpts := opts
+		var before runtime.MemStats
+		if measure {
+			// A fresh engine per experiment keeps attribution exact: the
+			// shared run-cache would otherwise charge a memoized job's
+			// whole cost to whichever experiment happened to run it first.
+			runOpts.Engine = experiment.NewEngine(1)
+			engines[i] = runOpts.Engine
+			runtime.GC()
+			runtime.ReadMemStats(&before)
+		}
 		t0 := time.Now()
-		rep, err := experiment.Run(ids[i], opts)
-		results[i] = outcome{rep: rep, err: err, elapsed: time.Since(t0)}
+		rep, err := experiment.Run(ids[i], runOpts)
+		elapsed := time.Since(t0)
+		o := outcome{rep: rep, err: err, elapsed: elapsed}
+		if measure {
+			var after runtime.MemStats
+			runtime.ReadMemStats(&after)
+			o.bench = benchfmt.Entry{
+				NsOp:     elapsed.Nanoseconds(),
+				BytesOp:  after.TotalAlloc - before.TotalAlloc,
+				AllocsOp: after.Mallocs - before.Mallocs,
+			}
+		}
+		results[i] = o
 	}
 	// emit streams one finished report, preserving request order.
 	emit := func(i int) error {
@@ -130,7 +211,42 @@ func run(args []string, stdout, stderr io.Writer) int {
 			}
 		}
 	}
+	jobs, hits := eng.Jobs(), eng.CacheHits()
+	if measure {
+		// The shared engine executed nothing; report the per-experiment
+		// engines' aggregate instead.
+		jobs, hits = 0, 0
+		for _, e := range engines {
+			if e != nil {
+				jobs += e.Jobs()
+				hits += e.CacheHits()
+			}
+		}
+	}
 	fmt.Fprintf(stderr, "total %v · %d workers · %d jobs run · %d run-cache hits\n",
-		time.Since(start).Round(time.Millisecond), eng.Workers(), eng.Jobs(), eng.CacheHits())
+		time.Since(start).Round(time.Millisecond), eng.Workers(), jobs, hits)
+
+	if measure {
+		bf := benchfmt.File{
+			Generated:   time.Now().UTC().Format(time.RFC3339),
+			GoVersion:   runtime.Version(),
+			Seed:        *seed,
+			Scale:       *scale,
+			Experiments: make(map[string]benchfmt.Entry, len(ids)),
+		}
+		for i, id := range ids {
+			bf.Experiments[id] = results[i].bench
+		}
+		data, err := json.MarshalIndent(&bf, "", "  ")
+		if err != nil {
+			fmt.Fprintln(stderr, "vifi-bench:", err)
+			return 1
+		}
+		if err := os.WriteFile(*benchjson, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintln(stderr, "vifi-bench:", err)
+			return 1
+		}
+		fmt.Fprintf(stderr, "wrote %s\n", *benchjson)
+	}
 	return 0
 }

@@ -1,0 +1,193 @@
+// Command vifi-benchcmp converts `go test -bench -benchmem` output into
+// the repository's BENCH JSON schema and gates allocation regressions
+// against a committed baseline.
+//
+// Usage:
+//
+//	go test -run '^$' -bench=. -benchtime=1x -benchmem . | \
+//	    vifi-benchcmp -out BENCH_ci.json -baseline BENCH_baseline.json
+//
+// The tool fails (exit 1) when any benchmark's allocs/op exceeds the
+// baseline by more than -max-allocs-regress (default 10%). Wall time is
+// reported but never gated: CI machines vary, allocation counts of a
+// deterministic simulation do not.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"maps"
+	"os"
+	"runtime"
+	"slices"
+	"strconv"
+	"strings"
+	"time"
+
+	"github.com/vanlan/vifi/internal/benchfmt"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("vifi-benchcmp", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		in       = fs.String("in", "", "go test -bench output to parse (default: stdin)")
+		out      = fs.String("out", "", "write parsed results as BENCH JSON to this file")
+		baseline = fs.String("baseline", "", "BENCH JSON to gate allocs/op against")
+		maxReg   = fs.Float64("max-allocs-regress", 0.10, "allowed fractional allocs/op increase over baseline")
+		slack    = fs.Uint64("allocs-slack", 128, "absolute allocs/op headroom added to the limit (keeps near-zero baselines from gating exactly)")
+		note     = fs.String("note", "", "free-form note embedded in the output JSON")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	var src io.Reader = stdin
+	if *in != "" {
+		f, err := os.Open(*in)
+		if err != nil {
+			fmt.Fprintln(stderr, "vifi-benchcmp:", err)
+			return 1
+		}
+		defer f.Close()
+		src = f
+	}
+	got, err := parseBench(src)
+	if err != nil {
+		fmt.Fprintln(stderr, "vifi-benchcmp:", err)
+		return 1
+	}
+	if len(got) == 0 {
+		fmt.Fprintln(stderr, "vifi-benchcmp: no benchmark lines found (need -benchmem output)")
+		return 1
+	}
+
+	if *out != "" {
+		bf := benchfmt.File{
+			Generated:   time.Now().UTC().Format(time.RFC3339),
+			GoVersion:   runtime.Version(),
+			Note:        *note,
+			Experiments: got,
+		}
+		data, err := json.MarshalIndent(&bf, "", "  ")
+		if err != nil {
+			fmt.Fprintln(stderr, "vifi-benchcmp:", err)
+			return 1
+		}
+		if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintln(stderr, "vifi-benchcmp:", err)
+			return 1
+		}
+	}
+
+	if *baseline == "" {
+		fmt.Fprintf(stdout, "parsed %d benchmarks (no baseline gate)\n", len(got))
+		return 0
+	}
+	data, err := os.ReadFile(*baseline)
+	if err != nil {
+		fmt.Fprintln(stderr, "vifi-benchcmp:", err)
+		return 1
+	}
+	var base benchfmt.File
+	if err := json.Unmarshal(data, &base); err != nil {
+		fmt.Fprintf(stderr, "vifi-benchcmp: %s: %v\n", *baseline, err)
+		return 1
+	}
+
+	failed := false
+	for name, b := range sorted(base.Experiments) {
+		g, ok := got[name]
+		if !ok {
+			fmt.Fprintf(stdout, "%-16s MISSING from current run\n", name)
+			failed = true
+			continue
+		}
+		// Fractional tolerance plus a small absolute slack: a zero (or
+		// near-zero) baseline must not turn the ±N% gate into an
+		// exact-match requirement.
+		limit := float64(b.AllocsOp)*(1+*maxReg) + float64(*slack)
+		status := "ok"
+		if float64(g.AllocsOp) > limit {
+			if b.AllocsOp == 0 {
+				status = fmt.Sprintf("FAIL allocs/op %d (baseline 0, slack %d)", g.AllocsOp, *slack)
+			} else {
+				status = fmt.Sprintf("FAIL allocs/op +%.1f%% (limit +%.0f%% +%d)",
+					100*(float64(g.AllocsOp)/float64(b.AllocsOp)-1), 100**maxReg, *slack)
+			}
+			failed = true
+		}
+		fmt.Fprintf(stdout, "%-16s allocs/op %9d → %9d  ns/op %12d → %12d  %s\n",
+			name, b.AllocsOp, g.AllocsOp, b.NsOp, g.NsOp, status)
+	}
+	// New benchmarks (absent from the baseline) pass: they gate once the
+	// baseline is refreshed.
+	for name := range got {
+		if _, ok := base.Experiments[name]; !ok {
+			fmt.Fprintf(stdout, "%-16s new (not in baseline)\n", name)
+		}
+	}
+	if failed {
+		fmt.Fprintln(stderr, "vifi-benchcmp: allocation regression against", *baseline)
+		return 1
+	}
+	return 0
+}
+
+// sorted yields map entries in key order for stable output.
+func sorted(m map[string]benchfmt.Entry) func(func(string, benchfmt.Entry) bool) {
+	return func(yield func(string, benchfmt.Entry) bool) {
+		for _, k := range slices.Sorted(maps.Keys(m)) {
+			if !yield(k, m[k]) {
+				return
+			}
+		}
+	}
+}
+
+// parseBench extracts benchmark results from `go test -bench -benchmem`
+// output. Lines look like:
+//
+//	BenchmarkFig2   	      20	  16726156 ns/op	 3373028 B/op	  111817 allocs/op
+//
+// The benchmark name (minus the Benchmark prefix and any -N procs suffix)
+// keys the result.
+func parseBench(r io.Reader) (map[string]benchfmt.Entry, error) {
+	out := map[string]benchfmt.Entry{}
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 7 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		name := strings.TrimPrefix(fields[0], "Benchmark")
+		if i := strings.LastIndexByte(name, '-'); i > 0 {
+			name = name[:i]
+		}
+		var e benchfmt.Entry
+		var err error
+		for i := 2; i+1 < len(fields); i += 2 {
+			v := fields[i]
+			switch fields[i+1] {
+			case "ns/op":
+				e.NsOp, err = strconv.ParseInt(v, 10, 64)
+			case "B/op":
+				e.BytesOp, err = strconv.ParseUint(v, 10, 64)
+			case "allocs/op":
+				e.AllocsOp, err = strconv.ParseUint(v, 10, 64)
+			}
+			if err != nil {
+				return nil, fmt.Errorf("bad benchmark line %q: %v", sc.Text(), err)
+			}
+		}
+		out[name] = e
+	}
+	return out, sc.Err()
+}

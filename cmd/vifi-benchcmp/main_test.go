@@ -1,0 +1,72 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/vanlan/vifi/internal/benchfmt"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: github.com/vanlan/vifi
+BenchmarkFig2   	      20	  16726156 ns/op	 3373028 B/op	  111817 allocs/op
+BenchmarkTable1-8 	       1	 271567983 ns/op	77836192 B/op	 2018505 allocs/op
+PASS
+`
+
+func TestParseBench(t *testing.T) {
+	got, err := parseBench(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("parsed %d entries, want 2", len(got))
+	}
+	if e := got["Fig2"]; e.NsOp != 16726156 || e.BytesOp != 3373028 || e.AllocsOp != 111817 {
+		t.Errorf("Fig2 = %+v", e)
+	}
+	if e, ok := got["Table1"]; !ok || e.AllocsOp != 2018505 {
+		t.Errorf("Table1 (procs suffix) = %+v ok=%v", e, ok)
+	}
+}
+
+func TestGateAgainstBaseline(t *testing.T) {
+	dir := t.TempDir()
+	base := benchfmt.File{Experiments: map[string]benchfmt.Entry{
+		"Fig2": {NsOp: 1, AllocsOp: 105000}, // current 111817 = +6.5%: within 10%
+	}}
+	data, _ := json.Marshal(base)
+	basePath := filepath.Join(dir, "base.json")
+	os.WriteFile(basePath, data, 0o644)
+
+	var out, errBuf bytes.Buffer
+	code := run([]string{"-baseline", basePath, "-out", filepath.Join(dir, "ci.json")},
+		strings.NewReader(sample), &out, &errBuf)
+	if code != 0 {
+		t.Fatalf("within-tolerance run failed: %s%s", out.String(), errBuf.String())
+	}
+	if _, err := os.Stat(filepath.Join(dir, "ci.json")); err != nil {
+		t.Errorf("ci.json not written: %v", err)
+	}
+
+	// A >10% allocs regression must fail.
+	base.Experiments["Fig2"] = benchfmt.Entry{NsOp: 1, AllocsOp: 90000}
+	data, _ = json.Marshal(base)
+	os.WriteFile(basePath, data, 0o644)
+	out.Reset()
+	code = run([]string{"-baseline", basePath}, strings.NewReader(sample), &out, &errBuf)
+	if code == 0 {
+		t.Fatalf("24%% allocs regression passed the gate:\n%s", out.String())
+	}
+	// Loosening the tolerance admits it.
+	code = run([]string{"-baseline", basePath, "-max-allocs-regress", "0.5"},
+		strings.NewReader(sample), &out, &errBuf)
+	if code != 0 {
+		t.Fatal("50% tolerance should admit a 24% regression")
+	}
+}

@@ -1,0 +1,26 @@
+// Package benchfmt defines the BENCH JSON schema shared by
+// cmd/vifi-bench (-benchjson producer) and cmd/vifi-benchcmp (the CI
+// regression gate). Committed BENCH_<date>.json files at the repository
+// root use the same schema and record the performance trajectory across
+// PRs.
+package benchfmt
+
+// Entry is one experiment's measured cost. One "op" is one full
+// experiment run at the chosen scale.
+type Entry struct {
+	NsOp     int64  `json:"ns_op"`
+	BytesOp  uint64 `json:"bytes_op"`
+	AllocsOp uint64 `json:"allocs_op"`
+}
+
+// File is a perf-trajectory point. Baseline optionally embeds the
+// previous point so a committed file documents its delta.
+type File struct {
+	Generated   string           `json:"generated"`
+	GoVersion   string           `json:"go_version"`
+	Seed        int64            `json:"seed,omitempty"`
+	Scale       float64          `json:"scale,omitempty"`
+	Note        string           `json:"note,omitempty"`
+	Experiments map[string]Entry `json:"experiments"`
+	Baseline    *File            `json:"baseline,omitempty"`
+}

@@ -1,0 +1,136 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"github.com/vanlan/vifi/internal/frame"
+	"github.com/vanlan/vifi/internal/mobility"
+	"github.com/vanlan/vifi/internal/sim"
+)
+
+// TestObserveLocalAllocFree is the hot-path guard for the probability
+// table: once a pair's slot exists, folding observations (and reading
+// them back) must not allocate.
+func TestObserveLocalAllocFree(t *testing.T) {
+	pt := NewProbTable(0.5, 3*time.Second)
+	for from := uint16(0); from < 12; from++ {
+		for to := uint16(0); to < 12; to++ {
+			pt.ObserveLocal(from, to, 0.5, time.Second)
+		}
+	}
+	now := 2 * time.Second
+	allocs := testing.AllocsPerRun(1000, func() {
+		pt.ObserveLocal(3, 7, 0.8, now)
+		pt.ObserveGossip(7, 3, 0.6, now)
+		if pt.Get(3, 7, now) == 0 {
+			t.Fatal("lost observation")
+		}
+		pt.FreshLocalPeers(7, now)
+	})
+	if allocs != 0 {
+		t.Errorf("warm ProbTable operations allocate %.1f objects, want 0", allocs)
+	}
+}
+
+// TestRelayDecisionAllocFree guards the auxiliary relay decision (§4.4):
+// with warm tables and scratch, assembling the relay context and computing
+// the ViFi relay probability must not allocate.
+func TestRelayDecisionAllocFree(t *testing.T) {
+	k := sim.NewKernel(5)
+	opts := DefaultCellOptions()
+	movers := []mobility.Mover{
+		mobility.Fixed{X: 0}, mobility.Fixed{X: 60}, mobility.Fixed{X: 120},
+	}
+	cell := NewCell(k, opts, movers, mobility.Fixed{X: 30})
+	k.RunUntil(3 * time.Second) // beacons flow; tables and vehicle state warm
+
+	bs := cell.BSes[1]
+	veh := cell.Vehicle.Addr()
+	vs := bs.ensureVeh(veh)
+	vs.lastBeacon = k.Now()
+	if !contains(vs.aux, bs.Addr()) {
+		vs.aux = append(vs.aux, bs.Addr())
+	}
+	f := &frame.Frame{
+		Type: frame.TypeData, Src: veh, Dst: cell.BSes[0].Addr(),
+		Seq: 9, FromVehicle: true, Payload: make([]byte, 64),
+	}
+	p := &pendPkt{f: f, heardAt: k.Now(), veh: veh}
+
+	// Warm the context scratch.
+	if _, ok := bs.buildRelayContext(p); !ok {
+		t.Fatal("relay context unexpectedly unavailable")
+	}
+	allocs := testing.AllocsPerRun(1000, func() {
+		ctx, ok := bs.buildRelayContext(p)
+		if !ok {
+			t.Fatal("relay context lost")
+		}
+		prob := RelayProb(bs.cfg.Coordinator, ctx)
+		bs.rng.Bool(prob)
+	})
+	if allocs != 0 {
+		t.Errorf("relay decision allocates %.1f objects, want 0", allocs)
+	}
+}
+
+// TestSendPathSteadyStateAllocs exercises the full vehicle send path —
+// sequence allocation, pooled payload copy, MAC marshal, broadcast,
+// retransmission timer — and requires it to settle near zero allocations
+// per packet (map bucket growth in the outstanding window is the only
+// amortized remainder).
+func TestSendPathSteadyStateAllocs(t *testing.T) {
+	k := sim.NewKernel(8)
+	cell := NewCell(k, DefaultCellOptions(),
+		[]mobility.Mover{mobility.Fixed{X: 0}, mobility.Fixed{X: 50}},
+		mobility.Fixed{X: 10})
+	k.RunUntil(3 * time.Second)
+	if cell.Vehicle.Anchor() == frame.None {
+		t.Fatal("vehicle has no anchor after warmup")
+	}
+	payload := make([]byte, 200)
+	// Warm pools: send and settle a few packets.
+	for i := 0; i < 32; i++ {
+		cell.Vehicle.SendData(payload)
+		k.RunUntil(k.Now() + 50*time.Millisecond)
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		cell.Vehicle.SendData(payload)
+		k.RunUntil(k.Now() + 50*time.Millisecond)
+	})
+	// The send side is pooled, but each 50 ms window still decodes a
+	// handful of beacon/ack frames, and frame.Unmarshal hands out fresh
+	// copies by contract (~28 objects per window at this topology). The
+	// bound catches any send-side regression without outlawing decode.
+	if allocs > 40 {
+		t.Errorf("steady-state send path allocates %.1f objects per packet", allocs)
+	}
+}
+
+// TestTrimSalvageOverflow pins the salvage-cache truncation: when more
+// than 512 unexpired packets survive a sweep, the newest 512 are kept and
+// none of the kept entries may be nil (a regression here panics the next
+// salvage request).
+func TestTrimSalvageOverflow(t *testing.T) {
+	k := sim.NewKernel(1)
+	n := &Node{K: k}
+	vs := n.ensureVeh(3)
+	for i := 0; i < 600; i++ {
+		vs.salvage = append(vs.salvage, &downPkt{fromNetAt: k.Now(), acked: i%2 == 0})
+	}
+	marker := vs.salvage[599]
+	n.trimSalvage(3)
+	got := n.lookupVeh(3).salvage
+	if len(got) != 512 {
+		t.Fatalf("kept %d entries, want 512", len(got))
+	}
+	for i, d := range got {
+		if d == nil {
+			t.Fatalf("kept entry %d is nil", i)
+		}
+	}
+	if got[511] != marker {
+		t.Error("truncation did not keep the newest entries")
+	}
+}

@@ -14,20 +14,20 @@ const salvageCacheTTL = 5 * time.Second
 // anchor: register with the Internet gateway and pull stranded packets
 // from the previous anchor (§4.5).
 func (n *Node) becomeAnchor(veh, prevAnchor uint16) {
-	n.anchorFor[veh] = true
+	if vs := n.lookupVeh(veh); vs != nil {
+		vs.amAnchor = true
+	}
 	if n.bp == nil {
 		return
 	}
-	reg := &frame.Frame{Type: frame.TypeRegister, Src: n.addr, Dst: n.gatewayAddr, Target: veh}
-	if buf, err := reg.Marshal(); err == nil {
-		n.bp.Send(n.addr, n.gatewayAddr, buf)
-	}
+	reg := &n.txFrame
+	*reg = frame.Frame{Type: frame.TypeRegister, Src: n.addr, Dst: n.gatewayAddr, Target: veh}
+	n.sendBackplane(n.gatewayAddr, reg)
 	if n.cfg.EnableSalvage && prevAnchor != frame.None && prevAnchor != n.addr {
-		req := &frame.Frame{Type: frame.TypeSalvageReq, Src: n.addr, Dst: prevAnchor, Target: veh}
-		if buf, err := req.Marshal(); err == nil {
-			if n.bp.Send(n.addr, prevAnchor, buf) {
-				n.emit(EvSalvageReq, Down, frame.PacketID{Src: veh}, 0, prevAnchor, MediumBackplane)
-			}
+		req := &n.txFrame
+		*req = frame.Frame{Type: frame.TypeSalvageReq, Src: n.addr, Dst: prevAnchor, Target: veh}
+		if n.sendBackplane(prevAnchor, req) {
+			n.emit(EvSalvageReq, Down, frame.PacketID{Src: veh}, 0, prevAnchor, MediumBackplane)
 		}
 	}
 }
@@ -58,7 +58,8 @@ func (n *Node) handleBackplane(from uint16, payload []byte) {
 func (n *Node) handleDownFromInternet(f *frame.Frame) {
 	veh := f.Orig
 	d := &downPkt{payload: f.Payload, fromNetAt: n.K.Now()}
-	n.salvage[veh] = append(n.salvage[veh], d)
+	vs := n.ensureVeh(veh)
+	vs.salvage = append(vs.salvage, d)
 	n.trimSalvage(veh)
 	n.sendDown(veh, f.Payload, d)
 }
@@ -81,17 +82,20 @@ func (n *Node) handleSalvageReq(from uint16, req *frame.Frame) {
 	}
 	now := n.K.Now()
 	veh := req.Target
-	for _, d := range n.salvage[veh] {
+	vs := n.lookupVeh(veh)
+	if vs == nil {
+		return
+	}
+	for _, d := range vs.salvage {
 		if d.acked || now-d.fromNetAt > n.cfg.SalvageWindow {
 			continue
 		}
-		sf := &frame.Frame{Type: frame.TypeSalvageData, Src: n.addr, Dst: from,
+		sf := &n.txFrame
+		*sf = frame.Frame{Type: frame.TypeSalvageData, Src: n.addr, Dst: from,
 			Orig: veh, Payload: d.payload}
-		if buf, err := sf.Marshal(); err == nil {
-			if n.bp.Send(n.addr, from, buf) {
-				d.acked = true // handed over; stop considering it ours
-				n.emit(EvSalvaged, Down, frame.PacketID{Src: veh}, 0, from, MediumBackplane)
-			}
+		if n.sendBackplane(from, sf) {
+			d.acked = true // handed over; stop considering it ours
+			n.emit(EvSalvaged, Down, frame.PacketID{Src: veh}, 0, from, MediumBackplane)
 		}
 	}
 }
@@ -104,7 +108,11 @@ func (n *Node) handleSalvageData(f *frame.Frame) {
 
 // trimSalvage bounds the per-vehicle salvage cache.
 func (n *Node) trimSalvage(veh uint16) {
-	cache := n.salvage[veh]
+	vs := n.lookupVeh(veh)
+	if vs == nil {
+		return
+	}
+	cache := vs.salvage
 	now := n.K.Now()
 	keep := cache[:0]
 	for _, d := range cache {
@@ -112,8 +120,18 @@ func (n *Node) trimSalvage(veh uint16) {
 			keep = append(keep, d)
 		}
 	}
-	if len(keep) > 512 {
-		keep = keep[len(keep)-512:]
+	// Drop references outside the kept window so the GC can reclaim
+	// settled packets: the compacted survivors occupy cache[0:len(keep)],
+	// and truncation to the newest 512 keeps only the tail of that.
+	for i := len(keep); i < len(cache); i++ {
+		cache[i] = nil
 	}
-	n.salvage[veh] = keep
+	if len(keep) > 512 {
+		start := len(keep) - 512
+		for i := 0; i < start; i++ {
+			cache[i] = nil
+		}
+		keep = keep[start:]
+	}
+	vs.salvage = keep
 }

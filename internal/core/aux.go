@@ -22,12 +22,12 @@ func (n *Node) considerPending(f *frame.Frame) {
 	var veh uint16
 	if f.FromVehicle {
 		veh = f.Src
-	} else if _, known := n.vehInfo[f.Dst]; known {
+	} else if n.lookupVeh(f.Dst) != nil {
 		veh = f.Dst
 	} else {
 		return
 	}
-	vs := n.vehInfo[veh]
+	vs := n.lookupVeh(veh)
 	if vs == nil || now-vs.lastBeacon > n.cfg.ProbStale {
 		return
 	}
@@ -35,25 +35,23 @@ func (n *Node) considerPending(f *frame.Frame) {
 		return // not designated an auxiliary for this vehicle
 	}
 	id := f.ID()
-	// Already at the destination? Then the ACK we saw is authoritative.
 	key := pendKey{id: id, attempt: f.Attempt}
-	if _, dup := n.pending[key]; dup {
-		return
+	for i := range n.pending {
+		if n.pending[i].key == key {
+			return
+		}
 	}
 	n.emit(EvAuxHeard, dirOfFrame(f), id, f.Attempt, f.Src, MediumAir)
 	if len(n.pending) >= n.cfg.PendingCap {
-		// Evict the oldest pending entry.
-		for len(n.pendQ) > 0 {
-			old := n.pendQ[0]
-			n.pendQ = n.pendQ[1:]
-			if _, ok := n.pending[old]; ok {
-				delete(n.pending, old)
-				break
-			}
-		}
+		// Evict the oldest pending entry (insertion order is age order).
+		copy(n.pending, n.pending[1:])
+		n.pending[len(n.pending)-1] = pendEntry{}
+		n.pending = n.pending[:len(n.pending)-1]
 	}
-	n.pending[key] = &pendPkt{f: f, heardAt: now, veh: veh}
-	n.pendQ = append(n.pendQ, key)
+	n.pending = append(n.pending, pendEntry{
+		key: key,
+		pkt: pendPkt{f: f, heardAt: now, veh: veh},
+	})
 }
 
 func dirOfFrame(f *frame.Frame) Direction {
@@ -79,46 +77,53 @@ func contains(xs []uint16, x uint16) bool {
 // overheard acknowledgments.
 func (n *Node) relayTick() {
 	now := n.K.Now()
-	// Decide in a deterministic order: each decision consumes the relay
-	// RNG stream, so map-iteration order here would change coin flips and
-	// break seed reproducibility. The scratch buffer and the ≤1 fast path
-	// keep the common near-empty tick allocation- and sort-free.
-	keys := n.relayScratch[:0]
-	for key := range n.pending {
-		keys = append(keys, key)
-	}
-	if len(keys) > 1 {
-		slices.SortFunc(keys, func(a, b pendKey) int {
-			if c := cmp.Compare(a.id.Src, b.id.Src); c != 0 {
-				return c
+	if len(n.pending) > 0 {
+		// Decide in a deterministic order: each decision consumes the
+		// relay RNG stream, so sweep order here would otherwise change
+		// coin flips and break seed reproducibility. The scratch index
+		// buffer keeps the common near-empty tick allocation-free.
+		idx := n.relayScratch[:0]
+		for i := range n.pending {
+			idx = append(idx, int32(i))
+		}
+		if len(idx) > 1 {
+			slices.SortFunc(idx, func(x, y int32) int {
+				a, b := n.pending[x].key, n.pending[y].key
+				if c := cmp.Compare(a.id.Src, b.id.Src); c != 0 {
+					return c
+				}
+				if c := cmp.Compare(a.id.Seq, b.id.Seq); c != 0 {
+					return c
+				}
+				return cmp.Compare(a.attempt, b.attempt)
+			})
+		}
+		n.relayScratch = idx
+		for _, i := range idx {
+			e := &n.pending[i]
+			age := now - e.pkt.heardAt
+			if age < n.cfg.AckWait {
+				continue // still within the acknowledgment window
 			}
-			if c := cmp.Compare(a.id.Seq, b.id.Seq); c != 0 {
-				return c
+			e.dead = true
+			if age > pendTTL {
+				continue
 			}
-			return cmp.Compare(a.attempt, b.attempt)
-		})
-	}
-	n.relayScratch = keys
-	for _, key := range keys {
-		p := n.pending[key]
-		age := now - p.heardAt
-		if age < n.cfg.AckWait {
-			continue // still within the acknowledgment window
+			n.decideRelay(e.key, &e.pkt)
 		}
-		delete(n.pending, key)
-		if age > pendTTL {
-			continue
+		// Compact the survivors, preserving insertion (age) order.
+		live := n.pending[:0]
+		for i := range n.pending {
+			if !n.pending[i].dead {
+				live = append(live, n.pending[i])
+			}
 		}
-		n.decideRelay(key, p)
-	}
-	// Trim the eviction queue of settled keys.
-	for len(n.pendQ) > 0 {
-		if _, ok := n.pending[n.pendQ[0]]; ok {
-			break
+		for i := len(live); i < len(n.pending); i++ {
+			n.pending[i] = pendEntry{}
 		}
-		n.pendQ = n.pendQ[1:]
+		n.pending = live
 	}
-	n.K.After(n.cfg.RelayCheck+n.rng.Jitter(n.cfg.RelayCheck/2), n.relayTick)
+	n.K.AfterHandler(n.cfg.RelayCheck+n.rng.Jitter(n.cfg.RelayCheck/2), &n.relayH)
 }
 
 // decideRelay computes this auxiliary's relay probability for the packet
@@ -139,10 +144,11 @@ func (n *Node) decideRelay(key pendKey, p *pendPkt) {
 }
 
 // buildRelayContext assembles Eq 3's inputs from the probability table and
-// the vehicle's beaconed auxiliary set.
+// the vehicle's beaconed auxiliary set. The returned context is node-owned
+// scratch, reused across decisions.
 func (n *Node) buildRelayContext(p *pendPkt) (*RelayContext, bool) {
 	now := n.K.Now()
-	vs := n.vehInfo[p.veh]
+	vs := n.lookupVeh(p.veh)
 	if vs == nil {
 		return nil, false
 	}
@@ -154,11 +160,10 @@ func (n *Node) buildRelayContext(p *pendPkt) (*RelayContext, bool) {
 	}
 	aux := vs.aux
 	self := -1
-	ctx := &RelayContext{
-		Aux:    append([]uint16(nil), aux...),
-		C:      make([]float64, len(aux)),
-		PToDst: make([]float64, len(aux)),
-	}
+	ctx := &n.relayCtx
+	ctx.Aux = append(ctx.Aux[:0], aux...)
+	ctx.C = growFloats(ctx.C, len(aux))
+	ctx.PToDst = growFloats(ctx.PToDst, len(aux))
 	psd := n.probs.Get(s, d, now)
 	for i, b := range aux {
 		psBi := n.probs.Get(s, b, now)
@@ -184,22 +189,28 @@ func (n *Node) buildRelayContext(p *pendPkt) (*RelayContext, bool) {
 	return ctx, true
 }
 
+// growFloats resizes a scratch slice to length n, reusing capacity. The
+// caller overwrites every element.
+func growFloats(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
+	}
+	return s[:n]
+}
+
 // relay forwards the packet toward its destination: upstream over the
 // backplane, downstream over the air (§4.3: "Upstream packets are relayed
 // on the inter-BS backplane and downstream packets on the vehicle-BS
 // channel").
 func (n *Node) relay(key pendKey, p *pendPkt, dir Direction) {
-	rf := &frame.Frame{
+	rf := &n.txFrame
+	*rf = frame.Frame{
 		Type: frame.TypeRelay, Src: n.addr, Dst: p.f.Dst,
 		Seq: p.f.Seq, Attempt: p.f.Attempt, Relayed: true,
 		Orig: p.f.Src, Payload: p.f.Payload,
 	}
 	if dir == Up {
-		buf, err := rf.Marshal()
-		if err != nil {
-			return
-		}
-		if n.bp != nil && n.bp.Send(n.addr, p.f.Dst, buf) {
+		if n.bp != nil && n.sendBackplane(p.f.Dst, rf) {
 			n.emit(EvAuxRelayed, dir, key.id, key.attempt, p.f.Dst, MediumBackplane)
 		}
 		return

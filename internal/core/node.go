@@ -8,6 +8,7 @@ import (
 	"github.com/vanlan/vifi/internal/frame"
 	"github.com/vanlan/vifi/internal/mac"
 	"github.com/vanlan/vifi/internal/radio"
+	"github.com/vanlan/vifi/internal/ring"
 	"github.com/vanlan/vifi/internal/sim"
 )
 
@@ -18,27 +19,39 @@ type DeliverFunc func(id frame.PacketID, payload []byte, from uint16)
 
 // vehState is a basestation's view of one vehicle, learned from its
 // beacons (§4.3: "Beacons enable all nearby BSes to learn the current
-// anchor and the set of auxiliary BSes").
+// anchor and the set of auxiliary BSes"). States live by value in a dense
+// ID-indexed slice; known marks populated entries.
 type vehState struct {
+	known      bool
+	amAnchor   bool // this BS believes it is the vehicle's anchor
 	anchor     uint16
 	prevAnchor uint16
 	aux        []uint16
 	lastBeacon time.Duration
+	// salvage records downstream packets for potential salvaging (§4.5).
+	salvage []*downPkt
 }
 
-// outPkt is one unacknowledged outgoing packet at a source.
+// outPkt is one unacknowledged outgoing packet at a source. Records are
+// pooled on the node and double as their own retransmission-timer event
+// (sim.Handler), so the send path does not allocate in steady state.
 type outPkt struct {
+	n       *Node
 	seq     uint32
 	dst     uint16 // fixed for anchors; re-resolved per attempt on vehicles
-	payload []byte
+	payload []byte // pooled buffer owned by this record
 	attempt uint8
 	txAt    time.Duration
-	timer   *sim.Timer
+	timer   sim.Timer
 	acked   bool
 	dropped bool
 	dir     Direction
 	salv    *downPkt // anchor: backing salvage-cache entry
+	free    *outPkt  // free-list link
 }
+
+// OnEvent fires the retransmission timer.
+func (p *outPkt) OnEvent() { p.n.retxFire(p) }
 
 // pendKey identifies one overheard transmission at an auxiliary.
 type pendKey struct {
@@ -51,6 +64,15 @@ type pendPkt struct {
 	f       *frame.Frame
 	heardAt time.Duration
 	veh     uint16
+}
+
+// pendEntry is one slot of the auxiliary's pending list. The list is a
+// small insertion-ordered slice (bounded by PendingCap): linear scans beat
+// a map at this size, keep eviction order exact, and never allocate.
+type pendEntry struct {
+	key  pendKey
+	pkt  pendPkt
+	dead bool // marked during relayTick's sorted sweep, compacted after
 }
 
 // downPkt is an anchor's record of a downstream packet for salvaging
@@ -71,6 +93,16 @@ type ackedInfo struct {
 
 // reAckMin rate-limits bitmap-triggered acknowledgment repeats.
 const reAckMin = 20 * time.Millisecond
+
+// windowTask and relayTask are the node's periodic-timer sim.Handler
+// adapters, allocated once with the node.
+type windowTask struct{ n *Node }
+
+func (t *windowTask) OnEvent() { t.n.windowTick() }
+
+type relayTask struct{ n *Node }
+
+func (t *relayTask) OnEvent() { t.n.relayTick() }
 
 // Node is one ViFi protocol entity — a vehicle or a basestation. Both run
 // the same engine; the isVehicle flag enables anchor selection and
@@ -94,26 +126,37 @@ type Node struct {
 	// Sender state.
 	nextSeq     uint32
 	outstanding map[uint32]*outPkt
+	pktFree     *outPkt
 	delays      *delaySampler
 
-	// Receiver state.
-	acked  map[frame.PacketID]*ackedInfo
-	ackedQ []frame.PacketID
+	// Receiver state. acked holds values (no per-packet allocation);
+	// ackedQ is the FIFO bounding it.
+	acked  map[frame.PacketID]ackedInfo
+	ackedQ ring.Ring[frame.PacketID]
 
 	// Vehicle state.
 	anchor     uint16
 	prevAnchor uint16
 	auxList    []uint16
 
-	// Basestation state.
-	vehInfo   map[uint16]*vehState
-	pending   map[pendKey]*pendPkt
-	pendQ     []pendKey
-	salvage   map[uint16][]*downPkt
-	anchorFor map[uint16]bool
-	// relayScratch is relayTick's reusable key buffer (sorted there for
+	// Basestation state: vehs is dense by vehicle address (vehsHi backs
+	// addresses beyond the dense bound, mirroring ProbTable's sparse
+	// fallback); pending is the auxiliary's overheard-packet list.
+	vehs    []vehState
+	vehsHi  map[uint16]*vehState
+	pending []pendEntry
+	// relayScratch is relayTick's reusable index buffer (sorted there for
 	// deterministic relay decisions).
-	relayScratch []pendKey
+	relayScratch []int32
+	relayCtx     RelayContext
+
+	// Reusable frame scratch for synchronous sends (the MAC marshals
+	// before returning, so one scratch serves all send sites).
+	txFrame    frame.Frame
+	beaconBody frame.Beacon
+
+	windowH windowTask
+	relayH  relayTask
 
 	beaconSeq uint32
 }
@@ -136,23 +179,20 @@ func newNode(k *sim.Kernel, cfg Config, m *mac.MAC, bp *backplane.Net,
 		events:      events,
 		outstanding: map[uint32]*outPkt{},
 		delays:      newDelaySampler(512),
-		acked:       map[frame.PacketID]*ackedInfo{},
+		acked:       map[frame.PacketID]ackedInfo{},
 		anchor:      frame.None,
 		prevAnchor:  frame.None,
-		vehInfo:     map[uint16]*vehState{},
-		pending:     map[pendKey]*pendPkt{},
-		salvage:     map[uint16][]*downPkt{},
-		anchorFor:   map[uint16]bool{},
 	}
+	n.windowH.n, n.relayH.n = n, n
 	n.counter = newBeaconCounter(n.probs, n.addr, cfg.ProbWindow, cfg.BeaconInterval)
 	m.SetHandler(mac.HandlerFunc(n.handleFrame))
 	if bp != nil && !isVehicle {
 		bp.Attach(n.addr, n.handleBackplane)
 	}
 	m.StartBeacons(n.buildBeacon)
-	k.After(cfg.ProbWindow+k.RNG("corewin", fmt.Sprint(m.Addr())).Jitter(cfg.ProbWindow/4), n.windowTick)
+	k.AfterHandler(cfg.ProbWindow+k.RNG("corewin", fmt.Sprint(m.Addr())).Jitter(cfg.ProbWindow/4), &n.windowH)
 	if !isVehicle && cfg.EnableRelay {
-		k.After(cfg.RelayCheck+n.rng.Jitter(cfg.RelayCheck), n.relayTick)
+		k.AfterHandler(cfg.RelayCheck+n.rng.Jitter(cfg.RelayCheck), &n.relayH)
 	}
 	return n
 }
@@ -176,6 +216,45 @@ func (n *Node) MAC() *mac.MAC { return n.mac }
 // Probs exposes the node's probability table (diagnostics).
 func (n *Node) Probs() *ProbTable { return n.probs }
 
+// lookupVeh returns the state for a vehicle, nil when unknown. The
+// pointer is valid until the next ensureVeh call.
+func (n *Node) lookupVeh(veh uint16) *vehState {
+	if int(veh) >= maxDenseID {
+		return n.vehsHi[veh]
+	}
+	if int(veh) < len(n.vehs) && n.vehs[veh].known {
+		return &n.vehs[veh]
+	}
+	return nil
+}
+
+// ensureVeh returns the state for a vehicle, creating it on first beacon.
+// Addresses beyond the dense bound live in the sparse fallback map, so
+// correctness never rests on the density assumption.
+func (n *Node) ensureVeh(veh uint16) *vehState {
+	if int(veh) >= maxDenseID {
+		vs := n.vehsHi[veh]
+		if vs == nil {
+			vs = &vehState{known: true, anchor: frame.None, prevAnchor: frame.None}
+			if n.vehsHi == nil {
+				n.vehsHi = map[uint16]*vehState{}
+			}
+			n.vehsHi[veh] = vs
+		}
+		return vs
+	}
+	for len(n.vehs) <= int(veh) {
+		n.vehs = append(n.vehs, vehState{})
+	}
+	vs := &n.vehs[veh]
+	if !vs.known {
+		vs.known = true
+		vs.anchor = frame.None
+		vs.prevAnchor = frame.None
+	}
+	return vs
+}
+
 // emit sends a probe event if a collector is installed.
 func (n *Node) emit(kind EventKind, dir Direction, id frame.PacketID, attempt uint8, peer uint16, medium Medium) {
 	if n.events == nil {
@@ -195,7 +274,7 @@ func (n *Node) windowTick() {
 	if n.isVehicle {
 		n.selectAnchor(now)
 	}
-	n.K.After(n.cfg.ProbWindow, n.windowTick)
+	n.K.AfterHandler(n.cfg.ProbWindow, &n.windowH)
 }
 
 // usableBS is the minimum averaged beacon reception ratio for a
@@ -248,21 +327,27 @@ func (n *Node) selectAnchor(now time.Duration) {
 	}
 }
 
-// buildBeacon produces this node's periodic beacon (§4.3, §4.6).
+// buildBeacon produces this node's periodic beacon (§4.3, §4.6). The
+// frame, body and aux list are node-owned scratch: the MAC marshals the
+// result before the next beacon is built.
 func (n *Node) buildBeacon() *frame.Frame {
 	now := n.K.Now()
 	n.beaconSeq++
-	b := &frame.Beacon{Anchor: frame.None, PrevAnchor: frame.None,
-		Probs: n.probs.Report(n.addr, now)}
+	b := &n.beaconBody
+	b.Anchor, b.PrevAnchor = frame.None, frame.None
+	b.Aux = b.Aux[:0]
+	b.Probs = n.probs.Report(n.addr, now)
 	if n.isVehicle {
 		b.Anchor = n.anchor
 		b.PrevAnchor = n.prevAnchor
-		b.Aux = append([]uint16(nil), n.auxList...)
+		b.Aux = append(b.Aux, n.auxList...)
 	}
-	return &frame.Frame{
+	f := &n.txFrame
+	*f = frame.Frame{
 		Type: frame.TypeBeacon, Src: n.addr, Dst: frame.Broadcast,
 		Seq: n.beaconSeq, FromVehicle: n.isVehicle, Beacon: b,
 	}
+	return f
 }
 
 // --- Frame dispatch ------------------------------------------------------
@@ -298,21 +383,17 @@ func (n *Node) handleBeacon(f *frame.Frame) {
 	}
 	// Basestation learning a vehicle's designations.
 	veh := f.Src
-	vs := n.vehInfo[veh]
-	if vs == nil {
-		vs = &vehState{anchor: frame.None, prevAnchor: frame.None}
-		n.vehInfo[veh] = vs
-	}
+	vs := n.ensureVeh(veh)
 	vs.anchor = f.Beacon.Anchor
 	vs.prevAnchor = f.Beacon.PrevAnchor
 	vs.aux = append(vs.aux[:0], f.Beacon.Aux...)
 	vs.lastBeacon = now
 
 	amAnchor := f.Beacon.Anchor == n.addr
-	if amAnchor && !n.anchorFor[veh] {
+	if amAnchor && !vs.amAnchor {
 		n.becomeAnchor(veh, f.Beacon.PrevAnchor)
-	} else if !amAnchor && n.anchorFor[veh] {
-		n.anchorFor[veh] = false
+	} else if !amAnchor && vs.amAnchor {
+		vs.amAnchor = false
 	}
 }
 
@@ -355,9 +436,7 @@ func (n *Node) handleAck(f *frame.Frame) {
 	if f.AckSrc == n.addr {
 		if pkt, ok := n.outstanding[f.AckSeq]; ok && !pkt.acked && !pkt.dropped {
 			pkt.acked = true
-			if pkt.timer != nil {
-				pkt.timer.Stop()
-			}
+			pkt.timer.Stop()
 			if f.AckAttempt == pkt.attempt {
 				n.delays.add(now - pkt.txAt)
 			}
@@ -371,13 +450,20 @@ func (n *Node) handleAck(f *frame.Frame) {
 	// (the packet is at the destination).
 	if !n.isVehicle && n.cfg.EnableRelay {
 		id := frame.PacketID{Src: f.AckSrc, Seq: f.AckSeq}
-		for key, p := range n.pending {
-			if key.id == id {
-				dir := dirOf(p)
-				n.emit(EvAuxSuppressed, dir, id, key.attempt, f.Src, MediumAir)
-				delete(n.pending, key)
+		live := n.pending[:0]
+		for i := range n.pending {
+			e := &n.pending[i]
+			if e.key.id == id {
+				dir := dirOf(&e.pkt)
+				n.emit(EvAuxSuppressed, dir, id, e.key.attempt, f.Src, MediumAir)
+				continue
 			}
+			live = append(live, *e)
 		}
+		for i := len(live); i < len(n.pending); i++ {
+			n.pending[i] = pendEntry{}
+		}
+		n.pending = live
 	}
 }
 
@@ -398,6 +484,7 @@ func (n *Node) handleBitmap(f *frame.Frame) {
 		id := frame.PacketID{Src: f.Src, Seq: f.Seq - 1 - uint32(i)}
 		if info, ok := n.acked[id]; ok && now-info.lastAck >= reAckMin {
 			info.lastAck = now
+			n.acked[id] = info
 			n.sendAck(id, info.attempt)
 		}
 	}
@@ -406,12 +493,12 @@ func (n *Node) handleBitmap(f *frame.Frame) {
 // ackAndDeliver acknowledges a received data packet and delivers it once.
 func (n *Node) ackAndDeliver(id frame.PacketID, attempt uint8, payload []byte, dir Direction) {
 	now := n.K.Now()
-	info, seen := n.acked[id]
-	if seen {
+	if info, seen := n.acked[id]; seen {
 		// Duplicate (retransmission or relay duplicate): re-acknowledge,
 		// do not re-deliver.
 		info.attempt = attempt
 		info.lastAck = now
+		n.acked[id] = info
 		n.sendAck(id, attempt)
 		return
 	}
@@ -428,33 +515,44 @@ func (n *Node) ackAndDeliver(id frame.PacketID, attempt uint8, payload []byte, d
 	// Anchor (or stale anchor) role: forward upstream payload to the
 	// Internet gateway over the backplane.
 	if n.bp != nil {
-		fwd := &frame.Frame{Type: frame.TypeRelay, Src: n.addr, Dst: n.gatewayAddr,
+		fwd := &n.txFrame
+		*fwd = frame.Frame{Type: frame.TypeRelay, Src: n.addr, Dst: n.gatewayAddr,
 			Seq: id.Seq, Orig: id.Src, Attempt: attempt, Payload: payload}
-		buf, err := fwd.Marshal()
-		if err == nil {
-			n.bp.Send(n.addr, n.gatewayAddr, buf)
-		}
+		n.sendBackplane(n.gatewayAddr, fwd)
 	}
+}
+
+// sendBackplane marshals a frame into a pooled buffer and puts it on the
+// inter-BS plane (which copies what it admits).
+func (n *Node) sendBackplane(to uint16, f *frame.Frame) bool {
+	pool := n.mac.Buffers()
+	buf, err := f.AppendTo(pool.Get(f.WireSize())[:0])
+	if err != nil {
+		return false
+	}
+	ok := n.bp.Send(n.addr, to, buf)
+	pool.Put(buf)
+	return ok
 }
 
 // rememberAcked inserts into the bounded acknowledged-packet cache.
 func (n *Node) rememberAcked(id frame.PacketID, attempt uint8, now time.Duration) {
-	n.acked[id] = &ackedInfo{attempt: attempt, lastAck: now}
-	n.ackedQ = append(n.ackedQ, id)
-	for len(n.ackedQ) > n.cfg.AckedCacheCap {
-		old := n.ackedQ[0]
-		n.ackedQ = n.ackedQ[1:]
-		delete(n.acked, old)
+	n.acked[id] = ackedInfo{attempt: attempt, lastAck: now}
+	n.ackedQ.PushBack(id)
+	for n.ackedQ.Len() > n.cfg.AckedCacheCap {
+		delete(n.acked, n.ackedQ.PopFront())
 	}
 }
 
 // sendAck broadcasts an acknowledgment with queue priority (§4.3 step 2).
 func (n *Node) sendAck(id frame.PacketID, attempt uint8) {
-	n.mac.SendPriority(&frame.Frame{
+	f := &n.txFrame
+	*f = frame.Frame{
 		Type: frame.TypeAck, Src: n.addr, Dst: frame.Broadcast,
 		AckSrc: id.Src, AckSeq: id.Seq, AckAttempt: attempt,
 		FromVehicle: n.isVehicle,
-	})
+	}
+	n.mac.SendPriority(f)
 }
 
 // dirOf infers a pending packet's direction.

@@ -5,58 +5,123 @@ import (
 	"time"
 
 	"github.com/vanlan/vifi/internal/frame"
-	"github.com/vanlan/vifi/internal/stats"
 )
 
-// probEntry is one directed reception-probability estimate.
-type probEntry struct {
-	ewma    *stats.EWMA // local measurements only
-	gossip  float64     // last value learned from a beacon
-	local   time.Duration
-	gossipT time.Duration
+// maxDenseID bounds the dense, ID-indexed probability and vehicle tables.
+// Radio node IDs are small integers assigned densely in attachment order,
+// so every in-simulation address fits; anything larger (possible only from
+// arbitrary wire input) falls back to a sparse map so correctness never
+// rests on the density assumption.
+const maxDenseID = 2048
+
+// probSlot is one directed reception-probability estimate, stored by
+// value in the dense table. The EWMA of stats.EWMA is inlined so a slot
+// carries no pointers and observations touch exactly one cache line.
+type probSlot struct {
+	ewma    float64
+	gossip  float64       // last value learned from a beacon
+	local   time.Duration // time of last local measurement, -1 = never
+	gossipT time.Duration // time of last gossip, -1 = never
+	ewmaOK  bool
 	hasG    bool
+}
+
+// emptySlot is the sentinel state of an untouched slot.
+func emptySlot() probSlot { return probSlot{local: -1, gossipT: -1} }
+
+// update folds one observation into the slot's EWMA with the exact
+// arithmetic of stats.EWMA (first observation initializes).
+func (s *probSlot) update(x, alpha float64) {
+	if !s.ewmaOK {
+		s.ewma = x
+		s.ewmaOK = true
+		return
+	}
+	s.ewma = alpha*x + (1-alpha)*s.ewma
 }
 
 // ProbTable holds a node's view of pairwise reception probabilities
 // p(a→b), fed by local beacon counting (authoritative) and by values
 // gossiped in peers' beacons (§4.6). Entries age out after the staleness
 // window so departed nodes stop influencing relay decisions.
+//
+// The table is a dense flat structure indexed [from][to] — the relay and
+// beacon hot paths perform no hashing and no allocation in steady state.
+// Staleness is evaluated against a cutoff epoch (now − stale) computed
+// once per sweep rather than per-entry subtraction.
 type ProbTable struct {
 	alpha float64
 	stale time.Duration
-	m     map[[2]uint16]*probEntry
+	rows  [][]probSlot
+	// sparse backs IDs ≥ maxDenseID. In-simulation traffic never lands
+	// here; it exists so hostile or synthetic inputs stay correct.
+	sparse map[[2]uint16]*probSlot
+
+	peerScratch []uint16
+	repScratch  []frame.ProbEntry
 }
 
 // NewProbTable creates a table with the given EWMA factor and staleness.
 func NewProbTable(alpha float64, stale time.Duration) *ProbTable {
-	return &ProbTable{alpha: alpha, stale: stale, m: map[[2]uint16]*probEntry{}}
+	return &ProbTable{alpha: alpha, stale: stale}
 }
 
-func (t *ProbTable) entry(from, to uint16) *probEntry {
-	k := [2]uint16{from, to}
-	e, ok := t.m[k]
-	if !ok {
-		e = &probEntry{ewma: stats.NewEWMA(t.alpha), local: -1, gossipT: -1}
-		t.m[k] = e
+// peek returns the slot for (from, to) without growing the table, or nil
+// when the pair has never been observed.
+func (t *ProbTable) peek(from, to uint16) *probSlot {
+	if int(from) < maxDenseID && int(to) < maxDenseID {
+		if int(from) < len(t.rows) {
+			if row := t.rows[from]; int(to) < len(row) {
+				return &row[to]
+			}
+		}
+		return nil
 	}
-	return e
+	return t.sparse[[2]uint16{from, to}]
+}
+
+// slot returns the slot for (from, to), growing the dense table (or the
+// sparse overflow) on first touch. Growth only happens while the node
+// population is still being discovered; steady state never allocates.
+func (t *ProbTable) slot(from, to uint16) *probSlot {
+	if int(from) >= maxDenseID || int(to) >= maxDenseID {
+		k := [2]uint16{from, to}
+		s, ok := t.sparse[k]
+		if !ok {
+			s = &probSlot{local: -1, gossipT: -1}
+			if t.sparse == nil {
+				t.sparse = map[[2]uint16]*probSlot{}
+			}
+			t.sparse[k] = s
+		}
+		return s
+	}
+	for len(t.rows) <= int(from) {
+		t.rows = append(t.rows, nil)
+	}
+	row := t.rows[from]
+	for len(row) <= int(to) {
+		row = append(row, emptySlot())
+	}
+	t.rows[from] = row
+	return &row[to]
 }
 
 // ObserveLocal folds a locally measured reception ratio for from→to
 // (normally to == self) at the given time.
 func (t *ProbTable) ObserveLocal(from, to uint16, ratio float64, now time.Duration) {
-	e := t.entry(from, to)
-	e.ewma.Update(ratio)
-	e.local = now
+	s := t.slot(from, to)
+	s.update(ratio, t.alpha)
+	s.local = now
 }
 
 // ObserveGossip records a probability learned from a peer's beacon.
 // Local measurements always win while fresh.
 func (t *ProbTable) ObserveGossip(from, to uint16, p float64, now time.Duration) {
-	e := t.entry(from, to)
-	e.gossip = p
-	e.gossipT = now
-	e.hasG = true
+	s := t.slot(from, to)
+	s.gossip = p
+	s.gossipT = now
+	s.hasG = true
 }
 
 // Get returns the current estimate of p(from→to), preferring fresh local
@@ -65,56 +130,98 @@ func (t *ProbTable) Get(from, to uint16, now time.Duration) float64 {
 	if from == to {
 		return 1
 	}
-	e, ok := t.m[[2]uint16{from, to}]
-	if !ok {
+	s := t.peek(from, to)
+	if s == nil {
 		return 0
 	}
-	if e.local >= 0 && now-e.local <= t.stale {
-		return e.ewma.Value()
+	if s.local >= 0 && now-s.local <= t.stale {
+		return s.ewma
 	}
-	if e.hasG && now-e.gossipT <= t.stale {
-		return e.gossip
+	if s.hasG && now-s.gossipT <= t.stale {
+		return s.gossip
 	}
 	return 0
 }
 
 // FreshLocalPeers returns the peers x with a fresh local estimate of
 // p(x→self); used to build beacon prob reports and auxiliary sets. The
-// result is sorted: callers break argmax ties and order auxiliary sets by
-// it, and map-iteration order would leak nondeterminism into anchor
-// choice, relay probabilities and ultimately whole reports.
+// result is sorted ascending (the dense sweep visits IDs in order):
+// callers break argmax ties and order auxiliary sets by it, so any other
+// order would leak nondeterminism into anchor choice, relay probabilities
+// and ultimately whole reports.
+//
+// The returned slice is scratch owned by the table, valid until the next
+// FreshLocalPeers call.
 func (t *ProbTable) FreshLocalPeers(self uint16, now time.Duration) []uint16 {
-	var out []uint16
-	for k, e := range t.m {
-		if k[1] == self && e.local >= 0 && now-e.local <= t.stale {
-			out = append(out, k[0])
+	cutoff := now - t.stale
+	out := t.peerScratch[:0]
+	s := int(self)
+	for from := range t.rows {
+		row := t.rows[from]
+		if s < len(row) {
+			if e := &row[s]; e.local >= 0 && e.local >= cutoff {
+				out = append(out, uint16(from))
+			}
 		}
 	}
-	slices.Sort(out)
+	// Sparse froms are all ≥ maxDenseID, i.e. greater than every dense
+	// from: sorting just the sparse tail keeps the whole result sorted.
+	if len(t.sparse) > 0 {
+		head := len(out)
+		for k, e := range t.sparse {
+			if k[1] == self && e.local >= 0 && e.local >= cutoff {
+				out = append(out, k[0])
+			}
+		}
+		slices.Sort(out[head:])
+	}
+	t.peerScratch = out
 	return out
 }
 
 // Report builds the beacon probability entries for a node: its fresh
 // local measurements (x→self) and the fresh gossiped values about its own
 // outgoing links (self→x), which it learned from x's beacons (§4.6).
+//
+// The returned slice is scratch owned by the table, valid until the next
+// Report call (the beacon path marshals it immediately).
 func (t *ProbTable) Report(self uint16, now time.Duration) []frame.ProbEntry {
-	var out []frame.ProbEntry
-	for k, e := range t.m {
-		if k[1] == self && e.local >= 0 && now-e.local <= t.stale {
-			out = append(out, frame.ProbEntry{From: k[0], To: self, Prob: e.ewma.Value()})
+	cutoff := now - t.stale
+	out := t.repScratch[:0]
+	s := int(self)
+	for from := range t.rows {
+		row := t.rows[from]
+		if s < len(row) {
+			if e := &row[s]; e.local >= 0 && e.local >= cutoff {
+				out = append(out, frame.ProbEntry{From: uint16(from), To: self, Prob: e.ewma})
+			}
 		}
-		if k[0] == self && e.hasG && now-e.gossipT <= t.stale {
+	}
+	if s < len(t.rows) {
+		row := t.rows[s]
+		for to := range row {
+			if e := &row[to]; e.hasG && e.gossipT >= cutoff && e.gossipT >= 0 {
+				out = append(out, frame.ProbEntry{From: self, To: uint16(to), Prob: e.gossip})
+			}
+		}
+	}
+	for k, e := range t.sparse {
+		if k[1] == self && e.local >= 0 && e.local >= cutoff {
+			out = append(out, frame.ProbEntry{From: k[0], To: self, Prob: e.ewma})
+		}
+		if k[0] == self && e.hasG && e.gossipT >= cutoff && e.gossipT >= 0 {
 			out = append(out, frame.ProbEntry{From: self, To: k[1], Prob: e.gossip})
 		}
 	}
 	// Deterministic report order: the 255-entry truncation below must not
-	// depend on map-iteration order.
+	// depend on sweep interleaving.
 	slices.SortFunc(out, func(a, b frame.ProbEntry) int {
 		if a.From != b.From {
 			return int(a.From) - int(b.From)
 		}
 		return int(a.To) - int(b.To)
 	})
+	t.repScratch = out
 	if len(out) > 255 {
 		out = out[:255]
 	}
@@ -123,12 +230,15 @@ func (t *ProbTable) Report(self uint16, now time.Duration) []frame.ProbEntry {
 
 // beaconCounter tracks beacons heard from each peer in the current
 // probe window and flushes per-window reception ratios into a ProbTable.
+// The per-peer counters are a dense ID-indexed slice zeroed in place at
+// each flush, so the beacon path never allocates.
 type beaconCounter struct {
 	table    *ProbTable
 	self     uint16
 	window   time.Duration
 	expected float64 // beacons expected per window
-	heard    map[uint16]int
+	heard    []int32 // beacons heard this window, indexed by peer
+	heardHi  map[uint16]int32
 	windowAt time.Duration
 }
 
@@ -138,19 +248,52 @@ func newBeaconCounter(table *ProbTable, self uint16, window, beaconInterval time
 		self:     self,
 		window:   window,
 		expected: float64(window) / float64(beaconInterval),
-		heard:    map[uint16]int{},
 	}
 }
 
 // hear records one beacon from the peer.
-func (b *beaconCounter) hear(peer uint16) { b.heard[peer]++ }
+func (b *beaconCounter) hear(peer uint16) {
+	if int(peer) >= maxDenseID {
+		if b.heardHi == nil {
+			b.heardHi = map[uint16]int32{}
+		}
+		b.heardHi[peer]++
+		return
+	}
+	for len(b.heard) <= int(peer) {
+		b.heard = append(b.heard, 0)
+	}
+	b.heard[peer]++
+}
+
+// heardFrom reports whether the peer beaconed this window.
+func (b *beaconCounter) heardFrom(peer uint16) bool {
+	if int(peer) >= maxDenseID {
+		return b.heardHi[peer] > 0
+	}
+	return int(peer) < len(b.heard) && b.heard[peer] > 0
+}
 
 // flush closes the window at time now: every peer heard at least once in
 // any window so far gets its ratio folded in (including zero ratios for
 // currently-known peers that went silent, so estimates decay).
 func (b *beaconCounter) flush(now time.Duration) {
-	// Fold ratios for peers heard this window.
+	// Fold ratios for peers heard this window. EWMA folding is per-peer
+	// independent, so the sweep order does not affect state.
 	for peer, n := range b.heard {
+		if n == 0 {
+			continue
+		}
+		r := float64(n) / b.expected
+		if r > 1 {
+			r = 1
+		}
+		b.table.ObserveLocal(uint16(peer), b.self, r, now)
+	}
+	for peer, n := range b.heardHi {
+		if n == 0 {
+			continue
+		}
 		r := float64(n) / b.expected
 		if r > 1 {
 			r = 1
@@ -161,12 +304,13 @@ func (b *beaconCounter) flush(now time.Duration) {
 	// once an estimate has decayed to noise stop refreshing it so the
 	// entry can age out entirely.
 	for _, peer := range b.table.FreshLocalPeers(b.self, now) {
-		if _, ok := b.heard[peer]; !ok {
+		if !b.heardFrom(peer) {
 			if b.table.Get(peer, b.self, now) > 0.01 {
 				b.table.ObserveLocal(peer, b.self, 0, now)
 			}
 		}
 	}
-	b.heard = map[uint16]int{}
+	clear(b.heard)
+	clear(b.heardHi)
 	b.windowAt = now
 }

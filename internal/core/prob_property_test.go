@@ -1,0 +1,192 @@
+package core
+
+import (
+	"fmt"
+	"slices"
+	"testing"
+	"time"
+
+	"github.com/vanlan/vifi/internal/frame"
+	"github.com/vanlan/vifi/internal/sim"
+	"github.com/vanlan/vifi/internal/stats"
+)
+
+// refProbTable is the pre-optimization map-based ProbTable, kept verbatim
+// as the reference model: the dense implementation must be observationally
+// equivalent to it under arbitrary observe/expire/query sequences.
+type refEntry struct {
+	ewma    *stats.EWMA
+	gossip  float64
+	local   time.Duration
+	gossipT time.Duration
+	hasG    bool
+}
+
+type refProbTable struct {
+	alpha float64
+	stale time.Duration
+	m     map[[2]uint16]*refEntry
+}
+
+func newRefProbTable(alpha float64, stale time.Duration) *refProbTable {
+	return &refProbTable{alpha: alpha, stale: stale, m: map[[2]uint16]*refEntry{}}
+}
+
+func (t *refProbTable) entry(from, to uint16) *refEntry {
+	k := [2]uint16{from, to}
+	e, ok := t.m[k]
+	if !ok {
+		e = &refEntry{ewma: stats.NewEWMA(t.alpha), local: -1, gossipT: -1}
+		t.m[k] = e
+	}
+	return e
+}
+
+func (t *refProbTable) ObserveLocal(from, to uint16, ratio float64, now time.Duration) {
+	e := t.entry(from, to)
+	e.ewma.Update(ratio)
+	e.local = now
+}
+
+func (t *refProbTable) ObserveGossip(from, to uint16, p float64, now time.Duration) {
+	e := t.entry(from, to)
+	e.gossip = p
+	e.gossipT = now
+	e.hasG = true
+}
+
+func (t *refProbTable) Get(from, to uint16, now time.Duration) float64 {
+	if from == to {
+		return 1
+	}
+	e, ok := t.m[[2]uint16{from, to}]
+	if !ok {
+		return 0
+	}
+	if e.local >= 0 && now-e.local <= t.stale {
+		return e.ewma.Value()
+	}
+	if e.hasG && now-e.gossipT <= t.stale {
+		return e.gossip
+	}
+	return 0
+}
+
+func (t *refProbTable) FreshLocalPeers(self uint16, now time.Duration) []uint16 {
+	var out []uint16
+	for k, e := range t.m {
+		if k[1] == self && e.local >= 0 && now-e.local <= t.stale {
+			out = append(out, k[0])
+		}
+	}
+	slices.Sort(out)
+	return out
+}
+
+func (t *refProbTable) Report(self uint16, now time.Duration) []frame.ProbEntry {
+	var out []frame.ProbEntry
+	for k, e := range t.m {
+		if k[1] == self && e.local >= 0 && now-e.local <= t.stale {
+			out = append(out, frame.ProbEntry{From: k[0], To: self, Prob: e.ewma.Value()})
+		}
+		if k[0] == self && e.hasG && now-e.gossipT <= t.stale {
+			out = append(out, frame.ProbEntry{From: self, To: k[1], Prob: e.gossip})
+		}
+	}
+	slices.SortFunc(out, func(a, b frame.ProbEntry) int {
+		if a.From != b.From {
+			return int(a.From) - int(b.From)
+		}
+		return int(a.To) - int(b.To)
+	})
+	if len(out) > 255 {
+		out = out[:255]
+	}
+	return out
+}
+
+// TestProbTableMatchesMapReference drives the dense table and the map
+// reference through identical randomized observe/expire/query sequences
+// and demands exact agreement — including EWMA float arithmetic, staleness
+// boundaries and report truncation. IDs mix the dense range with values
+// beyond maxDenseID to exercise the sparse fallback.
+func TestProbTableMatchesMapReference(t *testing.T) {
+	for trial := 0; trial < 20; trial++ {
+		rng := sim.NewRNG(uint64(1000 + trial))
+		const stale = 3 * time.Second
+		dut := NewProbTable(0.5, stale)
+		ref := newRefProbTable(0.5, stale)
+
+		ids := []uint16{0, 1, 2, 3, 7, 11, 19}
+		if trial%3 == 0 {
+			// Exercise the sparse overflow path too.
+			ids = append(ids, maxDenseID+5, 65000)
+		}
+		pick := func() uint16 { return ids[rng.Intn(len(ids))] }
+
+		now := time.Duration(0)
+		for step := 0; step < 400; step++ {
+			// Advance time irregularly so entries age in and out.
+			now += time.Duration(rng.Intn(500)) * time.Millisecond
+			switch rng.Intn(3) {
+			case 0:
+				from, to, ratio := pick(), pick(), rng.Float64()
+				dut.ObserveLocal(from, to, ratio, now)
+				ref.ObserveLocal(from, to, ratio, now)
+			case 1:
+				from, to, p := pick(), pick(), rng.Float64()
+				dut.ObserveGossip(from, to, p, now)
+				ref.ObserveGossip(from, to, p, now)
+			case 2:
+				// Observation gap: nothing happens, entries go stale.
+				now += time.Duration(rng.Intn(4)) * time.Second
+			}
+
+			// Full observational comparison every few steps.
+			if step%7 != 0 {
+				continue
+			}
+			probe := append([]uint16{42}, ids...) // 42 is never observed
+			for _, from := range probe {
+				for _, to := range probe {
+					g, w := dut.Get(from, to, now), ref.Get(from, to, now)
+					if g != w {
+						t.Fatalf("trial %d step %d: Get(%d,%d) = %v, ref %v",
+							trial, step, from, to, g, w)
+					}
+				}
+			}
+			for _, self := range probe {
+				gp := dut.FreshLocalPeers(self, now)
+				wp := ref.FreshLocalPeers(self, now)
+				if !slices.Equal(gp, wp) {
+					t.Fatalf("trial %d step %d: FreshLocalPeers(%d) = %v, ref %v",
+						trial, step, self, gp, wp)
+				}
+				gr := dut.Report(self, now)
+				wr := ref.Report(self, now)
+				if fmt.Sprint(gr) != fmt.Sprint(wr) {
+					t.Fatalf("trial %d step %d: Report(%d) =\n%v\nref\n%v",
+						trial, step, self, gr, wr)
+				}
+			}
+		}
+	}
+}
+
+// TestProbTableReportTruncation pins the 255-entry beacon bound on both
+// implementations at once.
+func TestProbTableReportTruncation(t *testing.T) {
+	dut := NewProbTable(0.5, time.Hour)
+	ref := newRefProbTable(0.5, time.Hour)
+	const self = 0
+	for i := 1; i <= 300; i++ {
+		dut.ObserveLocal(uint16(i), self, 0.5, time.Second)
+		ref.ObserveLocal(uint16(i), self, 0.5, time.Second)
+	}
+	gr := dut.Report(self, 2*time.Second)
+	wr := ref.Report(self, 2*time.Second)
+	if len(gr) != 255 || fmt.Sprint(gr) != fmt.Sprint(wr) {
+		t.Fatalf("truncated report mismatch: dut %d entries, ref %d", len(gr), len(wr))
+	}
+}

@@ -76,6 +76,26 @@ func (n *Node) retxTimeout() time.Duration {
 	return t
 }
 
+// allocPkt takes an outPkt from the node's free list (growing only while
+// the in-flight window is still being discovered).
+func (n *Node) allocPkt() *outPkt {
+	if p := n.pktFree; p != nil {
+		n.pktFree = p.free
+		*p = outPkt{n: n}
+		return p
+	}
+	return &outPkt{n: n}
+}
+
+// freePkt recycles a settled packet record and its pooled payload buffer.
+func (n *Node) freePkt(p *outPkt) {
+	if p.payload != nil {
+		n.mac.Buffers().Put(p.payload)
+	}
+	*p = outPkt{n: n, free: n.pktFree}
+	n.pktFree = p
+}
+
 // SendData transmits an application payload. On a vehicle it is addressed
 // to the current anchor (§4.3: upstream packets are forwarded through the
 // anchor); returns false — without consuming a sequence number — when the
@@ -101,13 +121,13 @@ func (n *Node) sendDown(veh uint16, payload []byte, salv *downPkt) {
 // transmission.
 func (n *Node) enqueueData(dst uint16, payload []byte, dir Direction, salv *downPkt) {
 	n.nextSeq++
-	pkt := &outPkt{
-		seq:     n.nextSeq,
-		dst:     dst,
-		payload: append([]byte(nil), payload...),
-		dir:     dir,
-		salv:    salv,
-	}
+	pkt := n.allocPkt()
+	pkt.seq = n.nextSeq
+	pkt.dst = dst
+	pkt.dir = dir
+	pkt.salv = salv
+	pkt.payload = n.mac.Buffers().Get(len(payload))
+	copy(pkt.payload, payload)
 	n.outstanding[pkt.seq] = pkt
 	n.pruneOutstanding()
 	n.transmit(pkt)
@@ -127,7 +147,8 @@ func (n *Node) transmit(pkt *outPkt) {
 		dst = n.anchor
 		pkt.dst = dst
 	}
-	f := &frame.Frame{
+	f := &n.txFrame
+	*f = frame.Frame{
 		Type: frame.TypeData, Src: n.addr, Dst: dst,
 		Seq: pkt.seq, Attempt: pkt.attempt,
 		AckBitmap: n.buildBitmap(pkt.seq), FromVehicle: n.isVehicle,
@@ -139,12 +160,11 @@ func (n *Node) transmit(pkt *outPkt) {
 	n.armRetx(pkt)
 }
 
-// armRetx schedules the packet's next retransmission check.
+// armRetx schedules the packet's next retransmission check. The packet
+// record is its own timer event, so re-arming never allocates.
 func (n *Node) armRetx(pkt *outPkt) {
-	if pkt.timer != nil {
-		pkt.timer.Stop()
-	}
-	pkt.timer = n.K.After(n.retxTimeout(), func() { n.retxFire(pkt) })
+	pkt.timer.Stop()
+	pkt.timer = n.K.AfterHandler(n.retxTimeout(), pkt)
 }
 
 // retxFire retransmits an unacknowledged packet or gives up after
@@ -186,10 +206,9 @@ func (n *Node) pruneOutstanding() {
 	}
 	for seq, pkt := range n.outstanding {
 		if seq+16 < n.nextSeq && (pkt.acked || pkt.dropped) {
-			if pkt.timer != nil {
-				pkt.timer.Stop()
-			}
+			pkt.timer.Stop()
 			delete(n.outstanding, seq)
+			n.freePkt(pkt)
 		}
 	}
 }

@@ -1,6 +1,8 @@
 package experiment
 
 import (
+	"flag"
+	"os"
 	"sync"
 	"testing"
 	"time"
@@ -30,6 +32,43 @@ func TestEqualSeedsByteIdenticalReports(t *testing.T) {
 		}
 		if a.String() != b.String() {
 			t.Errorf("%s: equal seeds diverged:\n--- first\n%s\n--- second\n%s", id, a, b)
+		}
+	}
+}
+
+// updateGolden regenerates the golden reports instead of checking them:
+//
+//	go test ./internal/experiment -run TestGoldenReports -update-golden
+//
+// Only use it for deliberate, reviewed output changes — the goldens are
+// the cross-version determinism contract: performance work must leave
+// reports byte-identical, and these files (captured before the pooled
+// kernel and dense tables existed) prove it.
+var updateGolden = flag.Bool("update-golden", false, "rewrite testdata golden reports")
+
+// TestGoldenReports pins report bytes across code versions. Equal-seed
+// reproducibility (above) only shows a binary agrees with itself; this
+// test catches optimizations that change behavior while staying
+// self-consistent.
+func TestGoldenReports(t *testing.T) {
+	for _, id := range determinismSample {
+		rep, err := Run(id, Options{Seed: 17, Scale: 0.04})
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		path := "testdata/golden_" + id + ".txt"
+		if *updateGolden {
+			if err := os.WriteFile(path, []byte(rep.String()), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			continue
+		}
+		want, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("%s: %v (run with -update-golden to create)", id, err)
+		}
+		if rep.String() != string(want) {
+			t.Errorf("%s: report diverged from committed golden %s", id, path)
 		}
 	}
 }

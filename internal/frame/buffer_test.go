@@ -1,0 +1,85 @@
+package frame
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestBufferPoolRecycles(t *testing.T) {
+	var p BufferPool
+	b := p.Get(100)
+	if len(b) != 100 || cap(b) < 100 {
+		t.Fatalf("Get(100) returned len %d cap %d", len(b), cap(b))
+	}
+	c := cap(b)
+	p.Put(b)
+	b2 := p.Get(90)
+	if cap(b2) != c {
+		t.Errorf("pool did not recycle: got cap %d, want %d", cap(b2), c)
+	}
+	// Foreign buffers with non-power-of-two capacity must still honour
+	// Get's capacity promise after recycling.
+	p.Put(make([]byte, 100)) // cap 100: filed under class 64
+	b3 := p.Get(100)         // class 128: must not see the cap-100 buffer
+	if cap(b3) < 100 {
+		t.Errorf("recycled foreign buffer broke capacity promise: cap %d", cap(b3))
+	}
+	// Tiny and nil puts are dropped, not crashes.
+	p.Put(nil)
+	p.Put(make([]byte, 8))
+}
+
+func TestBufferPoolSteadyStateAllocFree(t *testing.T) {
+	var p BufferPool
+	p.Put(p.Get(512))
+	allocs := testing.AllocsPerRun(1000, func() {
+		b := p.Get(512)
+		p.Put(b)
+	})
+	if allocs != 0 {
+		t.Errorf("warm Get/Put allocates %.1f objects, want 0", allocs)
+	}
+}
+
+// TestAppendToMatchesMarshal pins the append-style encoder to the
+// allocating one, byte for byte, across every frame type.
+func TestAppendToMatchesMarshal(t *testing.T) {
+	frames := []*Frame{
+		{Type: TypeData, Src: 3, Dst: 1, Seq: 9, Attempt: 2, AckBitmap: 0x5,
+			FromVehicle: true, Payload: []byte("hello world")},
+		{Type: TypeAck, Src: 1, Dst: Broadcast, AckSrc: 3, AckSeq: 9, AckAttempt: 2},
+		{Type: TypeBeacon, Src: 2, Dst: Broadcast, Seq: 77, Beacon: &Beacon{
+			Anchor: 1, PrevAnchor: None, Aux: []uint16{4, 5},
+			Probs: []ProbEntry{{From: 1, To: 2, Prob: 0.5}}}},
+		{Type: TypeSalvageReq, Src: 1, Dst: 2, Target: 11},
+		{Type: TypeSalvageData, Src: 1, Dst: 2, Orig: 11, Seq: 4, Payload: []byte("pkt")},
+		{Type: TypeRelay, Src: 1, Dst: 2, Orig: 11, Seq: 4, Relayed: true, Payload: []byte("pkt")},
+		{Type: TypeRegister, Src: 1, Dst: 2, Target: 11},
+	}
+	var p BufferPool
+	for _, f := range frames {
+		want, err := f.Marshal()
+		if err != nil {
+			t.Fatalf("%v: %v", f.Type, err)
+		}
+		buf := p.Get(f.WireSize())[:0]
+		got, err := f.AppendTo(buf)
+		if err != nil {
+			t.Fatalf("%v: AppendTo: %v", f.Type, err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Errorf("%v: AppendTo differs from Marshal\n got %x\nwant %x", f.Type, got, want)
+		}
+		if f.WireSize() != len(want) {
+			t.Errorf("%v: WireSize %d != marshaled %d", f.Type, f.WireSize(), len(want))
+		}
+		p.Put(got)
+	}
+	// Errors must not disturb dst.
+	bad := &Frame{Type: TypeBeacon} // beacon without body
+	dst := []byte{1, 2, 3}
+	out, err := bad.AppendTo(dst)
+	if err == nil || len(out) != 3 {
+		t.Errorf("error path returned %v, %v", out, err)
+	}
+}

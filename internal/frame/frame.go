@@ -167,43 +167,59 @@ func dequantizeProb(b uint8) float64 { return float64(b) / 255 }
 
 // Marshal encodes the frame to a fresh byte slice.
 func (f *Frame) Marshal() ([]byte, error) {
-	size := headerLen + trailerLen
+	return f.AppendTo(nil)
+}
+
+// sizeChecked validates the frame and returns its exact wire size. The
+// size arithmetic itself lives in WireSize — single source of truth, so
+// the pooled-buffer sizing in senders can never drift from the encoder.
+func (f *Frame) sizeChecked() (int, error) {
 	switch f.Type {
-	case TypeData:
-		size += 1 + 2 + len(f.Payload)
-	case TypeAck:
-		size += 2 + 4 + 1
+	case TypeData, TypeAck, TypeSalvageReq, TypeSalvageData, TypeRelay, TypeRegister:
 	case TypeBeacon:
 		if f.Beacon == nil {
-			return nil, fmt.Errorf("%w: beacon frame without body", ErrBadType)
+			return 0, fmt.Errorf("%w: beacon frame without body", ErrBadType)
 		}
 		if len(f.Beacon.Aux) > 255 || len(f.Beacon.Probs) > 255 {
-			return nil, ErrOversize
+			return 0, ErrOversize
 		}
-		size += 2 + 2 + 1 + 2*len(f.Beacon.Aux) + 1 + 5*len(f.Beacon.Probs)
-	case TypeSalvageReq:
-		size += 2
-	case TypeSalvageData, TypeRelay:
-		size += 2 + 1 + 2 + len(f.Payload)
-	case TypeRegister:
-		size += 2
 	default:
-		return nil, fmt.Errorf("%w: %d", ErrBadType, f.Type)
+		return 0, fmt.Errorf("%w: %d", ErrBadType, f.Type)
 	}
 	if len(f.Payload) > 0xFFFF {
-		return nil, ErrOversize
+		return 0, ErrOversize
 	}
+	return f.WireSize(), nil
+}
 
-	buf := make([]byte, size)
+// AppendTo appends the frame's encoding to dst and returns the extended
+// slice. When dst has enough spare capacity (e.g. a pooled buffer sized
+// with WireSize) no allocation occurs, which is what keeps the MAC's
+// send path allocation-free.
+func (f *Frame) AppendTo(dst []byte) ([]byte, error) {
+	size, err := f.sizeChecked()
+	if err != nil {
+		return dst, err
+	}
+	off := len(dst)
+	if cap(dst)-off >= size {
+		dst = dst[:off+size]
+	} else {
+		dst = append(dst, make([]byte, size)...)
+	}
+	buf := dst[off : off+size]
+
 	buf[0] = magic
 	buf[1] = version
 	buf[2] = byte(f.Type)
+	var flags byte
 	if f.Relayed {
-		buf[3] |= 1
+		flags |= 1
 	}
 	if f.FromVehicle {
-		buf[3] |= 2
+		flags |= 2
 	}
+	buf[3] = flags
 	binary.BigEndian.PutUint16(buf[4:], f.Src)
 	binary.BigEndian.PutUint16(buf[6:], f.Dst)
 	binary.BigEndian.PutUint32(buf[8:], f.Seq)
@@ -250,7 +266,7 @@ func (f *Frame) Marshal() ([]byte, error) {
 
 	crc := crc32.ChecksumIEEE(buf[:size-trailerLen])
 	binary.BigEndian.PutUint32(buf[size-trailerLen:], crc)
-	return buf, nil
+	return dst, nil
 }
 
 // Unmarshal decodes a frame from buf. The returned frame's Payload aliases

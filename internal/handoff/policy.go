@@ -29,7 +29,9 @@ type Policy interface {
 	// Step returns the set of basestation indices the client may use
 	// during the given slot (nil or empty = disconnected). It is called
 	// exactly once per slot in increasing order; implementations update
-	// internal state with the slot's observations after choosing.
+	// internal state with the slot's observations after choosing. The
+	// returned slice may be policy-owned scratch, valid only until the
+	// next Step call.
 	Step(slot int) []int
 }
 
@@ -66,6 +68,7 @@ type RSSI struct {
 	avg       []*stats.EWMA
 	lastHeard []int
 	staleSlot int
+	choice    [1]int
 }
 
 // rssiStaleSec is the scan-cache staleness window in seconds.
@@ -107,7 +110,8 @@ func (p *RSSI) Step(slot int) []int {
 	if best < 0 {
 		return nil
 	}
-	return []int{best}
+	p.choice[0] = best
+	return p.choice[:]
 }
 
 // --- BRR -----------------------------------------------------------------
@@ -121,6 +125,7 @@ type BRR struct {
 	avg     []*stats.EWMA
 	heard   []int // beacons heard from each BS in the current second
 	pending int   // slots folded into the current second
+	choice  [1]int
 }
 
 // NewBRR returns the BRR policy.
@@ -165,7 +170,8 @@ func (p *BRR) Step(slot int) []int {
 	if best < 0 {
 		return nil
 	}
-	return []int{best}
+	p.choice[0] = best
+	return p.choice[:]
 }
 
 // Value exposes the current averaged reception ratio for a basestation
@@ -186,6 +192,7 @@ type Sticky struct {
 	rssi       []*stats.EWMA
 	lastHeard  []int
 	timeoutSec float64
+	scratch    [1]int
 }
 
 // NewSticky returns the Sticky policy with the paper's 3 s timeout.
@@ -241,7 +248,8 @@ func (p *Sticky) Step(slot int) []int {
 	if choice < 0 {
 		return nil
 	}
-	return []int{choice}
+	p.scratch[0] = choice
+	return p.scratch[:]
 }
 
 // --- History -------------------------------------------------------------
@@ -262,6 +270,7 @@ type History struct {
 	// staged holds the current trip's observations, merged at trip end.
 	stagedPerf  map[[2]int][]float64
 	stagedCount map[[2]int][]int
+	scratch     [1]int
 }
 
 // NewHistory returns the History policy with 25 m grid cells.
@@ -352,7 +361,8 @@ func (p *History) Step(slot int) []int {
 	if choice < 0 {
 		return nil
 	}
-	return []int{choice}
+	p.scratch[0] = choice
+	return p.scratch[:]
 }
 
 // --- BestBS --------------------------------------------------------------
@@ -361,9 +371,10 @@ func (p *History) Step(slot int) []int {
 // with the best performance over the upcoming second — an oracle that
 // upper-bounds every hard-handoff method (§3.1 policy 5).
 type BestBS struct {
-	pt     *trace.ProbeTrace
-	sps    int
-	choice int
+	pt      *trace.ProbeTrace
+	sps     int
+	choice  int
+	scratch [1]int
 }
 
 // NewBestBS returns the BestBS oracle.
@@ -406,7 +417,8 @@ func (p *BestBS) Step(slot int) []int {
 	if p.choice < 0 {
 		return nil
 	}
-	return []int{p.choice}
+	p.scratch[0] = p.choice
+	return p.scratch[:]
 }
 
 // --- AllBSes -------------------------------------------------------------

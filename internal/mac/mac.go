@@ -15,6 +15,7 @@ import (
 	"github.com/vanlan/vifi/internal/frame"
 	"github.com/vanlan/vifi/internal/mobility"
 	"github.com/vanlan/vifi/internal/radio"
+	"github.com/vanlan/vifi/internal/ring"
 	"github.com/vanlan/vifi/internal/sim"
 )
 
@@ -80,6 +81,30 @@ type Stats struct {
 	BeaconsSent  int
 }
 
+// txItem is one queued, already-marshaled frame. The buffer comes from
+// the channel's pool and returns to it after the broadcast copies it out.
+type txItem struct {
+	buf []byte
+	typ frame.Type
+}
+
+// beaconTask, pumpTask and txDoneTask are the MAC's sim.Handler adapters:
+// allocated once with the MAC, scheduled forever after without a closure.
+type beaconTask struct{ m *MAC }
+
+func (t *beaconTask) OnEvent() { t.m.beaconTick() }
+
+type pumpTask struct{ m *MAC }
+
+func (t *pumpTask) OnEvent() { t.m.pump() }
+
+type txDoneTask struct{ m *MAC }
+
+func (t *txDoneTask) OnEvent() {
+	t.m.sending = false
+	t.m.pump()
+}
+
 // MAC is one node's medium access entity.
 type MAC struct {
 	K   *sim.Kernel
@@ -91,10 +116,14 @@ type MAC struct {
 	handler  Handler
 	beaconFn func() *frame.Frame
 
-	queue   [][]byte // marshaled frames; index 0 is next out
-	qTypes  []frame.Type
+	// queue holds marshaled frames; SendPriority pushes at the front.
+	queue   ring.Ring[txItem]
 	sending bool
 	stats   Stats
+
+	beaconH beaconTask
+	pumpH   pumpTask
+	txDoneH txDoneTask
 }
 
 // New attaches a new MAC to the channel. name must be unique per channel;
@@ -106,6 +135,7 @@ func New(k *sim.Kernel, ch *radio.Channel, name string, mover mobility.Mover) *M
 		cfg: DefaultConfig(),
 		rng: k.RNG("mac", name),
 	}
+	m.beaconH.m, m.pumpH.m, m.txDoneH.m = m, m, m
 	m.id = ch.Attach(name, mover, radio.ReceiverFunc(m.radioReceive))
 	return m
 }
@@ -127,11 +157,15 @@ func (m *MAC) Addr() uint16 { return uint16(m.id) }
 // SetHandler installs the upper-layer frame consumer.
 func (m *MAC) SetHandler(h Handler) { m.handler = h }
 
+// Buffers exposes the channel's buffer pool so protocol layers can
+// marshal into (and recycle) pooled buffers.
+func (m *MAC) Buffers() *frame.BufferPool { return m.ch.Buffers() }
+
 // Stats returns a copy of the MAC counters.
 func (m *MAC) Stats() Stats { return m.stats }
 
 // QueueLen reports frames waiting (not counting one on the air).
-func (m *MAC) QueueLen() int { return len(m.queue) }
+func (m *MAC) QueueLen() int { return m.queue.Len() }
 
 // StartBeacons begins periodic beacon emission. fn is invoked at each
 // beacon time to produce the frame; returning nil skips that beacon. The
@@ -140,7 +174,7 @@ func (m *MAC) QueueLen() int { return len(m.queue) }
 func (m *MAC) StartBeacons(fn func() *frame.Frame) {
 	m.beaconFn = fn
 	first := time.Duration(m.rng.Float64() * float64(m.cfg.BeaconInterval))
-	m.K.After(first, m.beaconTick)
+	m.K.AfterHandler(first, &m.beaconH)
 }
 
 func (m *MAC) beaconTick() {
@@ -151,7 +185,7 @@ func (m *MAC) beaconTick() {
 			}
 		}
 	}
-	m.K.After(m.cfg.BeaconInterval, m.beaconTick)
+	m.K.AfterHandler(m.cfg.BeaconInterval, &m.beaconH)
 }
 
 // Send queues a frame for transmission. It reports whether the frame was
@@ -164,20 +198,21 @@ func (m *MAC) Send(f *frame.Frame) bool { return m.send(f, false) }
 func (m *MAC) SendPriority(f *frame.Frame) bool { return m.send(f, true) }
 
 func (m *MAC) send(f *frame.Frame, front bool) bool {
-	buf, err := f.Marshal()
+	pool := m.ch.Buffers()
+	buf, err := f.AppendTo(pool.Get(f.WireSize())[:0])
 	if err != nil {
 		panic("mac: unmarshalable frame: " + err.Error())
 	}
-	if len(m.queue) >= m.cfg.QueueCap {
+	if m.queue.Len() >= m.cfg.QueueCap {
+		pool.Put(buf)
 		m.stats.DroppedFull++
 		return false
 	}
+	it := txItem{buf: buf, typ: f.Type}
 	if front {
-		m.queue = append([][]byte{buf}, m.queue...)
-		m.qTypes = append([]frame.Type{f.Type}, m.qTypes...)
+		m.queue.PushFront(it)
 	} else {
-		m.queue = append(m.queue, buf)
-		m.qTypes = append(m.qTypes, f.Type)
+		m.queue.PushBack(it)
 	}
 	m.stats.Enqueued++
 	m.pump()
@@ -187,29 +222,26 @@ func (m *MAC) send(f *frame.Frame, front bool) bool {
 // pump moves the head frame to the air when allowed: never more than one
 // outstanding frame, defer while the medium is busy.
 func (m *MAC) pump() {
-	if m.sending || len(m.queue) == 0 {
+	if m.sending || m.queue.Len() == 0 {
 		return
 	}
 	if m.ch.Busy(m.id) {
 		m.stats.BusyDefers++
 		d := m.cfg.BackoffMin +
 			time.Duration(m.rng.Float64()*float64(m.cfg.BackoffMax-m.cfg.BackoffMin))
-		m.K.After(d, m.pump)
+		m.K.AfterHandler(d, &m.pumpH)
 		return
 	}
-	buf := m.queue[0]
-	typ := m.qTypes[0]
-	m.queue = m.queue[1:]
-	m.qTypes = m.qTypes[1:]
+	it := m.queue.PopFront()
 	m.sending = true
 	m.stats.Sent++
-	if int(typ) < len(m.stats.SentByType) {
-		m.stats.SentByType[typ]++
+	if int(it.typ) < len(m.stats.SentByType) {
+		m.stats.SentByType[it.typ]++
 	}
-	m.ch.Broadcast(m.id, buf, func() {
-		m.sending = false
-		m.pump()
-	})
+	m.ch.Broadcast(m.id, it.buf, &m.txDoneH)
+	// Broadcast copied the payload per delivery before returning; the
+	// marshal buffer can recycle immediately.
+	m.ch.Buffers().Put(it.buf)
 }
 
 // radioReceive decodes and dispatches an arriving frame.

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"github.com/vanlan/vifi/internal/frame"
 	"github.com/vanlan/vifi/internal/mobility"
 	"github.com/vanlan/vifi/internal/sim"
 )
@@ -24,7 +25,9 @@ type RxInfo struct {
 // Receiver consumes frames delivered by the channel.
 type Receiver interface {
 	// RadioReceive is called once per correctly decoded frame. The payload
-	// slice is owned by the receiver (the channel never reuses it).
+	// is a pooled buffer owned by the channel: it is valid only for the
+	// duration of the call, and receivers must copy anything they retain
+	// (frame.Unmarshal already copies, so decode-and-dispatch is safe).
 	RadioReceive(payload []byte, info RxInfo)
 }
 
@@ -36,17 +39,50 @@ func (f ReceiverFunc) RadioReceive(payload []byte, info RxInfo) { f(payload, inf
 
 // LinkFactory builds the LinkModel for a directed (from, to) pair. The
 // default factory creates independent FadingLinks; trace-driven
-// experiments install ScheduleLinks instead.
+// experiments install ScheduleLinks instead. Factories must be pure
+// functions of (from, to): the channel instantiates every directed pair
+// eagerly at attach time.
 type LinkFactory func(from, to NodeID) LinkModel
 
 // reception is one in-flight frame at one receiver. It carries its own
 // damage state so that collisions can void it without racing against
-// receptions that complete at the same instant.
+// receptions that complete at the same instant. Records are pooled on the
+// channel and double as the scheduled delivery event (sim.Handler), so
+// steady-state delivery performs no allocation.
 type reception struct {
-	from NodeID
-	rssi float64
-	end  time.Duration
-	ok   bool
+	ch        *Channel
+	dst       *node
+	from      NodeID
+	rssi      float64
+	end       time.Duration
+	ok        bool
+	scheduled bool   // a delivery event owns (and will free) this record
+	buf       []byte // pooled payload copy; nil when the frame was lost
+	info      RxInfo
+	next      *reception // free-list link
+}
+
+// OnEvent completes the reception: it releases the record (and the
+// receiver lock it holds) and, if the frame survived, hands the payload
+// to the receiver before recycling the buffer.
+func (r *reception) OnEvent() {
+	c, d := r.ch, r.dst
+	ok, buf, info := r.ok, r.buf, r.info
+	if d.cur == r {
+		d.cur = nil
+	}
+	c.freeReception(r)
+	if !ok {
+		if buf != nil {
+			c.bufs.Put(buf)
+		}
+		return // destroyed by a collision or half-duplex turnaround
+	}
+	c.stats.Deliveries++
+	if d.recv != nil {
+		d.recv.RadioReceive(buf, info)
+	}
+	c.bufs.Put(buf)
 }
 
 // node is the channel's view of one attached radio.
@@ -69,10 +105,6 @@ type Stats struct {
 	ChannelLosses int // receptions lost to the link model
 }
 
-// Channel is the shared broadcast medium. All attached nodes hear all
-// transmissions subject to the per-link LinkModel, half-duplex operation
-// and collision rules. The channel is single-threaded on the simulation
-// kernel.
 // linkState bundles the model and the private randomness of one directed
 // link. The RNG streams are created once and advanced across the whole
 // simulation; recreating them per frame would freeze the coin flips.
@@ -82,20 +114,50 @@ type linkState struct {
 	noise *sim.RNG
 }
 
+// txEnd is the always-scheduled end-of-airtime event for one transmission:
+// it keeps the active-transmitter count exact and invokes the sender's
+// txDone handler. Records are pooled.
+type txEnd struct {
+	ch     *Channel
+	txDone sim.Handler
+	next   *txEnd
+}
+
+func (t *txEnd) OnEvent() {
+	c, done := t.ch, t.txDone
+	t.txDone = nil
+	t.next = c.freeTx
+	c.freeTx = t
+	c.active--
+	if done != nil {
+		done.OnEvent()
+	}
+}
+
+// Channel is the shared broadcast medium. All attached nodes hear all
+// transmissions subject to the per-link LinkModel, half-duplex operation
+// and collision rules. The channel is single-threaded on the simulation
+// kernel.
 type Channel struct {
 	K       *sim.Kernel
 	P       Params
 	factory LinkFactory
 	nodes   []*node
-	links   map[[2]NodeID]*linkState
-	stats   Stats
+	// links is the dense directed link table, indexed [from][to]. Rows
+	// are pre-sized at attach time; the diagonal is never populated.
+	links  [][]linkState
+	bufs   frame.BufferPool
+	freeRx *reception
+	freeTx *txEnd
+	active int // transmissions currently on the air
+	stats  Stats
 }
 
 // NewChannel creates a channel over the kernel with the given parameters.
 // If factory is nil, independent FadingLinks are created per directed pair,
 // each seeded from the kernel's labeled RNG streams.
 func NewChannel(k *sim.Kernel, p Params, factory LinkFactory) *Channel {
-	c := &Channel{K: k, P: p, links: map[[2]NodeID]*linkState{}}
+	c := &Channel{K: k, P: p}
 	if factory == nil {
 		factory = func(from, to NodeID) LinkModel {
 			return NewFadingLink(p, k.RNG("link", fmt.Sprint(from), fmt.Sprint(to)))
@@ -105,10 +167,29 @@ func NewChannel(k *sim.Kernel, p Params, factory LinkFactory) *Channel {
 	return c
 }
 
-// Attach registers a radio with the channel and returns its NodeID.
+// newLink builds the state of one directed link. Each link's RNG streams
+// are derived from stable labels, so eager construction at attach time
+// yields exactly the coin flips lazy construction did.
+func (c *Channel) newLink(from, to NodeID) linkState {
+	return linkState{
+		model: c.factory(from, to),
+		loss:  c.K.RNG("loss", fmt.Sprint(from), fmt.Sprint(to)),
+		noise: c.K.RNG("rssi", fmt.Sprint(from), fmt.Sprint(to)),
+	}
+}
+
+// Attach registers a radio with the channel and returns its NodeID. The
+// directed link table grows by one row and one column, instantiated
+// immediately so the frame path never consults a map.
 func (c *Channel) Attach(name string, mover mobility.Mover, recv Receiver) NodeID {
 	id := NodeID(len(c.nodes))
 	c.nodes = append(c.nodes, &node{id: id, name: name, mover: mover, recv: recv})
+	row := make([]linkState, len(c.nodes))
+	for other := NodeID(0); other < id; other++ {
+		row[other] = c.newLink(id, other)
+		c.links[other] = append(c.links[other], c.newLink(other, id))
+	}
+	c.links = append(c.links, row)
 	return id
 }
 
@@ -125,24 +206,18 @@ func (c *Channel) NumNodes() int { return len(c.nodes) }
 // Stats returns a copy of the channel counters.
 func (c *Channel) Stats() Stats { return c.stats }
 
+// Buffers exposes the channel's buffer pool so the MAC layer can marshal
+// frames into recycled buffers.
+func (c *Channel) Buffers() *frame.BufferPool { return &c.bufs }
+
 // Position returns a node's current position.
 func (c *Channel) Position(id NodeID) mobility.Point {
 	return c.nodes[id].mover.Position(c.K.Now())
 }
 
-// link returns (creating if needed) the state for the directed pair.
+// link returns the state for the directed pair.
 func (c *Channel) link(from, to NodeID) *linkState {
-	key := [2]NodeID{from, to}
-	l, ok := c.links[key]
-	if !ok {
-		l = &linkState{
-			model: c.factory(from, to),
-			loss:  c.K.RNG("loss", fmt.Sprint(from), fmt.Sprint(to)),
-			noise: c.K.RNG("rssi", fmt.Sprint(from), fmt.Sprint(to)),
-		}
-		c.links[key] = l
-	}
-	return l
+	return &c.links[from][to]
 }
 
 // Link exposes the LinkModel for a directed pair (diagnostics and
@@ -167,6 +242,9 @@ func (c *Channel) Busy(id NodeID) bool {
 	if me.txUntil > now {
 		return true
 	}
+	if c.active == 0 {
+		return false // nobody is on the air: skip the position sweep
+	}
 	pos := me.mover.Position(now)
 	for _, n := range c.nodes {
 		if n.id == id || n.txUntil <= now {
@@ -184,17 +262,47 @@ func (c *Channel) Transmitting(id NodeID) bool {
 	return c.nodes[id].txUntil > c.K.Now()
 }
 
+// allocReception takes a record from the pool.
+func (c *Channel) allocReception() *reception {
+	if r := c.freeRx; r != nil {
+		c.freeRx = r.next
+		r.next = nil
+		return r
+	}
+	return &reception{ch: c}
+}
+
+// freeReception returns a record to the pool.
+func (c *Channel) freeReception(r *reception) {
+	r.dst = nil
+	r.buf = nil
+	r.scheduled = false
+	r.next = c.freeRx
+	c.freeRx = r
+}
+
+// setCur installs rx as the receiver's locking reception. A displaced
+// record that no delivery event owns (a lost frame that completed) is
+// recycled here; scheduled records free themselves when they fire.
+func (c *Channel) setCur(dst *node, rx *reception) {
+	if prev := dst.cur; prev != nil && !prev.scheduled {
+		c.freeReception(prev)
+	}
+	dst.cur = rx
+}
+
 // Broadcast puts a frame on the air from the given node. Every other node
 // receives it with its link-model probability, subject to half-duplex and
-// collision rules. Returns the frame's airtime. If txDone is non-nil it is
-// invoked when the frame leaves the air (the MAC uses this to release its
-// one-outstanding-frame gate); the channel always schedules the
-// end-of-airtime event so virtual time advances even when every reception
-// is lost.
+// collision rules. Returns the frame's airtime. If txDone is non-nil its
+// OnEvent is invoked when the frame leaves the air (the MAC uses this to
+// release its one-outstanding-frame gate); the channel always schedules
+// the end-of-airtime event so virtual time advances even when every
+// reception is lost.
 //
-// The payload is copied once per successful delivery; the caller keeps
-// ownership of the passed slice.
-func (c *Channel) Broadcast(from NodeID, payload []byte, txDone func()) time.Duration {
+// The payload is copied (into pooled buffers) once per successful
+// delivery; the caller keeps ownership of the passed slice and may reuse
+// it as soon as Broadcast returns.
+func (c *Channel) Broadcast(from NodeID, payload []byte, txDone sim.Handler) time.Duration {
 	now := c.K.Now()
 	src := c.nodes[from]
 	airtime := c.P.Airtime(len(payload))
@@ -205,6 +313,7 @@ func (c *Channel) Broadcast(from NodeID, payload []byte, txDone func()) time.Dur
 		panic(fmt.Sprintf("radio: node %d (%s) transmit while transmitting", from, src.name))
 	}
 	src.txUntil = end
+	c.active++
 	c.stats.Transmissions++
 
 	// A node that begins transmitting loses any frame it was receiving.
@@ -223,11 +332,15 @@ func (c *Channel) Broadcast(from NodeID, payload []byte, txDone func()) time.Dur
 	// Schedule the tx-done notification after the delivery events so that
 	// receptions completing exactly at end are processed before the sender
 	// reuses the medium (FIFO among equal timestamps).
-	c.K.At(end, func() {
-		if txDone != nil {
-			txDone()
-		}
-	})
+	te := c.freeTx
+	if te != nil {
+		c.freeTx = te.next
+		te.next = nil
+	} else {
+		te = &txEnd{ch: c}
+	}
+	te.txDone = txDone
+	c.K.AtHandler(end, te)
 	return airtime
 }
 
@@ -278,23 +391,18 @@ func (c *Channel) deliver(src, dst *node, srcPos mobility.Point, payload []byte,
 
 	// Channel loss?
 	ok := ls.loss.Float64() < pr
-	rx := &reception{from: src.id, rssi: rssi, end: end, ok: ok}
-	dst.cur = rx
+	rx := c.allocReception()
+	rx.ch, rx.dst = c, dst
+	rx.from, rx.rssi, rx.end, rx.ok = src.id, rssi, end, ok
+	c.setCur(dst, rx)
 	if !ok {
 		c.stats.ChannelLosses++
 		return
 	}
-	buf := make([]byte, len(payload))
+	buf := c.bufs.Get(len(payload))
 	copy(buf, payload)
-	info := RxInfo{From: src.id, At: end, RSSI: rssi, Dist: dist}
-	d := dst
-	c.K.At(end, func() {
-		if !rx.ok {
-			return // destroyed by a collision or half-duplex turnaround
-		}
-		c.stats.Deliveries++
-		if d.recv != nil {
-			d.recv.RadioReceive(buf, info)
-		}
-	})
+	rx.buf = buf
+	rx.info = RxInfo{From: src.id, At: end, RSSI: rssi, Dist: dist}
+	rx.scheduled = true
+	c.K.AtHandler(end, rx)
 }

@@ -113,7 +113,7 @@ func (p Params) Airtime(payloadBytes int) time.Duration {
 
 // meanReception returns the distance-driven mean reception probability for
 // a link whose shadowing shifts D50 by shadowM meters.
-func (p Params) meanReception(dist, shadowM float64) float64 {
+func (p *Params) meanReception(dist, shadowM float64) float64 {
 	d50 := p.D50 + shadowM
 	if d50 < 10 {
 		d50 = 10
@@ -122,7 +122,7 @@ func (p Params) meanReception(dist, shadowM float64) float64 {
 }
 
 // rssi returns a synthetic RSSI (dBm) at the given distance.
-func (p Params) rssi(dist float64, noise float64) float64 {
+func (p *Params) rssi(dist float64, noise float64) float64 {
 	if dist < 1 {
 		dist = 1
 	}

@@ -11,7 +11,6 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
 	"time"
@@ -20,79 +19,74 @@ import (
 // Event is a callback scheduled to run at a virtual time.
 type Event func()
 
-// item is a scheduled event inside the kernel's heap.
-type item struct {
-	at    time.Duration
-	seq   uint64 // tie-breaker: FIFO among equal timestamps
-	fn    Event
-	index int
-	dead  bool
+// Handler is the allocation-free way to schedule work: a long-lived
+// protocol object implements OnEvent once and is scheduled repeatedly via
+// AtHandler/AfterHandler without allocating a closure per event. The
+// closure forms At/After remain as the convenient fallback; the kernel
+// itself never allocates per event either way — event records live in a
+// pooled, index-addressed arena with a free list.
+type Handler interface {
+	OnEvent()
 }
 
-// eventHeap implements container/heap over scheduled items.
-type eventHeap []*item
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
-}
-func (h *eventHeap) Push(x any) {
-	it := x.(*item)
-	it.index = len(*h)
-	*h = append(*h, it)
-}
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	it := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	it.index = -1
-	return it
+// event is one pooled scheduled-event record. Records are addressed by
+// index into the kernel's arena; gen distinguishes reuses of a slot so
+// stale Timer handles can never cancel an unrelated event.
+type event struct {
+	at   time.Duration
+	seq  uint64 // tie-breaker: FIFO among equal timestamps
+	h    Handler
+	fn   Event
+	gen  uint32
+	hpos int32 // position in the heap, -1 when not queued
+	next int32 // free-list link
 }
 
-// Timer is a handle to a scheduled event that can be cancelled.
+// Timer is a handle to a scheduled event that can be cancelled. The zero
+// value is a valid, non-pending timer; Stop and Pending on it are no-ops.
 type Timer struct {
-	it *item
+	k   *Kernel
+	idx int32
+	gen uint32
 }
 
-// Stop cancels the timer if it has not fired. It reports whether the
-// timer was still pending.
-func (t *Timer) Stop() bool {
-	if t == nil || t.it == nil || t.it.dead || t.it.index == -1 {
+// Stop cancels the timer if it has not fired, removing the event from the
+// scheduler in O(log n). It reports whether the timer was still pending.
+func (t Timer) Stop() bool {
+	if !t.Pending() {
 		return false
 	}
-	t.it.dead = true
+	k := t.k
+	k.heapRemove(k.pool[t.idx].hpos)
+	k.release(t.idx)
 	return true
 }
 
 // Pending reports whether the timer is still scheduled and uncancelled.
-func (t *Timer) Pending() bool {
-	return t != nil && t.it != nil && !t.it.dead && t.it.index != -1
+func (t Timer) Pending() bool {
+	if t.k == nil || int(t.idx) >= len(t.k.pool) {
+		return false
+	}
+	ev := &t.k.pool[t.idx]
+	return ev.gen == t.gen && ev.hpos >= 0
 }
 
 // Kernel is a discrete-event simulation kernel. The zero value is not
 // usable; construct with NewKernel.
 type Kernel struct {
-	now    time.Duration
-	events eventHeap
-	seq    uint64
-	root   uint64 // root seed for RNG streams
-	nrun   uint64 // events executed
+	now  time.Duration
+	pool []event // arena of event records
+	free int32   // free-list head, -1 when empty
+	heap []int32 // binary heap of pool indices, ordered by (at, seq)
+	seq  uint64
+	root uint64 // root seed for RNG streams
+	nrun uint64 // events executed
 }
 
 // NewKernel returns a kernel whose clock starts at zero and whose RNG
 // streams derive from seed.
 func NewKernel(seed int64) *Kernel {
-	return &Kernel{root: splitmix(uint64(seed))}
+	return &Kernel{root: splitmix(uint64(seed)), free: -1}
 }
 
 // Now returns the current virtual time.
@@ -102,43 +96,93 @@ func (k *Kernel) Now() time.Duration { return k.now }
 // and for progress accounting).
 func (k *Kernel) EventsRun() uint64 { return k.nrun }
 
-// Pending returns the number of scheduled (possibly cancelled) events.
-func (k *Kernel) Pending() int { return len(k.events) }
+// Pending returns the number of scheduled events.
+func (k *Kernel) Pending() int { return len(k.heap) }
 
-// At schedules fn to run at absolute virtual time at. Scheduling in the
-// past panics: it always indicates a protocol bug.
-func (k *Kernel) At(at time.Duration, fn Event) *Timer {
+// alloc takes a record from the free list, growing the arena only when it
+// is exhausted (steady state never grows).
+func (k *Kernel) alloc() int32 {
+	if i := k.free; i >= 0 {
+		k.free = k.pool[i].next
+		return i
+	}
+	k.pool = append(k.pool, event{})
+	return int32(len(k.pool) - 1)
+}
+
+// release returns a record to the free list, invalidating outstanding
+// Timer handles via the generation counter.
+func (k *Kernel) release(i int32) {
+	ev := &k.pool[i]
+	ev.h, ev.fn = nil, nil
+	ev.gen++
+	ev.hpos = -1
+	ev.next = k.free
+	k.free = i
+}
+
+func (k *Kernel) schedule(at time.Duration, h Handler, fn Event) Timer {
 	if at < k.now {
 		panic(fmt.Sprintf("sim: schedule at %v before now %v", at, k.now))
 	}
 	k.seq++
-	it := &item{at: at, seq: k.seq, fn: fn}
-	heap.Push(&k.events, it)
-	return &Timer{it: it}
+	i := k.alloc()
+	ev := &k.pool[i]
+	ev.at, ev.seq, ev.h, ev.fn = at, k.seq, h, fn
+	k.heapPush(i)
+	return Timer{k: k, idx: i, gen: ev.gen}
+}
+
+// At schedules fn to run at absolute virtual time at. Scheduling in the
+// past panics: it always indicates a protocol bug.
+func (k *Kernel) At(at time.Duration, fn Event) Timer {
+	return k.schedule(at, nil, fn)
 }
 
 // After schedules fn to run d after the current time.
-func (k *Kernel) After(d time.Duration, fn Event) *Timer {
+func (k *Kernel) After(d time.Duration, fn Event) Timer {
 	if d < 0 {
 		d = 0
 	}
-	return k.At(k.now+d, fn)
+	return k.schedule(k.now+d, nil, fn)
+}
+
+// AtHandler schedules h.OnEvent to run at absolute virtual time at. It is
+// the allocation-free twin of At.
+func (k *Kernel) AtHandler(at time.Duration, h Handler) Timer {
+	return k.schedule(at, h, nil)
+}
+
+// AfterHandler schedules h.OnEvent to run d after the current time.
+func (k *Kernel) AfterHandler(d time.Duration, h Handler) Timer {
+	if d < 0 {
+		d = 0
+	}
+	return k.schedule(k.now+d, h, nil)
 }
 
 // Step executes the earliest pending event. It reports false when the
 // event queue is empty.
 func (k *Kernel) Step() bool {
-	for len(k.events) > 0 {
-		it := heap.Pop(&k.events).(*item)
-		if it.dead {
-			continue
-		}
-		k.now = it.at
-		k.nrun++
-		it.fn()
-		return true
+	if len(k.heap) == 0 {
+		return false
 	}
-	return false
+	i := k.heap[0]
+	k.heapRemove(0)
+	ev := &k.pool[i]
+	k.now = ev.at
+	k.nrun++
+	// Copy the callback out and free the slot before invoking: the
+	// callback may schedule (possibly growing the arena and reusing this
+	// very slot), so no pointer into the pool survives the call.
+	h, fn := ev.h, ev.fn
+	k.release(i)
+	if h != nil {
+		h.OnEvent()
+	} else {
+		fn()
+	}
+	return true
 }
 
 // Run executes events until the queue drains.
@@ -150,20 +194,84 @@ func (k *Kernel) Run() {
 // RunUntil executes events with timestamps ≤ deadline, then advances the
 // clock to deadline. Events scheduled beyond the deadline remain queued.
 func (k *Kernel) RunUntil(deadline time.Duration) {
-	for len(k.events) > 0 {
-		// Peek.
-		it := k.events[0]
-		if it.dead {
-			heap.Pop(&k.events)
-			continue
-		}
-		if it.at > deadline {
-			break
-		}
+	for len(k.heap) > 0 && k.pool[k.heap[0]].at <= deadline {
 		k.Step()
 	}
 	if k.now < deadline {
 		k.now = deadline
+	}
+}
+
+// --- heap over pool indices ----------------------------------------------
+
+func (k *Kernel) less(a, b int32) bool {
+	ea, eb := &k.pool[a], &k.pool[b]
+	if ea.at != eb.at {
+		return ea.at < eb.at
+	}
+	return ea.seq < eb.seq
+}
+
+func (k *Kernel) heapPush(i int32) {
+	pos := int32(len(k.heap))
+	k.heap = append(k.heap, i)
+	k.pool[i].hpos = pos
+	k.siftUp(pos)
+}
+
+// heapRemove removes the entry at heap position pos in O(log n),
+// maintaining every record's hpos.
+func (k *Kernel) heapRemove(pos int32) {
+	n := int32(len(k.heap)) - 1
+	removed := k.heap[pos]
+	last := k.heap[n]
+	k.heap = k.heap[:n]
+	k.pool[removed].hpos = -1
+	if pos < n {
+		k.heap[pos] = last
+		k.pool[last].hpos = pos
+		if !k.siftUp(pos) {
+			k.siftDown(pos)
+		}
+	}
+}
+
+// siftUp restores the heap property upward from pos and reports whether
+// the entry moved.
+func (k *Kernel) siftUp(pos int32) bool {
+	moved := false
+	for pos > 0 {
+		parent := (pos - 1) / 2
+		if !k.less(k.heap[pos], k.heap[parent]) {
+			break
+		}
+		k.heap[pos], k.heap[parent] = k.heap[parent], k.heap[pos]
+		k.pool[k.heap[pos]].hpos = pos
+		k.pool[k.heap[parent]].hpos = parent
+		pos = parent
+		moved = true
+	}
+	return moved
+}
+
+func (k *Kernel) siftDown(pos int32) {
+	n := int32(len(k.heap))
+	for {
+		left := 2*pos + 1
+		if left >= n {
+			return
+		}
+		best := left
+		if right := left + 1; right < n && k.less(k.heap[right], k.heap[left]) {
+			best = right
+		}
+		if !k.less(k.heap[best], k.heap[pos]) {
+			return
+		}
+		k.heap[pos], k.heap[best] = k.heap[best], k.heap[pos]
+		k.pool[k.heap[pos]].hpos = pos
+		k.pool[k.heap[best]].hpos = best
+		pos = best
 	}
 }
 

@@ -324,7 +324,7 @@ func TestTimerProperty(t *testing.T) {
 		}
 		k := NewKernel(seed)
 		fired := make([]bool, len(stops))
-		timers := make([]*Timer, len(stops))
+		timers := make([]Timer, len(stops))
 		for i := range stops {
 			i := i
 			timers[i] = k.After(time.Duration(i+1)*time.Millisecond, func() { fired[i] = true })

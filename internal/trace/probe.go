@@ -121,14 +121,19 @@ func GenerateVanLANProbes(cfg VanLANConfig) *ProbeTrace {
 	pt.Up = make([][]bool, pt.Slots)
 	pt.RSSI = make([][]float64, pt.Slots)
 	pt.Pos = make([]mobility.Point, pt.Slots)
+	// Rows are slices of three flat backing arrays: per-slot row
+	// allocation would dominate the generator's profile.
+	downFlat := make([]bool, pt.Slots*nb)
+	upFlat := make([]bool, pt.Slots*nb)
+	rssiFlat := make([]float64, pt.Slots*nb)
 
 	for s := 0; s < pt.Slots; s++ {
 		at := time.Duration(s) * cfg.SlotDur
 		pos := v.Route.Position(at)
 		pt.Pos[s] = pos
-		dRow := make([]bool, nb)
-		uRow := make([]bool, nb)
-		rRow := make([]float64, nb)
+		dRow := downFlat[s*nb : (s+1)*nb : (s+1)*nb]
+		uRow := upFlat[s*nb : (s+1)*nb : (s+1)*nb]
+		rRow := rssiFlat[s*nb : (s+1)*nb : (s+1)*nb]
 		for i, b := range bsIdx {
 			dist := pos.Dist(v.BSes[b])
 			dOK := down[i].coin.Float64() < down[i].link.ReceiveProb(at, dist)
@@ -170,6 +175,58 @@ func GenerateVanLANProbes(cfg VanLANConfig) *ProbeTrace {
 		}
 	}
 	return pt
+}
+
+// Subset extracts the columns of the given basestations (by index into
+// the generating deployment) from a full probe trace. Because every
+// basestation's loss, fading and RSSI streams are derived from labels of
+// its absolute index, the extracted Down/Up/RSSI/Pos columns are
+// byte-identical to generating the trace with BSSubset directly — which
+// lets one full-trace generation serve every subset experiment. InterBS
+// is extracted from the full-trace measurement (the directed pair order
+// of a direct subset generation may differ, but the mean ratios describe
+// the same static links).
+func (pt *ProbeTrace) Subset(idx []int) *ProbeTrace {
+	nb := len(idx)
+	out := &ProbeTrace{
+		BSes:         make([]string, nb),
+		SlotDur:      pt.SlotDur,
+		Slots:        pt.Slots,
+		SlotsPerTrip: pt.SlotsPerTrip,
+		Down:         make([][]bool, pt.Slots),
+		Up:           make([][]bool, pt.Slots),
+		RSSI:         make([][]float64, pt.Slots),
+		Pos:          pt.Pos,
+	}
+	for i, b := range idx {
+		out.BSes[i] = pt.BSes[b]
+	}
+	downFlat := make([]bool, pt.Slots*nb)
+	upFlat := make([]bool, pt.Slots*nb)
+	rssiFlat := make([]float64, pt.Slots*nb)
+	for s := 0; s < pt.Slots; s++ {
+		dRow := downFlat[s*nb : (s+1)*nb : (s+1)*nb]
+		uRow := upFlat[s*nb : (s+1)*nb : (s+1)*nb]
+		rRow := rssiFlat[s*nb : (s+1)*nb : (s+1)*nb]
+		for i, b := range idx {
+			dRow[i] = pt.Down[s][b]
+			uRow[i] = pt.Up[s][b]
+			rRow[i] = pt.RSSI[s][b]
+		}
+		out.Down[s] = dRow
+		out.Up[s] = uRow
+		out.RSSI[s] = rRow
+	}
+	if pt.InterBS != nil {
+		out.InterBS = make([][]float64, nb)
+		for a := range idx {
+			out.InterBS[a] = make([]float64, nb)
+			for b := range idx {
+				out.InterBS[a][b] = pt.InterBS[idx[a]][idx[b]]
+			}
+		}
+	}
+	return out
 }
 
 // rssiAt mirrors radio's synthetic RSSI (kept here so trace generation

@@ -128,7 +128,7 @@ type Sender struct {
 	hasRTT       bool
 	rto          time.Duration
 	backoff      int
-	rtoTimer     *sim.Timer
+	rtoTimer     sim.Timer
 	// RTT sampling (Karn's rule: only non-retransmitted segments).
 	sampleSeq int
 	sampleAt  time.Duration
@@ -286,9 +286,7 @@ func (s *Sender) retransmit() {
 }
 
 func (s *Sender) armRTO() {
-	if s.rtoTimer != nil {
-		s.rtoTimer.Stop()
-	}
+	s.rtoTimer.Stop()
 	d := s.rto << s.backoff
 	if d > s.cfg.RTOMax {
 		d = s.cfg.RTOMax
@@ -319,9 +317,7 @@ func (s *Sender) complete(ok bool) {
 		return
 	}
 	s.finished = true
-	if s.rtoTimer != nil {
-		s.rtoTimer.Stop()
-	}
+	s.rtoTimer.Stop()
 	if s.done != nil {
 		s.done(TransferResult{Bytes: s.sndUna, Duration: s.K.Now() - s.started, Completed: ok})
 	}

@@ -99,7 +99,7 @@ type Workload struct {
 	stopped  bool
 
 	lastProgress int
-	stallTimer   *sim.Timer
+	stallTimer   sim.Timer
 }
 
 // NewWorkload builds the workload. download selects the transfer
@@ -120,9 +120,7 @@ func (w *Workload) Start() { w.startTransfer() }
 func (w *Workload) Stop() *WorkloadStats {
 	if !w.stopped {
 		w.stopped = true
-		if w.stallTimer != nil {
-			w.stallTimer.Stop()
-		}
+		w.stallTimer.Stop()
 		w.stats.finish()
 	}
 	return w.stats
@@ -181,9 +179,7 @@ func (w *Workload) startTransfer() {
 }
 
 func (w *Workload) armStall() {
-	if w.stallTimer != nil {
-		w.stallTimer.Stop()
-	}
+	w.stallTimer.Stop()
 	w.stallTimer = w.K.After(w.cfg.StallTimeout, w.checkStall)
 }
 
@@ -203,9 +199,7 @@ func (w *Workload) checkStall() {
 }
 
 func (w *Workload) transferDone(r TransferResult) {
-	if w.stallTimer != nil {
-		w.stallTimer.Stop()
-	}
+	w.stallTimer.Stop()
 	w.stats.transferDone(r)
 	if w.stopped {
 		return

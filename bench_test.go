@@ -98,3 +98,10 @@ func BenchmarkAblateSalvage(b *testing.B) { benchExperiment(b, "ablate-salvage")
 
 // BenchmarkAblateRetx regenerates the retransmission-percentile study.
 func BenchmarkAblateRetx(b *testing.B) { benchExperiment(b, "ablate-retx") }
+
+// BenchmarkScaleFleet regenerates the fleet-size scaling sweep over the
+// generated city grid.
+func BenchmarkScaleFleet(b *testing.B) { benchExperiment(b, "scale-fleet") }
+
+// BenchmarkScaleDensity regenerates the basestation-density scaling sweep.
+func BenchmarkScaleDensity(b *testing.B) { benchExperiment(b, "scale-density") }

@@ -6,8 +6,10 @@
 //	vifi-bench -run fig9       # one experiment
 //	vifi-bench -scale 0.2      # quicker, smaller runs
 //	vifi-bench -list           # available experiment ids
-//	vifi-bench -all            # paper set plus ablations
+//	vifi-bench -all            # paper set plus ablations and scaling sweeps
 //	vifi-bench -parallel 8     # worker-pool width (default GOMAXPROCS)
+//	vifi-bench -run scale-fleet -scenario cluster-town,vehicles=32
+//	                           # scaling sweeps on a custom base scenario
 //
 // Performance instrumentation:
 //
@@ -41,6 +43,7 @@ import (
 
 	"github.com/vanlan/vifi/internal/benchfmt"
 	"github.com/vanlan/vifi/internal/experiment"
+	"github.com/vanlan/vifi/internal/scenario"
 )
 
 func main() {
@@ -57,6 +60,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		list       = fs.Bool("list", false, "list experiment ids and exit")
 		all        = fs.Bool("all", false, "run everything, including ablations")
 		parallel   = fs.Int("parallel", runtime.GOMAXPROCS(0), "simulation worker-pool width; 1 = serial")
+		scn        = fs.String("scenario", "", "base scenario for the scale-* experiments (preset[,key=value...]); empty keeps their defaults")
 		cpuprofile = fs.String("cpuprofile", "", "write a pprof CPU profile to this file")
 		memprofile = fs.String("memprofile", "", "write a pprof heap profile to this file at exit")
 		benchjson  = fs.String("benchjson", "", "write per-experiment ns/op, allocs/op, B/op to this JSON file (forces -parallel 1)")
@@ -135,8 +139,15 @@ func run(args []string, stdout, stderr io.Writer) int {
 		*parallel = 1
 	}
 
+	if *scn != "" {
+		if _, err := scenario.Parse(*scn); err != nil {
+			fmt.Fprintln(stderr, "vifi-bench:", err)
+			return 2
+		}
+	}
+
 	eng := experiment.NewEngine(*parallel)
-	opts := experiment.Options{Seed: *seed, Scale: *scale, Engine: eng}
+	opts := experiment.Options{Seed: *seed, Scale: *scale, Engine: eng, Scenario: *scn}
 
 	type outcome struct {
 		rep     *experiment.Report

@@ -67,3 +67,23 @@ func TestTinyEndToEnd(t *testing.T) {
 		t.Error("stdout differs between -parallel 1 and -parallel 3")
 	}
 }
+
+// TestScenarioFlag runs the fleet-scaling experiment on an overridden
+// base scenario and checks the override lands in the report.
+func TestScenarioFlag(t *testing.T) {
+	var out, errb strings.Builder
+	code := run([]string{"-run", "scale-fleet", "-scale", "0.02",
+		"-scenario", "grid-small,bs=16"}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "== scale-fleet:") ||
+		!strings.Contains(out.String(), "bs=16") {
+		t.Errorf("scenario override missing from report:\n%s", out.String())
+	}
+	out.Reset()
+	errb.Reset()
+	if code := run([]string{"-run", "scale-fleet", "-scenario", "nope"}, &out, &errb); code != 2 {
+		t.Errorf("bad -scenario: exit %d, want 2", code)
+	}
+}

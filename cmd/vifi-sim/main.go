@@ -8,6 +8,14 @@
 //	vifi-sim -env vanlan -protocol vifi -workload voip -duration 600s
 //	vifi-sim -env dieselnet1 -protocol brr -workload tcp
 //	vifi-sim -env vanlan -protocol vifi,brr -workload probes -parallel 2
+//
+// Beyond the paper's two testbeds, -scenario runs a generated city-scale
+// deployment (internal/scenario) under the fleet workload: a preset name
+// plus optional key=value overrides. It replaces -env/-workload.
+//
+//	vifi-sim -scenario grid-city -protocol vifi,brr -duration 240s
+//	vifi-sim -scenario strip-highway,vehicles=30,bs=64 -seed 7
+//	vifi-sim -scenario list            # available presets
 package main
 
 import (
@@ -22,6 +30,7 @@ import (
 
 	"github.com/vanlan/vifi/internal/core"
 	"github.com/vanlan/vifi/internal/experiment"
+	"github.com/vanlan/vifi/internal/scenario"
 )
 
 func main() {
@@ -35,6 +44,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		env      = fs.String("env", "vanlan", "environment: vanlan, dieselnet1, dieselnet6")
 		protocol = fs.String("protocol", "vifi", "comma-separated protocols: vifi, brr, diversity-only")
 		workload = fs.String("workload", "voip", "workload: voip, tcp, probes")
+		scn      = fs.String("scenario", "", "generated scenario (preset[,key=value...], 'list' to enumerate); replaces -env/-workload with the fleet workload")
 		duration = fs.Duration("duration", 10*time.Minute, "simulated duration")
 		seed     = fs.Int64("seed", 42, "random seed")
 		parallel = fs.Int("parallel", runtime.GOMAXPROCS(0), "simulation worker-pool width; 1 = serial")
@@ -44,6 +54,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 			return 0
 		}
 		return 2
+	}
+
+	if *scn == "list" {
+		for _, name := range scenario.Presets() {
+			p, _ := scenario.Preset(name)
+			fmt.Fprintf(stdout, "%-14s %s\n", name, p.Key())
+		}
+		return 0
 	}
 
 	var e experiment.Env
@@ -77,6 +95,30 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	eng := experiment.NewEngine(*parallel)
+
+	if *scn != "" {
+		spec, err := scenario.Parse(*scn)
+		if err != nil {
+			fmt.Fprintln(stderr, "vifi-sim:", err)
+			return 2
+		}
+		futs := make([]experiment.Future[*experiment.FleetRun], len(cfgs))
+		for i, cfg := range cfgs {
+			futs[i] = eng.Fleet(*seed, spec, cfg, *duration)
+		}
+		for i, name := range names {
+			run := futs[i].Wait()
+			fmt.Fprintf(stdout, "scenario=%s protocol=%s duration=%v seed=%d\n", spec.Key(), name, *duration, *seed)
+			fmt.Fprintf(stdout, "deployment:             %d basestations, %d vehicles\n", run.BSCount, len(run.Up))
+			fmt.Fprintf(stdout, "aggregate delivered:    %.1f pkt/s (both directions)\n", run.DeliveredPerSec())
+			fmt.Fprintf(stdout, "fleet delivery ratio:   %.0f%%\n", 100*run.DeliveryRatio())
+			fmt.Fprintf(stdout, "median session (1s,50%%): %.0f s\n", run.MedianSession(time.Second, 0.5))
+			fmt.Fprintf(stdout, "interruptions:          %.0f per vehicle-hour\n", run.Interruptions())
+			fmt.Fprintf(stdout, "rx collisions:          %d over %d transmissions\n\n", run.Collisions, run.Transmissions)
+		}
+		return 0
+	}
+
 	switch *workload {
 	case "voip":
 		futs := make([]experiment.Future[*experiment.VoIPRun], len(cfgs))

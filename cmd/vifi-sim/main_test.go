@@ -70,3 +70,48 @@ func TestProbesWorkload(t *testing.T) {
 		t.Errorf("want four adequacy rows:\n%s", out.String())
 	}
 }
+
+// TestScenarioFleetWorkload exercises the -scenario path: a generated
+// deployment under the fleet workload, two protocol arms, deterministic
+// across parallelism.
+func TestScenarioFleetWorkload(t *testing.T) {
+	outputs := make([]string, 2)
+	for i, par := range []string{"1", "3"} {
+		var out, errb strings.Builder
+		args := []string{"-scenario", "grid-small,vehicles=4", "-protocol", "vifi,brr",
+			"-duration", "20s", "-parallel", par}
+		if code := run(args, &out, &errb); code != 0 {
+			t.Fatalf("exit %d, stderr: %s", code, errb.String())
+		}
+		s := out.String()
+		if strings.Count(s, "aggregate delivered:") != 2 {
+			t.Fatalf("want one fleet summary per protocol:\n%s", s)
+		}
+		if !strings.Contains(s, "12 basestations, 4 vehicles") {
+			t.Errorf("deployment line missing:\n%s", s)
+		}
+		outputs[i] = s
+	}
+	if outputs[0] != outputs[1] {
+		t.Error("stdout differs between -parallel 1 and -parallel 3")
+	}
+}
+
+// TestScenarioListAndErrors covers the preset listing and the spec-error
+// exit path.
+func TestScenarioListAndErrors(t *testing.T) {
+	var out, errb strings.Builder
+	if code := run([]string{"-scenario", "list"}, &out, &errb); code != 0 {
+		t.Fatalf("list: exit %d", code)
+	}
+	for _, want := range []string{"grid-city", "strip-highway", "cluster-town"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("preset %s missing from list:\n%s", want, out.String())
+		}
+	}
+	out.Reset()
+	errb.Reset()
+	if code := run([]string{"-scenario", "grid-city,bogus=1"}, &out, &errb); code != 2 {
+		t.Errorf("bad override: exit %d, want 2", code)
+	}
+}

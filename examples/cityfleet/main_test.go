@@ -1,0 +1,28 @@
+package main
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestSmoke(t *testing.T) {
+	var out strings.Builder
+	if err := run(&out, 42, "grid-small,vehicles=4", 20*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "ViFi (diversity)") || !strings.Contains(s, "BRR (hard handoff)") {
+		t.Errorf("arms missing:\n%s", s)
+	}
+	if !strings.Contains(s, "presets:") {
+		t.Errorf("preset listing missing:\n%s", s)
+	}
+}
+
+func TestBadSpec(t *testing.T) {
+	var out strings.Builder
+	if err := run(&out, 1, "grid-city,bogus=1", time.Second); err == nil {
+		t.Error("bad spec accepted")
+	}
+}

@@ -7,6 +7,8 @@ package main
 
 import (
 	"fmt"
+	"io"
+	"os"
 	"time"
 
 	"github.com/vanlan/vifi/internal/handoff"
@@ -14,18 +16,22 @@ import (
 )
 
 func main() {
-	cfg := trace.DefaultVanLANConfig(31)
-	cfg.Trips = 8
-	fmt.Println("Generating VanLAN probe logs (8 shuttle trips)...")
+	run(os.Stdout, 31, 8)
+}
+
+func run(w io.Writer, seed int64, trips int) {
+	cfg := trace.DefaultVanLANConfig(seed)
+	cfg.Trips = trips
+	fmt.Fprintf(w, "Generating VanLAN probe logs (%d shuttle trips)...\n", trips)
 	pt := trace.GenerateVanLANProbes(cfg)
 
-	fmt.Println()
-	fmt.Printf("%-10s %16s %26s\n", "policy", "packets (both)", "median session @50%/1s (s)")
+	fmt.Fprintln(w)
+	fmt.Fprintf(w, "%-10s %16s %26s\n", "policy", "packets (both)", "median session @50%/1s (s)")
 	var allPkts, brrPkts int
 	for _, p := range handoff.AllPolicies() {
 		res := handoff.Evaluate(pt, p, time.Second)
 		med := res.MedianSessionTimeWeighted(0.5)
-		fmt.Printf("%-10s %16d %26.0f\n", p.Name(), res.Delivered(), med)
+		fmt.Fprintf(w, "%-10s %16d %26.0f\n", p.Name(), res.Delivered(), med)
 		switch p.Name() {
 		case "AllBSes":
 			allPkts = res.Delivered()
@@ -33,8 +39,10 @@ func main() {
 			brrPkts = res.Delivered()
 		}
 	}
-	fmt.Println()
-	fmt.Printf("aggregate: BRR delivers %.0f%% of the AllBSes oracle —\n", 100*float64(brrPkts)/float64(allPkts))
-	fmt.Println("yet its uninterrupted sessions are several times shorter.")
-	fmt.Println("That gap is the case for basestation diversity (§3).")
+	fmt.Fprintln(w)
+	if allPkts > 0 {
+		fmt.Fprintf(w, "aggregate: BRR delivers %.0f%% of the AllBSes oracle —\n", 100*float64(brrPkts)/float64(allPkts))
+	}
+	fmt.Fprintln(w, "yet its uninterrupted sessions are several times shorter.")
+	fmt.Fprintln(w, "That gap is the case for basestation diversity (§3).")
 }

@@ -1,0 +1,17 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSmoke(t *testing.T) {
+	var out strings.Builder
+	run(&out, 31, 2)
+	s := out.String()
+	for _, want := range []string{"AllBSes", "BRR", "aggregate:"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("%q missing:\n%s", want, s)
+		}
+	}
+}

@@ -8,34 +8,46 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"log"
+	"os"
 
 	"github.com/vanlan/vifi/internal/emu"
 )
 
 func main() {
-	fmt.Println("Live ViFi over UDP loopback")
-	fmt.Println("vehicle→anchor link: 30% delivery; vehicle→auxiliary: 90%")
-	fmt.Println()
+	if err := run(os.Stdout, emu.DefaultDemoConfig().Packets); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(w io.Writer, packets int) error {
+	fmt.Fprintln(w, "Live ViFi over UDP loopback")
+	fmt.Fprintln(w, "vehicle→anchor link: 30% delivery; vehicle→auxiliary: 90%")
+	fmt.Fprintln(w)
 
 	cfg := emu.DefaultDemoConfig()
+	cfg.Packets = packets
 	cfg.EnableRelay = false
 	off, err := emu.RunDemo(cfg)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	cfg.EnableRelay = true
 	on, err := emu.RunDemo(cfg)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 
-	fmt.Printf("%-18s %10s %12s %10s\n", "mode", "sent", "delivered", "relays")
-	fmt.Printf("%-18s %10d %12d %10d\n", "hard handoff", off.Sent, off.Delivered, off.Relayed)
-	fmt.Printf("%-18s %10d %12d %10d\n", "ViFi relaying", on.Sent, on.Delivered, on.Relayed)
-	fmt.Println()
-	fmt.Printf("delivery: %.0f%% → %.0f%% with opportunistic relaying over real sockets\n",
-		100*float64(off.Delivered)/float64(off.Sent),
-		100*float64(on.Delivered)/float64(on.Sent))
-	fmt.Printf("(hub forwarded %d frames, dropped %d)\n", on.Hub.Forwarded, on.Hub.Dropped)
+	fmt.Fprintf(w, "%-18s %10s %12s %10s\n", "mode", "sent", "delivered", "relays")
+	fmt.Fprintf(w, "%-18s %10d %12d %10d\n", "hard handoff", off.Sent, off.Delivered, off.Relayed)
+	fmt.Fprintf(w, "%-18s %10d %12d %10d\n", "ViFi relaying", on.Sent, on.Delivered, on.Relayed)
+	fmt.Fprintln(w)
+	if off.Sent > 0 && on.Sent > 0 {
+		fmt.Fprintf(w, "delivery: %.0f%% → %.0f%% with opportunistic relaying over real sockets\n",
+			100*float64(off.Delivered)/float64(off.Sent),
+			100*float64(on.Delivered)/float64(on.Sent))
+	}
+	fmt.Fprintf(w, "(hub forwarded %d frames, dropped %d)\n", on.Hub.Forwarded, on.Hub.Dropped)
+	return nil
 }

@@ -1,0 +1,20 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestSmoke runs the UDP-loopback demo with a reduced packet count (the
+// emulator runs in wall-clock time, so the default 200 packets would make
+// CI wait).
+func TestSmoke(t *testing.T) {
+	var out strings.Builder
+	if err := run(&out, 40); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "hard handoff") || !strings.Contains(s, "ViFi relaying") {
+		t.Errorf("comparison rows missing:\n%s", s)
+	}
+}

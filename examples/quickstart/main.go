@@ -5,27 +5,30 @@ package main
 
 import (
 	"fmt"
+	"io"
+	"os"
 	"time"
 
 	"github.com/vanlan/vifi"
 )
 
 func main() {
-	const seed = 7
-	const airtime = 8 * time.Minute
+	run(os.Stdout, 7, 8*time.Minute)
+}
 
-	fmt.Println("ViFi quickstart: VoIP from a moving vehicle, VanLAN campus")
-	fmt.Println()
+func run(w io.Writer, seed int64, airtime time.Duration) {
+	fmt.Fprintln(w, "ViFi quickstart: VoIP from a moving vehicle, VanLAN campus")
+	fmt.Fprintln(w)
 
 	vifiQ := vifi.NewVanLAN(seed, vifi.DefaultProtocol()).RunVoIP(airtime)
 	brrQ := vifi.NewVanLAN(seed, vifi.HardHandoff()).RunVoIP(airtime)
 
-	fmt.Printf("%-22s %18s %10s %14s\n", "protocol", "median session (s)", "mean MoS", "interruptions")
-	fmt.Printf("%-22s %18.0f %10.2f %14d\n", "BRR (hard handoff)", brrQ.MedianSessionSec, brrQ.MeanMoS, brrQ.Interruptions)
-	fmt.Printf("%-22s %18.0f %10.2f %14d\n", "ViFi (diversity)", vifiQ.MedianSessionSec, vifiQ.MeanMoS, vifiQ.Interruptions)
-	fmt.Println()
+	fmt.Fprintf(w, "%-22s %18s %10s %14s\n", "protocol", "median session (s)", "mean MoS", "interruptions")
+	fmt.Fprintf(w, "%-22s %18.0f %10.2f %14d\n", "BRR (hard handoff)", brrQ.MedianSessionSec, brrQ.MeanMoS, brrQ.Interruptions)
+	fmt.Fprintf(w, "%-22s %18.0f %10.2f %14d\n", "ViFi (diversity)", vifiQ.MedianSessionSec, vifiQ.MeanMoS, vifiQ.Interruptions)
+	fmt.Fprintln(w)
 	if brrQ.MedianSessionSec > 0 {
-		fmt.Printf("ViFi lengthens disruption-free calls by %.1fx (paper: ≈2x).\n",
+		fmt.Fprintf(w, "ViFi lengthens disruption-free calls by %.1fx (paper: ≈2x).\n",
 			vifiQ.MedianSessionSec/brrQ.MedianSessionSec)
 	}
 }

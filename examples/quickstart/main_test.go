@@ -1,0 +1,18 @@
+package main
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestSmoke runs the example end to end at a reduced airtime so it stays
+// fast in CI; the binary itself is covered by the build.
+func TestSmoke(t *testing.T) {
+	var out strings.Builder
+	run(&out, 7, 45*time.Second)
+	s := out.String()
+	if !strings.Contains(s, "ViFi (diversity)") || !strings.Contains(s, "BRR (hard handoff)") {
+		t.Errorf("comparison rows missing:\n%s", s)
+	}
+}

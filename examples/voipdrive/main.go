@@ -6,15 +6,18 @@ package main
 
 import (
 	"fmt"
+	"io"
+	"os"
 	"time"
 
 	"github.com/vanlan/vifi"
 )
 
 func main() {
-	const seed = 11
-	const airtime = 10 * time.Minute
+	run(os.Stdout, 11, 10*time.Minute)
+}
 
+func run(w io.Writer, seed int64, airtime time.Duration) {
 	type env struct {
 		name string
 		mk   func(p vifi.Protocol) *vifi.Deployment
@@ -25,9 +28,9 @@ func main() {
 		{"DieselNet channel 6", func(p vifi.Protocol) *vifi.Deployment { return vifi.NewDieselNet(seed, 6, p) }},
 	}
 
-	fmt.Println("VoIP while driving: disruption-free session length (G.729, MoS<2 rule)")
-	fmt.Println()
-	fmt.Printf("%-24s %12s %12s %7s %16s\n", "environment", "BRR (s)", "ViFi (s)", "gain", "interruptions")
+	fmt.Fprintln(w, "VoIP while driving: disruption-free session length (G.729, MoS<2 rule)")
+	fmt.Fprintln(w)
+	fmt.Fprintf(w, "%-24s %12s %12s %7s %16s\n", "environment", "BRR (s)", "ViFi (s)", "gain", "interruptions")
 	for _, e := range envs {
 		brr := e.mk(vifi.HardHandoff()).RunVoIP(airtime)
 		vf := e.mk(vifi.DefaultProtocol()).RunVoIP(airtime)
@@ -35,10 +38,10 @@ func main() {
 		if brr.MedianSessionSec > 0 {
 			gain = fmt.Sprintf("%.1fx", vf.MedianSessionSec/brr.MedianSessionSec)
 		}
-		fmt.Printf("%-24s %12.0f %12.0f %7s %9d → %4d\n", e.name,
+		fmt.Fprintf(w, "%-24s %12.0f %12.0f %7s %9d → %4d\n", e.name,
 			brr.MedianSessionSec, vf.MedianSessionSec, gain,
 			brr.Interruptions, vf.Interruptions)
 	}
-	fmt.Println("\npaper shape: gains of ~2x on VanLAN and ≥1.5x on DieselNet (Fig 11);")
-	fmt.Println("single runs are noisy — cmd/vifi-bench pools several for the stable figure")
+	fmt.Fprintln(w, "\npaper shape: gains of ~2x on VanLAN and ≥1.5x on DieselNet (Fig 11);")
+	fmt.Fprintln(w, "single runs are noisy — cmd/vifi-bench pools several for the stable figure")
 }

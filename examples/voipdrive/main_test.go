@@ -1,0 +1,19 @@
+package main
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestSmoke(t *testing.T) {
+	airtime := 40 * time.Second
+	var out strings.Builder
+	run(&out, 11, airtime)
+	s := out.String()
+	for _, want := range []string{"VanLAN (live channel)", "DieselNet channel 1", "DieselNet channel 6"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("environment %q missing:\n%s", want, s)
+		}
+	}
+}

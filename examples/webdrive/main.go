@@ -7,15 +7,18 @@ package main
 
 import (
 	"fmt"
+	"io"
+	"os"
 	"time"
 
 	"github.com/vanlan/vifi"
 )
 
 func main() {
-	const seed = 23
-	const airtime = 12 * time.Minute
+	run(os.Stdout, 23, 12*time.Minute)
+}
 
+func run(w io.Writer, seed int64, airtime time.Duration) {
 	arms := []struct {
 		name string
 		cfg  vifi.Protocol
@@ -25,15 +28,15 @@ func main() {
 		{"ViFi (full)", vifi.DefaultProtocol()},
 	}
 
-	fmt.Println("Web browsing while driving: repeated 10 KB fetches on VanLAN")
-	fmt.Println()
-	fmt.Printf("%-20s %10s %12s %12s %18s\n",
+	fmt.Fprintln(w, "Web browsing while driving: repeated 10 KB fetches on VanLAN")
+	fmt.Fprintln(w)
+	fmt.Fprintf(w, "%-20s %10s %12s %12s %18s\n",
 		"protocol", "completed", "median (s)", "p90 (s)", "transfers/session")
 	for _, arm := range arms {
 		st := vifi.NewVanLAN(seed, arm.cfg).RunTCP(airtime)
-		fmt.Printf("%-20s %10d %12.2f %12.2f %18.1f\n",
+		fmt.Fprintf(w, "%-20s %10d %12.2f %12.2f %18.1f\n",
 			arm.name, st.Completed, st.MedianTransferTime(),
 			st.TransferTimes.Quantile(0.9), st.TransfersPerSession())
 	}
-	fmt.Println("\npaper shape: ViFi doubles successful transfers; salvaging adds ~10% over diversity alone")
+	fmt.Fprintln(w, "\npaper shape: ViFi doubles successful transfers; salvaging adds ~10% over diversity alone")
 }

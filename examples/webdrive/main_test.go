@@ -1,0 +1,18 @@
+package main
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestSmoke(t *testing.T) {
+	var out strings.Builder
+	run(&out, 23, 45*time.Second)
+	s := out.String()
+	for _, want := range []string{"BRR (hard handoff)", "Only Diversity", "ViFi (full)"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("arm %q missing:\n%s", want, s)
+		}
+	}
+}

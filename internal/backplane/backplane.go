@@ -18,6 +18,7 @@ package backplane
 import (
 	"time"
 
+	"github.com/vanlan/vifi/internal/frame"
 	"github.com/vanlan/vifi/internal/sim"
 )
 
@@ -49,18 +50,22 @@ func DefaultConfig() Config {
 	}
 }
 
-// Handler consumes messages delivered to a node.
+// Handler consumes messages delivered to a node. The payload is a pooled
+// buffer owned by the backplane: it is valid only for the duration of the
+// call, and handlers must copy anything they retain (frame.Unmarshal
+// already copies, so decode-and-dispatch is safe) — the DESIGN.md §6
+// ownership rules.
 type Handler func(from uint16, payload []byte)
 
 // Stats counts backplane events.
 type Stats struct {
-	Sent          int
-	Delivered     int
-	DroppedQueue  int
-	DroppedLoss   int
-	DroppedDown   int
-	BytesSent     int
-	BytesDeliverd int
+	Sent           int
+	Delivered      int
+	DroppedQueue   int
+	DroppedLoss    int
+	DroppedDown    int
+	BytesSent      int
+	BytesDelivered int
 }
 
 // qlink is one direction of an access link with a byte-counted FIFO.
@@ -102,6 +107,8 @@ type Net struct {
 	ports map[uint16]*port
 	rng   *sim.RNG
 	stats Stats
+	bufs  frame.BufferPool
+	free  *transit // free list of in-flight message records
 }
 
 // New creates a backplane over the kernel.
@@ -140,11 +147,97 @@ func (n *Net) SetDown(addr uint16, down bool) {
 // Stats returns a copy of the counters.
 func (n *Net) Stats() Stats { return n.stats }
 
+// transit stage values: the stages a message passes through after
+// admission to the sender's uplink.
+const (
+	stageUpDone   = iota // uplink serialization finished: dequeue
+	stageArrive          // reached the destination's downlink: admit
+	stageDownDone        // downlink serialization finished: dequeue
+	stageDeliver         // propagation done: hand to the handler
+)
+
+// transit is one in-flight backplane message. The record is pooled on the
+// Net and doubles as its own scheduled event (sim.Handler), advancing
+// through its stages strictly sequentially, so the steady-state delivery
+// path performs no allocation: the payload copy recycles through the
+// buffer pool and the record through the free list.
+type transit struct {
+	n     *Net
+	src   *port
+	dst   *port
+	size  int
+	buf   []byte // pooled payload copy; nil when the message was lost
+	stage uint8
+	next  *transit // free-list link
+}
+
+// OnEvent advances the message one stage.
+func (t *transit) OnEvent() {
+	n := t.n
+	switch t.stage {
+	case stageUpDone:
+		t.src.up.queued -= t.size
+		if t.buf == nil {
+			n.freeTransit(t) // lost in flight: uplink slot reclaimed, done
+			return
+		}
+		t.stage = stageArrive
+		n.K.AtHandler(n.K.Now()+t.src.up.spec.Delay+n.cfg.CoreDelay, t)
+	case stageArrive:
+		downDone, ok := t.dst.down.admit(n.K.Now(), t.size)
+		if !ok {
+			n.stats.DroppedQueue++
+			n.bufs.Put(t.buf)
+			n.freeTransit(t)
+			return
+		}
+		t.stage = stageDownDone
+		n.K.AtHandler(downDone, t)
+	case stageDownDone:
+		t.dst.down.queued -= t.size
+		t.stage = stageDeliver
+		n.K.AtHandler(n.K.Now()+t.dst.down.spec.Delay, t)
+	case stageDeliver:
+		dst, buf := t.dst, t.buf
+		from := t.src.addr
+		n.freeTransit(t)
+		if dst.isDown {
+			n.stats.DroppedDown++
+			n.bufs.Put(buf)
+			return
+		}
+		n.stats.Delivered++
+		n.stats.BytesDelivered += len(buf)
+		if dst.handler != nil {
+			dst.handler(from, buf)
+		}
+		n.bufs.Put(buf)
+	}
+}
+
+// allocTransit takes a message record from the free list.
+func (n *Net) allocTransit() *transit {
+	if t := n.free; t != nil {
+		n.free = t.next
+		t.next = nil
+		return t
+	}
+	return &transit{n: n}
+}
+
+// freeTransit recycles a settled message record (not its buffer).
+func (n *Net) freeTransit(t *transit) {
+	t.src, t.dst, t.buf = nil, nil, nil
+	t.next = n.free
+	n.free = t
+}
+
 // Send queues a message from one attached node to another. Unknown
 // addresses and partitioned endpoints drop silently (counted); the
 // delivery path is uplink serialization → core delay → downlink
 // serialization → handler. It reports whether the message was admitted to
-// the sender's uplink.
+// the sender's uplink. The payload is copied (into a pooled buffer)
+// before Send returns; the caller keeps ownership of the passed slice.
 func (n *Net) Send(from, to uint16, payload []byte) bool {
 	src, ok := n.ports[from]
 	if !ok {
@@ -168,33 +261,24 @@ func (n *Net) Send(from, to uint16, payload []byte) bool {
 		n.stats.DroppedQueue++
 		return false
 	}
-	buf := append([]byte(nil), payload...)
-	n.K.At(upDone, func() { src.up.queued -= size })
 
-	if n.rng.Bool(src.up.spec.Loss) || n.rng.Bool(dst.down.spec.Loss) {
+	// Loss coins for both legs are drawn unconditionally: a short-circuit
+	// here would make the number of draws depend on the first outcome, so
+	// any change to a loss rate would shift every downstream draw of the
+	// backplane stream and break seed-stable comparisons across configs.
+	lostUp := n.rng.Float64() < src.up.spec.Loss
+	lostDown := n.rng.Float64() < dst.down.spec.Loss
+
+	t := n.allocTransit()
+	t.src, t.dst, t.size = src, dst, size
+	t.stage = stageUpDone
+	if lostUp || lostDown {
 		n.stats.DroppedLoss++
-		return true // admitted, lost in flight
+		// t.buf stays nil: the uplink still serializes the doomed bytes.
+	} else {
+		t.buf = n.bufs.Get(size)
+		copy(t.buf, payload)
 	}
-
-	arriveDown := upDone + src.up.spec.Delay + n.cfg.CoreDelay
-	n.K.At(arriveDown, func() {
-		downDone, ok := dst.down.admit(n.K.Now(), size)
-		if !ok {
-			n.stats.DroppedQueue++
-			return
-		}
-		n.K.At(downDone, func() { dst.down.queued -= size })
-		n.K.At(downDone+dst.down.spec.Delay, func() {
-			if dst.isDown {
-				n.stats.DroppedDown++
-				return
-			}
-			n.stats.Delivered++
-			n.stats.BytesDeliverd += size
-			if dst.handler != nil {
-				dst.handler(from, buf)
-			}
-		})
-	})
+	n.K.AtHandler(upDone, t)
 	return true
 }

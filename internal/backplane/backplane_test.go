@@ -16,7 +16,9 @@ type delivery struct {
 
 func collect(k *sim.Kernel, out *[]delivery) Handler {
 	return func(from uint16, payload []byte) {
-		*out = append(*out, delivery{from, payload, k.Now()})
+		// The payload is pool-owned scratch valid only during the call:
+		// copy to retain (the Handler ownership contract).
+		*out = append(*out, delivery{from, append([]byte(nil), payload...), k.Now()})
 	}
 }
 
@@ -253,8 +255,113 @@ func TestStatsAccounting(t *testing.T) {
 	if s.Sent != 2 || s.Delivered != 2 {
 		t.Errorf("sent/delivered = %d/%d", s.Sent, s.Delivered)
 	}
-	if s.BytesSent != 300 || s.BytesDeliverd != 300 {
-		t.Errorf("bytes = %d/%d", s.BytesSent, s.BytesDeliverd)
+	if s.BytesSent != 300 || s.BytesDelivered != 300 {
+		t.Errorf("bytes = %d/%d", s.BytesSent, s.BytesDelivered)
+	}
+}
+
+// TestLossDrawStability pins the RNG stream-stability contract: Send
+// draws exactly two loss coins per admitted message, regardless of loss
+// rates or outcomes, so changing one link's loss rate never shifts the
+// coin flips seen by later messages. The old short-circuit form
+// (Bool(up) || Bool(down)) consumed one or two draws depending on the
+// first outcome; under it, the stream positions below diverge.
+func TestLossDrawStability(t *testing.T) {
+	// Drive 50 Sends under wildly different loss configurations and then
+	// sample the backplane stream directly: equal kernel seeds must leave
+	// the stream at the identical position whatever was configured.
+	position := func(upLoss, downLoss float64) uint64 {
+		k := sim.NewKernel(99)
+		cfg := DefaultConfig()
+		n := New(k, cfg)
+		n.Attach(1, nil)
+		n.Attach(2, nil)
+		n.ports[1].up.spec.Loss = upLoss
+		n.ports[2].down.spec.Loss = downLoss
+		for i := 0; i < 50; i++ {
+			n.Send(1, 2, []byte{byte(i)})
+		}
+		return n.rng.Uint64()
+	}
+	ref := position(0, 0)
+	for _, c := range [][2]float64{{0.9, 0}, {0, 0.9}, {0.5, 0.5}, {1, 1}} {
+		if got := position(c[0], c[1]); got != ref {
+			t.Errorf("loss config %v shifted the RNG stream: position %d, want %d", c, got, ref)
+		}
+	}
+
+	// End-to-end: with loss on both legs, delivered message identity must
+	// be a pure function of the seed — two identical runs agree exactly.
+	run := func() []byte {
+		k := sim.NewKernel(7)
+		cfg := DefaultConfig()
+		cfg.Access.Loss = 0.3
+		n := New(k, cfg)
+		var ids []byte
+		n.Attach(1, nil)
+		n.Attach(2, func(from uint16, payload []byte) { ids = append(ids, payload[0]) })
+		for i := 0; i < 200; i++ {
+			n.Send(1, 2, []byte{byte(i)})
+		}
+		k.Run()
+		return ids
+	}
+	if !bytes.Equal(run(), run()) {
+		t.Error("equal seeds delivered different message sets")
+	}
+}
+
+// TestSendSteadyStateAllocs guards the DESIGN.md §6 zero-alloc regime:
+// once the buffer pool and transit free list are primed, a full
+// send-and-deliver cycle allocates nothing.
+func TestSendSteadyStateAllocs(t *testing.T) {
+	k := sim.NewKernel(13)
+	n := New(k, DefaultConfig())
+	delivered := 0
+	n.Attach(1, nil)
+	n.Attach(2, func(from uint16, payload []byte) { delivered++ })
+	payload := make([]byte, 700)
+	// Warm the pools.
+	for i := 0; i < 8; i++ {
+		n.Send(1, 2, payload)
+	}
+	k.Run()
+	avg := testing.AllocsPerRun(100, func() {
+		n.Send(1, 2, payload)
+		k.Run()
+	})
+	if avg != 0 {
+		t.Errorf("allocs per send+deliver = %v, want 0", avg)
+	}
+	if delivered == 0 {
+		t.Fatal("nothing delivered")
+	}
+
+	// Congestion regime: downlink-queue drops must recycle the payload
+	// buffer too, or every drop forces a fresh allocation later.
+	k2 := sim.NewKernel(14)
+	nd := New(k2, DefaultConfig())
+	nd.Attach(1, nil)
+	nd.Attach(2, func(uint16, []byte) {})
+	// A slow, shallow downlink: the burst crosses the fast uplink intact
+	// and overflows at the destination (the stageArrive drop path).
+	nd.ports[2].down.spec.RateBps = 1e4
+	nd.ports[2].down.spec.QueueBytes = 1000
+	big := make([]byte, 700)
+	burst := func() {
+		for i := 0; i < 4; i++ { // 2800 bytes at once: two must drop
+			nd.Send(1, 2, big)
+		}
+		k2.Run()
+	}
+	burst()
+	before := nd.Stats().DroppedQueue
+	avg = testing.AllocsPerRun(50, burst)
+	if avg != 0 {
+		t.Errorf("allocs per congested burst = %v, want 0", avg)
+	}
+	if nd.Stats().DroppedQueue == before {
+		t.Fatal("congestion case never dropped at the queue")
 	}
 }
 

@@ -34,21 +34,22 @@ func DefaultCellOptions() CellOptions {
 }
 
 // Cell is one deployed ViFi cell: a shared radio channel, basestations on
-// a backplane with an Internet gateway, and a vehicle.
+// a backplane with an Internet gateway, and one or more vehicles.
 type Cell struct {
 	K         *sim.Kernel
 	Channel   *radio.Channel
 	Backplane *backplane.Net
 	Gateway   *Gateway
 	BSes      []*Node
-	Vehicle   *Node
+	// Vehicle is the first (often only) vehicle; Vehicles carries the full
+	// fleet when the cell was built with NewFleetCell.
+	Vehicle  *Node
+	Vehicles []*Node
 }
 
-// NewCell builds and starts a deployment. Basestations are attached first
-// (addresses 0..len(bsMovers)-1), the vehicle last. All nodes begin
-// beaconing immediately; anchor selection settles after roughly one
-// probability window.
-func NewCell(k *sim.Kernel, opts CellOptions, bsMovers []mobility.Mover, vehMover mobility.Mover) *Cell {
+// newCellBase wires the shared substrate: channel, backplane, gateway and
+// basestations (addresses 0..len(bsMovers)-1, in order).
+func newCellBase(k *sim.Kernel, opts CellOptions, bsMovers []mobility.Mover) *Cell {
 	if len(bsMovers) == 0 {
 		panic("core: a cell needs at least one basestation")
 	}
@@ -61,8 +62,40 @@ func NewCell(k *sim.Kernel, opts CellOptions, bsMovers []mobility.Mover, vehMove
 		m := mac.NewWithConfig(k, ch, fmt.Sprintf("bs%d", i), mv, opts.MAC)
 		c.BSes = append(c.BSes, newNode(k, opts.Protocol, m, bp, gw.Addr(), false, opts.Events))
 	}
-	vm := mac.NewWithConfig(k, ch, "veh", vehMover, opts.MAC)
-	c.Vehicle = newNode(k, opts.Protocol, vm, nil, gw.Addr(), true, opts.Events)
+	return c
+}
+
+// NewCell builds and starts a deployment. Basestations are attached first
+// (addresses 0..len(bsMovers)-1), the vehicle last. All nodes begin
+// beaconing immediately; anchor selection settles after roughly one
+// probability window.
+func NewCell(k *sim.Kernel, opts CellOptions, bsMovers []mobility.Mover, vehMover mobility.Mover) *Cell {
+	c := newCellBase(k, opts, bsMovers)
+	// The single vehicle keeps its historical stream labels ("mac","veh"),
+	// so fleet support cannot disturb existing seeded experiments.
+	vm := mac.NewWithConfig(k, c.Channel, "veh", vehMover, opts.MAC)
+	c.Vehicle = newNode(k, opts.Protocol, vm, nil, c.Gateway.Addr(), true, opts.Events)
+	c.Vehicles = []*Node{c.Vehicle}
+	return c
+}
+
+// NewFleetCell builds a deployment with a fleet of vehicles sharing one
+// channel: basestations get addresses 0..len(bsMovers)-1 and vehicles
+// len(bsMovers)..len(bsMovers)+len(vehMovers)-1, in order. Every protocol
+// structure is per-vehicle already (basestations track designations and
+// salvage state per vehicle address, the gateway maps each vehicle to its
+// anchor), so the fleet contends for the medium like any dense 802.11
+// deployment while each vehicle runs its own anchor/auxiliary protocol.
+func NewFleetCell(k *sim.Kernel, opts CellOptions, bsMovers, vehMovers []mobility.Mover) *Cell {
+	if len(vehMovers) == 0 {
+		panic("core: a fleet cell needs at least one vehicle")
+	}
+	c := newCellBase(k, opts, bsMovers)
+	for i, mv := range vehMovers {
+		vm := mac.NewWithConfig(k, c.Channel, fmt.Sprintf("veh%d", i), mv, opts.MAC)
+		c.Vehicles = append(c.Vehicles, newNode(k, opts.Protocol, vm, nil, c.Gateway.Addr(), true, opts.Events))
+	}
+	c.Vehicle = c.Vehicles[0]
 	return c
 }
 

@@ -138,6 +138,11 @@ type Node struct {
 	anchor     uint16
 	prevAnchor uint16
 	auxList    []uint16
+	// vehPeers marks addresses whose beacons carry FromVehicle: in fleet
+	// deployments a vehicle hears other vehicles loud and clear, but only
+	// basestations may serve as anchor or auxiliary (§4.3). Dense by
+	// address, grown on demand.
+	vehPeers []bool
 
 	// Basestation state: vehs is dense by vehicle address (vehsHi backs
 	// addresses beyond the dense bound, mirroring ProbTable's sparse
@@ -288,6 +293,9 @@ func (n *Node) selectAnchor(now time.Duration) {
 	best := frame.None
 	bestVal := usableBS
 	for _, peer := range n.probs.FreshLocalPeers(n.addr, now) {
+		if n.isVehPeer(peer) {
+			continue // only basestations can anchor (fleet deployments)
+		}
 		v := n.probs.Get(peer, n.addr, now)
 		if v > bestVal {
 			best, bestVal = peer, v
@@ -315,7 +323,7 @@ func (n *Node) selectAnchor(now time.Duration) {
 	// Auxiliaries: every other usable basestation.
 	n.auxList = n.auxList[:0]
 	for _, peer := range n.probs.FreshLocalPeers(n.addr, now) {
-		if peer == n.anchor {
+		if peer == n.anchor || n.isVehPeer(peer) {
 			continue
 		}
 		if n.probs.Get(peer, n.addr, now) >= usableBS {
@@ -367,9 +375,25 @@ func (n *Node) handleFrame(f *frame.Frame, info radio.RxInfo) {
 }
 
 // handleBeacon ingests probability reports and vehicle designations.
+// markVehPeer remembers that an address belongs to a vehicle.
+func (n *Node) markVehPeer(addr uint16) {
+	for len(n.vehPeers) <= int(addr) {
+		n.vehPeers = append(n.vehPeers, false)
+	}
+	n.vehPeers[addr] = true
+}
+
+// isVehPeer reports whether the address is a known vehicle.
+func (n *Node) isVehPeer(addr uint16) bool {
+	return int(addr) < len(n.vehPeers) && n.vehPeers[addr]
+}
+
 func (n *Node) handleBeacon(f *frame.Frame) {
 	now := n.K.Now()
 	n.counter.hear(f.Src)
+	if f.FromVehicle {
+		n.markVehPeer(f.Src)
+	}
 	if f.Beacon != nil {
 		for _, pe := range f.Beacon.Probs {
 			if pe.To == n.addr {

@@ -31,6 +31,10 @@ var registry = map[string]Runner{
 	"ablate-backplane": AblateBackplane,
 	"ablate-salvage":   AblateSalvage,
 	"ablate-retx":      AblateRetx,
+
+	// City-scale scenario sweeps (DESIGN.md §7).
+	"scale-fleet":   ScaleFleet,
+	"scale-density": ScaleDensity,
 }
 
 // IDs returns all experiment ids in a stable order.

@@ -22,6 +22,11 @@ type Options struct {
 	// run-cache); a shared Engine adds bounded parallelism and
 	// cross-figure memoization. Reports are byte-identical either way.
 	Engine *Engine
+	// Scenario overrides the base scenario spec of the scaling experiments
+	// (scale-fleet, scale-density): a preset name plus key=value overrides
+	// in internal/scenario.Parse syntax. Empty keeps each experiment's
+	// default. Paper figures ignore it.
+	Scenario string
 }
 
 // DefaultOptions returns full-scale options with a fixed seed.

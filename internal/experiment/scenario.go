@@ -1,0 +1,357 @@
+package experiment
+
+import (
+	"encoding/binary"
+	"fmt"
+	"time"
+
+	"github.com/vanlan/vifi/internal/core"
+	"github.com/vanlan/vifi/internal/frame"
+	"github.com/vanlan/vifi/internal/scenario"
+	"github.com/vanlan/vifi/internal/sim"
+)
+
+// This file carries the city-scale scaling experiments: synthetic
+// environments from internal/scenario driven by a fleet-wide constant-rate
+// workload, swept over fleet size (scale-fleet) and basestation density
+// (scale-density). They probe the regime the ROADMAP's north star cares
+// about — many vehicles contending for one channel across a large
+// deployment — rather than any figure of the paper.
+
+// fleetSlot is the per-vehicle send period of the fleet workload: one
+// 500-byte packet each way per slot. 5 pkt/s per direction per vehicle
+// drives a 24-vehicle fleet to the channel's saturation knee, which is
+// exactly the region the scaling experiments measure.
+const fleetSlot = 200 * time.Millisecond
+
+// fleetWarm is the settling time before a vehicle starts measuring (one
+// probability window plus anchor selection slack, as in the §5 workloads).
+const fleetWarm = 2 * time.Second
+
+// FleetRun is the outcome of one fleet workload execution: per-vehicle,
+// per-slot delivery outcomes for both directions, plus channel-level
+// counters. Results are shared through the run-cache; treat as read-only.
+type FleetRun struct {
+	SpecKey  string
+	SlotDur  time.Duration
+	Duration time.Duration
+	// Up[v][i] / Down[v][i] record whether vehicle v's slot-i packet was
+	// delivered (upstream at the gateway, downstream at the vehicle).
+	// Vehicles depart staggered, so later vehicles have fewer slots.
+	Up, Down [][]bool
+	// Channel counters over the whole run.
+	Transmissions int
+	Collisions    int
+	BSCount       int
+}
+
+// sent returns the total number of send opportunities (both directions).
+func (f *FleetRun) sent() int {
+	n := 0
+	for _, s := range f.Up {
+		n += 2 * len(s)
+	}
+	return n
+}
+
+// delivered returns total delivered packets (both directions).
+func (f *FleetRun) delivered() int {
+	n := 0
+	for v := range f.Up {
+		for i := range f.Up[v] {
+			if f.Up[v][i] {
+				n++
+			}
+			if f.Down[v][i] {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// DeliveryRatio is the fleet-wide fraction of send opportunities that
+// were delivered.
+func (f *FleetRun) DeliveryRatio() float64 {
+	if f.sent() == 0 {
+		return 0
+	}
+	return float64(f.delivered()) / float64(f.sent())
+}
+
+// DeliveredPerSec is the aggregate delivered packet rate (both
+// directions) over the measured duration.
+func (f *FleetRun) DeliveredPerSec() float64 {
+	if f.Duration <= 0 {
+		return 0
+	}
+	return float64(f.delivered()) / f.Duration.Seconds()
+}
+
+// MedianSession pools every vehicle's uninterrupted sessions (intervals
+// whose combined up+down delivery ratio stays ≥ minRatio) and returns the
+// time-weighted median length in seconds — the fleet analogue of the §5.2
+// session metric.
+func (f *FleetRun) MedianSession(interval time.Duration, minRatio float64) float64 {
+	spi := int(interval / f.SlotDur)
+	if spi < 1 {
+		spi = 1
+	}
+	var lens []float64
+	for v := range f.Up {
+		run := 0
+		flush := func() {
+			if run > 0 {
+				lens = append(lens, float64(run)*interval.Seconds())
+				run = 0
+			}
+		}
+		n := len(f.Up[v]) / spi
+		for i := 0; i < n; i++ {
+			hit := 0
+			for j := i * spi; j < (i+1)*spi; j++ {
+				if f.Up[v][j] {
+					hit++
+				}
+				if f.Down[v][j] {
+					hit++
+				}
+			}
+			if float64(hit)/float64(2*spi) >= minRatio {
+				run++
+			} else {
+				flush()
+			}
+		}
+		flush()
+	}
+	return medianTimeWeighted(lens)
+}
+
+// Interruptions counts adequate→interrupted transitions across the fleet
+// (1 s intervals, 50% adequacy), normalized per vehicle-hour.
+func (f *FleetRun) Interruptions() float64 {
+	spi := int(time.Second / f.SlotDur)
+	if spi < 1 {
+		spi = 1
+	}
+	total := 0
+	hours := 0.0
+	for v := range f.Up {
+		n := len(f.Up[v]) / spi
+		hours += float64(n) * time.Second.Hours()
+		prev := true
+		for i := 0; i < n; i++ {
+			hit := 0
+			for j := i * spi; j < (i+1)*spi; j++ {
+				if f.Up[v][j] {
+					hit++
+				}
+				if f.Down[v][j] {
+					hit++
+				}
+			}
+			ok := float64(hit)/float64(2*spi) >= 0.5
+			if !ok && prev {
+				total++
+			}
+			prev = ok
+		}
+	}
+	if hours == 0 {
+		return 0
+	}
+	return float64(total) / hours
+}
+
+// RunFleetWorkload drives a generated scenario with the constant-rate
+// fleet workload: every vehicle, once departed and warmed up, sends one
+// 500-byte packet upstream per slot while the gateway sends one
+// downstream, all offsets staggered within the slot so the fleet does not
+// hit the MAC in phase. Deterministic per (seed, spec, cfg, duration).
+func RunFleetWorkload(seed int64, spec scenario.Spec, cfg core.Config, duration time.Duration) (*FleetRun, error) {
+	k := sim.NewKernel(seed)
+	opts := core.DefaultCellOptions()
+	opts.Protocol = cfg
+	cell, lay, err := scenario.BuildCell(k, spec, opts)
+	if err != nil {
+		return nil, err
+	}
+	nv := len(cell.Vehicles)
+	run := &FleetRun{
+		SpecKey: spec.Key(),
+		SlotDur: fleetSlot,
+		Up:      make([][]bool, nv),
+		Down:    make([][]bool, nv),
+		BSCount: len(cell.BSes),
+	}
+
+	// Payload header: vehicle index + slot number.
+	payload := func(veh, slot int) []byte {
+		b := make([]byte, 500)
+		binary.BigEndian.PutUint16(b, uint16(veh))
+		binary.BigEndian.PutUint32(b[2:], uint32(slot))
+		return b
+	}
+	decode := func(p []byte) (veh, slot int) {
+		if len(p) < 6 {
+			return -1, -1
+		}
+		return int(binary.BigEndian.Uint16(p)), int(binary.BigEndian.Uint32(p[2:]))
+	}
+	mark := func(table [][]bool, p []byte) {
+		if v, s := decode(p); v >= 0 && v < len(table) && s >= 0 && s < len(table[v]) {
+			table[v][s] = true
+		}
+	}
+	cell.Gateway.SetDeliver(func(id frame.PacketID, p []byte, from uint16) { mark(run.Up, p) })
+	for _, v := range cell.Vehicles {
+		v.SetDeliver(func(id frame.PacketID, p []byte, from uint16) { mark(run.Down, p) })
+	}
+
+	measured := time.Duration(0)
+	for i, v := range cell.Vehicles {
+		// Vehicle i starts after its departure plus warm-up, offset within
+		// the slot to desynchronize the fleet's send instants.
+		start := lay.Departs[i] + fleetWarm + fleetSlot*time.Duration(i)/time.Duration(nv)
+		if start >= duration {
+			run.Up[i], run.Down[i] = []bool{}, []bool{}
+			continue
+		}
+		slots := int((duration - start) / fleetSlot)
+		run.Up[i] = make([]bool, slots)
+		run.Down[i] = make([]bool, slots)
+		if d := time.Duration(slots) * fleetSlot; d > measured {
+			measured = d
+		}
+		veh, addr := v, v.Addr()
+		i := i
+		for s := 0; s < slots; s++ {
+			s := s
+			k.At(start+time.Duration(s)*fleetSlot, func() {
+				veh.SendData(payload(i, s))
+				cell.Gateway.Send(addr, payload(i, s))
+			})
+		}
+	}
+	run.Duration = measured
+	k.RunUntil(duration + time.Second)
+	st := cell.Channel.Stats()
+	run.Transmissions = st.Transmissions
+	run.Collisions = st.Collisions
+	return run, nil
+}
+
+// Fleet schedules a fleet workload on the engine, memoized per
+// (seed, spec, config, duration) — the spec's canonical key is the extra
+// cache discriminator, so every distinct scenario is its own cache line.
+func (e *Engine) Fleet(seed int64, spec scenario.Spec, cfg core.Config, dur time.Duration) Future[*FleetRun] {
+	key := JobKey{Kind: "fleet", Seed: seed, Cfg: cfg, Dur: dur, Extra: spec.Key()}
+	return Future[*FleetRun]{f: e.memoize(key, func() any {
+		run, err := RunFleetWorkload(seed, spec, cfg, dur)
+		if err != nil {
+			// Spec validity is checked by the runners before scheduling;
+			// reaching this is a programming error, not a data error.
+			panic(fmt.Sprintf("experiment: fleet job: %v", err))
+		}
+		return run
+	})}
+}
+
+// baseScenario resolves the experiment's base spec: the -scenario option
+// when given, otherwise the named default preset.
+func (o Options) baseScenario(def string) (scenario.Spec, error) {
+	src := o.Scenario
+	if src == "" {
+		src = def
+	}
+	return scenario.Parse(src)
+}
+
+// fleetRow renders one sweep arm of a scaling report.
+func fleetRow(label string, run *FleetRun) []string {
+	colPerK := 0.0
+	if run.Transmissions > 0 {
+		colPerK = 1000 * float64(run.Collisions) / float64(run.Transmissions)
+	}
+	return []string{
+		label,
+		fmt.Sprintf("%d", run.BSCount),
+		fmt.Sprintf("%d", len(run.Up)),
+		fmt.Sprintf("%.1f", run.DeliveredPerSec()),
+		pct(run.DeliveryRatio()),
+		fmt.Sprintf("%.0f", run.MedianSession(time.Second, 0.5)),
+		fmt.Sprintf("%.0f", run.Interruptions()),
+		fmt.Sprintf("%.0f", colPerK),
+	}
+}
+
+// fleetHeader labels the sweep columns. "rx collisions" are per-receiver
+// collision events (one transmission can collide at many receivers), so
+// the rate can exceed 1000 — it is a congestion signal, not a fraction.
+var fleetHeader = []string{"arm", "BSes", "vehicles", "delivered/s", "delivery", "median session (s)", "interrupts/veh·h", "rx collisions/1k tx"}
+
+// ScaleFleet sweeps fleet size over a city-scale deployment: aggregate
+// throughput, delivery ratio and session quality as more vehicles share
+// one channel. The base scenario is grid-city (54 basestations) unless
+// Options.Scenario overrides it; the sweep tops out at a 24-vehicle
+// fleet. Durations scale with Options.Scale as everywhere else.
+func ScaleFleet(o Options) *Report {
+	r := &Report{
+		ID:     "scale-fleet",
+		Title:  "Fleet-size scaling on a generated city grid",
+		Header: fleetHeader,
+	}
+	base, err := o.baseScenario("grid-city")
+	if err != nil {
+		r.AddNote("invalid -scenario: %v", err)
+		return r
+	}
+	eng := o.engine()
+	dur := time.Duration(o.scaled(240)) * time.Second
+	fleets := []int{1, 4, 8, 16, 24}
+	futs := make([]Future[*FleetRun], len(fleets))
+	for i, n := range fleets {
+		spec := base
+		spec.Vehicles = n
+		futs[i] = eng.Fleet(o.Seed, spec, core.DefaultConfig(), dur)
+	}
+	for i, n := range fleets {
+		r.AddRow(fleetRow(fmt.Sprintf("fleet=%d", n), futs[i].Wait())...)
+	}
+	r.AddNote("scenario base: %s", base.Key())
+	r.AddNote("expected shape: aggregate delivered/s grows then saturates at the channel knee; per-vehicle delivery and session length degrade as the fleet contends")
+	return r
+}
+
+// ScaleDensity sweeps basestation density at a fixed fleet: coverage and
+// session quality versus infrastructure investment. The default base runs
+// 8 vehicles; a -scenario override keeps whatever fleet size it asks for
+// (only the BS count is swept).
+func ScaleDensity(o Options) *Report {
+	r := &Report{
+		ID:     "scale-density",
+		Title:  "Basestation-density scaling on a generated city grid",
+		Header: fleetHeader,
+	}
+	base, err := o.baseScenario("grid-city,vehicles=8")
+	if err != nil {
+		r.AddNote("invalid -scenario: %v", err)
+		return r
+	}
+	eng := o.engine()
+	dur := time.Duration(o.scaled(240)) * time.Second
+	counts := []int{14, 28, 54, 96}
+	futs := make([]Future[*FleetRun], len(counts))
+	for i, n := range counts {
+		spec := base
+		spec.BS = n
+		futs[i] = eng.Fleet(o.Seed, spec, core.DefaultConfig(), dur)
+	}
+	for i, n := range counts {
+		r.AddRow(fleetRow(fmt.Sprintf("bs=%d", n), futs[i].Wait())...)
+	}
+	r.AddNote("scenario base: %s", base.Key())
+	r.AddNote("expected shape: delivery ratio and session length improve with density until routes are fully covered, then flatten")
+	return r
+}

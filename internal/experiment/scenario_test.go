@@ -1,0 +1,105 @@
+package experiment
+
+import (
+	"testing"
+	"time"
+
+	"github.com/vanlan/vifi/internal/core"
+	"github.com/vanlan/vifi/internal/scenario"
+)
+
+// scaleSample keeps these tests quick: grid-city durations at Scale 0.04
+// are ~10 simulated seconds per arm, yet the big arm still runs the full
+// 54-basestation deployment.
+const scaleTestScale = 0.04
+
+// TestScaleFleetByteIdentical is the acceptance contract for the scaling
+// experiments: the registered scale-fleet experiment — whose top arm runs
+// 54 basestations and 24 concurrent vehicles — renders byte-identically
+// across two runs of the same seed and between the serial inline path and
+// a multi-worker engine.
+func TestScaleFleetByteIdentical(t *testing.T) {
+	for _, id := range []string{"scale-fleet", "scale-density"} {
+		o := Options{Seed: 17, Scale: scaleTestScale}
+		a, err := Run(id, o)
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		b, err := Run(id, o)
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		if a.String() != b.String() {
+			t.Errorf("%s: equal seeds diverged:\n--- first\n%s\n--- second\n%s", id, a, b)
+		}
+		par, err := Run(id, Options{Seed: 17, Scale: scaleTestScale, Engine: NewEngine(4)})
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		if a.String() != par.String() {
+			t.Errorf("%s: parallel output differs from serial:\n--- serial\n%s\n--- parallel\n%s", id, a, par)
+		}
+	}
+}
+
+// TestScaleFleetTopArmShape pins the acceptance floor: the sweep's top arm
+// deploys ≥ 50 basestations and ≥ 20 vehicles.
+func TestScaleFleetTopArmShape(t *testing.T) {
+	spec, err := scenario.Parse("grid-city")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.BS < 50 || spec.Vehicles < 20 {
+		t.Fatalf("grid-city preset is %d BSes / %d vehicles, acceptance needs ≥50/≥20", spec.BS, spec.Vehicles)
+	}
+	run, err := RunFleetWorkload(5, spec, core.DefaultConfig(), 10*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if run.BSCount != spec.BS || len(run.Up) != spec.Vehicles {
+		t.Errorf("run shape %d/%d, want %d/%d", run.BSCount, len(run.Up), spec.BS, spec.Vehicles)
+	}
+	if run.Transmissions == 0 {
+		t.Error("no channel activity")
+	}
+}
+
+// TestFleetRunCache checks the engine memoizes fleet jobs per spec: equal
+// (seed, spec, cfg, dur) share one run, a spec override misses.
+func TestFleetRunCache(t *testing.T) {
+	eng := NewEngine(2)
+	spec, _ := scenario.Parse("grid-small")
+	cfg := core.DefaultConfig()
+	a := eng.Fleet(3, spec, cfg, 8*time.Second)
+	b := eng.Fleet(3, spec, cfg, 8*time.Second)
+	if a.Wait() != b.Wait() {
+		t.Error("identical fleet jobs returned distinct results")
+	}
+	if hits := eng.CacheHits(); hits != 1 {
+		t.Errorf("cache hits = %d, want 1", hits)
+	}
+	other := spec
+	other.Vehicles++
+	c := eng.Fleet(3, other, cfg, 8*time.Second)
+	if c.Wait() == a.Wait() {
+		t.Error("different specs shared a cached result")
+	}
+}
+
+// TestFleetWorkloadDeterminism pins the workload layer directly: two
+// executions agree on every aggregate.
+func TestFleetWorkloadDeterminism(t *testing.T) {
+	spec, _ := scenario.Parse("grid-small,vehicles=4")
+	a, err := RunFleetWorkload(9, spec, core.DefaultConfig(), 20*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := RunFleetWorkload(9, spec, core.DefaultConfig(), 20*time.Second)
+	if a.DeliveryRatio() != b.DeliveryRatio() || a.Transmissions != b.Transmissions ||
+		a.Collisions != b.Collisions || a.DeliveredPerSec() != b.DeliveredPerSec() {
+		t.Errorf("fleet runs diverged: %+v vs %+v", a, b)
+	}
+	if a.sent() == 0 {
+		t.Fatal("workload sent nothing")
+	}
+}

@@ -1,0 +1,102 @@
+package mobility
+
+import (
+	"math"
+
+	"github.com/vanlan/vifi/internal/sim"
+)
+
+// Route generation for synthetic city-scale scenarios (internal/scenario):
+// every generated route is a pure function of the RNG stream it is handed,
+// so a scenario built from labeled kernel streams is byte-deterministic
+// and cache-keyable. All generators keep waypoints inside the [0,w]×[0,h]
+// region with a small margin so routes thread the deployment rather than
+// hugging its edges.
+
+// routeMargin is the fraction of each dimension kept clear at the region
+// boundary by the route generators.
+const routeMargin = 0.05
+
+// RandomLoop returns a closed route of n waypoints sampled uniformly in
+// the region (with margin) and ordered by angle around the region center.
+// The angular sort makes the loop star-shaped — it never crosses itself —
+// which keeps generated traffic patterns plausible for arbitrary n.
+// It panics for n < 3, a configuration error.
+func RandomLoop(rng *sim.RNG, w, h float64, n int, speedMPS float64) *Route {
+	if n < 3 {
+		panic("mobility: RandomLoop needs at least three waypoints")
+	}
+	cx, cy := w/2, h/2
+	pts := make([]Point, n)
+	for i := range pts {
+		pts[i] = Point{
+			X: w * (routeMargin + (1-2*routeMargin)*rng.Float64()),
+			Y: h * (routeMargin + (1-2*routeMargin)*rng.Float64()),
+		}
+	}
+	// Insertion sort by angle around the center: n is small, and a stable,
+	// comparison-exact sort keeps the route independent of sort internals.
+	angle := func(p Point) float64 { return math.Atan2(p.Y-cy, p.X-cx) }
+	for i := 1; i < len(pts); i++ {
+		for j := i; j > 0 && angle(pts[j]) < angle(pts[j-1]); j-- {
+			pts[j], pts[j-1] = pts[j-1], pts[j]
+		}
+	}
+	return NewRoute(pts, speedMPS, true)
+}
+
+// StripRoute returns a loop along a corridor deployment (a highway or
+// main street): out along one lane, back along the other. reverse flips
+// the driving direction so alternate vehicles meet head-on, as real
+// two-way traffic does.
+func StripRoute(w, h float64, speedMPS float64, reverse bool) *Route {
+	xl, xr := w*routeMargin, w*(1-routeMargin)
+	yOut, yBack := h*0.45, h*0.55
+	pts := []Point{{xl, yOut}, {xr, yOut}, {xr, yBack}, {xl, yBack}}
+	if reverse {
+		pts = []Point{{xl, yBack}, {xr, yBack}, {xr, yOut}, {xl, yOut}}
+	}
+	return NewRoute(pts, speedMPS, true)
+}
+
+// GridTour returns a Manhattan-style loop over a cols×rows street grid
+// spanning the region: it visits `stops` randomly chosen intersections,
+// connecting consecutive stops (and the closing leg) with an L-shaped
+// x-then-y path so every segment runs along a street. It panics for
+// grids smaller than 2×2 or stops < 2.
+func GridTour(rng *sim.RNG, w, h float64, cols, rows, stops int, speedMPS float64) *Route {
+	if cols < 2 || rows < 2 {
+		panic("mobility: GridTour needs at least a 2x2 grid")
+	}
+	if stops < 2 {
+		panic("mobility: GridTour needs at least two stops")
+	}
+	xAt := func(c int) float64 { return w * (routeMargin + (1-2*routeMargin)*float64(c)/float64(cols-1)) }
+	yAt := func(r int) float64 { return h * (routeMargin + (1-2*routeMargin)*float64(r)/float64(rows-1)) }
+	type cell struct{ c, r int }
+	visits := make([]cell, stops)
+	for i := range visits {
+		visits[i] = cell{c: rng.Intn(cols), r: rng.Intn(rows)}
+		if i > 0 && visits[i] == visits[i-1] {
+			// Nudge duplicates one column over so legs keep positive length.
+			visits[i].c = (visits[i].c + 1) % cols
+		}
+	}
+	var pts []Point
+	for i, v := range visits {
+		p := Point{xAt(v.c), yAt(v.r)}
+		if i > 0 {
+			prev := pts[len(pts)-1]
+			if prev.X != p.X && prev.Y != p.Y {
+				pts = append(pts, Point{p.X, prev.Y}) // L-corner: x first
+			}
+		}
+		pts = append(pts, p)
+	}
+	// Close the loop along streets too.
+	first, last := pts[0], pts[len(pts)-1]
+	if first.X != last.X && first.Y != last.Y {
+		pts = append(pts, Point{first.X, last.Y})
+	}
+	return NewRoute(pts, speedMPS, true)
+}

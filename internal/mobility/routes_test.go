@@ -1,0 +1,110 @@
+package mobility
+
+import (
+	"testing"
+	"time"
+
+	"github.com/vanlan/vifi/internal/sim"
+)
+
+// TestDayScheduleClampsToDay is the regression test for the overrun bug:
+// when n laps cannot fit in 24 hours, trips used to keep their spacing and
+// run past the day boundary. Now the count clamps.
+func TestDayScheduleClampsToDay(t *testing.T) {
+	day := 24 * time.Hour
+	trips := DaySchedule(10, 3*time.Hour) // 30h of driving requested
+	if len(trips) != 8 {
+		t.Fatalf("got %d trips, want 8 (the most 3h laps that fit a day)", len(trips))
+	}
+	for i, tr := range trips {
+		if tr.Start < 0 || tr.End > day {
+			t.Errorf("trip %d outside the day: %+v", i, tr)
+		}
+		if tr.Duration() != 3*time.Hour {
+			t.Errorf("trip %d duration %v, want 3h", i, tr.Duration())
+		}
+		if i > 0 && tr.Start < trips[i-1].End {
+			t.Errorf("trips %d and %d overlap", i-1, i)
+		}
+	}
+
+	// A lap longer than the whole day: one trip, truncated at midnight.
+	long := DaySchedule(5, 30*time.Hour)
+	if len(long) != 1 || long[0].Start != 0 || long[0].End != day {
+		t.Errorf("oversized lap schedule = %+v, want one full-day trip", long)
+	}
+
+	if DaySchedule(3, 0) != nil {
+		t.Error("non-positive lap time should yield no trips")
+	}
+}
+
+func inBounds(t *testing.T, r *Route, w, h float64) {
+	t.Helper()
+	for i, p := range r.Waypoints {
+		if p.X < 0 || p.X > w || p.Y < 0 || p.Y > h {
+			t.Errorf("waypoint %d = %v outside %vx%v", i, p, w, h)
+		}
+	}
+}
+
+func TestRandomLoopDeterministicAndBounded(t *testing.T) {
+	mk := func() *Route {
+		k := sim.NewKernel(5)
+		return RandomLoop(k.RNG("route", "0"), 2000, 1200, 8, KmhToMps(40))
+	}
+	a, b := mk(), mk()
+	if len(a.Waypoints) != 8 {
+		t.Fatalf("waypoints = %d, want 8", len(a.Waypoints))
+	}
+	for i := range a.Waypoints {
+		if a.Waypoints[i] != b.Waypoints[i] {
+			t.Fatalf("equal seeds generated different routes at waypoint %d", i)
+		}
+	}
+	inBounds(t, a, 2000, 1200)
+	if a.Length() <= 0 || !a.Loop {
+		t.Error("route must be a positive-length loop")
+	}
+	// A different stream yields a different loop.
+	k := sim.NewKernel(5)
+	c := RandomLoop(k.RNG("route", "1"), 2000, 1200, 8, KmhToMps(40))
+	same := true
+	for i := range a.Waypoints {
+		if a.Waypoints[i] != c.Waypoints[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("distinct RNG streams generated identical routes")
+	}
+}
+
+func TestStripRouteDirections(t *testing.T) {
+	fwd := StripRoute(6000, 400, KmhToMps(90), false)
+	rev := StripRoute(6000, 400, KmhToMps(90), true)
+	inBounds(t, fwd, 6000, 400)
+	if fwd.Length() != rev.Length() {
+		t.Error("reversed strip changed length")
+	}
+	if fwd.Waypoints[0] == rev.Waypoints[0] {
+		t.Error("reverse direction should start on the other lane")
+	}
+}
+
+func TestGridTourFollowsStreets(t *testing.T) {
+	k := sim.NewKernel(9)
+	r := GridTour(k.RNG("tour"), 2400, 1500, 9, 6, 10, KmhToMps(40))
+	inBounds(t, r, 2400, 1500)
+	n := len(r.Waypoints)
+	for i := 0; i < n; i++ {
+		a, b := r.Waypoints[i], r.Waypoints[(i+1)%n]
+		if a.X != b.X && a.Y != b.Y {
+			t.Errorf("segment %d (%v→%v) is not axis-aligned", i, a, b)
+		}
+		if a == b {
+			t.Errorf("segment %d has zero length", i)
+		}
+	}
+}

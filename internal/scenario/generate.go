@@ -1,0 +1,163 @@
+package scenario
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"github.com/vanlan/vifi/internal/core"
+	"github.com/vanlan/vifi/internal/mobility"
+	"github.com/vanlan/vifi/internal/sim"
+)
+
+// Layout is a generated deployment: basestation positions plus one route
+// and departure time per vehicle.
+type Layout struct {
+	Spec    Spec
+	BSes    []mobility.Point
+	Routes  []*mobility.Route
+	Departs []time.Duration
+}
+
+// Generate derives the deployment geometry from the kernel's seed and the
+// spec. All randomness flows through streams labeled with the spec's
+// canonical key, so generation is independent of any other RNG consumer
+// and reproducible per (seed, spec).
+func Generate(k *sim.Kernel, s Spec) (*Layout, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	key := s.Key()
+	lay := &Layout{Spec: s}
+	lay.BSes = placeBSes(k.RNG("scenario", key, "bs"), s)
+
+	lay.Routes = make([]*mobility.Route, s.Vehicles)
+	lay.Departs = make([]time.Duration, s.Vehicles)
+	for i := 0; i < s.Vehicles; i++ {
+		rng := k.RNG("scenario", key, "route", fmt.Sprint(i))
+		// ±10% per-vehicle speed spread keeps the fleet from moving in
+		// lockstep (and from beaconing in phase forever).
+		speed := mobility.KmhToMps(s.SpeedKmh) * (0.9 + 0.2*rng.Float64())
+		switch s.Topology {
+		case Strip:
+			lay.Routes[i] = mobility.StripRoute(s.Width, s.Height, speed, i%2 == 1)
+		case Grid:
+			cols, rows := gridDims(s)
+			lay.Routes[i] = mobility.GridTour(rng, s.Width, s.Height, cols, rows, s.RouteStops, speed)
+		default:
+			lay.Routes[i] = mobility.RandomLoop(rng, s.Width, s.Height, s.RouteStops, speed)
+		}
+		lay.Departs[i] = time.Duration(i) * s.DepartStagger
+	}
+	return lay, nil
+}
+
+// gridDims chooses a lattice shape matching the region's aspect ratio:
+// cols·rows ≥ BS with cols/rows ≈ Width/Height.
+func gridDims(s Spec) (cols, rows int) {
+	aspect := s.Width / s.Height
+	cols = int(math.Ceil(math.Sqrt(float64(s.BS) * aspect)))
+	if cols < 2 {
+		cols = 2
+	}
+	rows = (s.BS + cols - 1) / cols
+	if rows < 2 {
+		rows = 2
+	}
+	return cols, rows
+}
+
+// placeBSes generates the basestation positions for the spec's topology.
+func placeBSes(rng *sim.RNG, s Spec) []mobility.Point {
+	pts := make([]mobility.Point, 0, s.BS)
+	clamp := func(p mobility.Point) mobility.Point {
+		return mobility.Point{
+			X: math.Min(math.Max(p.X, 0), s.Width),
+			Y: math.Min(math.Max(p.Y, 0), s.Height),
+		}
+	}
+	jitter := func() (float64, float64) {
+		return (rng.Float64() - 0.5) * 2 * s.JitterM, (rng.Float64() - 0.5) * 2 * s.JitterM
+	}
+	switch s.Topology {
+	case Grid:
+		cols, rows := gridDims(s)
+		for i := 0; i < s.BS; i++ {
+			c, r := i%cols, i/cols
+			dx, dy := jitter()
+			pts = append(pts, clamp(mobility.Point{
+				X: s.Width*(float64(c)+0.5)/float64(cols) + dx,
+				Y: s.Height*(float64(r)+0.5)/float64(rows) + dy,
+			}))
+		}
+	case Strip:
+		// Alternate sides of the corridor lanes (which run at 45%/55% of
+		// the height — see mobility.StripRoute).
+		for i := 0; i < s.BS; i++ {
+			side := 0.30
+			if i%2 == 1 {
+				side = 0.70
+			}
+			dx, dy := jitter()
+			pts = append(pts, clamp(mobility.Point{
+				X: s.Width*(float64(i)+0.5)/float64(s.BS) + dx,
+				Y: s.Height*side + dy,
+			}))
+		}
+	case Cluster:
+		// Hot-spot anchors placed uniformly (inset), members spread around
+		// them with JitterM as the normal scale.
+		anchors := make([]mobility.Point, s.Clusters)
+		for i := range anchors {
+			anchors[i] = mobility.Point{
+				X: s.Width * (0.15 + 0.7*rng.Float64()),
+				Y: s.Height * (0.15 + 0.7*rng.Float64()),
+			}
+		}
+		for i := 0; i < s.BS; i++ {
+			a := anchors[i%len(anchors)]
+			pts = append(pts, clamp(mobility.Point{
+				X: a.X + rng.NormFloat64()*s.JitterM,
+				Y: a.Y + rng.NormFloat64()*s.JitterM,
+			}))
+		}
+	}
+	return pts
+}
+
+// Apply folds the spec's radio and backplane overrides into cell options.
+func (s Spec) Apply(opts core.CellOptions) core.CellOptions {
+	if s.RangeM > 0 {
+		opts.Radio.D50 = s.RangeM
+	}
+	if s.BackplaneRateBps > 0 {
+		opts.Backplane.Access.RateBps = s.BackplaneRateBps
+	}
+	if s.BackplaneDelay > 0 {
+		opts.Backplane.Access.Delay = s.BackplaneDelay
+	}
+	if s.BackplaneLoss > 0 {
+		opts.Backplane.Access.Loss = s.BackplaneLoss
+	}
+	return opts
+}
+
+// BuildCell generates the layout and wires a running fleet cell over it:
+// fixed basestations, one route-driven vehicle per fleet slot with its
+// staggered departure, and the spec's radio/backplane parameters.
+func BuildCell(k *sim.Kernel, s Spec, opts core.CellOptions) (*core.Cell, *Layout, error) {
+	lay, err := Generate(k, s)
+	if err != nil {
+		return nil, nil, err
+	}
+	opts = s.Apply(opts)
+	bs := make([]mobility.Mover, len(lay.BSes))
+	for i, p := range lay.BSes {
+		bs[i] = mobility.Fixed(p)
+	}
+	vehs := make([]mobility.Mover, len(lay.Routes))
+	for i, r := range lay.Routes {
+		vehs[i] = &mobility.RouteMover{Route: r, Depart: lay.Departs[i]}
+	}
+	return core.NewFleetCell(k, opts, bs, vehs), lay, nil
+}

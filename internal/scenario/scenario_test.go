@@ -1,0 +1,193 @@
+package scenario
+
+import (
+	"testing"
+	"time"
+
+	"github.com/vanlan/vifi/internal/core"
+	"github.com/vanlan/vifi/internal/frame"
+	"github.com/vanlan/vifi/internal/sim"
+)
+
+func TestParsePresetAndOverrides(t *testing.T) {
+	s, err := Parse("grid-city,vehicles=30,bs=72,w=3000,stagger=5s,bploss=0.1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Vehicles != 30 || s.BS != 72 || s.Width != 3000 ||
+		s.DepartStagger != 5*time.Second || s.BackplaneLoss != 0.1 {
+		t.Errorf("overrides not applied: %+v", s)
+	}
+	if s.Height != 1500 || s.Topology != Grid {
+		t.Errorf("preset fields lost: %+v", s)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, bad := range []string{
+		"no-such-preset",
+		"grid-city,vehicles",        // not key=value
+		"grid-city,nonsense=1",      // unknown key
+		"grid-city,vehicles=lots",   // bad int
+		"grid-city,vehicles=0",      // fails validation
+		"grid-city,bploss=1.5",      // loss outside [0,1]
+		"grid-city,topology=mobius", // unknown topology
+	} {
+		if _, err := Parse(bad); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", bad)
+		}
+	}
+}
+
+func TestPresetsAllValid(t *testing.T) {
+	for _, name := range Presets() {
+		s, err := Preset(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Validate(); err != nil {
+			t.Errorf("preset %s invalid: %v", name, err)
+		}
+		if _, err := Generate(sim.NewKernel(1), s); err != nil {
+			t.Errorf("preset %s does not generate: %v", name, err)
+		}
+	}
+}
+
+func TestKeyDistinguishesSpecs(t *testing.T) {
+	a, _ := Parse("grid-city")
+	b, _ := Parse("grid-city,vehicles=25")
+	if a.Key() == b.Key() {
+		t.Error("different specs share a key")
+	}
+	c, _ := Parse("grid-city")
+	if a.Key() != c.Key() {
+		t.Error("equal specs have different keys")
+	}
+}
+
+// TestGenerateDeterministic is the package's core contract: a layout is a
+// pure function of (kernel seed, spec).
+func TestGenerateDeterministic(t *testing.T) {
+	for _, name := range Presets() {
+		s, _ := Preset(name)
+		gen := func(seed int64) *Layout {
+			lay, err := Generate(sim.NewKernel(seed), s)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return lay
+		}
+		a, b := gen(42), gen(42)
+		for i := range a.BSes {
+			if a.BSes[i] != b.BSes[i] {
+				t.Fatalf("%s: BS %d differs across equal seeds", name, i)
+			}
+		}
+		for v := range a.Routes {
+			if a.Departs[v] != b.Departs[v] {
+				t.Fatalf("%s: departure %d differs", name, v)
+			}
+			wa, wb := a.Routes[v].Waypoints, b.Routes[v].Waypoints
+			if len(wa) != len(wb) {
+				t.Fatalf("%s: route %d length differs", name, v)
+			}
+			for i := range wa {
+				if wa[i] != wb[i] {
+					t.Fatalf("%s: route %d waypoint %d differs", name, v, i)
+				}
+			}
+		}
+		// A different seed re-rolls the geometry.
+		c := gen(43)
+		same := len(a.BSes) == len(c.BSes)
+		if same {
+			for i := range a.BSes {
+				if a.BSes[i] != c.BSes[i] {
+					same = false
+					break
+				}
+			}
+		}
+		if same {
+			t.Errorf("%s: different seeds produced identical basestations", name)
+		}
+	}
+}
+
+func TestGenerateShapes(t *testing.T) {
+	k := sim.NewKernel(3)
+	for _, name := range Presets() {
+		s, _ := Preset(name)
+		lay, err := Generate(k, s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(lay.BSes) != s.BS {
+			t.Errorf("%s: %d basestations, want %d", name, len(lay.BSes), s.BS)
+		}
+		if len(lay.Routes) != s.Vehicles || len(lay.Departs) != s.Vehicles {
+			t.Errorf("%s: fleet size mismatch", name)
+		}
+		for i, p := range lay.BSes {
+			if p.X < 0 || p.X > s.Width || p.Y < 0 || p.Y > s.Height {
+				t.Errorf("%s: BS %d at %v outside the region", name, i, p)
+			}
+		}
+		for i, r := range lay.Routes {
+			if r.Length() <= 0 || !r.Loop {
+				t.Errorf("%s: route %d is not a positive-length loop", name, i)
+			}
+			if i > 0 && lay.Departs[i] != lay.Departs[i-1]+s.DepartStagger {
+				t.Errorf("%s: departures not staggered by %v", name, s.DepartStagger)
+			}
+		}
+	}
+}
+
+// TestBuildCellRunsFleet drives a generated city-scale cell briefly and
+// checks the fleet actually exercises the shared channel.
+func TestBuildCellRunsFleet(t *testing.T) {
+	spec, err := Parse("grid-small,vehicles=4,stagger=1s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := sim.NewKernel(11)
+	cell, lay, err := BuildCell(k, spec, core.DefaultCellOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cell.BSes) != spec.BS || len(cell.Vehicles) != 4 {
+		t.Fatalf("cell shape: %d BSes / %d vehicles", len(cell.BSes), len(cell.Vehicles))
+	}
+	if len(lay.BSes) != spec.BS {
+		t.Fatalf("layout shape mismatch")
+	}
+	k.RunUntil(12 * time.Second)
+	anchored := 0
+	for _, v := range cell.Vehicles {
+		if v.Anchor() != frame.None {
+			anchored++
+		}
+	}
+	if cell.Channel.Stats().Transmissions == 0 {
+		t.Error("no transmissions on the shared channel")
+	}
+	if anchored == 0 {
+		t.Error("no vehicle acquired an anchor in a 12-BS grid")
+	}
+}
+
+// TestApplyOverrides checks radio/backplane parameters reach the cell
+// options.
+func TestApplyOverrides(t *testing.T) {
+	s, _ := Parse("grid-small,range=220,bprate=1e6,bpdelay=20ms,bploss=0.05")
+	opts := s.Apply(core.DefaultCellOptions())
+	if opts.Radio.D50 != 220 {
+		t.Errorf("D50 = %g, want 220", opts.Radio.D50)
+	}
+	if opts.Backplane.Access.RateBps != 1e6 || opts.Backplane.Access.Delay != 20*time.Millisecond ||
+		opts.Backplane.Access.Loss != 0.05 {
+		t.Errorf("backplane overrides not applied: %+v", opts.Backplane)
+	}
+}

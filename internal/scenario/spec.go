@@ -1,0 +1,250 @@
+// Package scenario generates synthetic deployments at arbitrary scale:
+// parameterized basestation topologies (grid, strip, cluster), fleets of
+// vehicles on generated routes with staggered departures, and per-scenario
+// radio/backplane parameters. It turns the repository's two hand-built
+// testbeds (VanLAN, DieselNet) into an unbounded scenario space.
+//
+// Determinism contract: a scenario is a pure function of (kernel seed,
+// Spec). All geometry draws come from kernel RNG streams labeled with the
+// spec's canonical Key(), so equal seeds and equal specs yield
+// byte-identical deployments, two different specs never perturb each
+// other's streams, and Key() doubles as the run-cache discriminator for
+// the experiment engine (DESIGN.md §3).
+package scenario
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Topology selects the basestation placement family.
+type Topology int
+
+// Placement families.
+const (
+	// Grid covers the region with a jittered rows×cols lattice — the
+	// "municipal mesh" shape.
+	Grid Topology = iota
+	// Strip lines basestations along a corridor — a highway or main
+	// street deployment.
+	Strip
+	// Cluster scatters basestations in hot spots — organic shop/home
+	// deployments around a town.
+	Cluster
+)
+
+// String implements fmt.Stringer.
+func (t Topology) String() string {
+	switch t {
+	case Grid:
+		return "grid"
+	case Strip:
+		return "strip"
+	case Cluster:
+		return "cluster"
+	default:
+		return "topology(?)"
+	}
+}
+
+// Spec parameterizes one synthetic deployment. The zero value is not
+// runnable; start from a preset (Parse, Preset) and override fields.
+type Spec struct {
+	Topology Topology
+	// BS is the basestation count; Clusters the hot-spot count (Cluster
+	// topology only).
+	BS       int
+	Clusters int
+	// Width and Height bound the deployment region in meters.
+	Width, Height float64
+	// JitterM perturbs basestation placement (lattice jitter for Grid and
+	// Strip, hot-spot spread for Cluster).
+	JitterM float64
+
+	// Vehicles is the fleet size; SpeedKmh the nominal vehicle speed
+	// (each vehicle's actual speed is jittered ±10%); RouteStops the
+	// number of stops/waypoints per generated route; DepartStagger the
+	// spacing between consecutive vehicle departures.
+	Vehicles      int
+	SpeedKmh      float64
+	RouteStops    int
+	DepartStagger time.Duration
+
+	// RangeM overrides the radio model's 50%-reception distance when
+	// positive (0 keeps radio.DefaultParams).
+	RangeM float64
+
+	// Backplane overrides; zero values keep backplane.DefaultConfig.
+	BackplaneRateBps float64
+	BackplaneDelay   time.Duration
+	BackplaneLoss    float64
+}
+
+// presets is the named scenario catalogue. Kept in a function so callers
+// can never mutate the catalogue through a returned Spec.
+func presets() map[string]Spec {
+	return map[string]Spec{
+		// A compact sanity-scale grid.
+		"grid-small": {
+			Topology: Grid, BS: 12, Width: 900, Height: 600, JitterM: 25,
+			Vehicles: 3, SpeedKmh: 36, RouteStops: 6, DepartStagger: 2 * time.Second,
+		},
+		// The city-scale reference: 54 basestations, a 24-vehicle fleet.
+		"grid-city": {
+			Topology: Grid, BS: 54, Width: 2400, Height: 1500, JitterM: 30,
+			Vehicles: 24, SpeedKmh: 40, RouteStops: 10, DepartStagger: 2 * time.Second,
+		},
+		// A corridor deployment: basestations along a highway.
+		"strip-highway": {
+			Topology: Strip, BS: 40, Width: 6000, Height: 400, JitterM: 20,
+			Vehicles: 16, SpeedKmh: 80, RouteStops: 4, DepartStagger: 3 * time.Second,
+		},
+		// Organic hot-spot coverage around a town.
+		"cluster-town": {
+			Topology: Cluster, BS: 50, Clusters: 7, Width: 2600, Height: 1600, JitterM: 90,
+			Vehicles: 20, SpeedKmh: 40, RouteStops: 9, DepartStagger: 2 * time.Second,
+		},
+	}
+}
+
+// Presets lists the preset names in a stable order.
+func Presets() []string {
+	m := presets()
+	out := make([]string, 0, len(m))
+	for name := range m {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Preset returns a named preset spec.
+func Preset(name string) (Spec, error) {
+	if s, ok := presets()[name]; ok {
+		return s, nil
+	}
+	return Spec{}, fmt.Errorf("scenario: unknown preset %q (have %s)", name, strings.Join(Presets(), ", "))
+}
+
+// Parse builds a Spec from the cmd-line syntax: a preset name followed by
+// optional key=value overrides, comma-separated. Example:
+//
+//	grid-city,vehicles=30,bs=72,w=3000,stagger=5s
+//
+// Keys: bs, clusters, w, h, jitter, vehicles, speed, stops, stagger,
+// range, bprate, bpdelay, bploss, topology.
+func Parse(s string) (Spec, error) {
+	parts := strings.Split(s, ",")
+	name := strings.TrimSpace(parts[0])
+	spec, err := Preset(name)
+	if err != nil {
+		return Spec{}, err
+	}
+	for _, kv := range parts[1:] {
+		kv = strings.TrimSpace(kv)
+		if kv == "" {
+			continue
+		}
+		key, val, ok := strings.Cut(kv, "=")
+		if !ok {
+			return Spec{}, fmt.Errorf("scenario: override %q is not key=value", kv)
+		}
+		if err := spec.set(strings.TrimSpace(key), strings.TrimSpace(val)); err != nil {
+			return Spec{}, err
+		}
+	}
+	return spec, spec.Validate()
+}
+
+// set applies one key=value override.
+func (s *Spec) set(key, val string) error {
+	geti := func() (int, error) { return strconv.Atoi(val) }
+	getf := func() (float64, error) { return strconv.ParseFloat(val, 64) }
+	getd := func() (time.Duration, error) { return time.ParseDuration(val) }
+	var err error
+	switch key {
+	case "topology":
+		switch val {
+		case "grid":
+			s.Topology = Grid
+		case "strip":
+			s.Topology = Strip
+		case "cluster":
+			s.Topology = Cluster
+		default:
+			return fmt.Errorf("scenario: unknown topology %q (grid, strip, cluster)", val)
+		}
+	case "bs":
+		s.BS, err = geti()
+	case "clusters":
+		s.Clusters, err = geti()
+	case "w":
+		s.Width, err = getf()
+	case "h":
+		s.Height, err = getf()
+	case "jitter":
+		s.JitterM, err = getf()
+	case "vehicles":
+		s.Vehicles, err = geti()
+	case "speed":
+		s.SpeedKmh, err = getf()
+	case "stops":
+		s.RouteStops, err = geti()
+	case "stagger":
+		s.DepartStagger, err = getd()
+	case "range":
+		s.RangeM, err = getf()
+	case "bprate":
+		s.BackplaneRateBps, err = getf()
+	case "bpdelay":
+		s.BackplaneDelay, err = getd()
+	case "bploss":
+		s.BackplaneLoss, err = getf()
+	default:
+		return fmt.Errorf("scenario: unknown key %q", key)
+	}
+	if err != nil {
+		return fmt.Errorf("scenario: bad value for %s: %v", key, err)
+	}
+	return nil
+}
+
+// Validate reports the first configuration error.
+func (s Spec) Validate() error {
+	switch {
+	case s.BS < 1:
+		return fmt.Errorf("scenario: bs = %d, need ≥ 1", s.BS)
+	case s.Vehicles < 1:
+		return fmt.Errorf("scenario: vehicles = %d, need ≥ 1", s.Vehicles)
+	case s.Width <= 0 || s.Height <= 0:
+		return fmt.Errorf("scenario: region %gx%g must be positive", s.Width, s.Height)
+	case s.SpeedKmh <= 0:
+		return fmt.Errorf("scenario: speed %g km/h must be positive", s.SpeedKmh)
+	case s.RouteStops < 2:
+		return fmt.Errorf("scenario: stops = %d, need ≥ 2", s.RouteStops)
+	case s.JitterM < 0 || s.RangeM < 0 || s.BackplaneLoss < 0 || s.BackplaneLoss > 1:
+		return fmt.Errorf("scenario: negative jitter/range or loss outside [0,1]")
+	case s.Topology == Cluster && s.Clusters < 1:
+		return fmt.Errorf("scenario: cluster topology needs clusters ≥ 1")
+	case s.DepartStagger < 0:
+		return fmt.Errorf("scenario: stagger must be ≥ 0")
+	}
+	return nil
+}
+
+// Key returns the canonical spec string: every field in a fixed order.
+// Equal specs produce equal keys and vice versa, so the key serves both
+// as the RNG stream label for generation and as the experiment engine's
+// run-cache discriminator.
+func (s Spec) Key() string {
+	return fmt.Sprintf("%s bs=%d cl=%d w=%g h=%g j=%g v=%d spd=%g stops=%d stg=%s rng=%g bpr=%g bpd=%s bpl=%g",
+		s.Topology, s.BS, s.Clusters, s.Width, s.Height, s.JitterM,
+		s.Vehicles, s.SpeedKmh, s.RouteStops, s.DepartStagger,
+		s.RangeM, s.BackplaneRateBps, s.BackplaneDelay, s.BackplaneLoss)
+}
+
+// String implements fmt.Stringer.
+func (s Spec) String() string { return s.Key() }

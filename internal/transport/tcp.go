@@ -56,20 +56,25 @@ func (s *segment) marshal() []byte {
 	return buf
 }
 
-func parseSegment(buf []byte) (*segment, error) {
+// parseSegment decodes a segment without copying: the returned Payload
+// aliases buf, so it follows buf's ownership (valid only for the duration
+// of the Deliver call that received it, per the DESIGN.md §6 rules).
+// Consumers that retain payload bytes past the call must copy — the
+// receiver's out-of-order buffer is the one place that does.
+func parseSegment(buf []byte) (segment, error) {
 	if len(buf) < segHeaderLen {
-		return nil, errSegment
+		return segment{}, errSegment
 	}
 	n := int(binary.BigEndian.Uint16(buf[13:]))
 	if len(buf) < segHeaderLen+n {
-		return nil, errSegment
+		return segment{}, errSegment
 	}
-	return &segment{
+	return segment{
 		Flags:   buf[0],
 		Conn:    binary.BigEndian.Uint32(buf[1:]),
 		Seq:     binary.BigEndian.Uint32(buf[5:]),
 		Ack:     binary.BigEndian.Uint32(buf[9:]),
-		Payload: append([]byte(nil), buf[segHeaderLen:segHeaderLen+n]...),
+		Payload: buf[segHeaderLen : segHeaderLen+n : segHeaderLen+n],
 	}, nil
 }
 
@@ -378,7 +383,10 @@ func (r *Receiver) Deliver(buf []byte) {
 				r.rcvNxt += len(p)
 			}
 		} else if seq > r.rcvNxt {
-			r.ooo[seq] = seg.Payload
+			if _, dup := r.ooo[seq]; !dup {
+				// Retained past the call: copy out of the caller's buffer.
+				r.ooo[seq] = append([]byte(nil), seg.Payload...)
+			}
 		}
 		r.AcksSent++
 		r.send((&segment{Flags: flagACK, Conn: r.conn, Ack: uint32(r.rcvNxt)}).marshal())

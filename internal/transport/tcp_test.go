@@ -288,3 +288,37 @@ func TestTCPOverCellularReference(t *testing.T) {
 		t.Errorf("cellular 10KB fetch took %v, want several hundred ms", res.Duration)
 	}
 }
+
+// TestParseSegmentZeroCopy pins the DESIGN.md §6 regime on the segment
+// decode path: parsing allocates nothing (the payload aliases the input
+// buffer), and a payload retained by the out-of-order buffer is copied so
+// recycling the wire buffer cannot corrupt it.
+func TestParseSegmentZeroCopy(t *testing.T) {
+	wire := (&segment{Conn: 9, Seq: 4242, Payload: make([]byte, 1000)}).marshal()
+	avg := testing.AllocsPerRun(100, func() {
+		seg, err := parseSegment(wire)
+		if err != nil || seg.Seq != 4242 {
+			t.Fatal("parse failed")
+		}
+	})
+	if avg != 0 {
+		t.Errorf("parseSegment allocs = %v, want 0", avg)
+	}
+	seg, _ := parseSegment(wire)
+	if &seg.Payload[0] != &wire[segHeaderLen] {
+		t.Error("payload does not alias the wire buffer (copy reintroduced)")
+	}
+
+	// Out-of-order retention must copy: scribbling on the wire buffer
+	// after Deliver returns must not reach the buffered payload.
+	k := sim.NewKernel(77)
+	r := NewReceiver(k, 3, func([]byte) bool { return true })
+	ooo := (&segment{Conn: 3, Seq: 100, Payload: []byte("precious")}).marshal()
+	r.Deliver(ooo)
+	for i := range ooo {
+		ooo[i] = 0xFF
+	}
+	if got := string(r.ooo[100]); got != "precious" {
+		t.Errorf("retained out-of-order payload aliased the wire buffer: %q", got)
+	}
+}

@@ -30,6 +30,7 @@ import (
 	"github.com/vanlan/vifi/internal/experiment"
 	"github.com/vanlan/vifi/internal/frame"
 	"github.com/vanlan/vifi/internal/mobility"
+	"github.com/vanlan/vifi/internal/scenario"
 	"github.com/vanlan/vifi/internal/sim"
 	"github.com/vanlan/vifi/internal/trace"
 	"github.com/vanlan/vifi/internal/transport"
@@ -119,6 +120,45 @@ func Experiment(id string, seed int64, scale float64) (string, error) {
 
 // Experiments lists every available experiment id.
 func Experiments() []string { return experiment.IDs() }
+
+// --- Generated city-scale scenarios ---------------------------------------
+
+// FleetRun reports one fleet workload execution over a generated
+// scenario: per-vehicle delivery outcomes plus channel counters, with
+// aggregate accessors (DeliveredPerSec, DeliveryRatio, MedianSession,
+// Interruptions).
+type FleetRun = experiment.FleetRun
+
+// ScenarioPresets lists the generated-deployment presets accepted by
+// NewScenario (grid-city, strip-highway, cluster-town, ...).
+func ScenarioPresets() []string { return scenario.Presets() }
+
+// ScenarioDeployment is a generated city-scale environment: a
+// parameterized basestation topology and a fleet of vehicles on generated
+// routes, all deterministic per (seed, spec).
+type ScenarioDeployment struct {
+	seed int64
+	spec scenario.Spec
+	cfg  Protocol
+}
+
+// NewScenario returns a generated deployment from a preset name plus
+// optional key=value overrides, e.g. "grid-city,vehicles=30,bs=72".
+// See internal/scenario for the full key set.
+func NewScenario(seed int64, spec string, cfg Protocol) (*ScenarioDeployment, error) {
+	s, err := scenario.Parse(spec)
+	if err != nil {
+		return nil, err
+	}
+	return &ScenarioDeployment{seed: seed, spec: s, cfg: cfg}, nil
+}
+
+// RunFleet drives the deployment's fleet under the constant-rate workload
+// (one 500-byte packet each way per vehicle per 200 ms slot) and returns
+// the per-vehicle outcomes.
+func (d *ScenarioDeployment) RunFleet(duration time.Duration) (*FleetRun, error) {
+	return experiment.RunFleetWorkload(d.seed, d.spec, d.cfg, duration)
+}
 
 // GenerateDieselNetTrace synthesizes a DieselNet-style per-second beacon
 // reception trace (see internal/trace for the CSV interchange format that

@@ -75,3 +75,26 @@ func TestFacadeCustomCell(t *testing.T) {
 		t.Error("vehicle never anchored in a 2-BS cell")
 	}
 }
+
+func TestFacadeScenario(t *testing.T) {
+	if _, err := NewScenario(1, "no-such", DefaultProtocol()); err == nil {
+		t.Error("unknown preset accepted")
+	}
+	d, err := NewScenario(9, "grid-small,vehicles=3", DefaultProtocol())
+	if err != nil {
+		t.Fatal(err)
+	}
+	run, err := d.RunFleet(15 * time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if run.BSCount != 12 || len(run.Up) != 3 {
+		t.Errorf("fleet shape: %d BSes, %d vehicles", run.BSCount, len(run.Up))
+	}
+	if run.DeliveredPerSec() <= 0 {
+		t.Error("fleet delivered nothing")
+	}
+	if len(ScenarioPresets()) < 4 {
+		t.Error("presets missing")
+	}
+}

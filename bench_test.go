@@ -105,3 +105,9 @@ func BenchmarkScaleFleet(b *testing.B) { benchExperiment(b, "scale-fleet") }
 
 // BenchmarkScaleDensity regenerates the basestation-density scaling sweep.
 func BenchmarkScaleDensity(b *testing.B) { benchExperiment(b, "scale-density") }
+
+// BenchmarkScaleAppTCP regenerates the per-vehicle TCP application sweep.
+func BenchmarkScaleAppTCP(b *testing.B) { benchExperiment(b, "scale-app-tcp") }
+
+// BenchmarkScaleAppVoIP regenerates the per-vehicle VoIP application sweep.
+func BenchmarkScaleAppVoIP(b *testing.B) { benchExperiment(b, "scale-app-voip") }

@@ -10,6 +10,10 @@
 //	vifi-bench -parallel 8     # worker-pool width (default GOMAXPROCS)
 //	vifi-bench -run scale-fleet -scenario cluster-town,vehicles=32
 //	                           # scaling sweeps on a custom base scenario
+//	vifi-bench -run scale-app-tcp,scale-app-voip
+//	                           # application-metric sweeps (per-vehicle
+//	                           # TCP/VoIP sessions; -scenario accepts the
+//	                           # app=, xfer=, think=, mix= spec keys)
 //
 // Performance instrumentation:
 //

@@ -10,10 +10,14 @@
 //	vifi-sim -env vanlan -protocol vifi,brr -workload probes -parallel 2
 //
 // Beyond the paper's two testbeds, -scenario runs a generated city-scale
-// deployment (internal/scenario) under the fleet workload: a preset name
-// plus optional key=value overrides. It replaces -env/-workload.
+// deployment (internal/scenario) under a per-vehicle application
+// workload: a preset name plus optional key=value overrides, including
+// app=cbr|tcp|voip|web|mixed and the per-app knobs (xfer, think, mix).
+// It replaces -env/-workload.
 //
 //	vifi-sim -scenario grid-city -protocol vifi,brr -duration 240s
+//	vifi-sim -scenario grid,app=voip,vehicles=8          # VoIP fleet
+//	vifi-sim -scenario grid-city,app=mixed,mix=1:2:1:1   # mixed fleet
 //	vifi-sim -scenario strip-highway,vehicles=30,bs=64 -seed 7
 //	vifi-sim -scenario list            # available presets
 package main
@@ -31,6 +35,7 @@ import (
 	"github.com/vanlan/vifi/internal/core"
 	"github.com/vanlan/vifi/internal/experiment"
 	"github.com/vanlan/vifi/internal/scenario"
+	"github.com/vanlan/vifi/internal/workload"
 )
 
 func main() {
@@ -43,8 +48,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	var (
 		env      = fs.String("env", "vanlan", "environment: vanlan, dieselnet1, dieselnet6")
 		protocol = fs.String("protocol", "vifi", "comma-separated protocols: vifi, brr, diversity-only")
-		workload = fs.String("workload", "voip", "workload: voip, tcp, probes")
-		scn      = fs.String("scenario", "", "generated scenario (preset[,key=value...], 'list' to enumerate); replaces -env/-workload with the fleet workload")
+		wkld     = fs.String("workload", "voip", "workload: voip, tcp, probes")
+		scn      = fs.String("scenario", "", "generated scenario (preset[,key=value...], 'list' to enumerate); replaces -env/-workload with the fleet application workload (app=cbr|tcp|voip|web|mixed)")
 		duration = fs.Duration("duration", 10*time.Minute, "simulated duration")
 		seed     = fs.Int64("seed", 42, "random seed")
 		parallel = fs.Int("parallel", runtime.GOMAXPROCS(0), "simulation worker-pool width; 1 = serial")
@@ -102,24 +107,21 @@ func run(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintln(stderr, "vifi-sim:", err)
 			return 2
 		}
-		futs := make([]experiment.Future[*experiment.FleetRun], len(cfgs))
+		futs := make([]experiment.Future[*experiment.FleetAppRun], len(cfgs))
 		for i, cfg := range cfgs {
-			futs[i] = eng.Fleet(*seed, spec, cfg, *duration)
+			futs[i] = eng.FleetApp(*seed, spec, cfg, *duration)
 		}
 		for i, name := range names {
 			run := futs[i].Wait()
 			fmt.Fprintf(stdout, "scenario=%s protocol=%s duration=%v seed=%d\n", spec.Key(), name, *duration, *seed)
-			fmt.Fprintf(stdout, "deployment:             %d basestations, %d vehicles\n", run.BSCount, len(run.Up))
-			fmt.Fprintf(stdout, "aggregate delivered:    %.1f pkt/s (both directions)\n", run.DeliveredPerSec())
-			fmt.Fprintf(stdout, "fleet delivery ratio:   %.0f%%\n", 100*run.DeliveryRatio())
-			fmt.Fprintf(stdout, "median session (1s,50%%): %.0f s\n", run.MedianSession(time.Second, 0.5))
-			fmt.Fprintf(stdout, "interruptions:          %.0f per vehicle-hour\n", run.Interruptions())
+			fmt.Fprintf(stdout, "deployment:             %d basestations, %d vehicles\n", run.BSCount, run.Vehicles)
+			printFleetApps(stdout, run)
 			fmt.Fprintf(stdout, "rx collisions:          %d over %d transmissions\n\n", run.Collisions, run.Transmissions)
 		}
 		return 0
 	}
 
-	switch *workload {
+	switch *wkld {
 	case "voip":
 		futs := make([]experiment.Future[*experiment.VoIPRun], len(cfgs))
 		for i, cfg := range cfgs {
@@ -164,7 +166,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintln(stdout)
 		}
 	default:
-		fmt.Fprintf(stderr, "vifi-sim: unknown workload %q\n", *workload)
+		fmt.Fprintf(stderr, "vifi-sim: unknown workload %q\n", *wkld)
 		return 2
 	}
 	return 0
@@ -172,4 +174,34 @@ func run(args []string, stdout, stderr io.Writer) int {
 
 func printHeader(w io.Writer, e experiment.Env, protocol string, d time.Duration, seed int64) {
 	fmt.Fprintf(w, "environment=%s protocol=%s duration=%v seed=%d\n", e, protocol, d, seed)
+}
+
+// printFleetApps renders one application-metric block per app present in
+// the fleet (a pure-CBR fleet reads exactly like the original link-level
+// output; mixed fleets get one block per assigned app).
+func printFleetApps(w io.Writer, run *experiment.FleetAppRun) {
+	if cbr := run.Apps.App(workload.CBRKind); cbr.Vehicles > 0 {
+		fmt.Fprintf(w, "aggregate delivered:    %.1f pkt/s (both directions)\n", run.DeliveredPerSec())
+		fmt.Fprintf(w, "fleet delivery ratio:   %.0f%%\n", 100*run.DeliveryRatio())
+		fmt.Fprintf(w, "median session (1s,50%%): %.0f s\n", run.MedianSession(time.Second, 0.5))
+		fmt.Fprintf(w, "interruptions:          %.0f per vehicle-hour\n", run.Interruptions())
+	}
+	if tcp := run.Apps.App(workload.TCPKind); tcp.Vehicles > 0 {
+		fmt.Fprintf(w, "tcp transfers:          completed %d, aborted %d (%d vehicles)\n",
+			tcp.Completed, tcp.Aborted, tcp.Vehicles)
+		fmt.Fprintf(w, "median transfer time:   %.2f s (p90 %.2f s)\n",
+			tcp.MedianTransferSec, tcp.P90TransferSec)
+	}
+	if v := run.Apps.App(workload.VoIPKind); v.Vehicles > 0 {
+		fmt.Fprintf(w, "voip calls:             %d vehicles, mean MoS %.2f\n", v.Vehicles, v.MeanMoS)
+		fmt.Fprintf(w, "median disruption-free session: %.0f s\n", v.MedianSessionSec)
+		fmt.Fprintf(w, "voip disruptions:       %d (%.2f per call-minute)\n",
+			v.Disruptions, v.DisruptionsPerMin)
+	}
+	if web := run.Apps.App(workload.WebKind); web.Vehicles > 0 {
+		fmt.Fprintf(w, "web pages:              loaded %d, aborted %d (%d vehicles)\n",
+			web.Completed, web.Aborted, web.Vehicles)
+		fmt.Fprintf(w, "median page time:       %.2f s (p90 %.2f s)\n",
+			web.MedianTransferSec, web.P90TransferSec)
+	}
 }

@@ -1,0 +1,70 @@
+// fleetapps demonstrates per-vehicle application workloads on a
+// generated city deployment: a mixed fleet — some vehicles running
+// repeated TCP transfers, some holding VoIP calls, some browsing the
+// web, some probing at constant rate — contends for one shared channel
+// under full ViFi and under the hard-handoff baseline. This is the
+// paper's §5.3 question (what do applications see?) asked at fleet
+// scale: compare how each application's metric degrades per protocol.
+package main
+
+import (
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"time"
+
+	"github.com/vanlan/vifi"
+)
+
+func main() {
+	if err := run(os.Stdout, 42, "grid-city,vehicles=8,app=mixed,mix=1:3:2:2", 3*time.Minute); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(w io.Writer, seed int64, spec string, airtime time.Duration) error {
+	fmt.Fprintf(w, "Mixed application fleet on a generated deployment: %s\n\n", spec)
+
+	arms := []struct {
+		name string
+		cfg  vifi.Protocol
+	}{
+		{"BRR (hard handoff)", vifi.HardHandoff()},
+		{"ViFi (full)", vifi.DefaultProtocol()},
+	}
+	for _, arm := range arms {
+		d, err := vifi.NewScenario(seed, spec, arm.cfg)
+		if err != nil {
+			return err
+		}
+		run, err := d.RunFleet(airtime)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "%s — %d basestations, %d vehicles\n", arm.name, run.BSCount, run.Vehicles)
+		if s := run.Apps.App(vifi.CBRApp); s.Vehicles > 0 {
+			fmt.Fprintf(w, "  cbr  %d veh: %.0f%% delivered, median session %.0f s\n",
+				s.Vehicles, 100*run.DeliveryRatio(), run.MedianSession(time.Second, 0.5))
+		}
+		if s := run.Apps.App(vifi.TCPApp); s.Vehicles > 0 {
+			fmt.Fprintf(w, "  tcp  %d veh: %d transfers (%d aborted), median %.2f s\n",
+				s.Vehicles, s.Completed, s.Aborted, s.MedianTransferSec)
+		}
+		if s := run.Apps.App(vifi.VoIPApp); s.Vehicles > 0 {
+			fmt.Fprintf(w, "  voip %d veh: mean MoS %.2f, %d disruptions (%.2f /call·min)\n",
+				s.Vehicles, s.MeanMoS, s.Disruptions, s.DisruptionsPerMin)
+		}
+		if s := run.Apps.App(vifi.WebApp); s.Vehicles > 0 {
+			fmt.Fprintf(w, "  web  %d veh: %d pages (%d aborted), median %.2f s\n",
+				s.Vehicles, s.Completed, s.Aborted, s.MedianTransferSec)
+		}
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintln(w, "paper shape: ViFi's diversity roughly doubles TCP throughput and")
+	fmt.Fprintln(w, "halves VoIP disruptions versus hard handoff (§5.3), here measured")
+	fmt.Fprintln(w, "while four applications contend for the same basestations.")
+	fmt.Fprintln(w, "spec knobs: app=cbr|tcp|voip|web|mixed, mix=cbr:tcp:voip:web,")
+	fmt.Fprintln(w, "xfer=<bytes>, think=<dur> — see internal/scenario.")
+	return nil
+}

@@ -1,0 +1,34 @@
+package main
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestSmoke(t *testing.T) {
+	var out strings.Builder
+	if err := run(&out, 42, "grid,vehicles=4,app=mixed", 30*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{"BRR (hard handoff)", "ViFi (full)"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("arm %q missing:\n%s", want, s)
+		}
+	}
+	// An even 4-way split over 4 vehicles puts one vehicle on each app,
+	// so every application block must appear for both arms.
+	for _, want := range []string{"cbr  1 veh", "tcp  1 veh", "voip 1 veh", "web  1 veh"} {
+		if strings.Count(s, want) != 2 {
+			t.Errorf("per-app line %q missing or not per-arm:\n%s", want, s)
+		}
+	}
+}
+
+func TestBadSpec(t *testing.T) {
+	var out strings.Builder
+	if err := run(&out, 1, "grid,app=nope", time.Second); err == nil {
+		t.Error("bad app spec accepted")
+	}
+}

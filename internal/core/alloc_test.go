@@ -108,6 +108,34 @@ func TestSendPathSteadyStateAllocs(t *testing.T) {
 	}
 }
 
+// TestVehicleDeliverDispatchAllocFree guards the fleet application
+// dispatch path: routing a deduplicated upstream payload through the
+// gateway's per-vehicle hook table must not allocate, for hooked and
+// fallback vehicles alike. Workload drivers ride this path once per
+// delivered packet across the whole fleet.
+func TestVehicleDeliverDispatchAllocFree(t *testing.T) {
+	k := sim.NewKernel(3)
+	cell := NewFleetCell(k, DefaultCellOptions(),
+		[]mobility.Mover{mobility.Fixed{X: 0}, mobility.Fixed{X: 60}},
+		[]mobility.Mover{mobility.Fixed{X: 10}, mobility.Fixed{X: 50}})
+	hits := make([]int, 2)
+	cell.HookVehicle(0, func(frame.PacketID, []byte, uint16) {},
+		func(id frame.PacketID, p []byte, from uint16) { hits[0]++ })
+	cell.Gateway.SetDeliver(func(id frame.PacketID, p []byte, from uint16) { hits[1]++ })
+	payload := make([]byte, 64)
+	hooked, fallback := cell.Vehicles[0].Addr(), cell.Vehicles[1].Addr()
+	allocs := testing.AllocsPerRun(1000, func() {
+		cell.Gateway.dispatchUp(frame.PacketID{Src: hooked, Seq: 1}, payload, hooked)
+		cell.Gateway.dispatchUp(frame.PacketID{Src: fallback, Seq: 1}, payload, fallback)
+	})
+	if allocs != 0 {
+		t.Errorf("per-vehicle delivery dispatch allocates %.1f objects, want 0", allocs)
+	}
+	if hits[0] == 0 || hits[1] == 0 {
+		t.Error("dispatch did not reach both the hooked and the fallback path")
+	}
+}
+
 // TestTrimSalvageOverflow pins the salvage-cache truncation: when more
 // than 512 unexpired packets survive a sweep, the newest 512 are kept and
 // none of the kept entries may be nil (a regression here panics the next

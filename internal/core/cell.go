@@ -99,6 +99,17 @@ func NewFleetCell(k *sim.Kernel, opts CellOptions, bsMovers, vehMovers []mobilit
 	return c
 }
 
+// HookVehicle installs per-vehicle application delivery callbacks for
+// fleet slot i: down fires for payloads delivered at the vehicle, up
+// fires at the gateway for deduplicated upstream payloads originating at
+// this vehicle. Application drivers (internal/workload) use this to
+// multiplex one session per vehicle over the shared channel/backplane.
+func (c *Cell) HookVehicle(i int, down, up DeliverFunc) {
+	v := c.Vehicles[i]
+	v.SetDeliver(down)
+	c.Gateway.SetVehicleDeliver(v.Addr(), up)
+}
+
 // NewVanLANCell builds a cell over the VanLAN campus: its eleven
 // basestations and the shuttle loop.
 func NewVanLANCell(k *sim.Kernel, opts CellOptions) *Cell {

@@ -20,7 +20,12 @@ type Gateway struct {
 	addr     uint16
 	anchorOf map[uint16]uint16 // vehicle → current anchor
 	deliver  DeliverFunc
-	events   EventFunc
+	// vehDeliver is the per-vehicle upstream dispatch table, dense by
+	// vehicle address. Fleet application workloads hook one callback per
+	// vehicle here; the global deliver remains the fallback. Lookup is a
+	// slice index, so dispatch never allocates.
+	vehDeliver []DeliverFunc
+	events     EventFunc
 
 	dedup  map[frame.PacketID]bool
 	dedupQ []frame.PacketID
@@ -53,6 +58,32 @@ func (g *Gateway) Addr() uint16 { return g.addr }
 
 // SetDeliver installs the upstream application delivery callback.
 func (g *Gateway) SetDeliver(d DeliverFunc) { g.deliver = d }
+
+// SetVehicleDeliver installs an upstream delivery callback for packets
+// originating at one vehicle. Per-vehicle hooks take precedence over the
+// global SetDeliver callback, which stays the fallback for unhooked
+// vehicles. Fleet application drivers (internal/workload) multiplex over
+// the shared backplane through this table.
+func (g *Gateway) SetVehicleDeliver(veh uint16, d DeliverFunc) {
+	for len(g.vehDeliver) <= int(veh) {
+		g.vehDeliver = append(g.vehDeliver, nil)
+	}
+	g.vehDeliver[veh] = d
+}
+
+// dispatchUp routes one deduplicated upstream payload to the vehicle's
+// hook, falling back to the global callback. Hot path: must not allocate.
+func (g *Gateway) dispatchUp(id frame.PacketID, payload []byte, veh uint16) {
+	if int(veh) < len(g.vehDeliver) {
+		if d := g.vehDeliver[veh]; d != nil {
+			d(id, payload, veh)
+			return
+		}
+	}
+	if g.deliver != nil {
+		g.deliver(id, payload, veh)
+	}
+}
 
 // AnchorOf reports the registered anchor for a vehicle (frame.None when
 // unknown).
@@ -117,8 +148,6 @@ func (g *Gateway) handleBackplane(from uint16, payload []byte) {
 			g.events(Event{Kind: EvDeliver, Dir: Up, ID: id, Attempt: f.Attempt,
 				Node: g.addr, Peer: from, Medium: MediumBackplane, At: g.K.Now()})
 		}
-		if g.deliver != nil {
-			g.deliver(id, f.Payload, f.Orig)
-		}
+		g.dispatchUp(id, f.Payload, f.Orig)
 	}
 }

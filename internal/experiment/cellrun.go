@@ -11,9 +11,11 @@ import (
 	"github.com/vanlan/vifi/internal/mobility"
 	"github.com/vanlan/vifi/internal/radio"
 	"github.com/vanlan/vifi/internal/sim"
+	"github.com/vanlan/vifi/internal/stats"
 	"github.com/vanlan/vifi/internal/trace"
 	"github.com/vanlan/vifi/internal/transport"
 	"github.com/vanlan/vifi/internal/voip"
+	"github.com/vanlan/vifi/internal/workload"
 )
 
 // Env names a deployment environment for protocol experiments.
@@ -176,27 +178,7 @@ func (p *ProbeRun) MedianSession(interval time.Duration, minRatio float64) float
 }
 
 func medianTimeWeighted(lens []float64) float64 {
-	if len(lens) == 0 {
-		return 0
-	}
-	cp := append([]float64(nil), lens...)
-	for i := 1; i < len(cp); i++ {
-		for j := i; j > 0 && cp[j] < cp[j-1]; j-- {
-			cp[j], cp[j-1] = cp[j-1], cp[j]
-		}
-	}
-	total := 0.0
-	for _, l := range cp {
-		total += l
-	}
-	cum := 0.0
-	for _, l := range cp {
-		cum += l
-		if cum >= total/2 {
-			return l
-		}
-	}
-	return cp[len(cp)-1]
+	return stats.TimeWeightedMedian(lens)
 }
 
 // RunProbeWorkload drives the §5.2 experiment for one protocol config.
@@ -287,17 +269,16 @@ func RunTCPWorkload(seed int64, env Env, cfg core.Config, duration time.Duration
 }
 
 // tcpOnCell runs the repeated-transfer workload over an already-built
-// cell until the deadline and returns its statistics.
+// cell until the deadline and returns its statistics. The session itself
+// is the workload.TCP driver; this wrapper only binds it to the cell's
+// single vehicle and runs the clock.
 func tcpOnCell(k *sim.Kernel, cell *core.Cell, duration time.Duration) *transport.WorkloadStats {
-	wcfg := transport.DefaultWorkloadConfig()
-	clientSend := func(p []byte) bool { return cell.Vehicle.SendData(p) }
-	serverSend := func(p []byte) bool { return cell.Gateway.Send(cell.Vehicle.Addr(), p) }
-	w := transport.NewWorkload(k, wcfg, true, clientSend, serverSend)
-	cell.Vehicle.SetDeliver(func(id frame.PacketID, p []byte, from uint16) { w.ClientDeliver(p) })
-	cell.Gateway.SetDeliver(func(id frame.PacketID, p []byte, from uint16) { w.ServerDeliver(p) })
-	k.After(2*time.Second, w.Start)
+	d := workload.NewTCP(k, transport.DefaultWorkloadConfig(), workload.CellPort(cell, 0),
+		0, 2*time.Second, duration)
+	workload.Bind(cell, 0, d)
+	d.Start()
 	k.RunUntil(duration)
-	return w.Stop()
+	return d.Workload().Stop()
 }
 
 // tcpOnEnv builds a cell for the environment with the given collector and
@@ -336,68 +317,12 @@ func RunVoIPWorkload(seed int64, env Env, cfg core.Config, duration time.Duratio
 }
 
 // voipOnCell runs the bidirectional G.729 stream over an already-built
-// cell and scores the call.
+// cell and scores the call. The stream, loss accounting and §5.3.2
+// disruption classifier live in the workload.VoIP driver.
 func voipOnCell(k *sim.Kernel, cell *core.Cell, duration time.Duration) voip.Quality {
-	warm := 2 * time.Second
-	span := duration - warm
-	call := voip.NewCall()
-
-	type sent struct {
-		at   time.Duration
-		done bool
-	}
-	var upSent, downSent []sent
-
-	mkPayload := func(seq int) []byte {
-		b := make([]byte, voip.PacketBytes)
-		binary.BigEndian.PutUint32(b, uint32(seq))
-		return b
-	}
-	seqOf := func(p []byte) int {
-		if len(p) < 4 {
-			return -1
-		}
-		return int(binary.BigEndian.Uint32(p))
-	}
-	record := func(list []sent, seq int, now time.Duration) {
-		if seq < 0 || seq >= len(list) || list[seq].done {
-			return
-		}
-		list[seq].done = true
-		call.Add(voip.PacketOutcome{
-			SentAt:   list[seq].at - warm,
-			Received: true,
-			Delay:    now - list[seq].at,
-		})
-	}
-	cell.Gateway.SetDeliver(func(id frame.PacketID, p []byte, from uint16) {
-		record(upSent, seqOf(p), k.Now())
-	})
-	cell.Vehicle.SetDeliver(func(id frame.PacketID, p []byte, from uint16) {
-		record(downSent, seqOf(p), k.Now())
-	})
-
-	n := int(span / voip.PacketInterval)
-	upSent = make([]sent, n)
-	downSent = make([]sent, n)
-	for i := 0; i < n; i++ {
-		i := i
-		at := warm + time.Duration(i)*voip.PacketInterval
-		k.At(at, func() {
-			upSent[i] = sent{at: k.Now()}
-			downSent[i] = sent{at: k.Now()}
-			cell.Vehicle.SendData(mkPayload(i))
-			cell.Gateway.Send(cell.Vehicle.Addr(), mkPayload(i))
-		})
-	}
+	d := workload.NewVoIP(k, workload.CellPort(cell, 0), 0, 2*time.Second, duration)
+	workload.Bind(cell, 0, d)
+	d.Start()
 	k.RunUntil(duration + time.Second)
-	// Unreceived packets are losses.
-	for _, list := range [][]sent{upSent, downSent} {
-		for _, s := range list {
-			if !s.done && s.at > 0 {
-				call.Add(voip.PacketOutcome{SentAt: s.at - warm, Received: false})
-			}
-		}
-	}
-	return call.Score(span)
+	return d.Stop().VoIP
 }

@@ -35,6 +35,10 @@ var registry = map[string]Runner{
 	// City-scale scenario sweeps (DESIGN.md §7).
 	"scale-fleet":   ScaleFleet,
 	"scale-density": ScaleDensity,
+
+	// Fleet application sweeps (DESIGN.md §8).
+	"scale-app-tcp":  ScaleAppTCP,
+	"scale-app-voip": ScaleAppVoIP,
 }
 
 // IDs returns all experiment ids in a stable order.

@@ -1,14 +1,12 @@
 package experiment
 
 import (
-	"encoding/binary"
 	"fmt"
 	"time"
 
 	"github.com/vanlan/vifi/internal/core"
-	"github.com/vanlan/vifi/internal/frame"
 	"github.com/vanlan/vifi/internal/scenario"
-	"github.com/vanlan/vifi/internal/sim"
+	"github.com/vanlan/vifi/internal/workload"
 )
 
 // This file carries the city-scale scaling experiments: synthetic
@@ -16,13 +14,11 @@ import (
 // workload, swept over fleet size (scale-fleet) and basestation density
 // (scale-density). They probe the regime the ROADMAP's north star cares
 // about — many vehicles contending for one channel across a large
-// deployment — rather than any figure of the paper.
-
-// fleetSlot is the per-vehicle send period of the fleet workload: one
-// 500-byte packet each way per slot. 5 pkt/s per direction per vehicle
-// drives a 24-vehicle fleet to the channel's saturation knee, which is
-// exactly the region the scaling experiments measure.
-const fleetSlot = 200 * time.Millisecond
+// deployment — rather than any figure of the paper. The workload itself
+// is the CBR application driver (one 500-byte packet each way per 200 ms
+// slot — 5 pkt/s per direction per vehicle drives a 24-vehicle fleet to
+// the channel's saturation knee); fleetapp.go carries the runner and the
+// application-metric sweeps.
 
 // fleetWarm is the settling time before a vehicle starts measuring (one
 // probability window plus anchor selection slack, as in the §5 workloads).
@@ -165,97 +161,18 @@ func (f *FleetRun) Interruptions() float64 {
 }
 
 // RunFleetWorkload drives a generated scenario with the constant-rate
-// fleet workload: every vehicle, once departed and warmed up, sends one
-// 500-byte packet upstream per slot while the gateway sends one
-// downstream, all offsets staggered within the slot so the fleet does not
-// hit the MAC in phase. Deterministic per (seed, spec, cfg, duration).
+// fleet workload: every vehicle, once departed and warmed up, runs the
+// CBR application driver — one 500-byte packet each way per slot, all
+// offsets staggered within the slot so the fleet does not hit the MAC in
+// phase. Deterministic per (seed, spec, cfg, duration). The app fields
+// of the spec are ignored: this entry point is always constant-rate.
 func RunFleetWorkload(seed int64, spec scenario.Spec, cfg core.Config, duration time.Duration) (*FleetRun, error) {
-	k := sim.NewKernel(seed)
-	opts := core.DefaultCellOptions()
-	opts.Protocol = cfg
-	cell, lay, err := scenario.BuildCell(k, spec, opts)
+	spec = forceApp(spec, workload.CBRKind)
+	run, err := RunFleetAppWorkload(seed, spec, cfg, duration)
 	if err != nil {
 		return nil, err
 	}
-	nv := len(cell.Vehicles)
-	run := &FleetRun{
-		SpecKey: spec.Key(),
-		SlotDur: fleetSlot,
-		Up:      make([][]bool, nv),
-		Down:    make([][]bool, nv),
-		BSCount: len(cell.BSes),
-	}
-
-	// Payload header: vehicle index + slot number.
-	payload := func(veh, slot int) []byte {
-		b := make([]byte, 500)
-		binary.BigEndian.PutUint16(b, uint16(veh))
-		binary.BigEndian.PutUint32(b[2:], uint32(slot))
-		return b
-	}
-	decode := func(p []byte) (veh, slot int) {
-		if len(p) < 6 {
-			return -1, -1
-		}
-		return int(binary.BigEndian.Uint16(p)), int(binary.BigEndian.Uint32(p[2:]))
-	}
-	mark := func(table [][]bool, p []byte) {
-		if v, s := decode(p); v >= 0 && v < len(table) && s >= 0 && s < len(table[v]) {
-			table[v][s] = true
-		}
-	}
-	cell.Gateway.SetDeliver(func(id frame.PacketID, p []byte, from uint16) { mark(run.Up, p) })
-	for _, v := range cell.Vehicles {
-		v.SetDeliver(func(id frame.PacketID, p []byte, from uint16) { mark(run.Down, p) })
-	}
-
-	measured := time.Duration(0)
-	for i, v := range cell.Vehicles {
-		// Vehicle i starts after its departure plus warm-up, offset within
-		// the slot to desynchronize the fleet's send instants.
-		start := lay.Departs[i] + fleetWarm + fleetSlot*time.Duration(i)/time.Duration(nv)
-		if start >= duration {
-			run.Up[i], run.Down[i] = []bool{}, []bool{}
-			continue
-		}
-		slots := int((duration - start) / fleetSlot)
-		run.Up[i] = make([]bool, slots)
-		run.Down[i] = make([]bool, slots)
-		if d := time.Duration(slots) * fleetSlot; d > measured {
-			measured = d
-		}
-		veh, addr := v, v.Addr()
-		i := i
-		for s := 0; s < slots; s++ {
-			s := s
-			k.At(start+time.Duration(s)*fleetSlot, func() {
-				veh.SendData(payload(i, s))
-				cell.Gateway.Send(addr, payload(i, s))
-			})
-		}
-	}
-	run.Duration = measured
-	k.RunUntil(duration + time.Second)
-	st := cell.Channel.Stats()
-	run.Transmissions = st.Transmissions
-	run.Collisions = st.Collisions
-	return run, nil
-}
-
-// Fleet schedules a fleet workload on the engine, memoized per
-// (seed, spec, config, duration) — the spec's canonical key is the extra
-// cache discriminator, so every distinct scenario is its own cache line.
-func (e *Engine) Fleet(seed int64, spec scenario.Spec, cfg core.Config, dur time.Duration) Future[*FleetRun] {
-	key := JobKey{Kind: "fleet", Seed: seed, Cfg: cfg, Dur: dur, Extra: spec.Key()}
-	return Future[*FleetRun]{f: e.memoize(key, func() any {
-		run, err := RunFleetWorkload(seed, spec, cfg, dur)
-		if err != nil {
-			// Spec validity is checked by the runners before scheduling;
-			// reaching this is a programming error, not a data error.
-			panic(fmt.Sprintf("experiment: fleet job: %v", err))
-		}
-		return run
-	})}
+	return run.Link, nil
 }
 
 // baseScenario resolves the experiment's base spec: the -scenario option
@@ -302,24 +219,12 @@ func ScaleFleet(o Options) *Report {
 		Title:  "Fleet-size scaling on a generated city grid",
 		Header: fleetHeader,
 	}
-	base, err := o.baseScenario("grid-city")
-	if err != nil {
-		r.AddNote("invalid -scenario: %v", err)
-		return r
-	}
-	eng := o.engine()
-	dur := time.Duration(o.scaled(240)) * time.Second
-	fleets := []int{1, 4, 8, 16, 24}
-	futs := make([]Future[*FleetRun], len(fleets))
-	for i, n := range fleets {
-		spec := base
-		spec.Vehicles = n
-		futs[i] = eng.Fleet(o.Seed, spec, core.DefaultConfig(), dur)
-	}
-	for i, n := range fleets {
-		r.AddRow(fleetRow(fmt.Sprintf("fleet=%d", n), futs[i].Wait())...)
-	}
-	r.AddNote("scenario base: %s", base.Key())
+	// This sweep measures link delivery, so the workload is pinned to CBR.
+	runFleetSweep(r, o, "grid-city", workload.CBRKind, []int{1, 4, 8, 16, 24},
+		func(s *scenario.Spec, n int) { s.Vehicles = n },
+		func(n int, run *FleetAppRun) []string {
+			return fleetRow(fmt.Sprintf("fleet=%d", n), run.Link)
+		})
 	r.AddNote("expected shape: aggregate delivered/s grows then saturates at the channel knee; per-vehicle delivery and session length degrade as the fleet contends")
 	return r
 }
@@ -334,24 +239,12 @@ func ScaleDensity(o Options) *Report {
 		Title:  "Basestation-density scaling on a generated city grid",
 		Header: fleetHeader,
 	}
-	base, err := o.baseScenario("grid-city,vehicles=8")
-	if err != nil {
-		r.AddNote("invalid -scenario: %v", err)
-		return r
-	}
-	eng := o.engine()
-	dur := time.Duration(o.scaled(240)) * time.Second
-	counts := []int{14, 28, 54, 96}
-	futs := make([]Future[*FleetRun], len(counts))
-	for i, n := range counts {
-		spec := base
-		spec.BS = n
-		futs[i] = eng.Fleet(o.Seed, spec, core.DefaultConfig(), dur)
-	}
-	for i, n := range counts {
-		r.AddRow(fleetRow(fmt.Sprintf("bs=%d", n), futs[i].Wait())...)
-	}
-	r.AddNote("scenario base: %s", base.Key())
+	// This sweep measures link delivery, so the workload is pinned to CBR.
+	runFleetSweep(r, o, "grid-city,vehicles=8", workload.CBRKind, []int{14, 28, 54, 96},
+		func(s *scenario.Spec, n int) { s.BS = n },
+		func(n int, run *FleetAppRun) []string {
+			return fleetRow(fmt.Sprintf("bs=%d", n), run.Link)
+		})
 	r.AddNote("expected shape: delivery ratio and session length improve with density until routes are fully covered, then flatten")
 	return r
 }

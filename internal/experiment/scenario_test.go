@@ -1,11 +1,13 @@
 package experiment
 
 import (
+	"os"
 	"testing"
 	"time"
 
 	"github.com/vanlan/vifi/internal/core"
 	"github.com/vanlan/vifi/internal/scenario"
+	"github.com/vanlan/vifi/internal/workload"
 )
 
 // scaleSample keeps these tests quick: grid-city durations at Scale 0.04
@@ -19,7 +21,7 @@ const scaleTestScale = 0.04
 // across two runs of the same seed and between the serial inline path and
 // a multi-worker engine.
 func TestScaleFleetByteIdentical(t *testing.T) {
-	for _, id := range []string{"scale-fleet", "scale-density"} {
+	for _, id := range []string{"scale-fleet", "scale-density", "scale-app-tcp", "scale-app-voip"} {
 		o := Options{Seed: 17, Scale: scaleTestScale}
 		a, err := Run(id, o)
 		if err != nil {
@@ -38,6 +40,34 @@ func TestScaleFleetByteIdentical(t *testing.T) {
 		}
 		if a.String() != par.String() {
 			t.Errorf("%s: parallel output differs from serial:\n--- serial\n%s\n--- parallel\n%s", id, a, par)
+		}
+	}
+}
+
+// TestScaleGoldenReports pins the scaling sweeps' report bytes across
+// code versions, exactly like TestGoldenReports does for the paper set
+// (same seed/scale, same -update-golden flag). Equal-seed reproducibility
+// only shows a binary agrees with itself; these files catch refactors
+// that change fleet behavior while staying self-consistent.
+func TestScaleGoldenReports(t *testing.T) {
+	for _, id := range []string{"scale-fleet", "scale-density", "scale-app-tcp", "scale-app-voip"} {
+		rep, err := Run(id, Options{Seed: 17, Scale: scaleTestScale})
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		path := "testdata/golden_" + id + ".txt"
+		if *updateGolden {
+			if err := os.WriteFile(path, []byte(rep.String()), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			continue
+		}
+		want, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("%s: %v (run with -update-golden to create)", id, err)
+		}
+		if rep.String() != string(want) {
+			t.Errorf("%s: report diverged from committed golden %s", id, path)
 		}
 	}
 }
@@ -64,14 +94,15 @@ func TestScaleFleetTopArmShape(t *testing.T) {
 	}
 }
 
-// TestFleetRunCache checks the engine memoizes fleet jobs per spec: equal
-// (seed, spec, cfg, dur) share one run, a spec override misses.
+// TestFleetRunCache checks the engine memoizes fleet-app jobs per spec:
+// equal (seed, spec, cfg, dur) share one run; a spec override — fleet
+// size or application — misses.
 func TestFleetRunCache(t *testing.T) {
 	eng := NewEngine(2)
 	spec, _ := scenario.Parse("grid-small")
 	cfg := core.DefaultConfig()
-	a := eng.Fleet(3, spec, cfg, 8*time.Second)
-	b := eng.Fleet(3, spec, cfg, 8*time.Second)
+	a := eng.FleetApp(3, spec, cfg, 8*time.Second)
+	b := eng.FleetApp(3, spec, cfg, 8*time.Second)
 	if a.Wait() != b.Wait() {
 		t.Error("identical fleet jobs returned distinct results")
 	}
@@ -80,9 +111,17 @@ func TestFleetRunCache(t *testing.T) {
 	}
 	other := spec
 	other.Vehicles++
-	c := eng.Fleet(3, other, cfg, 8*time.Second)
+	c := eng.FleetApp(3, other, cfg, 8*time.Second)
 	if c.Wait() == a.Wait() {
 		t.Error("different specs shared a cached result")
+	}
+	// The application is part of the spec key: app=tcp must not share the
+	// CBR run's cache line.
+	tcp := spec
+	tcp.App = workload.TCPKind
+	d := eng.FleetApp(3, tcp, cfg, 8*time.Second)
+	if d.Wait() == a.Wait() {
+		t.Error("different apps shared a cached result")
 	}
 }
 

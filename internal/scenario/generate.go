@@ -21,13 +21,14 @@ type Layout struct {
 
 // Generate derives the deployment geometry from the kernel's seed and the
 // spec. All randomness flows through streams labeled with the spec's
-// canonical key, so generation is independent of any other RNG consumer
-// and reproducible per (seed, spec).
+// geometry key (GeomKey — the application knobs are excluded), so
+// generation is independent of any other RNG consumer, reproducible per
+// (seed, spec), and identical across workloads on the same deployment.
 func Generate(k *sim.Kernel, s Spec) (*Layout, error) {
 	if err := s.Validate(); err != nil {
 		return nil, err
 	}
-	key := s.Key()
+	key := s.GeomKey()
 	lay := &Layout{Spec: s}
 	lay.BSes = placeBSes(k.RNG("scenario", key, "bs"), s)
 

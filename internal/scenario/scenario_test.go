@@ -7,6 +7,7 @@ import (
 	"github.com/vanlan/vifi/internal/core"
 	"github.com/vanlan/vifi/internal/frame"
 	"github.com/vanlan/vifi/internal/sim"
+	"github.com/vanlan/vifi/internal/workload"
 )
 
 func TestParsePresetAndOverrides(t *testing.T) {
@@ -63,6 +64,93 @@ func TestKeyDistinguishesSpecs(t *testing.T) {
 	c, _ := Parse("grid-city")
 	if a.Key() != c.Key() {
 		t.Error("equal specs have different keys")
+	}
+}
+
+// TestKeyDiscriminatesWorkloads pins the run-cache contract for the
+// application knobs: two specs differing only in app (or an app knob)
+// must never share a cache line or an RNG stream label.
+func TestKeyDiscriminatesWorkloads(t *testing.T) {
+	base, _ := Parse("grid-city")
+	for _, override := range []string{
+		"app=tcp", "app=voip", "app=web", "app=mixed",
+		"xfer=20480", "think=5s", "app=mixed,mix=1:2:1:0",
+	} {
+		s, err := Parse("grid-city," + override)
+		if err != nil {
+			t.Fatalf("%s: %v", override, err)
+		}
+		if s.Key() == base.Key() {
+			t.Errorf("override %q does not change Key()", override)
+		}
+	}
+}
+
+// TestGeometryInvariantUnderAppKnobs pins the GeomKey contract: changing
+// only the workload must not regenerate the city, or every cross-app
+// comparison would be confounded with topology noise.
+func TestGeometryInvariantUnderAppKnobs(t *testing.T) {
+	base, _ := Parse("grid-city")
+	tcp, _ := Parse("grid-city,app=tcp,xfer=20480,think=5s")
+	a, err := Generate(sim.NewKernel(42), base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(sim.NewKernel(42), tcp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.BSes {
+		if a.BSes[i] != b.BSes[i] {
+			t.Fatalf("BS %d moved when only the app changed", i)
+		}
+	}
+	for v := range a.Routes {
+		wa, wb := a.Routes[v].Waypoints, b.Routes[v].Waypoints
+		if len(wa) != len(wb) {
+			t.Fatalf("route %d reshaped when only the app changed", v)
+		}
+		for i := range wa {
+			if wa[i] != wb[i] {
+				t.Fatalf("route %d waypoint %d moved when only the app changed", v, i)
+			}
+		}
+	}
+	if base.GeomKey() != tcp.GeomKey() {
+		t.Error("GeomKey depends on app knobs")
+	}
+	if base.Key() == tcp.Key() {
+		t.Error("Key does not discriminate app knobs")
+	}
+}
+
+// TestParseAppKnobs exercises the application workload spec syntax.
+func TestParseAppKnobs(t *testing.T) {
+	s, err := Parse("grid,app=mixed,mix=1:2:3:4,xfer=20480,think=2s,vehicles=8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.App != workload.MixedKind || s.AppMix != [4]int{1, 2, 3, 4} ||
+		s.AppXferBytes != 20480 || s.AppThink != 2*time.Second {
+		t.Errorf("app knobs not applied: %+v", s)
+	}
+	cfg := s.AppConfig()
+	if cfg.App != workload.MixedKind || cfg.TCP.TransferBytes != 20480 ||
+		cfg.Web.Think != 2*time.Second || cfg.Mix != [4]int{1, 2, 3, 4} {
+		t.Errorf("AppConfig did not fold knobs: %+v", cfg)
+	}
+	// Unset knobs keep the workload defaults.
+	plain, _ := Parse("grid,app=tcp")
+	if got := plain.AppConfig(); got.TCP.TransferBytes != 10*1024 {
+		t.Errorf("default transfer size = %d, want 10240", got.TCP.TransferBytes)
+	}
+	for _, bad := range []string{
+		"grid,app=quic", "grid,mix=1:2:3", "grid,mix=0:0:0:0",
+		"grid,mix=1:2:a:4", "grid,xfer=-1", "grid,think=-2s",
+	} {
+		if _, err := Parse(bad); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", bad)
+		}
 	}
 }
 

@@ -18,6 +18,8 @@ import (
 	"strconv"
 	"strings"
 	"time"
+
+	"github.com/vanlan/vifi/internal/workload"
 )
 
 // Topology selects the basestation placement family.
@@ -81,6 +83,35 @@ type Spec struct {
 	BackplaneRateBps float64
 	BackplaneDelay   time.Duration
 	BackplaneLoss    float64
+
+	// App selects the per-vehicle application workload (internal/workload):
+	// cbr (the constant-rate fleet probe, the zero value), tcp, voip, web,
+	// or mixed. The remaining fields are per-app knobs; zero values keep
+	// workload.DefaultConfig.
+	App workload.Kind
+	// AppXferBytes overrides the TCP transfer size in bytes.
+	AppXferBytes int
+	// AppThink overrides the web workload's mean think time.
+	AppThink time.Duration
+	// AppMix weights the cbr:tcp:voip:web split for app=mixed (all-zero
+	// means even).
+	AppMix [4]int
+}
+
+// AppConfig folds the spec's application knobs into a workload config.
+func (s Spec) AppConfig() workload.Config {
+	cfg := workload.DefaultConfig()
+	cfg.App = s.App
+	if s.AppXferBytes > 0 {
+		cfg.TCP.TransferBytes = s.AppXferBytes
+	}
+	if s.AppThink > 0 {
+		cfg.Web.Think = s.AppThink
+	}
+	if s.AppMix != ([4]int{}) {
+		cfg.Mix = s.AppMix
+	}
+	return cfg
 }
 
 // presets is the named scenario catalogue. Kept in a function so callers
@@ -106,6 +137,20 @@ func presets() map[string]Spec {
 		"cluster-town": {
 			Topology: Cluster, BS: 50, Clusters: 7, Width: 2600, Height: 1600, JitterM: 90,
 			Vehicles: 20, SpeedKmh: 40, RouteStops: 9, DepartStagger: 2 * time.Second,
+		},
+		// Short exploration aliases: compact instances of each topology for
+		// quick command lines like `vifi-sim -scenario grid,app=voip`.
+		"grid": {
+			Topology: Grid, BS: 12, Width: 900, Height: 600, JitterM: 25,
+			Vehicles: 3, SpeedKmh: 36, RouteStops: 6, DepartStagger: 2 * time.Second,
+		},
+		"strip": {
+			Topology: Strip, BS: 16, Width: 2400, Height: 300, JitterM: 20,
+			Vehicles: 6, SpeedKmh: 60, RouteStops: 4, DepartStagger: 2 * time.Second,
+		},
+		"cluster": {
+			Topology: Cluster, BS: 18, Clusters: 4, Width: 1500, Height: 1000, JitterM: 80,
+			Vehicles: 6, SpeedKmh: 40, RouteStops: 8, DepartStagger: 2 * time.Second,
 		},
 	}
 }
@@ -135,7 +180,7 @@ func Preset(name string) (Spec, error) {
 //	grid-city,vehicles=30,bs=72,w=3000,stagger=5s
 //
 // Keys: bs, clusters, w, h, jitter, vehicles, speed, stops, stagger,
-// range, bprate, bpdelay, bploss, topology.
+// range, bprate, bpdelay, bploss, topology, app, xfer, think, mix.
 func Parse(s string) (Spec, error) {
 	parts := strings.Split(s, ",")
 	name := strings.TrimSpace(parts[0])
@@ -203,6 +248,14 @@ func (s *Spec) set(key, val string) error {
 		s.BackplaneDelay, err = getd()
 	case "bploss":
 		s.BackplaneLoss, err = getf()
+	case "app":
+		s.App, err = workload.ParseKind(val)
+	case "xfer":
+		s.AppXferBytes, err = geti()
+	case "think":
+		s.AppThink, err = getd()
+	case "mix":
+		s.AppMix, err = parseMix(val)
 	default:
 		return fmt.Errorf("scenario: unknown key %q", key)
 	}
@@ -210,6 +263,26 @@ func (s *Spec) set(key, val string) error {
 		return fmt.Errorf("scenario: bad value for %s: %v", key, err)
 	}
 	return nil
+}
+
+// parseMix parses the cbr:tcp:voip:web weight syntax, e.g. "1:2:1:0".
+func parseMix(val string) ([4]int, error) {
+	var mix [4]int
+	parts := strings.Split(val, ":")
+	if len(parts) != 4 {
+		return mix, fmt.Errorf("want cbr:tcp:voip:web weights, got %q", val)
+	}
+	for i, p := range parts {
+		w, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil || w < 0 {
+			return mix, fmt.Errorf("bad mix weight %q", p)
+		}
+		mix[i] = w
+	}
+	if mix == ([4]int{}) {
+		return mix, fmt.Errorf("mix weights are all zero")
+	}
+	return mix, nil
 }
 
 // Validate reports the first configuration error.
@@ -231,15 +304,34 @@ func (s Spec) Validate() error {
 		return fmt.Errorf("scenario: cluster topology needs clusters ≥ 1")
 	case s.DepartStagger < 0:
 		return fmt.Errorf("scenario: stagger must be ≥ 0")
+	case s.App < workload.CBRKind || s.App > workload.MixedKind:
+		return fmt.Errorf("scenario: app %d out of range", int(s.App))
+	case s.AppXferBytes < 0 || s.AppThink < 0:
+		return fmt.Errorf("scenario: negative app transfer size or think time")
+	case s.AppMix[0] < 0 || s.AppMix[1] < 0 || s.AppMix[2] < 0 || s.AppMix[3] < 0:
+		return fmt.Errorf("scenario: negative mix weight")
 	}
 	return nil
 }
 
 // Key returns the canonical spec string: every field in a fixed order.
-// Equal specs produce equal keys and vice versa, so the key serves both
-// as the RNG stream label for generation and as the experiment engine's
-// run-cache discriminator.
+// Equal specs produce equal keys and vice versa, so the key is the
+// experiment engine's run-cache discriminator (and the workload drivers'
+// RNG stream label) — two specs differing in any knob, including the
+// application fields, never share a cache line or a driver stream.
 func (s Spec) Key() string {
+	return fmt.Sprintf("%s app=%s xfer=%d think=%s mix=%d:%d:%d:%d",
+		s.GeomKey(), s.App, s.AppXferBytes, s.AppThink,
+		s.AppMix[0], s.AppMix[1], s.AppMix[2], s.AppMix[3])
+}
+
+// GeomKey is the geometry-only spec string: every field that shapes the
+// deployment (topology, region, fleet, radio, backplane) and none of the
+// application knobs. Generation draws its RNG streams from this key, so
+// changing the workload — app kind, transfer size, mix — never
+// regenerates the city: comparisons across workloads run on identical
+// basestations and routes.
+func (s Spec) GeomKey() string {
 	return fmt.Sprintf("%s bs=%d cl=%d w=%g h=%g j=%g v=%d spd=%g stops=%d stg=%s rng=%g bpr=%g bpd=%s bpl=%g",
 		s.Topology, s.BS, s.Clusters, s.Width, s.Height, s.JitterM,
 		s.Vehicles, s.SpeedKmh, s.RouteStops, s.DepartStagger,

@@ -32,6 +32,30 @@ func NewSample(n int) *Sample {
 	return &Sample{xs: make([]float64, 0, n)}
 }
 
+// TimeWeightedMedian returns the paper's §5.2 session median: the value
+// at which half the summed mass is accumulated (for session lengths,
+// the length below which half the in-session time falls). Returns 0 for
+// an empty slice; the input is not mutated.
+func TimeWeightedMedian(vs []float64) float64 {
+	if len(vs) == 0 {
+		return 0
+	}
+	cp := append([]float64(nil), vs...)
+	sort.Float64s(cp)
+	total := 0.0
+	for _, v := range cp {
+		total += v
+	}
+	cum := 0.0
+	for _, v := range cp {
+		cum += v
+		if cum >= total/2 {
+			return v
+		}
+	}
+	return cp[len(cp)-1]
+}
+
 // Add appends one observation.
 func (s *Sample) Add(x float64) {
 	s.xs = append(s.xs, x)

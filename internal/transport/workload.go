@@ -16,6 +16,10 @@ type WorkloadConfig struct {
 	StallTimeout time.Duration
 	// Gap is the pause between consecutive transfers.
 	Gap time.Duration
+	// Deadline, when positive, stops new transfers from starting at or
+	// after this simulation time (in-flight transfers may still settle).
+	// Zero keeps the loop open-ended, bounded only by Stop.
+	Deadline time.Duration
 }
 
 // DefaultWorkloadConfig returns the paper's workload.
@@ -26,6 +30,50 @@ func DefaultWorkloadConfig() WorkloadConfig {
 		StallTimeout:  10 * time.Second,
 		Gap:           100 * time.Millisecond,
 	}
+}
+
+// StallGuard enforces the §5.3.1 no-progress rule for a transfer loop:
+// Watch (re)arms the guard for a fresh transfer; when the timeout fires
+// without Progress having advanced, Abort is invoked. Progress returning
+// a negative value means the loop is inactive (stopped or between
+// transfers) and the firing is ignored. The zero value is inert.
+type StallGuard struct {
+	K        *sim.Kernel
+	Timeout  time.Duration
+	Progress func() int
+	Abort    func()
+
+	last  int
+	timer sim.Timer
+}
+
+// Watch begins guarding a fresh transfer (progress restarts at zero).
+func (g *StallGuard) Watch() {
+	g.last = 0
+	g.arm()
+}
+
+// Stop disarms the guard.
+func (g *StallGuard) Stop() { g.timer.Stop() }
+
+func (g *StallGuard) arm() {
+	g.timer.Stop()
+	g.timer = g.K.After(g.Timeout, g.check)
+}
+
+func (g *StallGuard) check() {
+	p := g.Progress()
+	if p < 0 {
+		return
+	}
+	if p > g.last {
+		g.last = p
+		g.arm()
+		return
+	}
+	// No progress for the whole window (§5.3.1: "Transfers that make no
+	// progress for ten seconds are terminated").
+	g.Abort()
 }
 
 // WorkloadStats aggregates the paper's two TCP measures: per-transfer
@@ -98,19 +146,29 @@ type Workload struct {
 	stats    *WorkloadStats
 	stopped  bool
 
-	lastProgress int
-	stallTimer   sim.Timer
+	stall StallGuard
 }
 
 // NewWorkload builds the workload. download selects the transfer
 // direction: true fetches from the wired host to the vehicle.
 func NewWorkload(k *sim.Kernel, cfg WorkloadConfig, download bool, clientSend, serverSend SendFunc) *Workload {
-	return &Workload{
+	w := &Workload{
 		K: k, cfg: cfg,
 		clientSend: clientSend, serverSend: serverSend,
 		download: download,
 		stats:    newWorkloadStats(),
 	}
+	w.stall = StallGuard{
+		K: k, Timeout: cfg.StallTimeout,
+		Progress: func() int {
+			if w.stopped || w.sender == nil {
+				return -1
+			}
+			return w.sender.Progress()
+		},
+		Abort: func() { w.sender.Abort() },
+	}
+	return w
 }
 
 // Start begins the first transfer.
@@ -120,7 +178,7 @@ func (w *Workload) Start() { w.startTransfer() }
 func (w *Workload) Stop() *WorkloadStats {
 	if !w.stopped {
 		w.stopped = true
-		w.stallTimer.Stop()
+		w.stall.Stop()
 		w.stats.finish()
 	}
 	return w.stats
@@ -161,6 +219,9 @@ func (w *Workload) startTransfer() {
 	if w.stopped {
 		return
 	}
+	if w.cfg.Deadline > 0 && w.K.Now() >= w.cfg.Deadline {
+		return
+	}
 	w.conn++
 	done := func(r TransferResult) { w.transferDone(r) }
 	if w.download {
@@ -173,33 +234,12 @@ func (w *Workload) startTransfer() {
 		w.sender = NewSender(w.K, w.cfg.TCP, w.conn, w.cfg.TransferBytes, w.clientSend, done)
 		w.receiver = NewReceiver(w.K, w.conn, w.serverSend)
 	}
-	w.lastProgress = 0
 	w.sender.Start()
-	w.armStall()
-}
-
-func (w *Workload) armStall() {
-	w.stallTimer.Stop()
-	w.stallTimer = w.K.After(w.cfg.StallTimeout, w.checkStall)
-}
-
-func (w *Workload) checkStall() {
-	if w.stopped || w.sender == nil {
-		return
-	}
-	if w.sender.Progress() > w.lastProgress {
-		w.lastProgress = w.sender.Progress()
-		w.armStall()
-		return
-	}
-	// No progress for the whole window: terminate and start afresh
-	// (§5.3.1: "Transfers that make no progress for ten seconds are
-	// terminated and started afresh").
-	w.sender.Abort()
+	w.stall.Watch()
 }
 
 func (w *Workload) transferDone(r TransferResult) {
-	w.stallTimer.Stop()
+	w.stall.Stop()
 	w.stats.transferDone(r)
 	if w.stopped {
 		return

@@ -85,9 +85,13 @@ type Call struct {
 	packets []PacketOutcome
 }
 
+// DefaultWindow is the paper's scoring window: calls are evaluated in
+// three-second slices (§5.3.2).
+const DefaultWindow = 3 * time.Second
+
 // NewCall returns a call evaluated over the paper's 3 s windows.
 func NewCall() *Call {
-	return &Call{Window: 3 * time.Second}
+	return &Call{Window: DefaultWindow}
 }
 
 // Add records one packet outcome (either direction — the MoS applies to
@@ -199,25 +203,8 @@ func (c *Call) Score(total time.Duration) Quality {
 	return q
 }
 
-// medianTimeWeighted mirrors the handoff package's session-time median:
+// medianTimeWeighted is the shared session-time median (stats package):
 // the session length at which half the in-session time is accumulated.
 func medianTimeWeighted(lens []float64) float64 {
-	if len(lens) == 0 {
-		return 0
-	}
-	s := stats.NewSample(len(lens))
-	total := 0.0
-	for _, l := range lens {
-		s.Add(l)
-		total += l
-	}
-	s.Sort()
-	cum := 0.0
-	for _, l := range s.Values() {
-		cum += l
-		if cum >= total/2 {
-			return l
-		}
-	}
-	return s.Max()
+	return stats.TimeWeightedMedian(lens)
 }

@@ -183,6 +183,91 @@ func TestScoreEmpty(t *testing.T) {
 	}
 }
 
+// TestZeroLengthCall pins the zero-length edges of the classifier: a
+// call shorter than one window scores no windows (and no disruptions),
+// whether or not packets were exchanged, and never divides by zero.
+func TestZeroLengthCall(t *testing.T) {
+	c := NewCall()
+	addStream(c, 0, 2*time.Second, true) // packets flowed, call < one window
+	q := c.Score(2 * time.Second)
+	if q.Windows != 0 || q.Interruptions != 0 || q.MeanMoS != 0 {
+		t.Errorf("sub-window call scored %+v, want zero quality", q)
+	}
+	if got := c.Windows(0); got != nil {
+		t.Errorf("Windows(0) = %v, want nil", got)
+	}
+	if q.MedianSessionSec != 0 || len(q.SessionLens) != 0 {
+		t.Errorf("zero-length call produced sessions: %+v", q)
+	}
+}
+
+// TestDisruptionSpansCallBoundary pins the boundary rule: a disruption
+// still in progress when the call ends counts once, the trailing
+// truncated window is not scored, and packets sent past the scored span
+// are ignored rather than folded into a phantom window.
+func TestDisruptionSpansCallBoundary(t *testing.T) {
+	c := NewCall()
+	// 0–6 s perfect, then dead from 6 s through the end of the call at
+	// 7 s — the disruption spans the call boundary mid-window.
+	addStream(c, 0, 6*time.Second, true)
+	addStream(c, 6*time.Second, 7*time.Second, false)
+	q := c.Score(7 * time.Second)
+	if q.Windows != 2 {
+		t.Fatalf("scored %d windows, want 2 (truncated trailing window dropped)", q.Windows)
+	}
+	if q.Interruptions != 0 {
+		t.Errorf("truncated boundary window counted as a disruption: %+v", q)
+	}
+	// Extending the call by the rest of the dead window completes it:
+	// now the boundary-spanning disruption is scored exactly once.
+	c2 := NewCall()
+	addStream(c2, 0, 6*time.Second, true)
+	addStream(c2, 6*time.Second, 9*time.Second, false)
+	q2 := c2.Score(9 * time.Second)
+	if q2.Windows != 3 || q2.Interruptions != 1 {
+		t.Errorf("boundary-completing disruption scored %+v, want 3 windows / 1 interruption", q2)
+	}
+	// Packets stamped beyond the scored span must not create windows.
+	c3 := NewCall()
+	addStream(c3, 0, 6*time.Second, true)
+	addStream(c3, 6*time.Second, 12*time.Second, false) // past the 6 s span
+	q3 := c3.Score(6 * time.Second)
+	if q3.Windows != 2 || q3.Interruptions != 0 {
+		t.Errorf("out-of-span packets leaked into scoring: %+v", q3)
+	}
+}
+
+// TestBackToBackSevereDisruptions pins the transition rule: consecutive
+// severe windows are one disruption; recovery and relapse are two; and
+// the session list splits accordingly.
+func TestBackToBackSevereDisruptions(t *testing.T) {
+	// 0–6 s good, 6–12 s dead (two adjacent severe windows), 12–18 s
+	// good, 18–21 s dead again.
+	c := NewCall()
+	addStream(c, 0, 6*time.Second, true)
+	addStream(c, 6*time.Second, 12*time.Second, false)
+	addStream(c, 12*time.Second, 18*time.Second, true)
+	addStream(c, 18*time.Second, 21*time.Second, false)
+	q := c.Score(21 * time.Second)
+	if q.Windows != 7 {
+		t.Fatalf("windows = %d, want 7", q.Windows)
+	}
+	if q.Interruptions != 2 {
+		t.Errorf("interruptions = %d, want 2 (adjacent severe windows merge, relapse counts anew)", q.Interruptions)
+	}
+	if len(q.SessionLens) != 2 || q.SessionLens[0] != 6 || q.SessionLens[1] != 6 {
+		t.Errorf("sessions = %v, want [6 6]", q.SessionLens)
+	}
+	// A call that is one long severe stretch has exactly one disruption,
+	// regardless of how many windows it spans.
+	c2 := NewCall()
+	addStream(c2, 0, 15*time.Second, false)
+	q2 := c2.Score(15 * time.Second)
+	if q2.Interruptions != 1 || len(q2.SessionLens) != 0 {
+		t.Errorf("all-severe call scored %+v, want exactly 1 disruption and no sessions", q2)
+	}
+}
+
 // Property: window MoS is always within [1, 4.5].
 func TestWindowMoSBounds(t *testing.T) {
 	f := func(outcomes []bool) bool {

@@ -1,0 +1,59 @@
+package workload
+
+import (
+	"encoding/binary"
+	"testing"
+	"time"
+)
+
+// TestCBRDeliverAllocFree guards the fleet dispatch hot path end to end
+// on the workload side: feeding delivered payloads into a warm CBR
+// driver — the decode, bounds check and slot mark — must not allocate.
+// Together with core's TestVehicleDeliverDispatchAllocFree this pins the
+// whole per-packet route from the gateway's hook table into the driver.
+func TestCBRDeliverAllocFree(t *testing.T) {
+	k, cell := testCell(t, 9, 1)
+	d := NewCBR(k, CellPort(cell, 0), 0, 0, 10*time.Second, 200*time.Millisecond, 500)
+	p := make([]byte, 500)
+	binary.BigEndian.PutUint16(p, 0)
+	binary.BigEndian.PutUint32(p[2:], 7)
+	allocs := testing.AllocsPerRun(1000, func() {
+		d.DeliverUp(p)
+		d.DeliverDown(p)
+	})
+	if allocs != 0 {
+		t.Errorf("CBR delivery path allocates %.1f objects, want 0", allocs)
+	}
+	m := d.Stop()
+	if !m.Up[7] || !m.Down[7] {
+		t.Error("deliveries not recorded")
+	}
+}
+
+// TestVoIPDeliverAllocFree guards the VoIP record path: scoring a
+// received packet against its send record must not allocate once the
+// call's outcome buffer has grown.
+func TestVoIPDeliverAllocFree(t *testing.T) {
+	k, cell := testCell(t, 10, 1)
+	d := NewVoIP(k, CellPort(cell, 0), 0, 0, 60*time.Second)
+	for i := range d.up {
+		d.up[i].at = time.Duration(i) * 20 * time.Millisecond
+		d.down[i].at = d.up[i].at
+	}
+	p := make([]byte, 20)
+	// Warm the call's append buffer.
+	for i := 0; i < 512; i++ {
+		binary.BigEndian.PutUint32(p, uint32(i))
+		d.DeliverUp(p)
+	}
+	binary.BigEndian.PutUint32(p, 600)
+	allocs := testing.AllocsPerRun(100, func() {
+		d.DeliverDown(p)
+		d.DeliverUp(p)
+	})
+	// The first run records the outcome (amortized append); every repeat
+	// is a dedup hit and must stay free.
+	if allocs > 1 {
+		t.Errorf("VoIP delivery path allocates %.1f objects per packet", allocs)
+	}
+}

@@ -1,0 +1,88 @@
+package workload
+
+import (
+	"encoding/binary"
+	"time"
+
+	"github.com/vanlan/vifi/internal/sim"
+)
+
+// CBR is the constant-rate probe session extracted from the original
+// fleet workload: one fixed-size packet each way per slot, with per-slot
+// delivery outcomes recorded for the link-level session metrics. The
+// payload header carries (vehicle, slot) so outcomes survive reordering.
+type CBR struct {
+	k        *sim.Kernel
+	port     Port
+	veh      int
+	start    time.Duration
+	slot     time.Duration
+	bytes    int
+	up, down []bool
+}
+
+// NewCBR builds the driver: slots cover [start, end).
+func NewCBR(k *sim.Kernel, port Port, veh int, start, end time.Duration, slot time.Duration, bytes int) *CBR {
+	slots := 0
+	if end > start {
+		slots = int((end - start) / slot)
+	}
+	return &CBR{
+		k: k, port: port, veh: veh, start: start, slot: slot, bytes: bytes,
+		up: make([]bool, slots), down: make([]bool, slots),
+	}
+}
+
+// Slots returns the session's send-opportunity count (per direction).
+func (c *CBR) Slots() int { return len(c.up) }
+
+// Start schedules every slot's paired sends.
+func (c *CBR) Start() {
+	for s := range c.up {
+		s := s
+		c.k.At(c.start+time.Duration(s)*c.slot, func() {
+			c.port.SendUp(c.payload(s))
+			c.port.SendDown(c.payload(s))
+		})
+	}
+}
+
+// payload builds one probe packet: vehicle index + slot number header.
+func (c *CBR) payload(slot int) []byte {
+	b := make([]byte, c.bytes)
+	binary.BigEndian.PutUint16(b, uint16(c.veh))
+	binary.BigEndian.PutUint32(b[2:], uint32(slot))
+	return b
+}
+
+// decode parses a probe header; ok is false for foreign or short packets.
+func (c *CBR) decode(p []byte) (slot int, ok bool) {
+	if len(p) < 6 || int(binary.BigEndian.Uint16(p)) != c.veh {
+		return 0, false
+	}
+	slot = int(binary.BigEndian.Uint32(p[2:]))
+	return slot, slot >= 0 && slot < len(c.up)
+}
+
+// DeliverUp marks an upstream slot delivered at the gateway.
+func (c *CBR) DeliverUp(p []byte) {
+	if s, ok := c.decode(p); ok {
+		c.up[s] = true
+	}
+}
+
+// DeliverDown marks a downstream slot delivered at the vehicle.
+func (c *CBR) DeliverDown(p []byte) {
+	if s, ok := c.decode(p); ok {
+		c.down[s] = true
+	}
+}
+
+// Stop reports the per-slot outcome tables.
+func (c *CBR) Stop() Metrics {
+	return Metrics{
+		App: CBRKind, Vehicle: c.veh, Slot: c.slot,
+		Span: time.Duration(len(c.up)) * c.slot,
+		Up:   c.up, Down: c.down,
+	}
+}

@@ -1,0 +1,70 @@
+package workload
+
+import (
+	"time"
+
+	"github.com/vanlan/vifi/internal/sim"
+	"github.com/vanlan/vifi/internal/transport"
+)
+
+// TCP is the §5.3.1 session: repeated fixed-size downloads through the
+// cell with the ten-second no-progress abort, wrapping
+// transport.Workload's transfer loop over the vehicle's port.
+type TCP struct {
+	k     *sim.Kernel
+	w     *transport.Workload
+	veh   int
+	start time.Duration
+	span  time.Duration
+	done  bool
+	final Metrics
+}
+
+// NewTCP builds the driver. The transfer loop starts at start; no new
+// transfer begins at or after end (the workload's deadline), though one
+// already in flight may still settle before Stop.
+func NewTCP(k *sim.Kernel, cfg transport.WorkloadConfig, port Port, veh int, start, end time.Duration) *TCP {
+	cfg.Deadline = end
+	span := end - start
+	if span < 0 {
+		span = 0
+	}
+	return &TCP{
+		k:     k,
+		w:     transport.NewWorkload(k, cfg, true, port.SendUp, port.SendDown),
+		veh:   veh,
+		start: start,
+		span:  span,
+	}
+}
+
+// Start schedules the first transfer (a zero-length session schedules
+// nothing: the workload's deadline falls on or before its start).
+func (t *TCP) Start() { t.k.At(t.start, t.w.Start) }
+
+// Workload exposes the underlying transfer loop (single-cell refactors
+// need its raw WorkloadStats).
+func (t *TCP) Workload() *transport.Workload { return t.w }
+
+// DeliverDown feeds a datagram that arrived at the vehicle (the client).
+func (t *TCP) DeliverDown(p []byte) { t.w.ClientDeliver(p) }
+
+// DeliverUp feeds a datagram that arrived at the gateway (the server).
+func (t *TCP) DeliverUp(p []byte) { t.w.ServerDeliver(p) }
+
+// Stop halts the loop and reports transfer metrics.
+func (t *TCP) Stop() Metrics {
+	if t.done {
+		return t.final
+	}
+	t.done = true
+	st := t.w.Stop()
+	st.TransferTimes.Sort()
+	m := Metrics{
+		App: TCPKind, Vehicle: t.veh, Span: t.span,
+		Completed: st.Completed, Aborted: st.Aborted,
+	}
+	m.TransferSecs = append(m.TransferSecs, st.TransferTimes.Values()...)
+	t.final = m
+	return m
+}

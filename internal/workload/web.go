@@ -1,0 +1,172 @@
+package workload
+
+import (
+	"time"
+
+	"github.com/vanlan/vifi/internal/sim"
+	"github.com/vanlan/vifi/internal/transport"
+)
+
+// WebConfig parameterizes the browsing session: a page is one main
+// object plus up to MaxExtraObjects embedded objects, fetched
+// back-to-back over mini-TCP; between pages the user thinks. The stall
+// rule matches §5.3.1: an object making no progress for StallTimeout
+// aborts the whole page.
+type WebConfig struct {
+	TCP             transport.Config
+	PageBytes       int           // main object size
+	ObjectBytes     int           // embedded object size
+	MaxExtraObjects int           // embedded objects per page, drawn 0..Max
+	Think           time.Duration // mean think time between pages (exponential)
+	StallTimeout    time.Duration
+}
+
+// DefaultWebConfig returns a 10 KB-page browsing profile shaped like the
+// paper's web workload: an 8 KB main object plus up to four 2 KB
+// embedded objects, three-second mean think time, ten-second stall rule.
+func DefaultWebConfig() WebConfig {
+	return WebConfig{
+		TCP:             transport.DefaultConfig(),
+		PageBytes:       8 * 1024,
+		ObjectBytes:     2 * 1024,
+		MaxExtraObjects: 4,
+		Think:           3 * time.Second,
+		StallTimeout:    10 * time.Second,
+	}
+}
+
+// Web is a browsing session: request/response bursts over mini-TCP. The
+// vehicle (client) requests; the wired side (server) streams each object
+// down through the cell. Page-load time spans the whole burst, so
+// anchor handoffs mid-page stretch measured latency exactly like the
+// paper's transfer metric.
+type Web struct {
+	k          *sim.Kernel
+	cfg        WebConfig
+	port       Port
+	veh        int
+	start, end time.Duration
+	rng        *sim.RNG
+
+	conn     uint32
+	sender   *transport.Sender
+	receiver *transport.Receiver
+
+	pageStart time.Duration
+	objsLeft  int
+
+	stall transport.StallGuard
+
+	completed int
+	aborted   int
+	pageSecs  []float64
+
+	stopped bool
+	final   Metrics
+}
+
+// NewWeb builds the driver. rng drives page shapes and think times and
+// must be dedicated to this driver.
+func NewWeb(k *sim.Kernel, cfg WebConfig, port Port, veh int, start, end time.Duration, rng *sim.RNG) *Web {
+	w := &Web{k: k, cfg: cfg, port: port, veh: veh, start: start, end: end, rng: rng}
+	w.stall = transport.StallGuard{
+		K: k, Timeout: cfg.StallTimeout,
+		Progress: func() int {
+			if w.stopped || w.sender == nil {
+				return -1
+			}
+			return w.sender.Progress()
+		},
+		// Page abandoned: the §5.3.1 rule applied to the burst.
+		Abort: func() { w.sender.Abort() },
+	}
+	return w
+}
+
+// Start schedules the first page.
+func (w *Web) Start() { w.k.At(w.start, w.startPage) }
+
+// startPage begins a new burst: the main object plus a drawn number of
+// embedded objects.
+func (w *Web) startPage() {
+	if w.stopped || w.k.Now() >= w.end {
+		return
+	}
+	w.pageStart = w.k.Now()
+	w.objsLeft = 1 + w.rng.Intn(w.cfg.MaxExtraObjects+1)
+	w.startObject(w.cfg.PageBytes)
+}
+
+// startObject opens one mini-TCP download of size bytes.
+func (w *Web) startObject(size int) {
+	w.conn++
+	w.sender = transport.NewSender(w.k, w.cfg.TCP, w.conn, size, w.port.SendDown, w.objectDone)
+	w.receiver = transport.NewReceiver(w.k, w.conn, w.port.SendUp)
+	w.sender.Start()
+	w.stall.Watch()
+}
+
+// objectDone advances the burst or closes the page.
+func (w *Web) objectDone(r transport.TransferResult) {
+	w.stall.Stop()
+	if w.stopped {
+		return
+	}
+	if !r.Completed {
+		w.aborted++
+		w.think()
+		return
+	}
+	w.objsLeft--
+	if w.objsLeft > 0 {
+		w.startObject(w.cfg.ObjectBytes)
+		return
+	}
+	w.completed++
+	w.pageSecs = append(w.pageSecs, (w.k.Now() - w.pageStart).Seconds())
+	w.think()
+}
+
+// think schedules the next page after an exponential pause.
+func (w *Web) think() {
+	w.sender, w.receiver = nil, nil
+	pause := time.Duration(w.rng.ExpFloat64() * float64(w.cfg.Think))
+	w.k.After(pause, w.startPage)
+}
+
+// DeliverDown feeds a datagram that arrived at the vehicle (object data
+// and SYN-ACKs reach the client here).
+func (w *Web) DeliverDown(p []byte) {
+	if w.stopped || w.receiver == nil {
+		return
+	}
+	w.receiver.Deliver(p)
+}
+
+// DeliverUp feeds a datagram that arrived at the gateway (acks reach the
+// server here).
+func (w *Web) DeliverUp(p []byte) {
+	if w.stopped || w.sender == nil {
+		return
+	}
+	w.sender.Deliver(p)
+}
+
+// Stop halts the session and reports page metrics.
+func (w *Web) Stop() Metrics {
+	if w.stopped {
+		return w.final
+	}
+	w.stopped = true
+	w.stall.Stop()
+	span := w.end - w.start
+	if span < 0 {
+		span = 0
+	}
+	w.final = Metrics{
+		App: WebKind, Vehicle: w.veh, Span: span,
+		Completed: w.completed, Aborted: w.aborted,
+		TransferSecs: w.pageSecs,
+	}
+	return w.final
+}

@@ -35,6 +35,7 @@ import (
 	"github.com/vanlan/vifi/internal/trace"
 	"github.com/vanlan/vifi/internal/transport"
 	"github.com/vanlan/vifi/internal/voip"
+	"github.com/vanlan/vifi/internal/workload"
 )
 
 // Protocol is a ViFi protocol configuration (see DefaultProtocol,
@@ -123,11 +124,33 @@ func Experiments() []string { return experiment.IDs() }
 
 // --- Generated city-scale scenarios ---------------------------------------
 
-// FleetRun reports one fleet workload execution over a generated
-// scenario: per-vehicle delivery outcomes plus channel counters, with
-// aggregate accessors (DeliveredPerSec, DeliveryRatio, MedianSession,
-// Interruptions).
-type FleetRun = experiment.FleetRun
+// FleetRun reports one fleet application-workload execution over a
+// generated scenario: per-vehicle application metrics (Apps aggregates
+// them per app kind), channel counters, and — for constant-rate (CBR)
+// vehicles — the link-level accessors DeliveredPerSec, DeliveryRatio,
+// MedianSession and Interruptions.
+type FleetRun = experiment.FleetAppRun
+
+// LinkRun is the slot-level delivery table behind a CBR fleet's link
+// metrics (FleetRun.Link).
+type LinkRun = experiment.FleetRun
+
+// AppKind selects a per-vehicle application workload in a scenario spec
+// (app=cbr|tcp|voip|web|mixed).
+type AppKind = workload.Kind
+
+// Application workload kinds.
+const (
+	CBRApp   = workload.CBRKind
+	TCPApp   = workload.TCPKind
+	VoIPApp  = workload.VoIPKind
+	WebApp   = workload.WebKind
+	MixedApp = workload.MixedKind
+)
+
+// AppSummary aggregates one application's metrics across the fleet
+// (FleetRun.Apps.App(kind)).
+type AppSummary = workload.AppSummary
 
 // ScenarioPresets lists the generated-deployment presets accepted by
 // NewScenario (grid-city, strip-highway, cluster-town, ...).
@@ -143,8 +166,9 @@ type ScenarioDeployment struct {
 }
 
 // NewScenario returns a generated deployment from a preset name plus
-// optional key=value overrides, e.g. "grid-city,vehicles=30,bs=72".
-// See internal/scenario for the full key set.
+// optional key=value overrides, e.g. "grid-city,vehicles=30,bs=72" or
+// "grid-city,app=mixed,mix=1:2:1:1". See internal/scenario for the full
+// key set.
 func NewScenario(seed int64, spec string, cfg Protocol) (*ScenarioDeployment, error) {
 	s, err := scenario.Parse(spec)
 	if err != nil {
@@ -153,11 +177,12 @@ func NewScenario(seed int64, spec string, cfg Protocol) (*ScenarioDeployment, er
 	return &ScenarioDeployment{seed: seed, spec: s, cfg: cfg}, nil
 }
 
-// RunFleet drives the deployment's fleet under the constant-rate workload
-// (one 500-byte packet each way per vehicle per 200 ms slot) and returns
-// the per-vehicle outcomes.
+// RunFleet drives the deployment's fleet under the application workload
+// its spec names (app=cbr by default: one 500-byte packet each way per
+// vehicle per 200 ms slot) and returns per-vehicle and per-app
+// application statistics.
 func (d *ScenarioDeployment) RunFleet(duration time.Duration) (*FleetRun, error) {
-	return experiment.RunFleetWorkload(d.seed, d.spec, d.cfg, duration)
+	return experiment.RunFleetAppWorkload(d.seed, d.spec, d.cfg, duration)
 }
 
 // GenerateDieselNetTrace synthesizes a DieselNet-style per-second beacon

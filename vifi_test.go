@@ -88,13 +88,25 @@ func TestFacadeScenario(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if run.BSCount != 12 || len(run.Up) != 3 {
-		t.Errorf("fleet shape: %d BSes, %d vehicles", run.BSCount, len(run.Up))
+	if run.BSCount != 12 || run.Vehicles != 3 {
+		t.Errorf("fleet shape: %d BSes, %d vehicles", run.BSCount, run.Vehicles)
 	}
 	if run.DeliveredPerSec() <= 0 {
 		t.Error("fleet delivered nothing")
 	}
 	if len(ScenarioPresets()) < 4 {
 		t.Error("presets missing")
+	}
+	// An application spec returns per-app stats through the same facade.
+	app, err := NewScenario(9, "grid,app=voip,vehicles=3", DefaultProtocol())
+	if err != nil {
+		t.Fatal(err)
+	}
+	vrun, err := app.RunFleet(20 * time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := vrun.Apps.App(VoIPApp); s.Vehicles != 3 || s.CallWindows == 0 {
+		t.Errorf("voip fleet summary: %+v", s)
 	}
 }

@@ -18,11 +18,20 @@ import (
 // benchScale keeps a single benchmark iteration around a second or two.
 const benchScale = 0.1
 
+// radioScale is the smaller multiplier for the radio-count sweep: its
+// 2000-radio top arm simulates a full metro deployment per iteration, so
+// the standard scale would push one iteration past half a minute.
+const radioScale = 0.02
+
 func benchExperiment(b *testing.B, id string) {
+	benchExperimentScaled(b, id, benchScale)
+}
+
+func benchExperimentScaled(b *testing.B, id string, scale float64) {
 	b.Helper()
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		rep, err := experiment.Run(id, experiment.Options{Seed: int64(42 + i), Scale: benchScale})
+		rep, err := experiment.Run(id, experiment.Options{Seed: int64(42 + i), Scale: scale})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -105,6 +114,10 @@ func BenchmarkScaleFleet(b *testing.B) { benchExperiment(b, "scale-fleet") }
 
 // BenchmarkScaleDensity regenerates the basestation-density scaling sweep.
 func BenchmarkScaleDensity(b *testing.B) { benchExperiment(b, "scale-density") }
+
+// BenchmarkScaleRadio regenerates the radio-count scaling sweep (100 →
+// 2000 radios at fixed traffic) on the channel's spatially indexed path.
+func BenchmarkScaleRadio(b *testing.B) { benchExperimentScaled(b, "scale-radio", radioScale) }
 
 // BenchmarkScaleAppTCP regenerates the per-vehicle TCP application sweep.
 func BenchmarkScaleAppTCP(b *testing.B) { benchExperiment(b, "scale-app-tcp") }

@@ -14,6 +14,10 @@
 //	                           # application-metric sweeps (per-vehicle
 //	                           # TCP/VoIP sessions; -scenario accepts the
 //	                           # app=, xfer=, think=, mix= spec keys)
+//	vifi-bench -run scale-radio -scale 0.1
+//	                           # radio-count sweep, 100→2000 radios at
+//	                           # fixed traffic on the spatially indexed
+//	                           # channel (full scale is a long run)
 //
 // Performance instrumentation:
 //

@@ -48,12 +48,15 @@ type Cell struct {
 }
 
 // newCellBase wires the shared substrate: channel, backplane, gateway and
-// basestations (addresses 0..len(bsMovers)-1, in order).
-func newCellBase(k *sim.Kernel, opts CellOptions, bsMovers []mobility.Mover) *Cell {
+// basestations (addresses 0..len(bsMovers)-1, in order). vehicles is the
+// number of vehicles the caller will attach afterwards: the channel uses
+// the total as a capacity hint, so link rows never re-grow and city-scale
+// fleets start on the spatially indexed path from the first attach.
+func newCellBase(k *sim.Kernel, opts CellOptions, bsMovers []mobility.Mover, vehicles int) *Cell {
 	if len(bsMovers) == 0 {
 		panic("core: a cell needs at least one basestation")
 	}
-	ch := radio.NewChannel(k, opts.Radio, opts.LinkFactory)
+	ch := radio.NewChannelSized(k, opts.Radio, opts.LinkFactory, len(bsMovers)+vehicles)
 	bp := backplane.New(k, opts.Backplane)
 	gw := NewGateway(k, bp, opts.Events)
 
@@ -70,7 +73,7 @@ func newCellBase(k *sim.Kernel, opts CellOptions, bsMovers []mobility.Mover) *Ce
 // beaconing immediately; anchor selection settles after roughly one
 // probability window.
 func NewCell(k *sim.Kernel, opts CellOptions, bsMovers []mobility.Mover, vehMover mobility.Mover) *Cell {
-	c := newCellBase(k, opts, bsMovers)
+	c := newCellBase(k, opts, bsMovers, 1)
 	// The single vehicle keeps its historical stream labels ("mac","veh"),
 	// so fleet support cannot disturb existing seeded experiments.
 	vm := mac.NewWithConfig(k, c.Channel, "veh", vehMover, opts.MAC)
@@ -90,7 +93,7 @@ func NewFleetCell(k *sim.Kernel, opts CellOptions, bsMovers, vehMovers []mobilit
 	if len(vehMovers) == 0 {
 		panic("core: a fleet cell needs at least one vehicle")
 	}
-	c := newCellBase(k, opts, bsMovers)
+	c := newCellBase(k, opts, bsMovers, len(vehMovers))
 	for i, mv := range vehMovers {
 		vm := mac.NewWithConfig(k, c.Channel, fmt.Sprintf("veh%d", i), mv, opts.MAC)
 		c.Vehicles = append(c.Vehicles, newNode(k, opts.Protocol, vm, nil, c.Gateway.Addr(), true, opts.Events))

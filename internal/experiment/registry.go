@@ -35,6 +35,7 @@ var registry = map[string]Runner{
 	// City-scale scenario sweeps (DESIGN.md §7).
 	"scale-fleet":   ScaleFleet,
 	"scale-density": ScaleDensity,
+	"scale-radio":   ScaleRadio,
 
 	// Fleet application sweeps (DESIGN.md §8).
 	"scale-app-tcp":  ScaleAppTCP,

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"github.com/vanlan/vifi/internal/core"
+	"github.com/vanlan/vifi/internal/radio"
 	"github.com/vanlan/vifi/internal/scenario"
 	"github.com/vanlan/vifi/internal/workload"
 )
@@ -69,6 +70,69 @@ func TestScaleGoldenReports(t *testing.T) {
 		if rep.String() != string(want) {
 			t.Errorf("%s: report diverged from committed golden %s", id, path)
 		}
+	}
+}
+
+// scaleRadioTestScale keeps the radio-count sweep affordable in the test
+// suite: the 2000-radio top arm still runs ~5 simulated seconds of full
+// fleet traffic on the channel's spatially indexed path.
+const scaleRadioTestScale = 0.02
+
+// TestScaleRadioIndexedDeterminism is the large-N determinism gate for
+// the spatially indexed channel: the scale-radio sweep — whose top arm
+// runs 2000 radios, far past radio.DefaultIndexThreshold — must render
+// byte-identically to the committed golden (cross-version contract,
+// -update-golden to refresh deliberately) and between the serial inline
+// path and a multi-worker engine. One serial rendering serves both
+// checks to keep the suite affordable.
+func TestScaleRadioIndexedDeterminism(t *testing.T) {
+	serial, err := Run("scale-radio", Options{Seed: 17, Scale: scaleRadioTestScale})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := "testdata/golden_scale-radio.txt"
+	if *updateGolden {
+		if err := os.WriteFile(path, []byte(serial.String()), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	} else {
+		want, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("%v (run with -update-golden to create)", err)
+		}
+		if serial.String() != string(want) {
+			t.Errorf("scale-radio diverged from committed golden %s", path)
+		}
+	}
+	par, err := Run("scale-radio", Options{Seed: 17, Scale: scaleRadioTestScale, Engine: NewEngine(4)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if serial.String() != par.String() {
+		t.Errorf("scale-radio parallel output differs from serial:\n--- serial\n%s\n--- parallel\n%s", serial, par)
+	}
+}
+
+// TestScaleRadioTopArmIndexed pins the sweep's reason to exist: the top
+// arm's radio population is far past the index threshold, and the fixed
+// probe fleet is the same in every arm.
+func TestScaleRadioTopArmIndexed(t *testing.T) {
+	top := scaleRadioArms[len(scaleRadioArms)-1]
+	if top < 2000 {
+		t.Fatalf("top arm is %d radios, acceptance needs ≥ 2000", top)
+	}
+	if scaleRadioArms[len(scaleRadioArms)-1] < 8*radio.DefaultIndexThreshold {
+		t.Fatalf("top arm %d radios does not stress the indexed path (threshold %d)",
+			top, radio.DefaultIndexThreshold)
+	}
+	for _, n := range scaleRadioArms {
+		if n <= scaleRadioVehicles {
+			t.Fatalf("arm %d smaller than the fixed %d-vehicle fleet", n, scaleRadioVehicles)
+		}
+	}
+	w, h := scaleRadioRegion(2000 - scaleRadioVehicles)
+	if d := float64(2000-scaleRadioVehicles) / (w * h); d < 1.2e-5 || d > 1.8e-5 {
+		t.Errorf("top-arm BS density %.2g per m², want ≈1.5e-5 (grid-city reference)", d)
 	}
 }
 

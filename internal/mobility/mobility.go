@@ -133,11 +133,25 @@ type Mover interface {
 	Position(t time.Duration) Point
 }
 
+// SpeedBounded is an optional Mover extension: a mover that can bound
+// how fast it travels advertises the bound so spatial indexes
+// (internal/radio) can derive position-revalidation deadlines — a
+// stationary mover (bound 0) is indexed once and never rechecked.
+// Implementations must never move faster than the returned bound.
+type SpeedBounded interface {
+	// MaxSpeedMPS returns an upper bound on the mover's speed in meters
+	// per second; 0 means the mover never moves.
+	MaxSpeedMPS() float64
+}
+
 // Fixed is a Mover that never moves (a basestation).
 type Fixed Point
 
 // Position implements Mover.
 func (f Fixed) Position(time.Duration) Point { return Point(f) }
+
+// MaxSpeedMPS implements SpeedBounded: a basestation never moves.
+func (f Fixed) MaxSpeedMPS() float64 { return 0 }
 
 // RouteMover adapts a Route (plus a departure offset) into a Mover.
 type RouteMover struct {
@@ -153,6 +167,10 @@ func (m *RouteMover) Position(t time.Duration) Point {
 	}
 	return m.Route.Position(t - m.Depart)
 }
+
+// MaxSpeedMPS implements SpeedBounded: the vehicle traverses its route at
+// constant speed (and sits still before departure).
+func (m *RouteMover) MaxSpeedMPS() float64 { return m.Route.SpeedMPS }
 
 // --- Paper environments -------------------------------------------------
 

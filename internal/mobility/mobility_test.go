@@ -233,3 +233,28 @@ func TestDaySchedule(t *testing.T) {
 		t.Error("zero trips should be nil")
 	}
 }
+
+// TestSpeedBounds pins the SpeedBounded contract the radio layer's
+// spatial index relies on: fixed basestations advertise zero (indexed
+// once, never revalidated) and route movers advertise their constant
+// route speed — a true upper bound, since the vehicle parks before
+// departure.
+func TestSpeedBounds(t *testing.T) {
+	if got := (Fixed{X: 3}).MaxSpeedMPS(); got != 0 {
+		t.Errorf("Fixed speed bound = %v, want 0", got)
+	}
+	r := NewRoute([]Point{{0, 0}, {100, 0}}, 12.5, true)
+	m := &RouteMover{Route: r, Depart: time.Minute}
+	if got := m.MaxSpeedMPS(); got != 12.5 {
+		t.Errorf("RouteMover speed bound = %v, want 12.5", got)
+	}
+	// The bound must hold across the trajectory, departure included.
+	prev := m.Position(0)
+	for at := time.Second; at <= 3*time.Minute; at += time.Second {
+		cur := m.Position(at)
+		if d := cur.Dist(prev); d > m.MaxSpeedMPS()+1e-9 {
+			t.Fatalf("mover moved %v m in 1 s, bound is %v", d, m.MaxSpeedMPS())
+		}
+		prev = cur
+	}
+}

@@ -71,6 +71,72 @@ func TestLossRecordsAreRecycled(t *testing.T) {
 	}
 }
 
+// TestIndexedBroadcastAllocFree is the hot-path guard for the spatially
+// indexed channel: steady-state Broadcast on the grid path — bucket
+// queries, lazy link lookups, reception records, payload copies and the
+// active-transmitter bookkeeping — must not allocate once the in-range
+// link set is instantiated.
+func TestIndexedBroadcastAllocFree(t *testing.T) {
+	k := sim.NewKernel(13)
+	p := DefaultParams()
+	p.IndexThresholdNodes = 4
+	p.MaxRangeM = 1000 // custom factories index only with an explicit cutoff
+	c := NewChannel(k, p, func(from, to NodeID) LinkModel {
+		return FixedLink(1) // always deliver: exercises the full path
+	})
+	got := 0
+	sink := ReceiverFunc(func(payload []byte, info RxInfo) { got += len(payload) })
+	const n = 32
+	for i := 0; i < n; i++ {
+		// All within the cutoff of node 0, stationary: buckets never churn.
+		c.Attach("n", mobility.Fixed{X: float64(i) * 25}, sink)
+	}
+	if !c.indexed() {
+		t.Fatal("test did not engage the indexed path")
+	}
+	payload := make([]byte, 200)
+	// Warm the pools and instantiate every (0,*) link.
+	for i := 0; i < 4; i++ {
+		c.Broadcast(0, payload, nil)
+		k.Run()
+	}
+	allocs := testing.AllocsPerRun(500, func() {
+		c.Broadcast(0, payload, nil)
+		k.Run()
+	})
+	if allocs != 0 {
+		t.Errorf("steady-state indexed broadcast allocates %.1f objects, want 0", allocs)
+	}
+	if got == 0 {
+		t.Fatal("no payload delivered")
+	}
+}
+
+// TestBusyAllocFree guards the carrier-sense fast path: scanning the
+// active-transmitter list must never allocate, busy medium or idle.
+func TestBusyAllocFree(t *testing.T) {
+	k := sim.NewKernel(14)
+	c := NewChannel(k, DefaultParams(), func(from, to NodeID) LinkModel { return FixedLink(1) })
+	a := c.Attach("a", mobility.Fixed{}, nil)
+	b := c.Attach("b", mobility.Fixed{X: 100}, nil)
+	c.Broadcast(a, make([]byte, 4000), nil) // long frame: stays on the air
+	if !c.Busy(b) {
+		t.Fatal("medium not sensed busy during a transmission")
+	}
+	allocs := testing.AllocsPerRun(500, func() {
+		c.Busy(b)
+		c.Busy(a)
+	})
+	if allocs != 0 {
+		t.Errorf("Busy allocates %.1f objects, want 0", allocs)
+	}
+	k.Run()
+	allocs = testing.AllocsPerRun(500, func() { c.Busy(b) })
+	if allocs != 0 {
+		t.Errorf("idle Busy allocates %.1f objects, want 0", allocs)
+	}
+}
+
 // TestLinkStreamsIsolated pins the property that makes eager attach-time
 // link construction equivalent to the old lazy scheme: every directed
 // pair's RNG streams are label-derived and private, so traffic on other

@@ -2,6 +2,7 @@ package radio
 
 import (
 	"fmt"
+	"math"
 	"time"
 
 	"github.com/vanlan/vifi/internal/frame"
@@ -40,8 +41,9 @@ func (f ReceiverFunc) RadioReceive(payload []byte, info RxInfo) { f(payload, inf
 // LinkFactory builds the LinkModel for a directed (from, to) pair. The
 // default factory creates independent FadingLinks; trace-driven
 // experiments install ScheduleLinks instead. Factories must be pure
-// functions of (from, to): the channel instantiates every directed pair
-// eagerly at attach time.
+// functions of (from, to): below the index threshold the channel
+// instantiates every directed pair eagerly at attach time, above it
+// lazily on first contact — the two must be indistinguishable.
 type LinkFactory func(from, to NodeID) LinkModel
 
 // reception is one in-flight frame at one receiver. It carries its own
@@ -108,31 +110,57 @@ type Stats struct {
 // linkState bundles the model and the private randomness of one directed
 // link. The RNG streams are created once and advanced across the whole
 // simulation; recreating them per frame would freeze the coin flips.
+// reach caches the model's advertised Ranged cutoff (+Inf when the model
+// has none); only the indexed path consults it.
 type linkState struct {
 	model LinkModel
 	loss  *sim.RNG
 	noise *sim.RNG
+	reach float64
 }
 
 // txEnd is the always-scheduled end-of-airtime event for one transmission:
-// it keeps the active-transmitter count exact and invokes the sender's
+// it keeps the active-transmitter list exact and invokes the sender's
 // txDone handler. Records are pooled.
 type txEnd struct {
 	ch     *Channel
+	src    *node
 	txDone sim.Handler
 	next   *txEnd
 }
 
 func (t *txEnd) OnEvent() {
-	c, done := t.ch, t.txDone
+	c, src, done := t.ch, t.src, t.txDone
 	t.txDone = nil
+	t.src = nil
 	t.next = c.freeTx
 	c.freeTx = t
-	c.active--
+	// Swap-delete the finished transmitter. The list is tiny (frames on
+	// the air right now) and its order never influences results: Busy
+	// does no RNG draws and any in-range hit returns true.
+	for i, n := range c.activeTx {
+		if n == src {
+			last := len(c.activeTx) - 1
+			c.activeTx[i] = c.activeTx[last]
+			c.activeTx[last] = nil
+			c.activeTx = c.activeTx[:last]
+			break
+		}
+	}
 	if done != nil {
 		done.OnEvent()
 	}
 }
+
+// DefaultIndexThreshold is the attached-node count at which a channel
+// switches to the spatially indexed hot path and lazy per-pair links,
+// unless Params.IndexThresholdNodes overrides it. Every run at or above
+// the threshold skips out-of-range receivers entirely (their per-link
+// streams advance less — safe because streams are private per link and
+// the skipped draws are guaranteed losses); every run below it keeps the
+// historical full sweep, so seeded sub-threshold experiments are
+// byte-identical to prior versions.
+const DefaultIndexThreshold = 128
 
 // Channel is the shared broadcast medium. All attached nodes hear all
 // transmissions subject to the per-link LinkModel, half-duplex operation
@@ -143,14 +171,25 @@ type Channel struct {
 	P       Params
 	factory LinkFactory
 	nodes   []*node
-	// links is the dense directed link table, indexed [from][to]. Rows
-	// are pre-sized at attach time; the diagonal is never populated.
+	capHint int // expected final node count (0 = unknown)
+	// links is the dense directed link table, indexed [from][to],
+	// instantiated eagerly at attach time; the diagonal is never
+	// populated. Above the index threshold it is replaced by lazy, the
+	// per-pair table keyed from<<32|to, populated on first contact — the
+	// two yield identical coin flips because link RNG streams are
+	// label-derived (see newLink).
 	links  [][]linkState
+	lazy   map[uint64]*linkState
 	bufs   frame.BufferPool
 	freeRx *reception
 	freeTx *txEnd
-	active int // transmissions currently on the air
-	stats  Stats
+	// activeTx lists the transmitters currently on the air, maintained by
+	// Broadcast and txEnd.OnEvent, so carrier sense scans frames in
+	// flight instead of every attached node.
+	activeTx []*node
+	grid     *grid
+	cutoff   float64 // cached P.CutoffM()
+	stats    Stats
 }
 
 // NewChannel creates a channel over the kernel with the given parameters.
@@ -159,38 +198,121 @@ type Channel struct {
 func NewChannel(k *sim.Kernel, p Params, factory LinkFactory) *Channel {
 	c := &Channel{K: k, P: p}
 	if factory == nil {
+		// The fading-derived cutoff (CutoffM) describes exactly the links
+		// this factory builds, so the indexed path may rely on it.
+		c.cutoff = p.CutoffM()
 		factory = func(from, to NodeID) LinkModel {
 			return NewFadingLink(p, k.RNG("link", fmt.Sprint(from), fmt.Sprint(to)))
 		}
+	} else {
+		// A custom factory may install models the fading parameters say
+		// nothing about (FixedLink, ScheduleLink, trace replays), so the
+		// indexed cutoff applies only when the caller sets an explicit
+		// MaxRangeM; otherwise the channel keeps the full sweep at any
+		// population rather than silently dropping long-range deliveries.
+		c.cutoff = p.MaxRangeM
 	}
 	c.factory = factory
 	return c
 }
 
+// NewChannelSized is NewChannel with a capacity hint from a caller that
+// knows the deployment size up front (scenario generators, fleet cells).
+// The hint pre-sizes the node and link tables so Attach never re-grows a
+// row, and a hint at or above the index threshold starts the channel in
+// lazy link mode immediately instead of eagerly building links it would
+// migrate later.
+func NewChannelSized(k *sim.Kernel, p Params, factory LinkFactory, capacity int) *Channel {
+	c := NewChannel(k, p, factory)
+	if capacity > 0 {
+		c.capHint = capacity
+		c.nodes = make([]*node, 0, capacity)
+		if capacity < c.indexThreshold() {
+			c.links = make([][]linkState, 0, capacity)
+		}
+	}
+	return c
+}
+
+// indexThreshold returns the node count at which the indexed path and
+// lazy link table take over.
+func (c *Channel) indexThreshold() int {
+	if c.P.IndexThresholdNodes > 0 {
+		return c.P.IndexThresholdNodes
+	}
+	return DefaultIndexThreshold
+}
+
+// indexed reports whether Broadcast uses the spatial grid. It requires a
+// finite cutoff; degenerate Params (no fading falloff, no MaxRangeM)
+// keep the full sweep at any size.
+func (c *Channel) indexed() bool {
+	return len(c.nodes) >= c.indexThreshold() && c.cutoff > 0
+}
+
 // newLink builds the state of one directed link. Each link's RNG streams
 // are derived from stable labels, so eager construction at attach time
-// yields exactly the coin flips lazy construction did.
+// yields exactly the coin flips lazy construction does.
 func (c *Channel) newLink(from, to NodeID) linkState {
-	return linkState{
+	ls := linkState{
 		model: c.factory(from, to),
 		loss:  c.K.RNG("loss", fmt.Sprint(from), fmt.Sprint(to)),
 		noise: c.K.RNG("rssi", fmt.Sprint(from), fmt.Sprint(to)),
+		reach: math.Inf(1),
 	}
+	if r, ok := ls.model.(Ranged); ok {
+		if v := r.MaxRangeM(); v > 0 {
+			ls.reach = v
+		}
+	}
+	return ls
 }
 
-// Attach registers a radio with the channel and returns its NodeID. The
-// directed link table grows by one row and one column, instantiated
-// immediately so the frame path never consults a map.
+// pairKey packs a directed pair into the lazy-table key.
+func pairKey(from, to NodeID) uint64 {
+	return uint64(uint32(from))<<32 | uint64(uint32(to))
+}
+
+// Attach registers a radio with the channel and returns its NodeID.
+// Below the index threshold the directed link table grows by one row and
+// one column, instantiated immediately so the frame path never consults
+// a map; crossing the threshold migrates the table to lazy per-pair mode
+// (identical coin flips, see newLink) so a large fleet never pays the
+// O(N²) link memory or the quadratic attach cost.
 func (c *Channel) Attach(name string, mover mobility.Mover, recv Receiver) NodeID {
 	id := NodeID(len(c.nodes))
 	c.nodes = append(c.nodes, &node{id: id, name: name, mover: mover, recv: recv})
-	row := make([]linkState, len(c.nodes))
+	if c.lazy == nil && max(len(c.nodes), c.capHint) >= c.indexThreshold() {
+		c.migrateLazy()
+	}
+	if c.lazy != nil {
+		return id
+	}
+	rowCap := max(len(c.nodes), c.capHint)
+	row := make([]linkState, len(c.nodes), rowCap)
 	for other := NodeID(0); other < id; other++ {
 		row[other] = c.newLink(id, other)
 		c.links[other] = append(c.links[other], c.newLink(other, id))
 	}
 	c.links = append(c.links, row)
 	return id
+}
+
+// migrateLazy moves the dense link table into the lazy per-pair map.
+// Only links already instantiated move; everything else is created on
+// first contact.
+func (c *Channel) migrateLazy() {
+	c.lazy = make(map[uint64]*linkState, len(c.links)*len(c.links))
+	for from, row := range c.links {
+		for to := range row {
+			if row[to].model == nil {
+				continue // the diagonal
+			}
+			ls := row[to]
+			c.lazy[pairKey(NodeID(from), NodeID(to))] = &ls
+		}
+	}
+	c.links = nil
 }
 
 // SetReceiver replaces the receiver of an attached node (used when protocol
@@ -215,8 +337,19 @@ func (c *Channel) Position(id NodeID) mobility.Point {
 	return c.nodes[id].mover.Position(c.K.Now())
 }
 
-// link returns the state for the directed pair.
+// link returns the state for the directed pair, instantiating it on
+// first contact in lazy mode.
 func (c *Channel) link(from, to NodeID) *linkState {
+	if c.lazy != nil {
+		key := pairKey(from, to)
+		ls := c.lazy[key]
+		if ls == nil {
+			l := c.newLink(from, to)
+			ls = &l
+			c.lazy[key] = ls
+		}
+		return ls
+	}
 	return &c.links[from][to]
 }
 
@@ -235,18 +368,22 @@ func (c *Channel) ReceiveProb(from, to NodeID) float64 {
 
 // Busy reports whether the medium is sensed busy at the node: either the
 // node itself is transmitting, or some in-flight transmission originates
-// within carrier-sense range.
+// within carrier-sense range. Only the active-transmitter list is
+// scanned — cost follows frames on the air, never the attached node
+// count. An entry whose airtime ended exactly now (its txEnd event has
+// not fired yet) is skipped by the txUntil check, matching the full
+// sweep's semantics exactly.
 func (c *Channel) Busy(id NodeID) bool {
 	now := c.K.Now()
 	me := c.nodes[id]
 	if me.txUntil > now {
 		return true
 	}
-	if c.active == 0 {
-		return false // nobody is on the air: skip the position sweep
+	if len(c.activeTx) == 0 {
+		return false // nobody is on the air: skip the position checks
 	}
 	pos := me.mover.Position(now)
-	for _, n := range c.nodes {
+	for _, n := range c.activeTx {
 		if n.id == id || n.txUntil <= now {
 			continue
 		}
@@ -313,7 +450,7 @@ func (c *Channel) Broadcast(from NodeID, payload []byte, txDone sim.Handler) tim
 		panic(fmt.Sprintf("radio: node %d (%s) transmit while transmitting", from, src.name))
 	}
 	src.txUntil = end
-	c.active++
+	c.activeTx = append(c.activeTx, src)
 	c.stats.Transmissions++
 
 	// A node that begins transmitting loses any frame it was receiving.
@@ -323,11 +460,16 @@ func (c *Channel) Broadcast(from NodeID, payload []byte, txDone sim.Handler) tim
 	}
 
 	srcPos := src.mover.Position(now)
-	for _, dst := range c.nodes {
-		if dst.id == from {
-			continue
+	if c.indexed() {
+		c.broadcastIndexed(src, srcPos, payload, now, end)
+	} else {
+		for _, dst := range c.nodes {
+			if dst.id == from {
+				continue
+			}
+			dist := srcPos.Dist(dst.mover.Position(now))
+			c.deliver(src, dst, c.link(src.id, dst.id), dist, payload, now, end)
 		}
-		c.deliver(src, dst, srcPos, payload, now, end)
 	}
 	// Schedule the tx-done notification after the delivery events so that
 	// receptions completing exactly at end are processed before the sender
@@ -339,16 +481,59 @@ func (c *Channel) Broadcast(from NodeID, payload []byte, txDone sim.Handler) tim
 	} else {
 		te = &txEnd{ch: c}
 	}
+	te.src = src
 	te.txDone = txDone
 	c.K.AtHandler(end, te)
 	return airtime
 }
 
+// broadcastIndexed delivers to the 3×3 grid neighborhood only: receivers
+// beyond the channel cutoff — or beyond the link model's own advertised
+// reach — are skipped entirely, so neither their loss/noise streams nor
+// any collision state is touched. Per-link streams make that safe: the
+// skipped draws correspond to guaranteed losses, and every other link's
+// flips are unchanged.
+func (c *Channel) broadcastIndexed(src *node, srcPos mobility.Point, payload []byte, now, end time.Duration) {
+	g := c.ensureGrid(now)
+	g.neighborhood(srcPos, func(id NodeID) {
+		if id == src.id {
+			return
+		}
+		dst := c.nodes[id]
+		dist := srcPos.Dist(dst.mover.Position(now))
+		if dist > c.cutoff {
+			return
+		}
+		ls := c.link(src.id, dst.id)
+		if dist > ls.reach {
+			return
+		}
+		c.deliver(src, dst, ls, dist, payload, now, end)
+	})
+}
+
+// ensureGrid builds the spatial index on first use, folds in nodes
+// attached since, and runs any due position revalidation.
+func (c *Channel) ensureGrid(now time.Duration) *grid {
+	g := c.grid
+	if g == nil {
+		// Cells are sized by the reception cutoff alone: the grid serves
+		// only Broadcast — carrier sense scans the active-transmitter
+		// list, never the grid — so folding SenseRangeM in would only
+		// inflate the candidate sets.
+		g = newGrid(c.cutoff)
+		c.grid = g
+	}
+	for len(g.nodes) < len(c.nodes) {
+		id := NodeID(len(g.nodes))
+		g.insert(id, c.nodes[id].mover, now)
+	}
+	g.revalidate(c.nodes, now)
+	return g
+}
+
 // deliver decides and schedules the reception of one frame at one node.
-func (c *Channel) deliver(src, dst *node, srcPos mobility.Point, payload []byte, now, end time.Duration) {
-	dstPos := dst.mover.Position(now)
-	dist := srcPos.Dist(dstPos)
-	ls := c.link(src.id, dst.id)
+func (c *Channel) deliver(src, dst *node, ls *linkState, dist float64, payload []byte, now, end time.Duration) {
 	pr := ls.model.ReceiveProb(now, dist)
 
 	// Half duplex: a transmitting receiver hears nothing.

@@ -64,6 +64,20 @@ type Params struct {
 	SenseRangeM float64 // distance within which a transmitter is "heard busy"
 	CaptureDB   float64 // power advantage (dB) letting a frame survive overlap
 
+	// MaxRangeM is the hard reception cutoff in meters used by the
+	// channel's spatially indexed hot path: above the index threshold,
+	// receivers farther than the cutoff are skipped entirely. 0 derives
+	// the cutoff from the fading model (see CutoffM). The cutoff only
+	// takes effect on the indexed path — below the threshold the channel
+	// sweeps every node exactly as before, so existing seeded runs are
+	// untouched.
+	MaxRangeM float64
+	// IndexThresholdNodes is the attached-node count at which the channel
+	// switches from the dense full-sweep path to the spatial grid index
+	// (and from an eager dense link table to lazy per-pair links).
+	// 0 means DefaultIndexThreshold.
+	IndexThresholdNodes int
+
 	// TxPowerDBm and PathLossExp shape the synthetic RSSI readings.
 	TxPowerDBm  float64
 	PathLossExp float64
@@ -104,6 +118,22 @@ func DefaultParams() Params {
 	}
 }
 
+// CutoffM returns the effective hard reception cutoff of the channel:
+// MaxRangeM when set, otherwise the reach of the fading model — the
+// distance at which mean reception falls below ~1e-9 even for a link
+// shadowed four sigmas in the transmitter's favor. Beyond this distance
+// a skipped reception draw is a guaranteed loss, which is what makes the
+// indexed Broadcast path safe to cut off.
+func (p *Params) CutoffM() float64 {
+	if p.MaxRangeM > 0 {
+		return p.MaxRangeM
+	}
+	if p.FalloffM <= 0 || p.PMax <= 0 {
+		return 0 // degenerate model: no finite reach derivable
+	}
+	return p.D50 + 4*p.ShadowSigmaM + p.FalloffM*math.Log(p.PMax*1e9)
+}
+
 // Airtime returns the on-air duration of a frame with the given payload
 // size under p's bitrate and framing overhead.
 func (p Params) Airtime(payloadBytes int) time.Duration {
@@ -137,6 +167,19 @@ type LinkModel interface {
 	// ReceiveProb returns the probability that a frame transmitted at
 	// time t over a path of dist meters is received.
 	ReceiveProb(t time.Duration, dist float64) float64
+}
+
+// Ranged is an optional LinkModel extension: a model whose ReceiveProb
+// is negligible (≲1e-9) beyond some distance advertises that reach so
+// the channel's indexed path can skip the link — and its RNG draws —
+// without consulting the model. Models with no finite reach (FixedLink,
+// ScheduleLink) don't implement it; a channel built from a custom
+// factory therefore only runs the indexed path when Params.MaxRangeM
+// states the cutoff explicitly (see NewChannel).
+type Ranged interface {
+	// MaxRangeM returns the distance in meters beyond which reception is
+	// effectively impossible on this link.
+	MaxRangeM() float64
 }
 
 // geState is a continuous-time two-state Markov modulator advanced lazily.
@@ -263,6 +306,13 @@ func (l *FadingLink) ReceiveProb(t time.Duration, dist float64) float64 {
 		pr = 1
 	}
 	return pr
+}
+
+// MaxRangeM implements Ranged: beyond this distance the link's mean
+// reception is below ~1e-9 given its own shadowing, so skipping the
+// reception draw is indistinguishable from drawing a guaranteed loss.
+func (l *FadingLink) MaxRangeM() float64 {
+	return l.p.D50 + l.shadow + l.p.FalloffM*math.Log(l.p.PMax*1e9)
 }
 
 // GrayEpisodes reports how many gray periods this link has entered so far

@@ -481,6 +481,59 @@ func TestChannelMovingReceiver(t *testing.T) {
 	}
 }
 
+// benchCityChannel builds a 1000-radio constant-density deployment
+// (grid-city density, ≈47 radios per cutoff disc) with one moving
+// transmitter, forcing the indexed or the legacy full-sweep path via the
+// threshold override. The pair of benchmarks below is the acceptance
+// measurement for the spatial index: per-transmission cost must follow
+// the ~47 in-range neighbors, not the 1000 attached radios.
+func benchCityChannel(b *testing.B, threshold int) (*sim.Kernel, *Channel, NodeID) {
+	b.Helper()
+	k := sim.NewKernel(1)
+	p := DefaultParams()
+	p.IndexThresholdNodes = threshold
+	c := NewChannelSized(k, p, nil, 1000)
+	// 999 fixed radios on a ~10.2 km × 6.4 km region at grid-city density.
+	const cols = 39
+	for i := 0; i < 999; i++ {
+		c.Attach("bs", mobility.Fixed{
+			X: float64(i%cols) * 260,
+			Y: float64(i/cols) * 250,
+		}, nil)
+	}
+	route := mobility.NewRoute([]mobility.Point{{X: 200, Y: 200}, {X: 9600, Y: 200},
+		{X: 9600, Y: 6000}, {X: 200, Y: 6000}}, mobility.KmhToMps(40), true)
+	veh := c.Attach("veh", &mobility.RouteMover{Route: route}, nil)
+	return k, c, veh
+}
+
+// BenchmarkBroadcastIndexed1000 measures steady-state Broadcast+delivery
+// on the spatially indexed path at 1000 radios.
+func BenchmarkBroadcastIndexed1000(b *testing.B) {
+	k, c, veh := benchCityChannel(b, 0) // default threshold: indexed at 1000
+	payload := make([]byte, 500)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Broadcast(veh, payload, nil)
+		k.Run()
+	}
+}
+
+// BenchmarkBroadcastSweep1000 is the pre-index baseline: the same
+// deployment with the threshold forced above the population, so every
+// transmission sweeps all 1000 radios.
+func BenchmarkBroadcastSweep1000(b *testing.B) {
+	k, c, veh := benchCityChannel(b, 1 << 20)
+	payload := make([]byte, 500)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Broadcast(veh, payload, nil)
+		k.Run()
+	}
+}
+
 func BenchmarkChannelBroadcast(b *testing.B) {
 	k := sim.NewKernel(1)
 	c := NewChannel(k, DefaultParams(), nil)

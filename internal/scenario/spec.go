@@ -128,6 +128,14 @@ func presets() map[string]Spec {
 			Topology: Grid, BS: 54, Width: 2400, Height: 1500, JitterM: 30,
 			Vehicles: 24, SpeedKmh: 40, RouteStops: 10, DepartStagger: 2 * time.Second,
 		},
+		// The metropolitan reference for the radio-scaling sweep: a 484-BS
+		// region at grid-city density (≈1.5e-5 BS/m²) probed by a fixed
+		// 16-vehicle fleet. Big enough that the channel runs its spatially
+		// indexed path (≥ radio.DefaultIndexThreshold nodes).
+		"grid-metro": {
+			Topology: Grid, BS: 484, Width: 7200, Height: 4500, JitterM: 30,
+			Vehicles: 16, SpeedKmh: 40, RouteStops: 10, DepartStagger: 200 * time.Millisecond,
+		},
 		// A corridor deployment: basestations along a highway.
 		"strip-highway": {
 			Topology: Strip, BS: 40, Width: 6000, Height: 400, JitterM: 20,

@@ -19,9 +19,14 @@ import (
 const benchScale = 0.1
 
 // radioScale is the smaller multiplier for the radio-count sweep: its
-// 2000-radio top arm simulates a full metro deployment per iteration, so
-// the standard scale would push one iteration past half a minute.
+// 10000-radio top arm simulates a full metro deployment per iteration,
+// so the standard scale would push one iteration past a minute.
 const radioScale = 0.02
+
+// protoScale keeps the protocol-occupancy sweep's iteration short: its
+// arms overlap scale-radio's, so it needs only enough simulated time for
+// occupancy to saturate (one staleness window), not for link metrics.
+const protoScale = 0.01
 
 func benchExperiment(b *testing.B, id string) {
 	benchExperimentScaled(b, id, benchScale)
@@ -116,8 +121,14 @@ func BenchmarkScaleFleet(b *testing.B) { benchExperiment(b, "scale-fleet") }
 func BenchmarkScaleDensity(b *testing.B) { benchExperiment(b, "scale-density") }
 
 // BenchmarkScaleRadio regenerates the radio-count scaling sweep (100 →
-// 2000 radios at fixed traffic) on the channel's spatially indexed path.
+// 10000 radios at fixed traffic) on the channel's spatially indexed path.
 func BenchmarkScaleRadio(b *testing.B) { benchExperimentScaled(b, "scale-radio", radioScale) }
+
+// BenchmarkScaleProtocol regenerates the protocol-occupancy sweep (500 →
+// 10000 radios); its allocation gate is what pins the O(neighbors)
+// beaconing path in CI — a rescan regression at 10000 radios shows up
+// here as an allocs/op and wall-time jump.
+func BenchmarkScaleProtocol(b *testing.B) { benchExperimentScaled(b, "scale-protocol", protoScale) }
 
 // BenchmarkScaleAppTCP regenerates the per-vehicle TCP application sweep.
 func BenchmarkScaleAppTCP(b *testing.B) { benchExperiment(b, "scale-app-tcp") }

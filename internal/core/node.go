@@ -141,8 +141,10 @@ type Node struct {
 	// vehPeers marks addresses whose beacons carry FromVehicle: in fleet
 	// deployments a vehicle hears other vehicles loud and clear, but only
 	// basestations may serve as anchor or auxiliary (§4.3). Dense by
-	// address, grown on demand.
-	vehPeers []bool
+	// address up to maxDenseID, grown on demand; vehPeersHi backs larger
+	// addresses so the dense bound is a layout choice, not a limit.
+	vehPeers   []bool
+	vehPeersHi map[uint16]bool
 
 	// Basestation state: vehs is dense by vehicle address (vehsHi backs
 	// addresses beyond the dense bound, mirroring ProbTable's sparse
@@ -377,6 +379,13 @@ func (n *Node) handleFrame(f *frame.Frame, info radio.RxInfo) {
 // handleBeacon ingests probability reports and vehicle designations.
 // markVehPeer remembers that an address belongs to a vehicle.
 func (n *Node) markVehPeer(addr uint16) {
+	if int(addr) >= maxDenseID {
+		if n.vehPeersHi == nil {
+			n.vehPeersHi = map[uint16]bool{}
+		}
+		n.vehPeersHi[addr] = true
+		return
+	}
 	for len(n.vehPeers) <= int(addr) {
 		n.vehPeers = append(n.vehPeers, false)
 	}
@@ -385,6 +394,9 @@ func (n *Node) markVehPeer(addr uint16) {
 
 // isVehPeer reports whether the address is a known vehicle.
 func (n *Node) isVehPeer(addr uint16) bool {
+	if int(addr) >= maxDenseID {
+		return n.vehPeersHi[addr]
+	}
 	return int(addr) < len(n.vehPeers) && n.vehPeers[addr]
 }
 

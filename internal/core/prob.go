@@ -14,9 +14,25 @@ import (
 // rests on the density assumption.
 const maxDenseID = 2048
 
+// freshAt is the one staleness predicate of the probability table: a
+// timestamp recorded at t is fresh against the cutoff epoch (now − stale)
+// when it was ever set (≥ 0, −1 means never) and is at or after the
+// cutoff — the boundary is inclusive, an estimate exactly `stale` old
+// still counts. Get, FreshLocalPeers, Report and the expiry wheels all
+// route through this function, so the read paths cannot drift apart (the
+// pre-index Report carried its own gossip variant with a redundant
+// `>= 0` re-check, which this replaces).
+func freshAt(t, cutoff time.Duration) bool { return t >= 0 && t >= cutoff }
+
 // probSlot is one directed reception-probability estimate, stored by
 // value in the dense table. The EWMA of stats.EWMA is inlined so a slot
 // carries no pointers and observations touch exactly one cache line.
+//
+// The mem/wheel flags are owned by the per-self incremental index: for a
+// pair (a, b), memL/inLW describe the local fresh set of self b (is a a
+// member / filed in b's expiry wheel) and memG/inGW the gossip set of
+// self a. Each directed pair belongs to at most one set of each kind, so
+// the flags can live with the timestamps they qualify.
 type probSlot struct {
 	ewma    float64
 	gossip  float64       // last value learned from a beacon
@@ -24,6 +40,10 @@ type probSlot struct {
 	gossipT time.Duration // time of last gossip, -1 = never
 	ewmaOK  bool
 	hasG    bool
+	memL    bool // member of the local fresh set of self=to
+	inLW    bool // filed in that set's expiry wheel
+	memG    bool // member of the gossip fresh set of self=from
+	inGW    bool // filed in that set's expiry wheel
 }
 
 // emptySlot is the sentinel state of an untouched slot.
@@ -40,25 +60,138 @@ func (s *probSlot) update(x, alpha float64) {
 	s.ewma = alpha*x + (1-alpha)*s.ewma
 }
 
+// wheelItem is one lazy-expiry record: the id was fresh until at least
+// `at` when it was filed. Refreshes do not re-file (one record per
+// member); a popped record whose slot was refreshed since filing is
+// re-filed at the true expiry instead of expired.
+type wheelItem struct {
+	at time.Duration
+	id uint16
+}
+
+// freshSet is one incrementally maintained fresh-peer set: the sorted
+// member list FreshLocalPeers/Report hand out, plus the expiry wheel (a
+// binary min-heap on expiry time) that ages members out lazily when a
+// query advances past their staleness deadline — no rescans. Membership
+// and wheel-filing state live as flags on the probSlot itself.
+type freshSet struct {
+	members []uint16    // sorted ascending: exactly the currently fresh ids
+	wheel   []wheelItem // min-heap on (at, id); one record per member
+}
+
+// insertMember adds id to the sorted member list.
+func (s *freshSet) insertMember(id uint16) {
+	i, ok := slices.BinarySearch(s.members, id)
+	if ok {
+		return
+	}
+	s.members = slices.Insert(s.members, i, id)
+}
+
+// removeMember deletes id from the sorted member list.
+func (s *freshSet) removeMember(id uint16) {
+	i, ok := slices.BinarySearch(s.members, id)
+	if !ok {
+		return
+	}
+	s.members = slices.Delete(s.members, i, i+1)
+}
+
+// pushWheel files an expiry record.
+func (s *freshSet) pushWheel(at time.Duration, id uint16) {
+	s.wheel = append(s.wheel, wheelItem{at: at, id: id})
+	i := len(s.wheel) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !wheelLess(s.wheel[i], s.wheel[p]) {
+			break
+		}
+		s.wheel[i], s.wheel[p] = s.wheel[p], s.wheel[i]
+		i = p
+	}
+}
+
+// popWheel removes and returns the earliest record.
+func (s *freshSet) popWheel() wheelItem {
+	top := s.wheel[0]
+	last := len(s.wheel) - 1
+	s.wheel[0] = s.wheel[last]
+	s.wheel = s.wheel[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		min := i
+		if l < len(s.wheel) && wheelLess(s.wheel[l], s.wheel[min]) {
+			min = l
+		}
+		if r < len(s.wheel) && wheelLess(s.wheel[r], s.wheel[min]) {
+			min = r
+		}
+		if min == i {
+			return top
+		}
+		s.wheel[i], s.wheel[min] = s.wheel[min], s.wheel[i]
+		i = min
+	}
+}
+
+func wheelLess(a, b wheelItem) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.id < b.id
+}
+
+// probIndex is the incremental per-self view of a ProbTable: the fresh
+// local peers of self (froms with a fresh estimate of p(from→self)), the
+// fresh gossip targets of self (tos with a fresh gossiped p(self→to)),
+// and the cached beacon report built from them. Observations maintain the
+// sets in O(log members); queries age members out lazily through the
+// expiry wheels instead of rescanning the table, so the beacon path costs
+// O(peers actually heard recently) — O(neighbors) — not O(population).
+type probIndex struct {
+	self   uint16
+	local  freshSet
+	gossip freshSet
+	// rep caches the beacon report between queries: it stays valid until
+	// an observation touches self's sets or a member expires, so beacons
+	// inside a quiet interval reuse it without touching any peer.
+	rep   []frame.ProbEntry
+	repOK bool
+}
+
 // ProbTable holds a node's view of pairwise reception probabilities
 // p(a→b), fed by local beacon counting (authoritative) and by values
 // gossiped in peers' beacons (§4.6). Entries age out after the staleness
 // window so departed nodes stop influencing relay decisions.
 //
-// The table is a dense flat structure indexed [from][to] — the relay and
-// beacon hot paths perform no hashing and no allocation in steady state.
-// Staleness is evaluated against a cutoff epoch (now − stale) computed
-// once per sweep rather than per-entry subtraction.
+// Storage is a dense flat structure indexed [from][to] (sparse map
+// fallback for IDs ≥ maxDenseID) — the relay and beacon hot paths perform
+// no hashing and no allocation in steady state. The aggregate read paths
+// (FreshLocalPeers, Report) are served by incremental per-self indexes
+// (probIndex) maintained by the observe calls and aged by expiry wheels,
+// so their cost follows the node's neighborhood, never the population.
+//
+// Time must be fed monotonically: observations and queries with a `now`
+// earlier than a previous call may miss entries the wheels already aged
+// out. The simulation clock satisfies this by construction.
 type ProbTable struct {
 	alpha float64
 	stale time.Duration
 	rows  [][]probSlot
-	// sparse backs IDs ≥ maxDenseID. In-simulation traffic never lands
-	// here; it exists so hostile or synthetic inputs stay correct.
-	sparse map[[2]uint16]*probSlot
+	// sparse backs pairs involving IDs ≥ maxDenseID — at city scale most
+	// of a node's table lands here. Slots live in fixed-size slab chunks
+	// and the map holds indices: chunks never move (so *probSlot stays
+	// valid) and neither the map nor the slabs contain pointers, keeping
+	// a million-slot fleet entirely out of garbage-collector scans.
+	sparse map[[2]uint16]int32
+	slabs  [][]probSlot
 
-	peerScratch []uint16
-	repScratch  []frame.ProbEntry
+	// idx is the per-self incremental index. A protocol node only ever
+	// queries its own address, so the first index is cached directly;
+	// additional selves (tests, diagnostics) land in more.
+	idx  *probIndex
+	more map[uint16]*probIndex
 }
 
 // NewProbTable creates a table with the given EWMA factor and staleness.
@@ -77,7 +210,18 @@ func (t *ProbTable) peek(from, to uint16) *probSlot {
 		}
 		return nil
 	}
-	return t.sparse[[2]uint16{from, to}]
+	if si, ok := t.sparse[[2]uint16{from, to}]; ok {
+		return t.slabAt(si)
+	}
+	return nil
+}
+
+// slabChunk is the slab chunk size (power of two) for sparse slots.
+const slabChunk = 1 << 12
+
+// slabAt resolves a slab index to its slot.
+func (t *ProbTable) slabAt(si int32) *probSlot {
+	return &t.slabs[si>>12][si&(slabChunk-1)]
 }
 
 // slot returns the slot for (from, to), growing the dense table (or the
@@ -86,15 +230,21 @@ func (t *ProbTable) peek(from, to uint16) *probSlot {
 func (t *ProbTable) slot(from, to uint16) *probSlot {
 	if int(from) >= maxDenseID || int(to) >= maxDenseID {
 		k := [2]uint16{from, to}
-		s, ok := t.sparse[k]
+		si, ok := t.sparse[k]
 		if !ok {
-			s = &probSlot{local: -1, gossipT: -1}
-			if t.sparse == nil {
-				t.sparse = map[[2]uint16]*probSlot{}
+			n := len(t.slabs)
+			if n == 0 || len(t.slabs[n-1]) == slabChunk {
+				t.slabs = append(t.slabs, make([]probSlot, 0, slabChunk))
+				n++
 			}
-			t.sparse[k] = s
+			t.slabs[n-1] = append(t.slabs[n-1], emptySlot())
+			si = int32((n-1)*slabChunk + len(t.slabs[n-1]) - 1)
+			if t.sparse == nil {
+				t.sparse = map[[2]uint16]int32{}
+			}
+			t.sparse[k] = si
 		}
-		return s
+		return t.slabAt(si)
 	}
 	for len(t.rows) <= int(from) {
 		t.rows = append(t.rows, nil)
@@ -107,12 +257,136 @@ func (t *ProbTable) slot(from, to uint16) *probSlot {
 	return &row[to]
 }
 
+// peekIndex returns the index for self when one exists.
+func (t *ProbTable) peekIndex(self uint16) *probIndex {
+	if ix := t.idx; ix != nil && ix.self == self {
+		return ix
+	}
+	if t.more != nil {
+		return t.more[self]
+	}
+	return nil
+}
+
+// indexFor returns the index for self, building it on first query with
+// one sweep of the stored slots (the only full scan the table ever does
+// per self; every later update is incremental).
+func (t *ProbTable) indexFor(self uint16, now time.Duration) *probIndex {
+	if ix := t.peekIndex(self); ix != nil {
+		return ix
+	}
+	ix := t.buildIndex(self, now)
+	if t.idx == nil {
+		t.idx = ix
+	} else {
+		if t.more == nil {
+			t.more = map[uint16]*probIndex{}
+		}
+		t.more[self] = ix
+	}
+	return ix
+}
+
+// buildIndex seeds the per-self index from the slots already stored:
+// entries fresh at build time become members with a wheel record; stale
+// entries stay out (a future observation re-adds them).
+func (t *ProbTable) buildIndex(self uint16, now time.Duration) *probIndex {
+	ix := &probIndex{self: self}
+	cutoff := now - t.stale
+	s := int(self)
+	for from := range t.rows {
+		row := t.rows[from]
+		if s < len(row) {
+			if e := &row[s]; freshAt(e.local, cutoff) {
+				e.memL, e.inLW = true, true
+				ix.local.members = append(ix.local.members, uint16(from))
+				ix.local.pushWheel(e.local+t.stale, uint16(from))
+			}
+		}
+	}
+	if s < len(t.rows) {
+		row := t.rows[s]
+		for to := range row {
+			if e := &row[to]; e.hasG && freshAt(e.gossipT, cutoff) {
+				e.memG, e.inGW = true, true
+				ix.gossip.members = append(ix.gossip.members, uint16(to))
+				ix.gossip.pushWheel(e.gossipT+t.stale, uint16(to))
+			}
+		}
+	}
+	for k, si := range t.sparse {
+		e := t.slabAt(si)
+		if k[1] == self && freshAt(e.local, cutoff) {
+			e.memL, e.inLW = true, true
+			ix.local.members = append(ix.local.members, k[0])
+			ix.local.pushWheel(e.local+t.stale, k[0])
+		}
+		if k[0] == self && e.hasG && freshAt(e.gossipT, cutoff) {
+			e.memG, e.inGW = true, true
+			ix.gossip.members = append(ix.gossip.members, k[1])
+			ix.gossip.pushWheel(e.gossipT+t.stale, k[1])
+		}
+	}
+	// Dense froms arrive in order but sparse ones in map order; one sort
+	// at build time establishes the invariant the updates maintain.
+	slices.Sort(ix.local.members)
+	slices.Sort(ix.gossip.members)
+	return ix
+}
+
+// expireLocal advances self's local wheel to now: filed records past
+// their deadline are popped, re-filed when the slot was refreshed since
+// filing, and otherwise expired — the member leaves the set and the
+// cached report. Amortized O(log members) per expiry, O(1) when nothing
+// is due.
+func (t *ProbTable) expireLocal(ix *probIndex, now time.Duration) {
+	w := &ix.local
+	for len(w.wheel) > 0 && w.wheel[0].at < now {
+		it := w.popWheel()
+		e := t.peek(it.id, ix.self) // member ⇒ slot exists
+		if at := e.local + t.stale; at >= now {
+			w.pushWheel(at, it.id) // refreshed since filing
+			continue
+		}
+		e.memL, e.inLW = false, false
+		w.removeMember(it.id)
+		ix.repOK = false
+	}
+}
+
+// expireGossip is expireLocal for the gossip set (self→to entries).
+func (t *ProbTable) expireGossip(ix *probIndex, now time.Duration) {
+	w := &ix.gossip
+	for len(w.wheel) > 0 && w.wheel[0].at < now {
+		it := w.popWheel()
+		e := t.peek(ix.self, it.id)
+		if at := e.gossipT + t.stale; at >= now {
+			w.pushWheel(at, it.id)
+			continue
+		}
+		e.memG, e.inGW = false, false
+		w.removeMember(it.id)
+		ix.repOK = false
+	}
+}
+
 // ObserveLocal folds a locally measured reception ratio for from→to
 // (normally to == self) at the given time.
 func (t *ProbTable) ObserveLocal(from, to uint16, ratio float64, now time.Duration) {
 	s := t.slot(from, to)
 	s.update(ratio, t.alpha)
 	s.local = now
+	if ix := t.peekIndex(to); ix != nil {
+		ix.repOK = false
+		if !s.memL {
+			s.memL = true
+			ix.local.insertMember(from)
+		}
+		if !s.inLW {
+			s.inLW = true
+			ix.local.pushWheel(now+t.stale, from)
+		}
+	}
 }
 
 // ObserveGossip records a probability learned from a peer's beacon.
@@ -122,6 +396,17 @@ func (t *ProbTable) ObserveGossip(from, to uint16, p float64, now time.Duration)
 	s.gossip = p
 	s.gossipT = now
 	s.hasG = true
+	if ix := t.peekIndex(from); ix != nil {
+		ix.repOK = false
+		if !s.memG {
+			s.memG = true
+			ix.gossip.insertMember(to)
+		}
+		if !s.inGW {
+			s.inGW = true
+			ix.gossip.pushWheel(now+t.stale, to)
+		}
+	}
 }
 
 // Get returns the current estimate of p(from→to), preferring fresh local
@@ -134,10 +419,11 @@ func (t *ProbTable) Get(from, to uint16, now time.Duration) float64 {
 	if s == nil {
 		return 0
 	}
-	if s.local >= 0 && now-s.local <= t.stale {
+	cutoff := now - t.stale
+	if freshAt(s.local, cutoff) {
 		return s.ewma
 	}
-	if s.hasG && now-s.gossipT <= t.stale {
+	if s.hasG && freshAt(s.gossipT, cutoff) {
 		return s.gossip
 	}
 	return 0
@@ -145,101 +431,85 @@ func (t *ProbTable) Get(from, to uint16, now time.Duration) float64 {
 
 // FreshLocalPeers returns the peers x with a fresh local estimate of
 // p(x→self); used to build beacon prob reports and auxiliary sets. The
-// result is sorted ascending (the dense sweep visits IDs in order):
-// callers break argmax ties and order auxiliary sets by it, so any other
-// order would leak nondeterminism into anchor choice, relay probabilities
-// and ultimately whole reports.
+// result is sorted ascending: callers break argmax ties and order
+// auxiliary sets by it, so any other order would leak nondeterminism
+// into anchor choice, relay probabilities and ultimately whole reports.
 //
-// The returned slice is scratch owned by the table, valid until the next
-// FreshLocalPeers call.
+// The returned slice is the index's live member list — read-only, valid
+// until the next observation or query for this self. (Refreshing a
+// current member, as the beacon counter's decay loop does mid-iteration,
+// does not move it.)
 func (t *ProbTable) FreshLocalPeers(self uint16, now time.Duration) []uint16 {
-	cutoff := now - t.stale
-	out := t.peerScratch[:0]
-	s := int(self)
-	for from := range t.rows {
-		row := t.rows[from]
-		if s < len(row) {
-			if e := &row[s]; e.local >= 0 && e.local >= cutoff {
-				out = append(out, uint16(from))
-			}
-		}
-	}
-	// Sparse froms are all ≥ maxDenseID, i.e. greater than every dense
-	// from: sorting just the sparse tail keeps the whole result sorted.
-	if len(t.sparse) > 0 {
-		head := len(out)
-		for k, e := range t.sparse {
-			if k[1] == self && e.local >= 0 && e.local >= cutoff {
-				out = append(out, k[0])
-			}
-		}
-		slices.Sort(out[head:])
-	}
-	t.peerScratch = out
-	return out
+	ix := t.indexFor(self, now)
+	t.expireLocal(ix, now)
+	return ix.local.members
 }
 
 // Report builds the beacon probability entries for a node: its fresh
 // local measurements (x→self) and the fresh gossiped values about its own
 // outgoing links (self→x), which it learned from x's beacons (§4.6).
+// Entries are ordered by (From, To) with the report truncated to 255 —
+// the wire bound — after ordering, so truncation under ties is exact.
 //
-// The returned slice is scratch owned by the table, valid until the next
-// Report call (the beacon path marshals it immediately).
+// The report is rebuilt only when something changed: between
+// observations and expiries the cached entries are returned as-is, so a
+// beacon inside a quiet interval touches no peer state at all. The
+// returned slice is owned by the table, valid until the next call.
 func (t *ProbTable) Report(self uint16, now time.Duration) []frame.ProbEntry {
-	cutoff := now - t.stale
-	out := t.repScratch[:0]
-	s := int(self)
-	for from := range t.rows {
-		row := t.rows[from]
-		if s < len(row) {
-			if e := &row[s]; e.local >= 0 && e.local >= cutoff {
-				out = append(out, frame.ProbEntry{From: uint16(from), To: self, Prob: e.ewma})
-			}
-		}
+	ix := t.indexFor(self, now)
+	t.expireLocal(ix, now)
+	t.expireGossip(ix, now)
+	if ix.repOK {
+		return ix.rep
 	}
-	if s < len(t.rows) {
-		row := t.rows[s]
-		for to := range row {
-			if e := &row[to]; e.hasG && e.gossipT >= cutoff && e.gossipT >= 0 {
-				out = append(out, frame.ProbEntry{From: self, To: uint16(to), Prob: e.gossip})
-			}
-		}
+	out := ix.rep[:0]
+	lm, gm := ix.local.members, ix.gossip.members
+	li := 0
+	for ; li < len(lm) && lm[li] < self; li++ {
+		out = append(out, frame.ProbEntry{From: lm[li], To: self, Prob: t.peek(lm[li], self).ewma})
 	}
-	for k, e := range t.sparse {
-		if k[1] == self && e.local >= 0 && e.local >= cutoff {
-			out = append(out, frame.ProbEntry{From: k[0], To: self, Prob: e.ewma})
-		}
-		if k[0] == self && e.hasG && e.gossipT >= cutoff && e.gossipT >= 0 {
-			out = append(out, frame.ProbEntry{From: self, To: k[1], Prob: e.gossip})
-		}
+	// The From == self block merges the (self, self) local entry — which
+	// only synthetic inputs can produce — into the gossip entries by To,
+	// local first on the exact tie.
+	selfLocal := li < len(lm) && lm[li] == self
+	if selfLocal {
+		li++
 	}
-	// Deterministic report order: the 255-entry truncation below must not
-	// depend on sweep interleaving.
-	slices.SortFunc(out, func(a, b frame.ProbEntry) int {
-		if a.From != b.From {
-			return int(a.From) - int(b.From)
+	for _, to := range gm {
+		if selfLocal && to >= self {
+			out = append(out, frame.ProbEntry{From: self, To: self, Prob: t.peek(self, self).ewma})
+			selfLocal = false
 		}
-		return int(a.To) - int(b.To)
-	})
-	t.repScratch = out
+		out = append(out, frame.ProbEntry{From: self, To: to, Prob: t.peek(self, to).gossip})
+	}
+	if selfLocal {
+		out = append(out, frame.ProbEntry{From: self, To: self, Prob: t.peek(self, self).ewma})
+	}
+	for ; li < len(lm); li++ {
+		out = append(out, frame.ProbEntry{From: lm[li], To: self, Prob: t.peek(lm[li], self).ewma})
+	}
 	if len(out) > 255 {
 		out = out[:255]
 	}
+	ix.rep = out
+	ix.repOK = true
 	return out
 }
 
 // beaconCounter tracks beacons heard from each peer in the current
 // probe window and flushes per-window reception ratios into a ProbTable.
-// The per-peer counters are a dense ID-indexed slice zeroed in place at
-// each flush, so the beacon path never allocates.
+// The per-peer counters are a dense ID-indexed slice; heardList records
+// which entries the window touched, so both the flush sweep and the
+// zeroing visit exactly the peers heard — O(neighbors), never O(table).
 type beaconCounter struct {
-	table    *ProbTable
-	self     uint16
-	window   time.Duration
-	expected float64 // beacons expected per window
-	heard    []int32 // beacons heard this window, indexed by peer
-	heardHi  map[uint16]int32
-	windowAt time.Duration
+	table     *ProbTable
+	self      uint16
+	window    time.Duration
+	expected  float64  // beacons expected per window
+	heard     []int32  // beacons heard this window, indexed by peer
+	heardList []uint16 // dense peers with a nonzero count, in first-heard order
+	heardHi   map[uint16]int32
+	windowAt  time.Duration
 }
 
 func newBeaconCounter(table *ProbTable, self uint16, window, beaconInterval time.Duration) *beaconCounter {
@@ -263,6 +533,9 @@ func (b *beaconCounter) hear(peer uint16) {
 	for len(b.heard) <= int(peer) {
 		b.heard = append(b.heard, 0)
 	}
+	if b.heard[peer] == 0 {
+		b.heardList = append(b.heardList, peer)
+	}
 	b.heard[peer]++
 }
 
@@ -274,21 +547,18 @@ func (b *beaconCounter) heardFrom(peer uint16) bool {
 	return int(peer) < len(b.heard) && b.heard[peer] > 0
 }
 
-// flush closes the window at time now: every peer heard at least once in
-// any window so far gets its ratio folded in (including zero ratios for
-// currently-known peers that went silent, so estimates decay).
+// flush closes the window at time now: every peer heard this window gets
+// its ratio folded in, and currently-known peers that went silent decay
+// toward zero so their estimates can age out.
 func (b *beaconCounter) flush(now time.Duration) {
 	// Fold ratios for peers heard this window. EWMA folding is per-peer
 	// independent, so the sweep order does not affect state.
-	for peer, n := range b.heard {
-		if n == 0 {
-			continue
-		}
-		r := float64(n) / b.expected
+	for _, peer := range b.heardList {
+		r := float64(b.heard[peer]) / b.expected
 		if r > 1 {
 			r = 1
 		}
-		b.table.ObserveLocal(uint16(peer), b.self, r, now)
+		b.table.ObserveLocal(peer, b.self, r, now)
 	}
 	for peer, n := range b.heardHi {
 		if n == 0 {
@@ -310,7 +580,10 @@ func (b *beaconCounter) flush(now time.Duration) {
 			}
 		}
 	}
-	clear(b.heard)
+	for _, peer := range b.heardList {
+		b.heard[peer] = 0
+	}
+	b.heardList = b.heardList[:0]
 	clear(b.heardHi)
 	b.windowAt = now
 }

@@ -1,0 +1,73 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"github.com/vanlan/vifi/internal/frame"
+)
+
+// benchPop is the historical peer population: every one of these IDs has
+// been observed at least once, so the pre-index implementation (the map
+// reference) pays for all of them on every beacon. benchNbrs is the live
+// neighborhood re-observed each interval — the only set the incremental
+// table should be touching.
+const (
+	benchPop  = 10000
+	benchNbrs = 24
+)
+
+// beaconTable is the surface the beacon path exercises each interval,
+// satisfied by both the incremental table and the map reference.
+type beaconTable interface {
+	ObserveLocal(from, to uint16, ratio float64, now time.Duration)
+	FreshLocalPeers(self uint16, now time.Duration) []uint16
+	Report(self uint16, now time.Duration) []frame.ProbEntry
+}
+
+// benchBeaconSweep measures one beacon interval's protocol work — refresh
+// the neighborhood, churn one distant peer, list fresh peers, build the
+// report — over a table that has historically seen a 10000-peer
+// population. The population is aged out before timing starts: a node
+// that has driven across the city holds state for thousands of peers but
+// hears only its neighborhood, and per-beacon cost must follow the
+// latter.
+func benchBeaconSweep(b *testing.B, tb beaconTable) {
+	const stale = 3 * time.Second
+	const self = 0
+	now := time.Second
+	for p := 1; p <= benchPop; p++ {
+		tb.ObserveLocal(uint16(p), self, 0.5, now)
+	}
+	now += stale + time.Second
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		now += 100 * time.Millisecond
+		for p := uint16(1); p <= benchNbrs; p++ {
+			tb.ObserveLocal(p, self, 0.5, now)
+		}
+		churn := uint16(benchNbrs + 1 + i%(benchPop-benchNbrs))
+		tb.ObserveLocal(churn, self, 0.9, now)
+		if got := tb.FreshLocalPeers(self, now); len(got) == 0 {
+			b.Fatal("empty fresh set")
+		}
+		if rep := tb.Report(self, now); len(rep) == 0 {
+			b.Fatal("empty report")
+		}
+	}
+}
+
+// BenchmarkProbBeaconSweep10k is the incremental table on the beacon
+// path: O(neighbors) per interval regardless of historical population.
+func BenchmarkProbBeaconSweep10k(b *testing.B) {
+	benchBeaconSweep(b, NewProbTable(0.5, 3*time.Second))
+}
+
+// BenchmarkRefProbBeaconSweep10k is the pre-index implementation on the
+// identical sequence: it rescans the full 10000-entry map per query, and
+// the ratio between these two benchmarks is the protocol-layer speedup
+// the index exists for.
+func BenchmarkRefProbBeaconSweep10k(b *testing.B) {
+	benchBeaconSweep(b, newRefProbTable(0.5, 3*time.Second))
+}

@@ -84,6 +84,12 @@ func (t *refProbTable) FreshLocalPeers(self uint16, now time.Duration) []uint16 
 }
 
 func (t *refProbTable) Report(self uint16, now time.Duration) []frame.ProbEntry {
+	// (From, To) does not uniquely key a report entry in one corner: the
+	// pair (self, self) can carry both a local measurement and a gossiped
+	// value (impossible in simulation — nodes never hear themselves — but
+	// reachable by synthetic inputs). The contract is local before gossip
+	// on that tie; emitting the local entry adjacent-first per key and
+	// sorting stably pins it here.
 	var out []frame.ProbEntry
 	for k, e := range t.m {
 		if k[1] == self && e.local >= 0 && now-e.local <= t.stale {
@@ -93,7 +99,7 @@ func (t *refProbTable) Report(self uint16, now time.Duration) []frame.ProbEntry 
 			out = append(out, frame.ProbEntry{From: self, To: k[1], Prob: e.gossip})
 		}
 	}
-	slices.SortFunc(out, func(a, b frame.ProbEntry) int {
+	slices.SortStableFunc(out, func(a, b frame.ProbEntry) int {
 		if a.From != b.From {
 			return int(a.From) - int(b.From)
 		}
@@ -105,23 +111,31 @@ func (t *refProbTable) Report(self uint16, now time.Duration) []frame.ProbEntry 
 	return out
 }
 
-// TestProbTableMatchesMapReference drives the dense table and the map
-// reference through identical randomized observe/expire/query sequences
-// and demands exact agreement — including EWMA float arithmetic, staleness
-// boundaries and report truncation. IDs mix the dense range with values
-// beyond maxDenseID to exercise the sparse fallback.
+// probIDRegimes are the ID populations the randomized trials cycle
+// through: all-dense (flat rows only), all-sparse (every pair ≥
+// maxDenseID, so the whole table lives in the slab-backed map), and
+// mixed (cross pairs land sparse whenever either end does).
+var probIDRegimes = [][]uint16{
+	{0, 1, 2, 3, 7, 11, 19},
+	{maxDenseID, maxDenseID + 5, maxDenseID + 100, 40000, 65000, 65535},
+	{0, 1, 2, 3, 7, 11, 19, maxDenseID + 5, 65000},
+}
+
+// TestProbTableMatchesMapReference drives the incremental table and the
+// map reference through identical randomized observe/expire/query
+// sequences and demands exact agreement — including EWMA float
+// arithmetic, staleness boundaries, ordering and report truncation. The
+// trials cycle through dense, sparse and mixed ID regimes so the flat
+// rows, the slab-backed sparse fallback and the cross pairs all face the
+// same sequences.
 func TestProbTableMatchesMapReference(t *testing.T) {
-	for trial := 0; trial < 20; trial++ {
+	for trial := 0; trial < 24; trial++ {
 		rng := sim.NewRNG(uint64(1000 + trial))
 		const stale = 3 * time.Second
 		dut := NewProbTable(0.5, stale)
 		ref := newRefProbTable(0.5, stale)
 
-		ids := []uint16{0, 1, 2, 3, 7, 11, 19}
-		if trial%3 == 0 {
-			// Exercise the sparse overflow path too.
-			ids = append(ids, maxDenseID+5, 65000)
-		}
+		ids := probIDRegimes[trial%len(probIDRegimes)]
 		pick := func() uint16 { return ids[rng.Intn(len(ids))] }
 
 		now := time.Duration(0)
@@ -171,6 +185,101 @@ func TestProbTableMatchesMapReference(t *testing.T) {
 				}
 			}
 		}
+	}
+}
+
+// TestProbTableStalenessBoundary pins the exact cutoff semantics on
+// every read path: an entry observed at t is fresh at t+stale inclusive
+// and stale one nanosecond later, for local and gossip alike, in the
+// dense and sparse layouts alike. The expiry wheels must reproduce this
+// boundary exactly — popping at `at < now` (strict) is what makes the
+// inclusive edge survive.
+func TestProbTableStalenessBoundary(t *testing.T) {
+	const stale = 3 * time.Second
+	for _, ids := range probIDRegimes {
+		peerL, peerG, self := ids[0], ids[1], ids[2]
+		dut := NewProbTable(0.5, stale)
+		ref := newRefProbTable(0.5, stale)
+		t0 := 10 * time.Second
+		for _, tb := range []interface {
+			ObserveLocal(from, to uint16, ratio float64, now time.Duration)
+			ObserveGossip(from, to uint16, p float64, now time.Duration)
+		}{dut, ref} {
+			tb.ObserveLocal(peerL, self, 0.75, t0)
+			tb.ObserveGossip(self, peerG, 0.25, t0)
+		}
+		edge := t0 + stale
+		for _, q := range []struct {
+			now       time.Duration
+			wantFresh bool
+		}{{t0, true}, {edge - 1, true}, {edge, true}, {edge + 1, false}} {
+			if got := dut.Get(peerL, self, q.now); (got != 0) != q.wantFresh {
+				t.Fatalf("ids %v: local Get at t0+stale%+d = %v, want fresh=%v",
+					ids[:3], q.now-edge, got, q.wantFresh)
+			}
+			if got := dut.Get(self, peerG, q.now); (got != 0) != q.wantFresh {
+				t.Fatalf("ids %v: gossip Get at t0+stale%+d = %v, want fresh=%v",
+					ids[:3], q.now-edge, got, q.wantFresh)
+			}
+			wantPeers := 0
+			if q.wantFresh {
+				wantPeers = 1
+			}
+			if got := dut.FreshLocalPeers(self, q.now); len(got) != wantPeers {
+				t.Fatalf("ids %v: FreshLocalPeers at t0+stale%+d = %v, want %d peers",
+					ids[:3], q.now-edge, got, wantPeers)
+			}
+			gr, wr := dut.Report(self, q.now), ref.Report(self, q.now)
+			if fmt.Sprint(gr) != fmt.Sprint(wr) {
+				t.Fatalf("ids %v: Report at t0+stale%+d =\n%v\nref\n%v", ids[:3], q.now-edge, gr, wr)
+			}
+			if len(gr) != 2*wantPeers {
+				t.Fatalf("ids %v: Report at t0+stale%+d has %d entries, want %d",
+					ids[:3], q.now-edge, len(gr), 2*wantPeers)
+			}
+		}
+	}
+}
+
+// TestProbTableReportTruncationTies drives the 255-entry cut through the
+// one genuine sort tie — the (self, self) pair carrying both a local
+// measurement and a gossiped value — placed so the cut lands inside the
+// From == self block. Local must come before gossip on the tie and the
+// truncated prefixes must match the reference exactly.
+func TestProbTableReportTruncationTies(t *testing.T) {
+	const self = 100
+	dut := NewProbTable(0.5, time.Hour)
+	ref := newRefProbTable(0.5, time.Hour)
+	now := time.Second
+	for _, tb := range []interface {
+		ObserveLocal(from, to uint16, ratio float64, now time.Duration)
+		ObserveGossip(from, to uint16, p float64, now time.Duration)
+	}{dut, ref} {
+		for i := 1; i <= 150; i++ {
+			// From 1..99 sort before the From == self block, 101..150 after.
+			if i != self {
+				tb.ObserveLocal(uint16(i), self, 0.5, now)
+			}
+		}
+		tb.ObserveLocal(self, self, 0.9, now) // the tie, local side
+		tb.ObserveGossip(self, self, 0.1, now)
+		for i := 1; i <= 150; i++ {
+			tb.ObserveGossip(self, uint16(self+i), 0.3, now) // From == self block
+		}
+	}
+	gr, wr := dut.Report(self, 2*time.Second), ref.Report(self, 2*time.Second)
+	if len(gr) != 255 {
+		t.Fatalf("report length %d, want 255", len(gr))
+	}
+	if fmt.Sprint(gr) != fmt.Sprint(wr) {
+		t.Fatalf("truncated tie report mismatch:\n%v\nref\n%v", gr, wr)
+	}
+	// The tie sits at positions 99/100 (after the 99 smaller-From local
+	// entries): local (0.9) strictly before gossip (0.1) at the identical
+	// (From, To) key.
+	if gr[99].From != self || gr[99].To != self || gr[99].Prob != 0.9 ||
+		gr[100].From != self || gr[100].To != self || gr[100].Prob != 0.1 {
+		t.Fatalf("tie order wrong: %v %v", gr[99], gr[100])
 	}
 }
 

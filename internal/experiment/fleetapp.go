@@ -41,6 +41,17 @@ type FleetAppRun struct {
 	// Channel counters over the whole run.
 	Transmissions int
 	Collisions    int
+
+	// Protocol-state occupancy, sampled once at run end: mean fresh
+	// local peers, beacon report entries and radio-grid neighborhood
+	// size per basestation, and mean designated auxiliaries per
+	// vehicle. These are the scale-protocol sweep's evidence that
+	// per-beacon protocol work tracks the neighborhood, not the radio
+	// population.
+	FreshPeersBS float64
+	ReportBS     float64
+	GridNbrsBS   float64
+	AuxPerVeh    float64
 }
 
 // DeliveredPerSec, DeliveryRatio, MedianSession and Interruptions expose
@@ -152,6 +163,28 @@ func RunFleetAppWorkload(seed int64, spec scenario.Spec, cfg core.Config, durati
 	st := cell.Channel.Stats()
 	run.Transmissions = st.Transmissions
 	run.Collisions = st.Collisions
+
+	// Occupancy sample: read-only with respect to the metrics above (the
+	// drivers have already stopped), so it cannot perturb any report.
+	now := k.Now()
+	var nbr []uint16
+	for _, bs := range cell.BSes {
+		run.FreshPeersBS += float64(len(bs.Probs().FreshLocalPeers(bs.Addr(), now)))
+		run.ReportBS += float64(len(bs.Probs().Report(bs.Addr(), now)))
+		nbr = bs.MAC().Neighbors(nbr[:0])
+		run.GridNbrsBS += float64(len(nbr))
+	}
+	if n := float64(len(cell.BSes)); n > 0 {
+		run.FreshPeersBS /= n
+		run.ReportBS /= n
+		run.GridNbrsBS /= n
+	}
+	for _, v := range cell.Vehicles {
+		run.AuxPerVeh += float64(v.AuxCount())
+	}
+	if nv > 0 {
+		run.AuxPerVeh /= float64(nv)
+	}
 
 	// Rebuild the slot-level FleetRun from the CBR vehicles so link
 	// metrics read exactly like the original constant-rate workload.

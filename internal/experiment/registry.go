@@ -33,9 +33,10 @@ var registry = map[string]Runner{
 	"ablate-retx":      AblateRetx,
 
 	// City-scale scenario sweeps (DESIGN.md §7).
-	"scale-fleet":   ScaleFleet,
-	"scale-density": ScaleDensity,
-	"scale-radio":   ScaleRadio,
+	"scale-fleet":    ScaleFleet,
+	"scale-density":  ScaleDensity,
+	"scale-radio":    ScaleRadio,
+	"scale-protocol": ScaleProtocol,
 
 	// Fleet application sweeps (DESIGN.md §8).
 	"scale-app-tcp":  ScaleAppTCP,

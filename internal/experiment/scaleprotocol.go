@@ -1,0 +1,60 @@
+package experiment
+
+import (
+	"fmt"
+
+	"github.com/vanlan/vifi/internal/workload"
+)
+
+// This file carries the protocol-occupancy scaling sweep: the
+// protocol-layer counterpart of scale-radio (DESIGN.md §6). Where
+// scale-radio watches link metrics as the radio population grows, this
+// sweep watches the quantities the ViFi layer actually iterates per
+// beacon — fresh local peers, beacon report entries, designated
+// auxiliaries — against the radio-grid neighborhood they are supposed to
+// track. Flat occupancy columns across a 20× population growth are the
+// observable form of the O(neighbors) beaconing contract: per-beacon
+// work is bounded by who is audible, not by who exists.
+
+// scaleProtocolArms is the total-radio axis. A deliberate subset of
+// scaleRadioArms built by the shared setScaleRadioArm, so any arm both
+// sweeps name resolves to the same run-cache entry and is simulated
+// once per engine.
+var scaleProtocolArms = []int{500, 2000, 10000}
+
+// scaleProtocolHeader labels the occupancy columns next to the channel
+// transmission count, the anchor showing the contrast the sweep exists
+// for: transmissions grow with the population (every radio beacons),
+// occupancy does not.
+var scaleProtocolHeader = []string{"arm", "BSes", "vehicles", "tx",
+	"fresh peers/BS", "report entries/BS", "grid nbrs/BS", "aux/veh"}
+
+// ScaleProtocol sweeps the radio population at fixed traffic and reports
+// protocol-state occupancy sampled at run end: how many peers each
+// basestation holds fresh, how many entries its beacon report carries,
+// how large its radio-grid neighborhood is, and how many auxiliaries
+// each vehicle designates. Options.Scenario overrides the base
+// deployment exactly as in scale-radio.
+func ScaleProtocol(o Options) *Report {
+	r := &Report{
+		ID:     "scale-protocol",
+		Title:  "Protocol-state occupancy vs radio population on a generated metro grid",
+		Header: scaleProtocolHeader,
+	}
+	runFleetSweep(r, o, "grid-metro", workload.CBRKind, scaleProtocolArms,
+		setScaleRadioArm,
+		func(n int, run *FleetAppRun) []string {
+			return []string{
+				fmt.Sprintf("radios=%d", n),
+				fmt.Sprintf("%d", run.BSCount),
+				fmt.Sprintf("%d", run.Vehicles),
+				fmt.Sprintf("%d", run.Transmissions),
+				f1(run.FreshPeersBS),
+				f1(run.ReportBS),
+				f1(run.GridNbrsBS),
+				f2(run.AuxPerVeh),
+			}
+		})
+	r.AddNote("occupancy sampled once at run end; fresh peers and report entries must track the grid neighborhood (constant BS density), not the radio population — flat columns across a 20× population growth are the O(neighbors) beaconing contract")
+	return r
+}

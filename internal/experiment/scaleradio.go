@@ -23,8 +23,9 @@ const scaleRadioVehicles = 16
 // 100-radio arm sits below radio.DefaultIndexThreshold (128) and runs
 // the legacy full sweep — the report notes the resulting seam — while
 // every larger arm runs the spatially indexed path, where the pre-index
-// O(N) sweep turned quadratic.
-var scaleRadioArms = []int{100, 250, 500, 1000, 2000}
+// O(N) sweep turned quadratic. The 10000-radio arm is the city-scale
+// endpoint the protocol-layer index (DESIGN.md §6) is sized against.
+var scaleRadioArms = []int{100, 250, 500, 1000, 2000, 10000}
 
 // scaleRadioRegion returns the region dimensions that keep basestation
 // density constant at the grid-city reference (54 BSes per 2400×1500 m)
@@ -36,8 +37,18 @@ func scaleRadioRegion(bs int) (w, h float64) {
 	return math.Round(2400 * f), math.Round(1500 * f)
 }
 
+// setScaleRadioArm pins one sweep arm's deployment: the fixed probe
+// fleet, n−16 basestations, and a constant-density region. Shared with
+// the scale-protocol sweep so equal arms hash to equal run-cache keys
+// and one simulation serves both reports.
+func setScaleRadioArm(s *scenario.Spec, n int) {
+	s.Vehicles = scaleRadioVehicles
+	s.BS = n - scaleRadioVehicles
+	s.Width, s.Height = scaleRadioRegion(s.BS)
+}
+
 // ScaleRadio sweeps the radio population at fixed traffic on a generated
-// metropolitan grid: 100 → 2000 radios, each arm a constant-density
+// metropolitan grid: 100 → 10000 radios, each arm a constant-density
 // region probed by the same 16-vehicle CBR fleet. Options.Scenario
 // overrides the base deployment (its app is forced to cbr and its
 // vehicle count to the fixed fleet; the sweep sets BS count and region
@@ -49,11 +60,7 @@ func ScaleRadio(o Options) *Report {
 		Header: fleetHeader,
 	}
 	runFleetSweep(r, o, "grid-metro", workload.CBRKind, scaleRadioArms,
-		func(s *scenario.Spec, n int) {
-			s.Vehicles = scaleRadioVehicles
-			s.BS = n - scaleRadioVehicles
-			s.Width, s.Height = scaleRadioRegion(s.BS)
-		},
+		setScaleRadioArm,
 		func(n int, run *FleetAppRun) []string {
 			return fleetRow(fmt.Sprintf("radios=%d", n), run.Link)
 		})

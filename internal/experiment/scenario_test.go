@@ -2,6 +2,7 @@ package experiment
 
 import (
 	"os"
+	"slices"
 	"testing"
 	"time"
 
@@ -74,13 +75,13 @@ func TestScaleGoldenReports(t *testing.T) {
 }
 
 // scaleRadioTestScale keeps the radio-count sweep affordable in the test
-// suite: the 2000-radio top arm still runs ~5 simulated seconds of full
+// suite: the 10000-radio top arm still runs ~5 simulated seconds of full
 // fleet traffic on the channel's spatially indexed path.
 const scaleRadioTestScale = 0.02
 
 // TestScaleRadioIndexedDeterminism is the large-N determinism gate for
 // the spatially indexed channel: the scale-radio sweep — whose top arm
-// runs 2000 radios, far past radio.DefaultIndexThreshold — must render
+// runs 10000 radios, far past radio.DefaultIndexThreshold — must render
 // byte-identically to the committed golden (cross-version contract,
 // -update-golden to refresh deliberately) and between the serial inline
 // path and a multi-worker engine. One serial rendering serves both
@@ -110,6 +111,62 @@ func TestScaleRadioIndexedDeterminism(t *testing.T) {
 	}
 	if serial.String() != par.String() {
 		t.Errorf("scale-radio parallel output differs from serial:\n--- serial\n%s\n--- parallel\n%s", serial, par)
+	}
+}
+
+// scaleProtocolTestScale keeps the occupancy sweep affordable: its arms
+// overlap scale-radio's, but the two tests cannot share an engine, so
+// this sweep runs a shorter (~2 simulated seconds) slice of the same
+// deployments. Occupancy saturates within the first staleness window,
+// so the shorter run still exercises the full index machinery.
+const scaleProtocolTestScale = 0.01
+
+// TestScaleProtocolDeterminism pins the protocol-occupancy sweep the
+// same way the radio sweep is pinned: golden bytes across versions and
+// serial-vs-parallel identity at 10000 radios. The occupancy columns
+// come from the incremental prob-table index, so this golden is the
+// end-to-end contract that lazy expiry, cached reports and the grid
+// neighborhood agree between engines.
+func TestScaleProtocolDeterminism(t *testing.T) {
+	serial, err := Run("scale-protocol", Options{Seed: 17, Scale: scaleProtocolTestScale})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := "testdata/golden_scale-protocol.txt"
+	if *updateGolden {
+		if err := os.WriteFile(path, []byte(serial.String()), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	} else {
+		want, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("%v (run with -update-golden to create)", err)
+		}
+		if serial.String() != string(want) {
+			t.Errorf("scale-protocol diverged from committed golden %s", path)
+		}
+	}
+	par, err := Run("scale-protocol", Options{Seed: 17, Scale: scaleProtocolTestScale, Engine: NewEngine(4)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if serial.String() != par.String() {
+		t.Errorf("scale-protocol parallel output differs from serial:\n--- serial\n%s\n--- parallel\n%s", serial, par)
+	}
+}
+
+// TestScaleProtocolArmsShared pins the run-cache economics the sweep is
+// built on: every scale-protocol arm is also a scale-radio arm and both
+// sweeps build their specs through setScaleRadioArm, so one engine
+// serving both reports simulates each shared arm once.
+func TestScaleProtocolArmsShared(t *testing.T) {
+	for _, n := range scaleProtocolArms {
+		if !slices.Contains(scaleRadioArms, n) {
+			t.Errorf("scale-protocol arm %d is not a scale-radio arm", n)
+		}
+	}
+	if top := scaleProtocolArms[len(scaleProtocolArms)-1]; top < 10000 {
+		t.Errorf("top arm %d, acceptance needs the 10000-radio endpoint", top)
 	}
 }
 

@@ -87,6 +87,19 @@ func (r *reception) OnEvent() {
 	c.bufs.Put(buf)
 }
 
+// nbrEntry is one cached broadcast candidate: a node bucketed in the
+// transmitter's 3×3 grid neighborhood. The link state is resolved on the
+// candidate's first in-cutoff contact and memoized — not prefetched at
+// cache build — so links come into being on exactly the contacts that
+// instantiated them before the cache existed; a 3×3 neighborhood holds
+// several times more candidates than the cutoff disc, and materializing
+// links for the fringe would multiply the lazy table for pairs that may
+// never exchange a frame.
+type nbrEntry struct {
+	dst *node
+	ls  *linkState
+}
+
 // node is the channel's view of one attached radio.
 type node struct {
 	id      NodeID
@@ -95,6 +108,15 @@ type node struct {
 	recv    Receiver
 	txUntil time.Duration // transmitting until (half duplex)
 	cur     *reception    // latest reception locking this receiver
+
+	// nbr caches the candidate list of the node's last indexed broadcast,
+	// in grid walk order. Valid while the grid version and the node's
+	// query cell are unchanged — then a fresh walk would return the exact
+	// same nodes in the same order, so reuse is byte-identical.
+	nbr     []nbrEntry
+	nbrVer  uint64
+	nbrCell uint64
+	nbrOK   bool
 }
 
 // Stats aggregates channel-level counters, used by the efficiency
@@ -493,23 +515,76 @@ func (c *Channel) Broadcast(from NodeID, payload []byte, txDone sim.Handler) tim
 // any collision state is touched. Per-link streams make that safe: the
 // skipped draws correspond to guaranteed losses, and every other link's
 // flips are unchanged.
+// Candidate lists are cached per transmitter and reused while the grid
+// version and the transmitter's query cell hold still (stationary nodes:
+// until the next bucket change anywhere; movers: also bounded by their
+// own cell crossings), so the steady-state broadcast does no map lookups
+// at all. Prefetching the link states of candidates a walk would have
+// skipped (inside the 3×3 cells but beyond the cutoff) is invisible:
+// link RNG streams are label-derived, so instantiation time never moves
+// a coin flip, and untouched links draw nothing.
 func (c *Channel) broadcastIndexed(src *node, srcPos mobility.Point, payload []byte, now, end time.Duration) {
 	g := c.ensureGrid(now)
-	g.neighborhood(srcPos, func(id NodeID) {
-		if id == src.id {
-			return
-		}
-		dst := c.nodes[id]
-		dist := srcPos.Dist(dst.mover.Position(now))
+	cell := g.cellKey(srcPos)
+	if !src.nbrOK || src.nbrVer != g.version || src.nbrCell != cell {
+		src.nbr = src.nbr[:0]
+		g.neighborhood(srcPos, func(id NodeID) {
+			if id != src.id {
+				src.nbr = append(src.nbr, nbrEntry{dst: c.nodes[id]})
+			}
+		})
+		src.nbrOK, src.nbrVer, src.nbrCell = true, g.version, cell
+	}
+	for i := range src.nbr {
+		nb := &src.nbr[i]
+		dist := srcPos.Dist(nb.dst.mover.Position(now))
 		if dist > c.cutoff {
-			return
+			continue
 		}
-		ls := c.link(src.id, dst.id)
-		if dist > ls.reach {
-			return
+		if nb.ls == nil {
+			nb.ls = c.link(src.id, nb.dst.id)
 		}
-		c.deliver(src, dst, ls, dist, payload, now, end)
+		if dist > nb.ls.reach {
+			continue
+		}
+		c.deliver(src, nb.dst, nb.ls, dist, payload, now, end)
+	}
+}
+
+// Indexed reports whether the channel is running the spatially indexed
+// broadcast path (and therefore maintains the neighbor grid).
+func (c *Channel) Indexed() bool { return c.indexed() }
+
+// NeighborIDs appends to buf the IDs of the nodes currently bucketed in
+// the 3×3 grid neighborhood of id's position, excluding id itself, and
+// returns the extended slice. It is a read-only diagnostic view of the
+// index as the last Broadcast left it — it never inserts, rebuckets or
+// revalidates, so calling it cannot perturb delivery order. Before the
+// first indexed broadcast (or below the index threshold) it falls back
+// to every other attached node.
+//
+// The neighborhood over-approximates radio range: it is the candidate
+// set Broadcast would filter by exact distance, not the set of reachable
+// nodes. Protocol layers must not filter their own state by it —
+// probability estimates legitimately outlive range — which is why only
+// instrumentation and tests consume it.
+func (c *Channel) NeighborIDs(id NodeID, buf []NodeID) []NodeID {
+	g := c.grid
+	if !c.indexed() || g == nil {
+		for _, n := range c.nodes {
+			if n.id != id {
+				buf = append(buf, n.id)
+			}
+		}
+		return buf
+	}
+	pos := c.nodes[id].mover.Position(c.K.Now())
+	g.neighborhood(pos, func(nid NodeID) {
+		if nid != id {
+			buf = append(buf, nid)
+		}
 	})
+	return buf
 }
 
 // ensureGrid builds the spatial index on first use, folds in nodes

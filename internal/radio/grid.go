@@ -67,6 +67,11 @@ type grid struct {
 	// nextDeadline is the earliest revalidation deadline over moving
 	// nodes; queries at or past it trigger a revalidation sweep.
 	nextDeadline time.Duration
+	// version counts bucket-membership changes (inserts and cross-cell
+	// rebuckets). While it is unchanged, every neighborhood() walk from
+	// the same query cell returns the same nodes in the same order, which
+	// is what lets the channel cache per-transmitter candidate lists.
+	version uint64
 }
 
 // newGrid sizes the index for the given base range (max of the channel
@@ -106,6 +111,7 @@ func speedBound(m mobility.Mover) float64 {
 func (g *grid) insert(id NodeID, m mobility.Mover, now time.Duration) {
 	key := g.cellKey(m.Position(now))
 	g.buckets[key] = append(g.buckets[key], id)
+	g.version++
 	gn := gridNode{key: key, deadline: never, speed: speedBound(m)}
 	if gn.speed > 0 {
 		gn.deadline = now + g.driftBudget(gn.speed)
@@ -162,6 +168,7 @@ func (g *grid) rebucket(id NodeID, m mobility.Mover, now time.Duration) {
 			}
 		}
 		g.buckets[key] = append(g.buckets[key], id)
+		g.version++
 		gn.key = key
 	}
 	gn.deadline = now + g.driftBudget(gn.speed)

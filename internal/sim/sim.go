@@ -1,5 +1,5 @@
 // Package sim provides the discrete-event simulation kernel underneath the
-// ViFi reproduction: a virtual clock, a binary-heap event scheduler, and
+// ViFi reproduction: a virtual clock, a 4-ary-heap event scheduler, and
 // deterministic, stream-splittable random number generation.
 //
 // All protocol and channel code in this repository is written against this
@@ -75,9 +75,9 @@ func (t Timer) Pending() bool {
 // usable; construct with NewKernel.
 type Kernel struct {
 	now  time.Duration
-	pool []event // arena of event records
-	free int32   // free-list head, -1 when empty
-	heap []int32 // binary heap of pool indices, ordered by (at, seq)
+	pool []event    // arena of event records
+	free int32      // free-list head, -1 when empty
+	heap []heapSlot // 4-ary min-heap ordered by (at, seq)
 	seq  uint64
 	root uint64 // root seed for RNG streams
 	nrun uint64 // events executed
@@ -167,7 +167,7 @@ func (k *Kernel) Step() bool {
 	if len(k.heap) == 0 {
 		return false
 	}
-	i := k.heap[0]
+	i := k.heap[0].idx
 	k.heapRemove(0)
 	ev := &k.pool[i]
 	k.now = ev.at
@@ -194,7 +194,7 @@ func (k *Kernel) Run() {
 // RunUntil executes events with timestamps ≤ deadline, then advances the
 // clock to deadline. Events scheduled beyond the deadline remain queued.
 func (k *Kernel) RunUntil(deadline time.Duration) {
-	for len(k.heap) > 0 && k.pool[k.heap[0]].at <= deadline {
+	for len(k.heap) > 0 && k.heap[0].at <= deadline {
 		k.Step()
 	}
 	if k.now < deadline {
@@ -202,20 +202,37 @@ func (k *Kernel) RunUntil(deadline time.Duration) {
 	}
 }
 
-// --- heap over pool indices ----------------------------------------------
+// --- event heap -----------------------------------------------------------
+//
+// The heap slots carry the ordering key (at, seq) inline next to the pool
+// index: comparisons stay within the heap's own memory instead of
+// dereferencing the event arena, which is where a population-scale
+// simulation (tens of thousands of pending events, millions of heap ops)
+// spends its comparison time. The heap is 4-ary for the same reason —
+// half the depth of a binary heap, and the four children of a node share
+// a cache line. (at, seq) is a strict total order over live events (seq
+// is unique), so heap shape never influences pop order: any correct heap
+// pops the exact same sequence.
 
-func (k *Kernel) less(a, b int32) bool {
-	ea, eb := &k.pool[a], &k.pool[b]
-	if ea.at != eb.at {
-		return ea.at < eb.at
+// heapSlot is one heap entry: the ordering key and the pool index.
+type heapSlot struct {
+	at  time.Duration
+	seq uint64
+	idx int32
+}
+
+func slotLess(a, b heapSlot) bool {
+	if a.at != b.at {
+		return a.at < b.at
 	}
-	return ea.seq < eb.seq
+	return a.seq < b.seq
 }
 
 func (k *Kernel) heapPush(i int32) {
 	pos := int32(len(k.heap))
-	k.heap = append(k.heap, i)
-	k.pool[i].hpos = pos
+	ev := &k.pool[i]
+	k.heap = append(k.heap, heapSlot{at: ev.at, seq: ev.seq, idx: i})
+	ev.hpos = pos
 	k.siftUp(pos)
 }
 
@@ -223,13 +240,13 @@ func (k *Kernel) heapPush(i int32) {
 // maintaining every record's hpos.
 func (k *Kernel) heapRemove(pos int32) {
 	n := int32(len(k.heap)) - 1
-	removed := k.heap[pos]
+	removed := k.heap[pos].idx
 	last := k.heap[n]
 	k.heap = k.heap[:n]
 	k.pool[removed].hpos = -1
 	if pos < n {
 		k.heap[pos] = last
-		k.pool[last].hpos = pos
+		k.pool[last.idx].hpos = pos
 		if !k.siftUp(pos) {
 			k.siftDown(pos)
 		}
@@ -240,38 +257,54 @@ func (k *Kernel) heapRemove(pos int32) {
 // the entry moved.
 func (k *Kernel) siftUp(pos int32) bool {
 	moved := false
+	s := k.heap[pos]
 	for pos > 0 {
-		parent := (pos - 1) / 2
-		if !k.less(k.heap[pos], k.heap[parent]) {
+		parent := (pos - 1) / 4
+		if !slotLess(s, k.heap[parent]) {
 			break
 		}
-		k.heap[pos], k.heap[parent] = k.heap[parent], k.heap[pos]
-		k.pool[k.heap[pos]].hpos = pos
-		k.pool[k.heap[parent]].hpos = parent
+		k.heap[pos] = k.heap[parent]
+		k.pool[k.heap[pos].idx].hpos = pos
 		pos = parent
 		moved = true
+	}
+	if moved {
+		k.heap[pos] = s
+		k.pool[s.idx].hpos = pos
 	}
 	return moved
 }
 
 func (k *Kernel) siftDown(pos int32) {
 	n := int32(len(k.heap))
+	s := k.heap[pos]
+	moved := false
 	for {
-		left := 2*pos + 1
-		if left >= n {
-			return
+		first := 4*pos + 1
+		if first >= n {
+			break
 		}
-		best := left
-		if right := left + 1; right < n && k.less(k.heap[right], k.heap[left]) {
-			best = right
+		best := first
+		end := first + 4
+		if end > n {
+			end = n
 		}
-		if !k.less(k.heap[best], k.heap[pos]) {
-			return
+		for c := first + 1; c < end; c++ {
+			if slotLess(k.heap[c], k.heap[best]) {
+				best = c
+			}
 		}
-		k.heap[pos], k.heap[best] = k.heap[best], k.heap[pos]
-		k.pool[k.heap[pos]].hpos = pos
-		k.pool[k.heap[best]].hpos = best
+		if !slotLess(k.heap[best], s) {
+			break
+		}
+		k.heap[pos] = k.heap[best]
+		k.pool[k.heap[pos].idx].hpos = pos
 		pos = best
+		moved = true
+	}
+	if moved {
+		k.heap[pos] = s
+		k.pool[s.idx].hpos = pos
 	}
 }
 

@@ -19,7 +19,8 @@
 //	vifi-sim -scenario grid,app=voip,vehicles=8          # VoIP fleet
 //	vifi-sim -scenario grid-city,app=mixed,mix=1:2:1:1   # mixed fleet
 //	vifi-sim -scenario strip-highway,vehicles=30,bs=64 -seed 7
-//	vifi-sim -scenario list            # available presets
+//	vifi-sim -scenario grid-city,faults=chaos -duration 120s  # fault injection
+//	vifi-sim -scenario list            # available presets (incl. fault presets)
 package main
 
 import (
@@ -34,6 +35,7 @@ import (
 
 	"github.com/vanlan/vifi/internal/core"
 	"github.com/vanlan/vifi/internal/experiment"
+	"github.com/vanlan/vifi/internal/fault"
 	"github.com/vanlan/vifi/internal/scenario"
 	"github.com/vanlan/vifi/internal/workload"
 )
@@ -65,6 +67,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 		for _, name := range scenario.Presets() {
 			p, _ := scenario.Preset(name)
 			fmt.Fprintf(stdout, "%-14s %s\n", name, p.Key())
+		}
+		fmt.Fprintf(stdout, "\nfault presets (use faults=<name> or faults=<layer>:key=value...):\n")
+		for _, name := range fault.Presets() {
+			fmt.Fprintf(stdout, "%-14s %s\n", name, fault.Preset(name))
 		}
 		return 0
 	}
@@ -116,6 +122,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintf(stdout, "scenario=%s protocol=%s duration=%v seed=%d\n", spec.Key(), name, *duration, *seed)
 			fmt.Fprintf(stdout, "deployment:             %d basestations, %d vehicles\n", run.BSCount, run.Vehicles)
 			printFleetApps(stdout, run)
+			printFaults(stdout, run.Faults)
 			fmt.Fprintf(stdout, "rx collisions:          %d over %d transmissions\n\n", run.Collisions, run.Transmissions)
 		}
 		return 0
@@ -203,5 +210,35 @@ func printFleetApps(w io.Writer, run *experiment.FleetAppRun) {
 			web.Completed, web.Aborted, web.Vehicles)
 		fmt.Fprintf(w, "median page time:       %.2f s (p90 %.2f s)\n",
 			web.MedianTransferSec, web.P90TransferSec)
+	}
+}
+
+// printFaults renders the injected-fault timeline summary of a faulted
+// run; fault-free runs (nil report) print nothing.
+func printFaults(w io.Writer, f *experiment.FaultReport) {
+	if f == nil {
+		return
+	}
+	fmt.Fprintf(w, "injected faults:       ")
+	any := false
+	for l := fault.Layer(0); l < fault.NumLayers; l++ {
+		if f.Windows[l] == 0 {
+			continue
+		}
+		if any {
+			fmt.Fprintf(w, ",")
+		}
+		fmt.Fprintf(w, " %s: %d outages (%.1fs down)", l, f.Windows[l], f.DownSec[l])
+		any = true
+	}
+	if !any {
+		fmt.Fprintf(w, " none (processes drew no outages)")
+	}
+	fmt.Fprintln(w)
+	fmt.Fprintf(w, "fleet availability:     %.1f%% (%d silent bins, %d fault-attributable)\n",
+		100*f.Availability, f.GapBins, f.GapBinsFault)
+	if f.Restores > 0 {
+		fmt.Fprintf(w, "post-restore recovery:  %d/%d recovered, mean %.2f s to first delivery\n",
+			f.Recovered, f.Restores, f.RecoveryMeanSec)
 	}
 }

@@ -76,8 +76,9 @@ type qlink struct {
 }
 
 // admit decides whether a message fits and returns its serialization
-// completion time. The caller must schedule the dequeue itself.
-func (l *qlink) admit(now time.Duration, size int) (done time.Duration, ok bool) {
+// completion time at the given effective rate (the spec rate, scaled
+// down during brownouts). The caller must schedule the dequeue itself.
+func (l *qlink) admit(now time.Duration, size int, rateBps float64) (done time.Duration, ok bool) {
 	if l.spec.QueueBytes > 0 && l.queued+size > l.spec.QueueBytes {
 		return 0, false
 	}
@@ -85,7 +86,7 @@ func (l *qlink) admit(now time.Duration, size int) (done time.Duration, ok bool)
 	if l.busyUntil > start {
 		start = l.busyUntil
 	}
-	ser := time.Duration(float64(size*8) / l.spec.RateBps * float64(time.Second))
+	ser := time.Duration(float64(size*8) / rateBps * float64(time.Second))
 	done = start + ser
 	l.busyUntil = done
 	l.queued += size
@@ -102,13 +103,62 @@ type port struct {
 
 // Net is the backplane network.
 type Net struct {
-	K     *sim.Kernel
-	cfg   Config
-	ports map[uint16]*port
-	rng   *sim.RNG
-	stats Stats
-	bufs  frame.BufferPool
-	free  *transit // free list of in-flight message records
+	K       *sim.Kernel
+	cfg     Config
+	ports   map[uint16]*port
+	rng     *sim.RNG
+	stats   Stats
+	bufs    frame.BufferPool
+	free    *transit // free list of in-flight message records
+	brown   Brownout
+	browned bool
+}
+
+// Brownout describes a plane-wide degradation window: every access link
+// serializes at RateFactor of its configured rate, every message takes
+// ExtraDelay longer through the core, and ExtraLoss adds to each leg's
+// loss probability. Brownouts compose with SetDown partitions — a
+// partitioned port stays partitioned regardless of brownout state.
+type Brownout struct {
+	RateFactor float64       // rate multiplier in (0, 1]; 0 or 1 means no slowdown
+	ExtraDelay time.Duration // added once per message at the core hop
+	ExtraLoss  float64       // added to each leg's loss probability (clamped to 1)
+}
+
+// SetBrownout enters a degradation window. Stream stability: a brownout
+// changes loss probabilities, never the number of draws — Send draws its
+// two coins unconditionally (PR 3 contract) — so draws after the window
+// land on exactly the positions they would have without it.
+func (n *Net) SetBrownout(b Brownout) { n.brown, n.browned = b, true }
+
+// ClearBrownout ends the degradation window.
+func (n *Net) ClearBrownout() { n.brown, n.browned = Brownout{}, false }
+
+// effRate scales a link rate during brownouts.
+func (n *Net) effRate(rateBps float64) float64 {
+	if n.browned && n.brown.RateFactor > 0 && n.brown.RateFactor < 1 {
+		return rateBps * n.brown.RateFactor
+	}
+	return rateBps
+}
+
+// effLoss inflates a leg's loss probability during brownouts.
+func (n *Net) effLoss(loss float64) float64 {
+	if n.browned {
+		loss += n.brown.ExtraLoss
+		if loss > 1 {
+			loss = 1
+		}
+	}
+	return loss
+}
+
+// extraDelay is the brownout's per-message core delay penalty.
+func (n *Net) extraDelay() time.Duration {
+	if n.browned {
+		return n.brown.ExtraDelay
+	}
+	return 0
 }
 
 // New creates a backplane over the kernel.
@@ -142,6 +192,12 @@ func (n *Net) SetDown(addr uint16, down bool) {
 	if p, ok := n.ports[addr]; ok {
 		p.isDown = down
 	}
+}
+
+// IsDown reports whether the port is administratively partitioned.
+func (n *Net) IsDown(addr uint16) bool {
+	p, ok := n.ports[addr]
+	return ok && p.isDown
 }
 
 // Stats returns a copy of the counters.
@@ -182,9 +238,9 @@ func (t *transit) OnEvent() {
 			return
 		}
 		t.stage = stageArrive
-		n.K.AtHandler(n.K.Now()+t.src.up.spec.Delay+n.cfg.CoreDelay, t)
+		n.K.AtHandler(n.K.Now()+t.src.up.spec.Delay+n.cfg.CoreDelay+n.extraDelay(), t)
 	case stageArrive:
-		downDone, ok := t.dst.down.admit(n.K.Now(), t.size)
+		downDone, ok := t.dst.down.admit(n.K.Now(), t.size, n.effRate(t.dst.down.spec.RateBps))
 		if !ok {
 			n.stats.DroppedQueue++
 			n.bufs.Put(t.buf)
@@ -249,14 +305,10 @@ func (n *Net) Send(from, to uint16, payload []byte) bool {
 	}
 	n.stats.Sent++
 	n.stats.BytesSent += len(payload)
-	if src.isDown || dst.isDown {
-		n.stats.DroppedDown++
-		return false
-	}
 	now := n.K.Now()
 	size := len(payload)
 
-	upDone, ok := src.up.admit(now, size)
+	upDone, ok := src.up.admit(now, size, n.effRate(src.up.spec.RateBps))
 	if !ok {
 		n.stats.DroppedQueue++
 		return false
@@ -266,12 +318,23 @@ func (n *Net) Send(from, to uint16, payload []byte) bool {
 	// here would make the number of draws depend on the first outcome, so
 	// any change to a loss rate would shift every downstream draw of the
 	// backplane stream and break seed-stable comparisons across configs.
-	lostUp := n.rng.Float64() < src.up.spec.Loss
-	lostDown := n.rng.Float64() < dst.down.spec.Loss
+	// The same contract covers fault injection: the coins come before the
+	// partition check below, so a SetDown window never shifts the shared
+	// stream and a brownout (which inflates probabilities, never draw
+	// counts) leaves every post-window draw on its original position.
+	lostUp := n.rng.Float64() < n.effLoss(src.up.spec.Loss)
+	lostDown := n.rng.Float64() < n.effLoss(dst.down.spec.Loss)
 
 	t := n.allocTransit()
 	t.src, t.dst, t.size = src, dst, size
 	t.stage = stageUpDone
+	if src.isDown || dst.isDown {
+		n.stats.DroppedDown++
+		// t.buf stays nil: the uplink still serializes the doomed bytes,
+		// exactly like a message lost in flight.
+		n.K.AtHandler(upDone, t)
+		return false
+	}
 	if lostUp || lostDown {
 		n.stats.DroppedLoss++
 		// t.buf stays nil: the uplink still serializes the doomed bytes.

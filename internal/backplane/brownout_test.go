@@ -1,0 +1,158 @@
+package backplane
+
+import (
+	"testing"
+	"time"
+
+	"github.com/vanlan/vifi/internal/sim"
+)
+
+func TestBrownoutDegradesAndRestores(t *testing.T) {
+	oneWay := func(n *Net, k *sim.Kernel, payload []byte) time.Duration {
+		var at time.Duration
+		n.Attach(1, nil)
+		n.Attach(2, func(from uint16, p []byte) { at = k.Now() })
+		start := k.Now()
+		if !n.Send(1, 2, payload) {
+			t.Fatal("send rejected")
+		}
+		k.Run()
+		return at - start
+	}
+	payload := make([]byte, 1000)
+
+	k := sim.NewKernel(30)
+	base := oneWay(New(k, DefaultConfig()), k, payload)
+
+	k2 := sim.NewKernel(30)
+	n := New(k2, DefaultConfig())
+	n.SetBrownout(Brownout{RateFactor: 0.25, ExtraDelay: 20 * time.Millisecond})
+	browned := oneWay(n, k2, payload)
+
+	// Quartered rate: serialization ×4 on both legs; plus 20ms core penalty.
+	ser := time.Duration(float64(len(payload)*8) / 5e6 * float64(time.Second))
+	want := base + 2*3*ser + 20*time.Millisecond
+	if browned != want {
+		t.Errorf("brownout latency = %v, want %v (base %v)", browned, want, base)
+	}
+
+	// Clearing restores the baseline exactly.
+	k3 := sim.NewKernel(30)
+	n3 := New(k3, DefaultConfig())
+	n3.SetBrownout(Brownout{RateFactor: 0.25, ExtraDelay: 20 * time.Millisecond})
+	n3.ClearBrownout()
+	if restored := oneWay(n3, k3, payload); restored != base {
+		t.Errorf("post-brownout latency = %v, want baseline %v", restored, base)
+	}
+}
+
+func TestBrownoutExtraLoss(t *testing.T) {
+	k := sim.NewKernel(31)
+	n := New(k, DefaultConfig())
+	delivered := 0
+	n.Attach(1, nil)
+	n.Attach(2, func(from uint16, p []byte) { delivered++ })
+	n.SetBrownout(Brownout{ExtraLoss: 1}) // certain loss while browned
+	for i := 0; i < 10; i++ {
+		if !n.Send(1, 2, []byte{byte(i)}) {
+			t.Fatal("browned send should still be admitted")
+		}
+	}
+	k.Run()
+	if delivered != 0 {
+		t.Errorf("delivered %d messages at loss 1", delivered)
+	}
+	if got := n.Stats().DroppedLoss; got != 10 {
+		t.Errorf("DroppedLoss = %d, want 10", got)
+	}
+	n.ClearBrownout()
+	n.Send(1, 2, []byte{99})
+	k.Run()
+	if delivered != 1 {
+		t.Errorf("post-clear delivery count = %d, want 1", delivered)
+	}
+}
+
+// TestFaultDrawStability extends the PR 3 unconditional-draw contract to
+// the fault paths: neither a SetDown partition window nor a brownout
+// changes the NUMBER of draws on the shared backplane stream — down
+// sends still flip their two coins, brownouts inflate probabilities only
+// — so every send outside the window sees exactly the coins it would
+// have seen in an un-faulted run.
+func TestFaultDrawStability(t *testing.T) {
+	position := func(fault func(n *Net, i int)) uint64 {
+		k := sim.NewKernel(42)
+		cfg := DefaultConfig()
+		cfg.Access.Loss = 0.3
+		n := New(k, cfg)
+		n.Attach(1, nil)
+		n.Attach(2, nil)
+		n.Attach(3, nil)
+		for i := 0; i < 60; i++ {
+			if fault != nil {
+				fault(n, i)
+			}
+			n.Send(1, 2, []byte{byte(i)}) // live pair
+			n.Send(3, 2, []byte{byte(i)}) // pair faulted mid-run
+		}
+		return n.rng.Uint64()
+	}
+	ref := position(nil)
+	downWindow := position(func(n *Net, i int) {
+		n.SetDown(3, i >= 20 && i < 40)
+	})
+	if downWindow != ref {
+		t.Errorf("SetDown window shifted the backplane stream: %d, want %d", downWindow, ref)
+	}
+	brownWindow := position(func(n *Net, i int) {
+		if i == 20 {
+			n.SetBrownout(Brownout{RateFactor: 0.5, ExtraDelay: 5 * time.Millisecond, ExtraLoss: 0.4})
+		}
+		if i == 40 {
+			n.ClearBrownout()
+		}
+	})
+	if brownWindow != ref {
+		t.Errorf("brownout window shifted the backplane stream: %d, want %d", brownWindow, ref)
+	}
+}
+
+// TestDownWindowLivePairsUnchanged is the end-to-end form: the set of
+// messages a live pair delivers is byte-identical whether or not a
+// bystander pair spent a window partitioned.
+func TestDownWindowLivePairsUnchanged(t *testing.T) {
+	run := func(window bool) []byte {
+		k := sim.NewKernel(43)
+		cfg := DefaultConfig()
+		cfg.Access.Loss = 0.3
+		n := New(k, cfg)
+		var ids []byte
+		n.Attach(1, nil)
+		n.Attach(2, func(from uint16, p []byte) {
+			if from == 1 {
+				ids = append(ids, p[0])
+			}
+		})
+		n.Attach(3, nil)
+		for i := 0; i < 100; i++ {
+			at := time.Duration(i) * 10 * time.Millisecond
+			i := i
+			k.At(at, func() {
+				if window {
+					n.SetDown(3, i >= 30 && i < 60)
+				}
+				n.Send(1, 2, []byte{byte(i)})
+				n.Send(3, 2, []byte{byte(i)})
+			})
+		}
+		k.Run()
+		return ids
+	}
+	base, faulted := run(false), run(true)
+	if len(base) == 0 {
+		t.Fatal("baseline delivered nothing; test is vacuous")
+	}
+	if string(base) != string(faulted) {
+		t.Errorf("live-pair deliveries changed across a bystander down window:\n base %v\n fault %v", base, faulted)
+	}
+}

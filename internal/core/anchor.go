@@ -14,7 +14,8 @@ const salvageCacheTTL = 5 * time.Second
 // anchor: register with the Internet gateway and pull stranded packets
 // from the previous anchor (§4.5).
 func (n *Node) becomeAnchor(veh, prevAnchor uint16) {
-	if vs := n.lookupVeh(veh); vs != nil {
+	vs := n.lookupVeh(veh)
+	if vs != nil {
 		vs.amAnchor = true
 	}
 	if n.bp == nil {
@@ -22,13 +23,32 @@ func (n *Node) becomeAnchor(veh, prevAnchor uint16) {
 	}
 	reg := &n.txFrame
 	*reg = frame.Frame{Type: frame.TypeRegister, Src: n.addr, Dst: n.gatewayAddr, Target: veh}
-	n.sendBackplane(n.gatewayAddr, reg)
+	if !n.sendBackplane(n.gatewayAddr, reg) && vs != nil {
+		// Backplane refused the Register (partition or full uplink):
+		// retry on the vehicle's next beacon rather than leaving the
+		// gateway forwarding downstream traffic to the old anchor.
+		vs.regRetry = true
+	}
 	if n.cfg.EnableSalvage && prevAnchor != frame.None && prevAnchor != n.addr {
 		req := &n.txFrame
 		*req = frame.Frame{Type: frame.TypeSalvageReq, Src: n.addr, Dst: prevAnchor, Target: veh}
 		if n.sendBackplane(prevAnchor, req) {
 			n.emit(EvSalvageReq, Down, frame.PacketID{Src: veh}, 0, prevAnchor, MediumBackplane)
 		}
+	}
+}
+
+// retryRegister re-sends a Register that the backplane previously
+// refused, clearing the retry mark once a send is admitted.
+func (n *Node) retryRegister(veh uint16, vs *vehState) {
+	if n.bp == nil {
+		vs.regRetry = false
+		return
+	}
+	reg := &n.txFrame
+	*reg = frame.Frame{Type: frame.TypeRegister, Src: n.addr, Dst: n.gatewayAddr, Target: veh}
+	if n.sendBackplane(n.gatewayAddr, reg) {
+		vs.regRetry = false
 	}
 }
 

@@ -28,6 +28,11 @@ type vehState struct {
 	prevAnchor uint16
 	aux        []uint16
 	lastBeacon time.Duration
+	// regRetry marks a Register the backplane refused to admit (anchor
+	// partitioned or uplink queue full at handoff time); the anchor
+	// retries on the vehicle's next beacon so a fault window cannot leave
+	// the gateway pointing at a stale anchor forever.
+	regRetry bool
 	// salvage records downstream packets for potential salvaging (§4.5).
 	salvage []*downPkt
 }
@@ -428,8 +433,11 @@ func (n *Node) handleBeacon(f *frame.Frame) {
 	amAnchor := f.Beacon.Anchor == n.addr
 	if amAnchor && !vs.amAnchor {
 		n.becomeAnchor(veh, f.Beacon.PrevAnchor)
+	} else if amAnchor && vs.regRetry {
+		n.retryRegister(veh, vs)
 	} else if !amAnchor && vs.amAnchor {
 		vs.amAnchor = false
+		vs.regRetry = false
 	}
 }
 

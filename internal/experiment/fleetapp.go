@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"github.com/vanlan/vifi/internal/core"
+	"github.com/vanlan/vifi/internal/fault"
 	"github.com/vanlan/vifi/internal/scenario"
 	"github.com/vanlan/vifi/internal/sim"
 	"github.com/vanlan/vifi/internal/voip"
@@ -41,6 +42,11 @@ type FleetAppRun struct {
 	// Channel counters over the whole run.
 	Transmissions int
 	Collisions    int
+
+	// Faults summarizes the injected fault timeline and the fleet's
+	// resilience against it; nil when the spec injects no faults, so
+	// fault-free runs serialize exactly as before.
+	Faults *FaultReport
 
 	// Protocol-state occupancy, sampled once at run end: mean fresh
 	// local peers, beacon report entries and radio-grid neighborhood
@@ -122,6 +128,22 @@ func RunFleetAppWorkload(seed int64, spec scenario.Spec, cfg core.Config, durati
 	key := spec.Key()
 	appcfg := spec.AppConfig()
 
+	// Fault injection: planned against the canonical spec key (so a
+	// faulted run's draws live on their own streams) and installed before
+	// any driver starts. Fault-free specs plan nothing and draw nothing —
+	// their execution is byte-identical to a build without this block.
+	fs, err := spec.FaultSpec()
+	if err != nil {
+		return nil, err
+	}
+	var rec *faultRecorder
+	var tl fault.Timeline
+	if !fs.Empty() {
+		tl = fault.Plan(k, key, fs, duration, len(cell.BSes), nv)
+		rec = newFaultRecorder(k, duration)
+		scenario.InstallFaults(k, cell, &tl, rec.restored)
+	}
+
 	kinds := make([]workload.Kind, nv)
 	if spec.App == workload.MixedKind {
 		kinds = workload.SplitKinds(k.RNG("workload", key, "mix"), appcfg.Mix, nv)
@@ -141,7 +163,11 @@ func RunFleetAppWorkload(seed int64, spec scenario.Spec, cfg core.Config, durati
 		}
 		rng := k.RNG("workload", key, "veh", strconv.Itoa(i))
 		d := workload.New(k, appcfg, kinds[i], workload.CellPort(cell, i), i, start, end, rng)
-		workload.Bind(cell, i, d)
+		if rec != nil {
+			rec.bind(cell, i, d)
+		} else {
+			workload.Bind(cell, i, d)
+		}
 		d.Start()
 		drivers[i] = d
 	}
@@ -163,6 +189,9 @@ func RunFleetAppWorkload(seed int64, spec scenario.Spec, cfg core.Config, durati
 	st := cell.Channel.Stats()
 	run.Transmissions = st.Transmissions
 	run.Collisions = st.Collisions
+	if rec != nil {
+		run.Faults = rec.report(tl)
+	}
 
 	// Occupancy sample: read-only with respect to the metrics above (the
 	// drivers have already stopped), so it cannot perturb any report.

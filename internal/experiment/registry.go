@@ -41,6 +41,9 @@ var registry = map[string]Runner{
 	// Fleet application sweeps (DESIGN.md §8).
 	"scale-app-tcp":  ScaleAppTCP,
 	"scale-app-voip": ScaleAppVoIP,
+
+	// Fault-injection resilience sweep (DESIGN.md §9).
+	"scale-faults": ScaleFaults,
 }
 
 // IDs returns all experiment ids in a stable order.

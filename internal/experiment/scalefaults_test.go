@@ -1,0 +1,102 @@
+package experiment
+
+import (
+	"os"
+	"testing"
+	"time"
+
+	"github.com/vanlan/vifi/internal/core"
+	"github.com/vanlan/vifi/internal/fault"
+	"github.com/vanlan/vifi/internal/scenario"
+)
+
+// scaleFaultsTestScale keeps the resilience sweep affordable while
+// leaving each arm ~10 simulated seconds — with a per-basestation crash
+// process on a 54-BS city grid, even the longest-MTBF arm expects
+// outages in that window.
+const scaleFaultsTestScale = 0.04
+
+// TestScaleFaultsDeterminism is the chaos determinism gate: the faulted
+// sweep must render byte-identically to the committed golden
+// (cross-version contract, -update-golden to refresh deliberately) and
+// between the serial inline path and a multi-worker engine — same
+// faulted spec + seed, same injected timeline, same report, regardless
+// of -parallel.
+func TestScaleFaultsDeterminism(t *testing.T) {
+	serial, err := Run("scale-faults", Options{Seed: 17, Scale: scaleFaultsTestScale})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := "testdata/golden_scale-faults.txt"
+	if *updateGolden {
+		if err := os.WriteFile(path, []byte(serial.String()), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	} else {
+		want, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("%v (run with -update-golden to create)", err)
+		}
+		if serial.String() != string(want) {
+			t.Errorf("scale-faults diverged from committed golden %s", path)
+		}
+	}
+	par, err := Run("scale-faults", Options{Seed: 17, Scale: scaleFaultsTestScale, Engine: NewEngine(4)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if serial.String() != par.String() {
+		t.Errorf("scale-faults parallel output differs from serial:\n--- serial\n%s\n--- parallel\n%s", serial, par)
+	}
+}
+
+// TestFaultedRunInjectsAndRecovers pins the sweep's substance at test
+// scale: the faulted run actually injects basestation outages, the
+// report attributes them, and the fleet keeps delivering — availability
+// stays positive and every completed restore eventually recovers.
+func TestFaultedRunInjectsAndRecovers(t *testing.T) {
+	spec, err := scenario.Parse("grid-city,vehicles=8,app=voip,faults=bs:mtbf=30s:mttr=4s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	run, err := RunFleetAppWorkload(17, spec, core.DefaultConfig(), 30*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := run.Faults
+	if f == nil {
+		t.Fatal("faulted spec produced a nil FaultReport")
+	}
+	if f.Windows[fault.LayerBS] == 0 {
+		t.Fatal("no basestation outages injected at mtbf=30s over 30s on a city grid")
+	}
+	if f.DownSec[fault.LayerBS] <= 0 {
+		t.Error("outages injected but zero downtime recorded")
+	}
+	if f.Availability <= 0 || f.Availability > 1 {
+		t.Errorf("availability = %v, want (0,1]", f.Availability)
+	}
+	if f.Restores > 0 && f.Recovered == 0 {
+		t.Error("restores completed but no delivery ever followed (wedged after restore)")
+	}
+	if f.GapBinsFault > f.GapBins {
+		t.Errorf("fault-attributed gaps %d exceed total gaps %d", f.GapBinsFault, f.GapBins)
+	}
+}
+
+// TestUnfaultedRunHasNilFaultReport pins the golden-safety contract:
+// without a faults= knob the run carries no fault report and its spec
+// key is byte-identical to the historical format.
+func TestUnfaultedRunHasNilFaultReport(t *testing.T) {
+	spec, err := scenario.Parse("grid-small,vehicles=2,app=voip")
+	if err != nil {
+		t.Fatal(err)
+	}
+	run, err := RunFleetAppWorkload(17, spec, core.DefaultConfig(), 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if run.Faults != nil {
+		t.Error("fault-free run carries a FaultReport")
+	}
+}

@@ -1,0 +1,339 @@
+// Package fault is the deterministic fault-injection subsystem: it turns
+// a compact textual fault spec into seeded outage timelines that an
+// installer schedules against a running cell. Three layers are modeled:
+//
+//   - bs — basestation crash/restart: the radio is muted
+//     (radio.Channel.SetDown, which silences beaconing too), the
+//     backplane access link partitioned, and protocol state restarts
+//     cold, so peers' probability and auxiliary entries must age out and
+//     re-learn.
+//   - bp — backplane brownout: a window of degraded access rate, extra
+//     core delay and elevated loss on the whole inter-BS plane
+//     (backplane.Net.SetBrownout), composing with any concurrent
+//     partition.
+//   - blackout — channel blackout: a vehicle radio mutes entirely for a
+//     burst (tunnels, deep shadowing), a correlated outage across every
+//     link the vehicle has, layered over the independent per-link models.
+//
+// Determinism contract: a plan is a pure function of (kernel seed, run
+// key, spec, duration, population). Every Poisson draw flows through RNG
+// streams labeled ("fault", runKey, proc, node), so un-faulted runs draw
+// nothing and stay byte-identical to prior versions, and two faulted
+// specs never perturb each other's streams. The canonical spec string
+// joins scenario.Spec.Key(), so the run-cache and all stream labels
+// discriminate faulted runs.
+package fault
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Layer identifies one fault layer.
+type Layer uint8
+
+// The fault layers.
+const (
+	LayerBS Layer = iota
+	LayerBP
+	LayerBlackout
+	NumLayers
+)
+
+// String implements fmt.Stringer.
+func (l Layer) String() string {
+	switch l {
+	case LayerBS:
+		return "bs"
+	case LayerBP:
+		return "bp"
+	case LayerBlackout:
+		return "blackout"
+	default:
+		return "layer(?)"
+	}
+}
+
+// Window is one scripted outage interval [Start, End).
+type Window struct {
+	Start, End time.Duration
+}
+
+// AllNodes targets every eligible node of a process's layer.
+const AllNodes = -1
+
+// Proc is one outage process: either a Poisson renewal process (MTBF > 0:
+// exponential up-times with mean MTBF, exponential outages with mean
+// MTTR) or an explicit scripted timeline (At), or both. Node selects one
+// target (a basestation index for bs, a vehicle index for blackout) or
+// AllNodes for an independent process per eligible node; the bp layer is
+// always plane-wide. The Rate/Delay/Loss knobs describe the bp layer's
+// degradation during its windows.
+type Proc struct {
+	Layer      Layer
+	MTBF, MTTR time.Duration
+	At         []Window
+	Node       int
+	RateFactor float64       // bp: access rate multiplier in (0, 1]
+	ExtraDelay time.Duration // bp: extra one-way core delay
+	ExtraLoss  float64       // bp: extra per-message loss probability
+}
+
+// Spec is a parsed fault specification: a list of outage processes.
+type Spec struct {
+	Procs []Proc
+}
+
+// Empty reports whether the spec injects nothing.
+func (s Spec) Empty() bool { return len(s.Procs) == 0 }
+
+// bp degradation defaults: a clause like "bp:mtbf=1m:mttr=15s" means a
+// real brownout without spelling every knob.
+const (
+	defaultBPRate  = 0.25
+	defaultBPDelay = 20 * time.Millisecond
+	defaultBPLoss  = 0.05
+)
+
+// presets is the named fault catalogue, in display order.
+var presetOrder = []string{"bs-flaky", "brownout", "tunnels", "chaos"}
+
+func presets() map[string]string {
+	return map[string]string{
+		// Each basestation independently crashes about every two minutes
+		// and restarts cold ten seconds later.
+		"bs-flaky": "bs:mtbf=2m0s:mttr=10s",
+		// Plane-wide brownouts: quartered access rate, +20ms delay, +5%
+		// loss for fifteen-second windows.
+		"brownout": "bp:mtbf=1m0s:mttr=15s:rate=0.25:delay=20ms:loss=0.05",
+		// Every vehicle's radio blacks out for ~8s bursts (tunnels).
+		"tunnels": "blackout:mtbf=1m0s:mttr=8s",
+		// All three layers at once.
+		"chaos": "bs:mtbf=2m0s:mttr=10s;bp:mtbf=2m0s:mttr=15s:rate=0.25:delay=20ms:loss=0.05;blackout:mtbf=1m30s:mttr=8s",
+	}
+}
+
+// Presets lists the fault preset names in display order.
+func Presets() []string { return append([]string(nil), presetOrder...) }
+
+// Preset returns the canonical spec string of a named preset ("" when
+// unknown).
+func Preset(name string) string { return presets()[name] }
+
+// validKeys is the error-message key list, per satellite contract:
+// unknown fault keys must name the valid set.
+const validKeys = "mtbf, mttr, at, node, rate, delay, loss"
+
+// Parse builds a Spec from the faults=... grammar: either a preset name
+// (bs-flaky, brownout, tunnels, chaos) or a semicolon-separated clause
+// list, each clause a layer followed by colon-separated key=value pairs:
+//
+//	bs:mtbf=2m:mttr=10s             Poisson crash/restart per basestation
+//	bs:at=10s-20s/40s-50s:node=3    scripted windows for basestation 3
+//	bp:mtbf=1m:mttr=15s:rate=0.25:delay=20ms:loss=0.05
+//	blackout:mtbf=1m:mttr=8s        per-vehicle radio blackout bursts
+//
+// The grammar avoids commas so a spec embeds in scenario override lists.
+// An empty string parses to the empty spec.
+func Parse(s string) (Spec, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return Spec{}, nil
+	}
+	if p, ok := presets()[s]; ok {
+		s = p
+	}
+	var spec Spec
+	for _, clause := range strings.Split(s, ";") {
+		clause = strings.TrimSpace(clause)
+		if clause == "" {
+			continue
+		}
+		p, err := parseClause(clause)
+		if err != nil {
+			return Spec{}, err
+		}
+		spec.Procs = append(spec.Procs, p)
+	}
+	if err := spec.Validate(); err != nil {
+		return Spec{}, err
+	}
+	return spec, nil
+}
+
+// parseClause parses one layer:key=value... clause.
+func parseClause(clause string) (Proc, error) {
+	parts := strings.Split(clause, ":")
+	p := Proc{Node: AllNodes}
+	switch strings.TrimSpace(parts[0]) {
+	case "bs":
+		p.Layer = LayerBS
+	case "bp":
+		p.Layer = LayerBP
+		p.RateFactor, p.ExtraDelay, p.ExtraLoss = defaultBPRate, defaultBPDelay, defaultBPLoss
+	case "blackout":
+		p.Layer = LayerBlackout
+	default:
+		return p, fmt.Errorf("fault: unknown layer %q in clause %q (valid: bs, bp, blackout)", parts[0], clause)
+	}
+	for _, kv := range parts[1:] {
+		kv = strings.TrimSpace(kv)
+		if kv == "" {
+			continue
+		}
+		key, val, ok := strings.Cut(kv, "=")
+		if !ok {
+			return p, fmt.Errorf("fault: %q in clause %q is not key=value (valid keys: %s)", kv, clause, validKeys)
+		}
+		var err error
+		switch key {
+		case "mtbf":
+			p.MTBF, err = time.ParseDuration(val)
+		case "mttr":
+			p.MTTR, err = time.ParseDuration(val)
+		case "at":
+			p.At, err = parseWindows(val)
+		case "node":
+			p.Node, err = strconv.Atoi(val)
+		case "rate":
+			if p.Layer != LayerBP {
+				return p, fmt.Errorf("fault: key %q is only valid for the bp layer", key)
+			}
+			p.RateFactor, err = strconv.ParseFloat(val, 64)
+		case "delay":
+			if p.Layer != LayerBP {
+				return p, fmt.Errorf("fault: key %q is only valid for the bp layer", key)
+			}
+			p.ExtraDelay, err = time.ParseDuration(val)
+		case "loss":
+			if p.Layer != LayerBP {
+				return p, fmt.Errorf("fault: key %q is only valid for the bp layer", key)
+			}
+			p.ExtraLoss, err = strconv.ParseFloat(val, 64)
+		default:
+			return p, fmt.Errorf("fault: unknown key %q in clause %q (valid keys: %s)", key, clause, validKeys)
+		}
+		if err != nil {
+			return p, fmt.Errorf("fault: bad value for %s: %v", key, err)
+		}
+	}
+	return p, nil
+}
+
+// parseWindows parses the start-end[/start-end...] scripted syntax.
+func parseWindows(val string) ([]Window, error) {
+	var out []Window
+	for _, w := range strings.Split(val, "/") {
+		a, b, ok := strings.Cut(w, "-")
+		if !ok {
+			return nil, fmt.Errorf("window %q is not start-end", w)
+		}
+		start, err := time.ParseDuration(a)
+		if err != nil {
+			return nil, err
+		}
+		end, err := time.ParseDuration(b)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, Window{Start: start, End: end})
+	}
+	return out, nil
+}
+
+// Validate reports the first configuration error.
+func (s Spec) Validate() error {
+	for i, p := range s.Procs {
+		at := fmt.Sprintf("fault: clause %d (%s)", i+1, p.Layer)
+		switch {
+		case p.MTBF < 0 || p.MTTR < 0:
+			return fmt.Errorf("%s: negative mtbf/mttr", at)
+		case p.MTBF > 0 && p.MTTR == 0:
+			return fmt.Errorf("%s: mtbf without mttr", at)
+		case p.MTBF == 0 && len(p.At) == 0:
+			return fmt.Errorf("%s: needs mtbf+mttr or scripted at= windows", at)
+		case p.Node < AllNodes:
+			return fmt.Errorf("%s: node %d out of range", at, p.Node)
+		case p.Layer == LayerBP && p.Node != AllNodes:
+			return fmt.Errorf("%s: brownouts are plane-wide, node= is invalid", at)
+		case p.Layer == LayerBP && (p.RateFactor <= 0 || p.RateFactor > 1):
+			return fmt.Errorf("%s: rate %g outside (0, 1]", at, p.RateFactor)
+		case p.Layer == LayerBP && (p.ExtraLoss < 0 || p.ExtraLoss > 1):
+			return fmt.Errorf("%s: loss %g outside [0, 1]", at, p.ExtraLoss)
+		case p.Layer == LayerBP && p.ExtraDelay < 0:
+			return fmt.Errorf("%s: negative delay", at)
+		}
+		for _, w := range p.At {
+			if w.Start < 0 || w.End <= w.Start {
+				return fmt.Errorf("%s: window %v-%v is empty or negative", at, w.Start, w.End)
+			}
+		}
+	}
+	return nil
+}
+
+// String renders the canonical spec string: clauses in declaration order,
+// fields in a fixed order, durations normalized by time.Duration. Parsing
+// the result reproduces the spec exactly, so the canonical form is the
+// scenario key fragment and the stream-label fragment for faulted runs.
+func (s Spec) String() string {
+	var b strings.Builder
+	for i, p := range s.Procs {
+		if i > 0 {
+			b.WriteByte(';')
+		}
+		b.WriteString(p.Layer.String())
+		if p.MTBF > 0 {
+			fmt.Fprintf(&b, ":mtbf=%s:mttr=%s", p.MTBF, p.MTTR)
+		}
+		if len(p.At) > 0 {
+			b.WriteString(":at=")
+			for j, w := range p.At {
+				if j > 0 {
+					b.WriteByte('/')
+				}
+				fmt.Fprintf(&b, "%s-%s", w.Start, w.End)
+			}
+		}
+		if p.Node != AllNodes {
+			fmt.Fprintf(&b, ":node=%d", p.Node)
+		}
+		if p.Layer == LayerBP {
+			fmt.Fprintf(&b, ":rate=%g:delay=%s:loss=%g", p.RateFactor, p.ExtraDelay, p.ExtraLoss)
+		}
+	}
+	return b.String()
+}
+
+// Canonical parses and re-serializes a fault spec string, returning the
+// canonical form scenario.Spec stores and keys on.
+func Canonical(s string) (string, error) {
+	spec, err := Parse(s)
+	if err != nil {
+		return "", err
+	}
+	return spec.String(), nil
+}
+
+// sortWindows orders and merges overlapping or touching windows in place.
+func sortWindows(ws []Window) []Window {
+	if len(ws) < 2 {
+		return ws
+	}
+	sort.Slice(ws, func(i, j int) bool { return ws[i].Start < ws[j].Start })
+	out := ws[:1]
+	for _, w := range ws[1:] {
+		last := &out[len(out)-1]
+		if w.Start <= last.End {
+			if w.End > last.End {
+				last.End = w.End
+			}
+			continue
+		}
+		out = append(out, w)
+	}
+	return out
+}

@@ -1,0 +1,210 @@
+package fault
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/vanlan/vifi/internal/sim"
+)
+
+func TestParseCanonicalRoundTrip(t *testing.T) {
+	cases := []string{
+		"bs:mtbf=2m:mttr=10s",
+		"bs:at=10s-20s/40s-50s:node=3",
+		"bp:mtbf=1m:mttr=15s:rate=0.25:delay=20ms:loss=0.05",
+		"bp:mtbf=1m:mttr=15s", // defaults fill in
+		"blackout:mtbf=1m:mttr=8s",
+		"bs:mtbf=2m:mttr=10s;blackout:at=5s-9s",
+		"bs-flaky", "brownout", "tunnels", "chaos",
+		"",
+	}
+	for _, in := range cases {
+		spec, err := Parse(in)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", in, err)
+		}
+		canon := spec.String()
+		spec2, err := Parse(canon)
+		if err != nil {
+			t.Fatalf("Parse(canonical %q of %q): %v", canon, in, err)
+		}
+		if got := spec2.String(); got != canon {
+			t.Errorf("canonical not a fixed point: %q -> %q -> %q", in, canon, got)
+		}
+	}
+}
+
+func TestParseBPDefaults(t *testing.T) {
+	spec, err := Parse("bp:mtbf=1m:mttr=15s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := spec.Procs[0]
+	if p.RateFactor != defaultBPRate || p.ExtraDelay != defaultBPDelay || p.ExtraLoss != defaultBPLoss {
+		t.Errorf("bp defaults not applied: %+v", p)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		in, wantSub string
+	}{
+		{"warp:mtbf=1m:mttr=5s", "unknown layer"},
+		{"bs:mtbf=1m:mttr=5s:frobnicate=2", "valid keys: " + validKeys},
+		{"bs:mtbf=1m", "mtbf without mttr"},
+		{"bs", "needs mtbf+mttr or scripted"},
+		{"bs:at=20s-10s", "empty or negative"},
+		{"bp:mtbf=1m:mttr=5s:node=2", "plane-wide"},
+		{"bp:mtbf=1m:mttr=5s:rate=1.5", "outside (0, 1]"},
+		{"bs:mtbf=1m:mttr=5s:rate=0.5", "only valid for the bp layer"},
+		{"blackout:mtbf=banana:mttr=5s", "bad value for mtbf"},
+		{"bs:mtbfoo", "not key=value"},
+	}
+	for _, c := range cases {
+		_, err := Parse(c.in)
+		if err == nil {
+			t.Errorf("Parse(%q): expected error", c.in)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.wantSub) {
+			t.Errorf("Parse(%q) = %q, want substring %q", c.in, err, c.wantSub)
+		}
+	}
+}
+
+func TestPresetsAllParse(t *testing.T) {
+	for _, name := range Presets() {
+		spec, err := Parse(name)
+		if err != nil {
+			t.Errorf("preset %s: %v", name, err)
+			continue
+		}
+		if spec.Empty() {
+			t.Errorf("preset %s parsed empty", name)
+		}
+		if Preset(name) == "" {
+			t.Errorf("Preset(%s) returned empty string", name)
+		}
+	}
+}
+
+// TestPlanDeterministic pins that a plan is a pure function of
+// (seed, runKey, spec, duration, population): same inputs give the same
+// timeline, different seeds or keys give different Poisson draws.
+func TestPlanDeterministic(t *testing.T) {
+	spec, err := Parse("chaos")
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := func(seed int64, key string) Timeline {
+		return Plan(sim.NewKernel(seed), key, spec, 120*time.Second, 8, 6)
+	}
+	a, b := plan(17, "run-a"), plan(17, "run-a")
+	if len(a.Outages) == 0 {
+		t.Fatal("chaos plan produced no outages over 120s")
+	}
+	if len(a.Outages) != len(b.Outages) {
+		t.Fatalf("same inputs, different plans: %d vs %d outages", len(a.Outages), len(b.Outages))
+	}
+	for i := range a.Outages {
+		if a.Outages[i] != b.Outages[i] {
+			t.Fatalf("outage %d differs: %+v vs %+v", i, a.Outages[i], b.Outages[i])
+		}
+	}
+	if c := plan(18, "run-a"); timelinesEqual(a, c) {
+		t.Error("different seed produced identical plan")
+	}
+	if c := plan(17, "run-b"); timelinesEqual(a, c) {
+		t.Error("different run key produced identical plan")
+	}
+}
+
+func timelinesEqual(a, b Timeline) bool {
+	if len(a.Outages) != len(b.Outages) {
+		return false
+	}
+	for i := range a.Outages {
+		if a.Outages[i] != b.Outages[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestPlanStreamIsolation pins that adding a process does not perturb an
+// existing process's draws: the bs outages of a bs-only plan reappear
+// verbatim in a bs+blackout plan.
+func TestPlanStreamIsolation(t *testing.T) {
+	bsOnly, err := Parse("bs:mtbf=1m:mttr=10s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	both, err := Parse("bs:mtbf=1m:mttr=10s;blackout:mtbf=1m:mttr=8s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const dur = 180 * time.Second
+	a := Plan(sim.NewKernel(7), "k", bsOnly, dur, 4, 4)
+	b := Plan(sim.NewKernel(7), "k", both, dur, 4, 4)
+	var bsFromBoth []Outage
+	for _, o := range b.Outages {
+		if o.Layer == LayerBS {
+			bsFromBoth = append(bsFromBoth, o)
+		}
+	}
+	if len(a.Outages) != len(bsFromBoth) {
+		t.Fatalf("bs outage count changed when blackout proc added: %d vs %d", len(a.Outages), len(bsFromBoth))
+	}
+	for i := range a.Outages {
+		if a.Outages[i] != bsFromBoth[i] {
+			t.Fatalf("bs outage %d shifted: %+v vs %+v", i, a.Outages[i], bsFromBoth[i])
+		}
+	}
+}
+
+func TestPlanScriptedClipsAndTargets(t *testing.T) {
+	spec, err := Parse("bs:at=10s-20s/50s-70s:node=2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tl := Plan(sim.NewKernel(1), "k", spec, 60*time.Second, 4, 0)
+	want := []Outage{
+		{Layer: LayerBS, Node: 2, Proc: 0, Start: 10 * time.Second, End: 20 * time.Second},
+		{Layer: LayerBS, Node: 2, Proc: 0, Start: 50 * time.Second, End: 60 * time.Second},
+	}
+	if len(tl.Outages) != len(want) {
+		t.Fatalf("got %d outages, want %d: %+v", len(tl.Outages), len(want), tl.Outages)
+	}
+	for i := range want {
+		if tl.Outages[i] != want[i] {
+			t.Errorf("outage %d = %+v, want %+v", i, tl.Outages[i], want[i])
+		}
+	}
+	// Out-of-range explicit node drops silently from the plan.
+	if got := Plan(sim.NewKernel(1), "k", spec, 60*time.Second, 2, 0); len(got.Outages) != 0 {
+		t.Errorf("node beyond population should plan nothing, got %+v", got.Outages)
+	}
+}
+
+func TestSummarizeUnionsOverlap(t *testing.T) {
+	spec, err := Parse("bs:at=10s-30s:node=0;bs:at=20s-40s:node=0;bs:at=10s-20s:node=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tl := Plan(sim.NewKernel(1), "k", spec, time.Minute, 2, 0)
+	s := tl.Summarize()
+	if s.ByLayer[LayerBS].Outages != 3 {
+		t.Errorf("outages = %d, want 3", s.ByLayer[LayerBS].Outages)
+	}
+	// node 0: union of 10-30 and 20-40 is 30s; node 1: 10s.
+	if got, want := s.ByLayer[LayerBS].Down, 40*time.Second; got != want {
+		t.Errorf("union down = %v, want %v", got, want)
+	}
+	if s.Restores != 3 {
+		t.Errorf("restores = %d, want 3", s.Restores)
+	}
+	if str := s.String(); !strings.Contains(str, "bs: 3 outages") {
+		t.Errorf("summary string %q", str)
+	}
+}

@@ -1,0 +1,40 @@
+package fault
+
+import "testing"
+
+// FuzzFaultSpec fuzzes the faults=... grammar: any input either fails to
+// parse or yields a spec whose canonical string is a fixed point —
+// Parse(String(spec)) succeeds and re-canonicalizes identically. That is
+// the property scenario.Spec relies on for cache keys and stream labels.
+func FuzzFaultSpec(f *testing.F) {
+	for _, name := range Presets() {
+		f.Add(name)
+		f.Add(Preset(name))
+	}
+	f.Add("bs:mtbf=2m:mttr=10s")
+	f.Add("bs:at=10s-20s/40s-50s:node=3")
+	f.Add("bp:mtbf=1m:mttr=15s:rate=0.25:delay=20ms:loss=0.05")
+	f.Add("blackout:mtbf=1m:mttr=8s;bs:at=1s-2s")
+	f.Add("bs:mtbf=1h:mttr=1ns")
+	f.Add(";;bs:at=0s-1ms;;")
+	f.Add("bs:node=-1:at=1s-2s")
+	f.Add("bp:rate=1:loss=0:delay=0s:at=1s-2s")
+	f.Add("bs : mtbf=1m : mttr=5s")
+	f.Fuzz(func(t *testing.T, in string) {
+		spec, err := Parse(in)
+		if err != nil {
+			return
+		}
+		canon := spec.String()
+		spec2, err := Parse(canon)
+		if err != nil {
+			t.Fatalf("canonical %q of input %q does not re-parse: %v", canon, in, err)
+		}
+		if got := spec2.String(); got != canon {
+			t.Fatalf("canonical not a fixed point: input %q -> %q -> %q", in, canon, got)
+		}
+		if err := spec2.Validate(); err != nil {
+			t.Fatalf("re-parsed canonical %q fails validation: %v", canon, err)
+		}
+	})
+}

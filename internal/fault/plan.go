@@ -1,0 +1,179 @@
+package fault
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"github.com/vanlan/vifi/internal/sim"
+)
+
+// Outage is one planned outage window against one target.
+type Outage struct {
+	Layer      Layer
+	Node       int // target index (basestation or vehicle); AllNodes for bp
+	Proc       int // index of the originating Proc in the Spec
+	Start, End time.Duration
+}
+
+// Timeline is a fully materialized fault plan: every outage the run will
+// inject, sorted by (Start, Layer, Node, Proc) so installation order is
+// deterministic regardless of how the plan was produced.
+type Timeline struct {
+	Spec    Spec
+	Outages []Outage
+}
+
+// Plan materializes a spec into a timeline for a run of the given
+// duration over nBS basestations and nVeh vehicles. The plan is a pure
+// function of the kernel seed, runKey, spec, duration, and population:
+// each (process, target) pair draws from its own RNG stream labeled
+// ("fault", runKey, "p<i>", "n<j>"), so adding or removing one process
+// never shifts another's draws, and a run without faults draws nothing.
+func Plan(k *sim.Kernel, runKey string, spec Spec, dur time.Duration, nBS, nVeh int) Timeline {
+	tl := Timeline{Spec: spec}
+	for pi, p := range spec.Procs {
+		for _, node := range p.targets(nBS, nVeh) {
+			var ws []Window
+			for _, w := range p.At {
+				if w.Start >= dur {
+					continue
+				}
+				end := w.End
+				if end > dur {
+					end = dur
+				}
+				ws = append(ws, Window{Start: w.Start, End: end})
+			}
+			if p.MTBF > 0 {
+				rng := k.RNG("fault", runKey, "p"+strconv.Itoa(pi), "n"+strconv.Itoa(node))
+				t := time.Duration(0)
+				for {
+					up := time.Duration(rng.ExpFloat64() * float64(p.MTBF))
+					t += up
+					if t >= dur {
+						break
+					}
+					down := time.Duration(rng.ExpFloat64() * float64(p.MTTR))
+					end := t + down
+					if end > dur {
+						end = dur
+					}
+					if end > t {
+						ws = append(ws, Window{Start: t, End: end})
+					}
+					t += down
+				}
+			}
+			for _, w := range sortWindows(ws) {
+				tl.Outages = append(tl.Outages, Outage{
+					Layer: p.Layer, Node: node, Proc: pi, Start: w.Start, End: w.End,
+				})
+			}
+		}
+	}
+	sort.Slice(tl.Outages, func(i, j int) bool {
+		a, b := tl.Outages[i], tl.Outages[j]
+		if a.Start != b.Start {
+			return a.Start < b.Start
+		}
+		if a.Layer != b.Layer {
+			return a.Layer < b.Layer
+		}
+		if a.Node != b.Node {
+			return a.Node < b.Node
+		}
+		return a.Proc < b.Proc
+	})
+	return tl
+}
+
+// targets lists the node indices a process acts on.
+func (p Proc) targets(nBS, nVeh int) []int {
+	switch p.Layer {
+	case LayerBP:
+		return []int{AllNodes}
+	case LayerBS:
+		if p.Node != AllNodes {
+			if p.Node >= nBS {
+				return nil
+			}
+			return []int{p.Node}
+		}
+		return iota0(nBS)
+	default: // LayerBlackout
+		if p.Node != AllNodes {
+			if p.Node >= nVeh {
+				return nil
+			}
+			return []int{p.Node}
+		}
+		return iota0(nVeh)
+	}
+}
+
+func iota0(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+// LayerStat aggregates one layer's share of a timeline.
+type LayerStat struct {
+	Outages int           // planned outage windows
+	Down    time.Duration // union node-downtime (sum over nodes of each node's union)
+}
+
+// Summary condenses a timeline for reporting: per-layer outage counts and
+// total node-downtime, plus the total number of restore events.
+type Summary struct {
+	ByLayer  [NumLayers]LayerStat
+	Restores int
+}
+
+// Summarize computes per-layer totals. Downtime is summed per node after
+// unioning that node's overlapping windows (two processes downing the
+// same basestation at once count the wall-clock once).
+func (tl Timeline) Summarize() Summary {
+	var s Summary
+	type lk struct {
+		layer Layer
+		node  int
+	}
+	perNode := map[lk][]Window{}
+	for _, o := range tl.Outages {
+		s.ByLayer[o.Layer].Outages++
+		key := lk{o.Layer, o.Node}
+		perNode[key] = append(perNode[key], Window{Start: o.Start, End: o.End})
+	}
+	s.Restores = len(tl.Outages)
+	for key, ws := range perNode {
+		for _, w := range sortWindows(ws) {
+			s.ByLayer[key.layer].Down += w.End - w.Start
+		}
+	}
+	return s
+}
+
+// String renders a one-line-per-layer human summary, e.g. for vifi-sim.
+func (s Summary) String() string {
+	var b strings.Builder
+	for l := Layer(0); l < NumLayers; l++ {
+		st := s.ByLayer[l]
+		if st.Outages == 0 {
+			continue
+		}
+		if b.Len() > 0 {
+			b.WriteString("  ")
+		}
+		fmt.Fprintf(&b, "%s: %d outages, %.1fs down", l, st.Outages, st.Down.Seconds())
+	}
+	if b.Len() == 0 {
+		return "no outages"
+	}
+	return b.String()
+}

@@ -108,6 +108,7 @@ type node struct {
 	recv    Receiver
 	txUntil time.Duration // transmitting until (half duplex)
 	cur     *reception    // latest reception locking this receiver
+	down    bool          // radio muted by fault injection (SetDown)
 
 	// nbr caches the candidate list of the node's last indexed broadcast,
 	// in grid walk order. Valid while the grid version and the node's
@@ -344,6 +345,30 @@ func (c *Channel) SetReceiver(id NodeID, recv Receiver) { c.nodes[id].recv = rec
 // NodeName returns the name given at attachment.
 func (c *Channel) NodeName(id NodeID) string { return c.nodes[id].name }
 
+// SetDown mutes a node's radio: its broadcasts put nothing on the air
+// (though airtime still elapses and txDone still fires, so MAC gates keep
+// advancing), it receives nothing, and it senses an idle medium. A frame
+// it is currently receiving is voided. Stream stability: muting touches
+// no RNG — a down receiver is skipped before any loss/noise draw on its
+// (private, per-directed-pair) streams, and a down transmitter draws
+// nothing for anyone — so every live pair's coin flips are byte-identical
+// with or without a down bystander. Frames already in flight from this
+// node complete delivery (the crash takes effect at the next frame
+// boundary, a deliberate simplification).
+func (c *Channel) SetDown(id NodeID) {
+	n := c.nodes[id]
+	n.down = true
+	if n.cur != nil && n.cur.end > c.K.Now() && n.cur.ok {
+		n.cur.ok = false
+	}
+}
+
+// SetUp restores a radio muted by SetDown.
+func (c *Channel) SetUp(id NodeID) { c.nodes[id].down = false }
+
+// Down reports whether the node's radio is muted.
+func (c *Channel) Down(id NodeID) bool { return c.nodes[id].down }
+
 // NumNodes returns the number of attached radios.
 func (c *Channel) NumNodes() int { return len(c.nodes) }
 
@@ -398,6 +423,9 @@ func (c *Channel) ReceiveProb(from, to NodeID) float64 {
 func (c *Channel) Busy(id NodeID) bool {
 	now := c.K.Now()
 	me := c.nodes[id]
+	if me.down {
+		return false // a muted radio senses nothing
+	}
 	if me.txUntil > now {
 		return true
 	}
@@ -470,6 +498,24 @@ func (c *Channel) Broadcast(from NodeID, payload []byte, txDone sim.Handler) tim
 		// Model guard: the MAC enforces one outstanding frame, so this is
 		// a programming error in the caller.
 		panic(fmt.Sprintf("radio: node %d (%s) transmit while transmitting", from, src.name))
+	}
+	if src.down {
+		// Muted transmitter: nothing reaches the air — no deliveries, no
+		// carrier occupancy, no transmission counted — but the airtime
+		// still elapses for the caller and txDone still fires, so the
+		// MAC's one-outstanding-frame gate advances normally. No RNG is
+		// touched, keeping every live pair's streams byte-identical.
+		te := c.freeTx
+		if te != nil {
+			c.freeTx = te.next
+			te.next = nil
+		} else {
+			te = &txEnd{ch: c}
+		}
+		te.src = src
+		te.txDone = txDone
+		c.K.AtHandler(end, te)
+		return airtime
 	}
 	src.txUntil = end
 	c.activeTx = append(c.activeTx, src)
@@ -609,6 +655,13 @@ func (c *Channel) ensureGrid(now time.Duration) *grid {
 
 // deliver decides and schedules the reception of one frame at one node.
 func (c *Channel) deliver(src, dst *node, ls *linkState, dist float64, payload []byte, now, end time.Duration) {
+	if dst.down {
+		// Muted receiver (single gate for both the dense and the indexed
+		// path): skipped before any draw, so only this directed pair's
+		// private streams advance less — a guaranteed loss, same argument
+		// as the indexed path's out-of-range skip.
+		return
+	}
 	pr := ls.model.ReceiveProb(now, dist)
 
 	// Half duplex: a transmitting receiver hears nothing.

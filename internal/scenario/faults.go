@@ -1,0 +1,122 @@
+package scenario
+
+import (
+	"time"
+
+	"github.com/vanlan/vifi/internal/backplane"
+	"github.com/vanlan/vifi/internal/core"
+	"github.com/vanlan/vifi/internal/fault"
+	"github.com/vanlan/vifi/internal/sim"
+)
+
+// faultDriver applies a fault timeline to a running cell. Overlapping
+// windows against the same target compose through depth counters: only
+// the 0→1 transition takes the target down and only the final 1→0
+// transition restores it, so two processes downing the same basestation
+// never double-restart it.
+type faultDriver struct {
+	c         *core.Cell
+	tl        *fault.Timeline
+	bsDepth   []int
+	vehDepth  []int
+	bpDepth   int
+	onRestore func(at time.Duration)
+}
+
+// InstallFaults schedules a planned timeline against the cell: every
+// outage begins and ends at its planned instant. Basestation outages
+// mute the radio (beacons fall silent, nothing is heard), partition the
+// backplane port, and restart the protocol stack cold when the window
+// closes. Blackouts mute a vehicle's radio only — a tunnel does not
+// reboot the device. Brownouts degrade the whole backplane. onRestore
+// (may be nil) fires at the end of every outage window, after the
+// restore took effect — the recovery-time metric anchors on it.
+//
+// Determinism: the timeline is pre-sorted and events are scheduled here
+// in that order, so equal-timestamp fault events always fire in timeline
+// order regardless of how the plan was produced.
+func InstallFaults(k *sim.Kernel, c *core.Cell, tl *fault.Timeline, onRestore func(at time.Duration)) {
+	d := &faultDriver{
+		c:         c,
+		tl:        tl,
+		bsDepth:   make([]int, len(c.BSes)),
+		vehDepth:  make([]int, len(c.Vehicles)),
+		onRestore: onRestore,
+	}
+	for _, o := range tl.Outages {
+		o := o
+		k.At(o.Start, func() { d.begin(o) })
+		k.At(o.End, func() { d.end(o) })
+	}
+}
+
+func (d *faultDriver) begin(o fault.Outage) {
+	c := d.c
+	switch o.Layer {
+	case fault.LayerBS:
+		if o.Node >= len(c.BSes) {
+			return
+		}
+		d.bsDepth[o.Node]++
+		if d.bsDepth[o.Node] == 1 {
+			c.Channel.SetDown(c.BSes[o.Node].MAC().ID())
+			c.Backplane.SetDown(c.BSes[o.Node].Addr(), true)
+		}
+	case fault.LayerBP:
+		d.bpDepth++
+		// Later-starting overlapping brownouts override the knobs; the
+		// plane clears only when every window has ended. Deterministic
+		// because outages are applied in timeline order.
+		p := d.tl.Spec.Procs[o.Proc]
+		c.Backplane.SetBrownout(backplane.Brownout{
+			RateFactor: p.RateFactor,
+			ExtraDelay: p.ExtraDelay,
+			ExtraLoss:  p.ExtraLoss,
+		})
+	case fault.LayerBlackout:
+		if o.Node >= len(c.Vehicles) {
+			return
+		}
+		d.vehDepth[o.Node]++
+		if d.vehDepth[o.Node] == 1 {
+			c.Channel.SetDown(c.Vehicles[o.Node].MAC().ID())
+		}
+	}
+}
+
+func (d *faultDriver) end(o fault.Outage) {
+	c := d.c
+	switch o.Layer {
+	case fault.LayerBS:
+		if o.Node >= len(c.BSes) {
+			return
+		}
+		d.bsDepth[o.Node]--
+		if d.bsDepth[o.Node] > 0 {
+			return
+		}
+		// Restart order: cold protocol state first, then reconnect, so
+		// the first frames the revived node handles meet fresh state.
+		c.BSes[o.Node].ColdRestart()
+		c.Backplane.SetDown(c.BSes[o.Node].Addr(), false)
+		c.Channel.SetUp(c.BSes[o.Node].MAC().ID())
+	case fault.LayerBP:
+		d.bpDepth--
+		if d.bpDepth > 0 {
+			return
+		}
+		c.Backplane.ClearBrownout()
+	case fault.LayerBlackout:
+		if o.Node >= len(c.Vehicles) {
+			return
+		}
+		d.vehDepth[o.Node]--
+		if d.vehDepth[o.Node] > 0 {
+			return
+		}
+		c.Channel.SetUp(c.Vehicles[o.Node].MAC().ID())
+	}
+	if d.onRestore != nil {
+		d.onRestore(d.c.K.Now())
+	}
+}

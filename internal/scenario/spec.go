@@ -19,6 +19,7 @@ import (
 	"strings"
 	"time"
 
+	"github.com/vanlan/vifi/internal/fault"
 	"github.com/vanlan/vifi/internal/workload"
 )
 
@@ -96,7 +97,15 @@ type Spec struct {
 	// AppMix weights the cbr:tcp:voip:web split for app=mixed (all-zero
 	// means even).
 	AppMix [4]int
+
+	// Faults holds the canonical fault-injection spec (internal/fault
+	// grammar; "" runs fault-free). Stored canonicalized so Spec stays
+	// comparable and equal fault plans always share a cache line.
+	Faults string
 }
+
+// FaultSpec parses the spec's fault string ("" yields the empty spec).
+func (s Spec) FaultSpec() (fault.Spec, error) { return fault.Parse(s.Faults) }
 
 // AppConfig folds the spec's application knobs into a workload config.
 func (s Spec) AppConfig() workload.Config {
@@ -264,6 +273,12 @@ func (s *Spec) set(key, val string) error {
 		s.AppThink, err = getd()
 	case "mix":
 		s.AppMix, err = parseMix(val)
+	case "faults":
+		// Stored in canonical form (fault.Canonical re-serializes), so two
+		// spellings of the same plan share one Key. Note the fault grammar
+		// is colon/semicolon-based — no commas — exactly so it embeds in
+		// this comma-separated override list.
+		s.Faults, err = fault.Canonical(val)
 	default:
 		return fmt.Errorf("scenario: unknown key %q", key)
 	}
@@ -319,6 +334,11 @@ func (s Spec) Validate() error {
 	case s.AppMix[0] < 0 || s.AppMix[1] < 0 || s.AppMix[2] < 0 || s.AppMix[3] < 0:
 		return fmt.Errorf("scenario: negative mix weight")
 	}
+	if s.Faults != "" {
+		if _, err := fault.Parse(s.Faults); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 
@@ -328,9 +348,16 @@ func (s Spec) Validate() error {
 // RNG stream label) — two specs differing in any knob, including the
 // application fields, never share a cache line or a driver stream.
 func (s Spec) Key() string {
-	return fmt.Sprintf("%s app=%s xfer=%d think=%s mix=%d:%d:%d:%d",
+	key := fmt.Sprintf("%s app=%s xfer=%d think=%s mix=%d:%d:%d:%d",
 		s.GeomKey(), s.App, s.AppXferBytes, s.AppThink,
 		s.AppMix[0], s.AppMix[1], s.AppMix[2], s.AppMix[3])
+	// The faults fragment joins the key only when a plan is configured:
+	// fault-free specs keep the exact historical key, so every existing
+	// golden, cache line and RNG stream label is untouched.
+	if s.Faults != "" {
+		key += " faults=" + s.Faults
+	}
+	return key
 }
 
 // GeomKey is the geometry-only spec string: every field that shapes the

@@ -130,6 +130,17 @@ func BenchmarkScaleRadio(b *testing.B) { benchExperimentScaled(b, "scale-radio",
 // here as an allocs/op and wall-time jump.
 func BenchmarkScaleProtocol(b *testing.B) { benchExperimentScaled(b, "scale-protocol", protoScale) }
 
+// shardScale keeps the sharded-identity sweep's iteration short: five
+// arms of the 216-basestation districted metro, three of them running
+// multi-kernel (2- and 4-shard) executions whose results must match the
+// serial arm byte-for-byte.
+const shardScale = 0.02
+
+// BenchmarkScaleShard regenerates the sharded-execution identity sweep;
+// its allocation gate pins the coupled-kernel path (ghost attachment,
+// barrier exchange, per-port backplane streams) against regressions.
+func BenchmarkScaleShard(b *testing.B) { benchExperimentScaled(b, "scale-shard", shardScale) }
+
 // BenchmarkScaleAppTCP regenerates the per-vehicle TCP application sweep.
 func BenchmarkScaleAppTCP(b *testing.B) { benchExperiment(b, "scale-app-tcp") }
 

@@ -69,6 +69,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		all        = fs.Bool("all", false, "run everything, including ablations")
 		parallel   = fs.Int("parallel", runtime.GOMAXPROCS(0), "simulation worker-pool width; 1 = serial")
 		scn        = fs.String("scenario", "", "base scenario for the scale-* experiments (preset[,key=value...]); empty keeps their defaults")
+		shards     = fs.Int("shards", 1, "run each fleet simulation as this many coupled shard kernels where the scenario supports it (reports stay byte-identical)")
 		cpuprofile = fs.String("cpuprofile", "", "write a pprof CPU profile to this file")
 		memprofile = fs.String("memprofile", "", "write a pprof heap profile to this file at exit")
 		benchjson  = fs.String("benchjson", "", "write per-experiment ns/op, allocs/op, B/op to this JSON file (forces -parallel 1)")
@@ -155,7 +156,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	eng := experiment.NewEngine(*parallel)
-	opts := experiment.Options{Seed: *seed, Scale: *scale, Engine: eng, Scenario: *scn}
+	opts := experiment.Options{Seed: *seed, Scale: *scale, Engine: eng, Scenario: *scn, Shards: *shards}
 
 	type outcome struct {
 		rep     *experiment.Report
@@ -244,6 +245,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	fmt.Fprintf(stderr, "total %v · %d workers · %d jobs run · %d run-cache hits\n",
 		time.Since(start).Round(time.Millisecond), eng.Workers(), jobs, hits)
+	// Per-shard execution stats for any sharded simulations, next to the
+	// engine stats; stdout stays byte-identical for any -shards value.
+	experiment.FprintShardLog(stderr, experiment.TakeShardLog())
 
 	if measure {
 		bf := benchfmt.File{

@@ -55,6 +55,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		duration = fs.Duration("duration", 10*time.Minute, "simulated duration")
 		seed     = fs.Int64("seed", 42, "random seed")
 		parallel = fs.Int("parallel", runtime.GOMAXPROCS(0), "simulation worker-pool width; 1 = serial")
+		shards   = fs.Int("shards", 1, "run each scenario simulation as this many coupled shard kernels (districted scenarios only; results are byte-identical to -shards 1)")
 	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -115,7 +116,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 		futs := make([]experiment.Future[*experiment.FleetAppRun], len(cfgs))
 		for i, cfg := range cfgs {
-			futs[i] = eng.FleetApp(*seed, spec, cfg, *duration)
+			futs[i] = eng.FleetAppShards(*seed, spec, cfg, *duration, *shards)
 		}
 		for i, name := range names {
 			run := futs[i].Wait()
@@ -125,6 +126,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 			printFaults(stdout, run.Faults)
 			fmt.Fprintf(stdout, "rx collisions:          %d over %d transmissions\n\n", run.Collisions, run.Transmissions)
 		}
+		// Per-shard execution stats next to the results, stdout untouched:
+		// reports stay byte-identical for any -shards value.
+		experiment.FprintShardLog(stderr, experiment.TakeShardLog())
 		return 0
 	}
 

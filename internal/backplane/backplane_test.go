@@ -261,14 +261,15 @@ func TestStatsAccounting(t *testing.T) {
 }
 
 // TestLossDrawStability pins the RNG stream-stability contract: Send
-// draws exactly two loss coins per admitted message, regardless of loss
-// rates or outcomes, so changing one link's loss rate never shifts the
-// coin flips seen by later messages. The old short-circuit form
-// (Bool(up) || Bool(down)) consumed one or two draws depending on the
-// first outcome; under it, the stream positions below diverge.
+// draws exactly two loss coins per admitted message from the sender's
+// per-port stream, regardless of loss rates or outcomes, so changing one
+// link's loss rate never shifts the coin flips seen by later messages.
+// The old short-circuit form (Bool(up) || Bool(down)) consumed one or two
+// draws depending on the first outcome; under it, the stream positions
+// below diverge.
 func TestLossDrawStability(t *testing.T) {
 	// Drive 50 Sends under wildly different loss configurations and then
-	// sample the backplane stream directly: equal kernel seeds must leave
+	// sample the sender's stream directly: equal kernel seeds must leave
 	// the stream at the identical position whatever was configured.
 	position := func(upLoss, downLoss float64) uint64 {
 		k := sim.NewKernel(99)
@@ -281,7 +282,7 @@ func TestLossDrawStability(t *testing.T) {
 		for i := 0; i < 50; i++ {
 			n.Send(1, 2, []byte{byte(i)})
 		}
-		return n.rng.Uint64()
+		return n.ports[1].rng.Uint64()
 	}
 	ref := position(0, 0)
 	for _, c := range [][2]float64{{0.9, 0}, {0, 0.9}, {0.5, 0.5}, {1, 1}} {

@@ -75,12 +75,12 @@ func TestBrownoutExtraLoss(t *testing.T) {
 
 // TestFaultDrawStability extends the PR 3 unconditional-draw contract to
 // the fault paths: neither a SetDown partition window nor a brownout
-// changes the NUMBER of draws on the shared backplane stream — down
+// changes the NUMBER of draws on any sender's per-port stream — down
 // sends still flip their two coins, brownouts inflate probabilities only
 // — so every send outside the window sees exactly the coins it would
 // have seen in an un-faulted run.
 func TestFaultDrawStability(t *testing.T) {
-	position := func(fault func(n *Net, i int)) uint64 {
+	position := func(fault func(n *Net, i int)) [2]uint64 {
 		k := sim.NewKernel(42)
 		cfg := DefaultConfig()
 		cfg.Access.Loss = 0.3
@@ -95,7 +95,7 @@ func TestFaultDrawStability(t *testing.T) {
 			n.Send(1, 2, []byte{byte(i)}) // live pair
 			n.Send(3, 2, []byte{byte(i)}) // pair faulted mid-run
 		}
-		return n.rng.Uint64()
+		return [2]uint64{n.ports[1].rng.Uint64(), n.ports[3].rng.Uint64()}
 	}
 	ref := position(nil)
 	downWindow := position(func(n *Net, i int) {

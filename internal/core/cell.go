@@ -45,7 +45,40 @@ type Cell struct {
 	// fleet when the cell was built with NewFleetCell.
 	Vehicle  *Node
 	Vehicles []*Node
+
+	// Gateways lists every gateway (one per district for districted
+	// cells; [Gateway] otherwise). VehDistrict maps fleet slots to their
+	// district (nil when there is only one).
+	Gateways    []*Gateway
+	VehDistrict []int
+
+	// Shard-cell bookkeeping (nil/unset outside NewDistrictShardCell):
+	// BSLocal/VehLocal mark which global indexes own a full protocol
+	// stack on this shard — the rest are position-only ghosts, and their
+	// BSes/Vehicles entries are nil. BSRadioIDs/VehRadioIDs carry the
+	// channel NodeID of every node, ghost or not, so fault injection can
+	// address radios it does not own a Node for.
+	BSLocal     []bool
+	VehLocal    []bool
+	BSRadioIDs  []radio.NodeID
+	VehRadioIDs []radio.NodeID
 }
+
+// GatewayFor returns the gateway serving fleet slot i.
+func (c *Cell) GatewayFor(i int) *Gateway {
+	if c.VehDistrict == nil {
+		return c.Gateway
+	}
+	return c.Gateways[c.VehDistrict[i]]
+}
+
+// LocalBS reports whether basestation i has a full protocol stack on
+// this cell (always true outside shard cells).
+func (c *Cell) LocalBS(i int) bool { return c.BSLocal == nil || c.BSLocal[i] }
+
+// LocalVehicle reports whether fleet slot i has a full protocol stack on
+// this cell (always true outside shard cells).
+func (c *Cell) LocalVehicle(i int) bool { return c.VehLocal == nil || c.VehLocal[i] }
 
 // newCellBase wires the shared substrate: channel, backplane, gateway and
 // basestations (addresses 0..len(bsMovers)-1, in order). vehicles is the
@@ -60,10 +93,12 @@ func newCellBase(k *sim.Kernel, opts CellOptions, bsMovers []mobility.Mover, veh
 	bp := backplane.New(k, opts.Backplane)
 	gw := NewGateway(k, bp, opts.Events)
 
-	c := &Cell{K: k, Channel: ch, Backplane: bp, Gateway: gw}
+	c := &Cell{K: k, Channel: ch, Backplane: bp, Gateway: gw, Gateways: []*Gateway{gw}}
 	for i, mv := range bsMovers {
 		m := mac.NewWithConfig(k, ch, fmt.Sprintf("bs%d", i), mv, opts.MAC)
-		c.BSes = append(c.BSes, newNode(k, opts.Protocol, m, bp, gw.Addr(), false, opts.Events))
+		n := newNode(k, opts.Protocol, m, bp, gw.Addr(), false, opts.Events)
+		c.BSes = append(c.BSes, n)
+		c.BSRadioIDs = append(c.BSRadioIDs, m.ID())
 	}
 	return c
 }
@@ -79,6 +114,7 @@ func NewCell(k *sim.Kernel, opts CellOptions, bsMovers []mobility.Mover, vehMove
 	vm := mac.NewWithConfig(k, c.Channel, "veh", vehMover, opts.MAC)
 	c.Vehicle = newNode(k, opts.Protocol, vm, nil, c.Gateway.Addr(), true, opts.Events)
 	c.Vehicles = []*Node{c.Vehicle}
+	c.VehRadioIDs = []radio.NodeID{vm.ID()}
 	return c
 }
 
@@ -97,8 +133,119 @@ func NewFleetCell(k *sim.Kernel, opts CellOptions, bsMovers, vehMovers []mobilit
 	for i, mv := range vehMovers {
 		vm := mac.NewWithConfig(k, c.Channel, fmt.Sprintf("veh%d", i), mv, opts.MAC)
 		c.Vehicles = append(c.Vehicles, newNode(k, opts.Protocol, vm, nil, c.Gateway.Addr(), true, opts.Events))
+		c.VehRadioIDs = append(c.VehRadioIDs, vm.ID())
 	}
 	c.Vehicle = c.Vehicles[0]
+	return c
+}
+
+// NewDistrictFleetCell builds a fleet deployment split into radio-
+// isolated districts: one gateway per district (addresses GatewayAddr+d),
+// every basestation and vehicle wired to its own district's gateway.
+// Attachment order — and therefore every channel NodeID and RNG stream
+// label — matches NewFleetCell exactly: basestations in global index
+// order, then vehicles in global index order; only the gatewayAddr each
+// node registers with differs. districts must be ≥ 1; with districts=1
+// the cell is behaviorally identical to NewFleetCell.
+func NewDistrictFleetCell(k *sim.Kernel, opts CellOptions, bsMovers, vehMovers []mobility.Mover, bsDistrict, vehDistrict []int, districts int) *Cell {
+	if len(bsMovers) == 0 {
+		panic("core: a cell needs at least one basestation")
+	}
+	if len(vehMovers) == 0 {
+		panic("core: a fleet cell needs at least one vehicle")
+	}
+	ch := radio.NewChannelSized(k, opts.Radio, opts.LinkFactory, len(bsMovers)+len(vehMovers))
+	bp := backplane.New(k, opts.Backplane)
+	c := &Cell{K: k, Channel: ch, Backplane: bp, VehDistrict: append([]int(nil), vehDistrict...)}
+	for d := 0; d < districts; d++ {
+		c.Gateways = append(c.Gateways, NewGatewayAt(k, bp, GatewayAddr+uint16(d), opts.Events))
+	}
+	c.Gateway = c.Gateways[0]
+	for i, mv := range bsMovers {
+		m := mac.NewWithConfig(k, ch, fmt.Sprintf("bs%d", i), mv, opts.MAC)
+		gw := c.Gateways[bsDistrict[i]]
+		c.BSes = append(c.BSes, newNode(k, opts.Protocol, m, bp, gw.Addr(), false, opts.Events))
+		c.BSRadioIDs = append(c.BSRadioIDs, m.ID())
+	}
+	for i, mv := range vehMovers {
+		vm := mac.NewWithConfig(k, ch, fmt.Sprintf("veh%d", i), mv, opts.MAC)
+		gw := c.Gateways[vehDistrict[i]]
+		c.Vehicles = append(c.Vehicles, newNode(k, opts.Protocol, vm, nil, gw.Addr(), true, opts.Events))
+		c.VehRadioIDs = append(c.VehRadioIDs, vm.ID())
+	}
+	c.Vehicle = c.Vehicles[0]
+	return c
+}
+
+// NewDistrictShardCell builds shard `shard` of a districted deployment:
+// nodes whose district maps to this shard (districtShard) get full
+// protocol stacks, everyone else attaches to the channel as a
+// position-only ghost — same name, same mover, nil receiver — so channel
+// NodeIDs, RNG stream labels and spatial-grid state are byte-identical
+// to the serial cell at any shard count. Ghosts never transmit, never
+// receive and hold no protocol state; with districts separated by more
+// than the radio conflict reach they exchange no radio interaction with
+// local nodes either, which is what makes the partition exact. Foreign
+// backplane addresses (gateways and basestation ports) are registered as
+// remotes pointing at their owning shard, so any cross-shard backplane
+// send flows through the coupler instead of being dropped as unknown.
+func NewDistrictShardCell(k *sim.Kernel, opts CellOptions, bsMovers, vehMovers []mobility.Mover, bsDistrict, vehDistrict []int, districts int, districtShard []int, shard int) *Cell {
+	ch := radio.NewChannelSized(k, opts.Radio, opts.LinkFactory, len(bsMovers)+len(vehMovers))
+	bp := backplane.New(k, opts.Backplane)
+	c := &Cell{
+		K: k, Channel: ch, Backplane: bp,
+		VehDistrict: append([]int(nil), vehDistrict...),
+		BSLocal:     make([]bool, len(bsMovers)),
+		VehLocal:    make([]bool, len(vehMovers)),
+	}
+	for d := 0; d < districts; d++ {
+		addr := GatewayAddr + uint16(d)
+		if districtShard[d] == shard {
+			c.Gateways = append(c.Gateways, NewGatewayAt(k, bp, addr, opts.Events))
+		} else {
+			bp.AttachRemote(addr, districtShard[d])
+			c.Gateways = append(c.Gateways, nil)
+		}
+	}
+	for d := 0; d < districts; d++ {
+		if c.Gateways[d] != nil {
+			c.Gateway = c.Gateways[d]
+			break
+		}
+	}
+	for i, mv := range bsMovers {
+		if districtShard[bsDistrict[i]] == shard {
+			m := mac.NewWithConfig(k, ch, fmt.Sprintf("bs%d", i), mv, opts.MAC)
+			gw := c.Gateways[bsDistrict[i]]
+			c.BSes = append(c.BSes, newNode(k, opts.Protocol, m, bp, gw.Addr(), false, opts.Events))
+			c.BSRadioIDs = append(c.BSRadioIDs, m.ID())
+			c.BSLocal[i] = true
+		} else {
+			id := ch.Attach(fmt.Sprintf("bs%d", i), mv, nil)
+			bp.AttachRemote(uint16(id), districtShard[bsDistrict[i]])
+			c.BSes = append(c.BSes, nil)
+			c.BSRadioIDs = append(c.BSRadioIDs, id)
+		}
+	}
+	for i, mv := range vehMovers {
+		if districtShard[vehDistrict[i]] == shard {
+			vm := mac.NewWithConfig(k, ch, fmt.Sprintf("veh%d", i), mv, opts.MAC)
+			gw := c.Gateways[vehDistrict[i]]
+			c.Vehicles = append(c.Vehicles, newNode(k, opts.Protocol, vm, nil, gw.Addr(), true, opts.Events))
+			c.VehRadioIDs = append(c.VehRadioIDs, vm.ID())
+			c.VehLocal[i] = true
+		} else {
+			id := ch.Attach(fmt.Sprintf("veh%d", i), mv, nil)
+			c.Vehicles = append(c.Vehicles, nil)
+			c.VehRadioIDs = append(c.VehRadioIDs, id)
+		}
+	}
+	for _, v := range c.Vehicles {
+		if v != nil {
+			c.Vehicle = v
+			break
+		}
+	}
 	return c
 }
 
@@ -110,7 +257,7 @@ func NewFleetCell(k *sim.Kernel, opts CellOptions, bsMovers, vehMovers []mobilit
 func (c *Cell) HookVehicle(i int, down, up DeliverFunc) {
 	v := c.Vehicles[i]
 	v.SetDeliver(down)
-	c.Gateway.SetVehicleDeliver(v.Addr(), up)
+	c.GatewayFor(i).SetVehicleDeliver(v.Addr(), up)
 }
 
 // NewVanLANCell builds a cell over the VanLAN campus: its eleven

@@ -39,12 +39,21 @@ type Gateway struct {
 	AnchorSwitches int
 }
 
-// NewGateway attaches a gateway to the backplane.
+// NewGateway attaches a gateway to the backplane at the well-known
+// address.
 func NewGateway(k *sim.Kernel, bp *backplane.Net, events EventFunc) *Gateway {
+	return NewGatewayAt(k, bp, GatewayAddr, events)
+}
+
+// NewGatewayAt attaches a gateway at an explicit backplane address.
+// Districted deployments run one gateway per district at GatewayAddr+d,
+// so each district's wired side is self-contained and no backplane
+// message ever needs to reach another district.
+func NewGatewayAt(k *sim.Kernel, bp *backplane.Net, addr uint16, events EventFunc) *Gateway {
 	g := &Gateway{
 		K:        k,
 		bp:       bp,
-		addr:     GatewayAddr,
+		addr:     addr,
 		anchorOf: map[uint16]uint16{},
 		events:   events,
 		dedup:    map[frame.PacketID]bool{},

@@ -14,6 +14,14 @@
 // deployment; this is the closest laptop-scale equivalent (see DESIGN.md's
 // substitution table) and it exercises the systems path the simulator
 // cannot: concurrency, sockets, wall-clock races.
+//
+// Status: superseded for scaling work. Multi-core execution of one
+// scenario now lives in the deterministic simulator itself — sharded
+// coupled kernels (internal/sim.Coupler, DESIGN.md "Sharded execution")
+// reproduce the serial run byte-for-byte across cores, which the
+// wall-clock emulator never could. The package stays as the live-socket
+// demonstrator; its smoke tests are skipped under -short to keep the
+// quick suite free of wall-clock timing dependence.
 package emu
 
 import (

@@ -58,6 +58,12 @@ type FleetAppRun struct {
 	ReportBS     float64
 	GridNbrsBS   float64
 	AuxPerVeh    float64
+
+	// ShardExec carries per-shard execution diagnostics when the run was
+	// sharded (nil on the serial path). It is wall-clock bookkeeping, not
+	// simulation outcome: every other field is byte-identical at any
+	// shard count, which is what the scale-shard golden pins.
+	ShardExec []ShardRunStats
 }
 
 // DeliveredPerSec, DeliveryRatio, MedianSession and Interruptions expose
@@ -215,38 +221,58 @@ func RunFleetAppWorkload(seed int64, spec scenario.Spec, cfg core.Config, durati
 		run.AuxPerVeh /= float64(nv)
 	}
 
-	// Rebuild the slot-level FleetRun from the CBR vehicles so link
-	// metrics read exactly like the original constant-rate workload.
-	if run.Apps.App(workload.CBRKind).Vehicles > 0 {
-		link := &FleetRun{
-			SpecKey:       key,
-			SlotDur:       appcfg.CBRSlot,
-			BSCount:       len(cell.BSes),
-			Transmissions: st.Transmissions,
-			Collisions:    st.Collisions,
-		}
-		for _, m := range run.PerVehicle {
-			if m.App != workload.CBRKind {
-				continue
-			}
-			link.Up = append(link.Up, m.Up)
-			link.Down = append(link.Down, m.Down)
-			if d := time.Duration(len(m.Up)) * appcfg.CBRSlot; d > link.Duration {
-				link.Duration = d
-			}
-		}
-		run.Link = link
-	}
+	assembleLink(run, appcfg.CBRSlot)
 	return run, nil
+}
+
+// assembleLink rebuilds the slot-level FleetRun from the CBR vehicles so
+// link metrics read exactly like the original constant-rate workload.
+// Pure over the run's already-merged fields, so the serial and sharded
+// paths assemble byte-identical links.
+func assembleLink(run *FleetAppRun, slotDur time.Duration) {
+	if run.Apps.App(workload.CBRKind).Vehicles == 0 {
+		return
+	}
+	link := &FleetRun{
+		SpecKey:       run.SpecKey,
+		SlotDur:       slotDur,
+		BSCount:       run.BSCount,
+		Transmissions: run.Transmissions,
+		Collisions:    run.Collisions,
+	}
+	for _, m := range run.PerVehicle {
+		if m.App != workload.CBRKind {
+			continue
+		}
+		link.Up = append(link.Up, m.Up)
+		link.Down = append(link.Down, m.Down)
+		if d := time.Duration(len(m.Up)) * slotDur; d > link.Duration {
+			link.Duration = d
+		}
+	}
+	run.Link = link
 }
 
 // FleetApp schedules a fleet application workload on the engine,
 // memoized per (seed, spec, config, duration) — the spec's canonical key
 // (which encodes the app and its knobs) is the cache discriminator.
 func (e *Engine) FleetApp(seed int64, spec scenario.Spec, cfg core.Config, dur time.Duration) Future[*FleetAppRun] {
-	key := JobKey{Kind: "fleetapp", Seed: seed, Cfg: cfg, Dur: dur, Extra: spec.Key()}
+	return e.FleetAppShards(seed, spec, cfg, dur, 1)
+}
+
+// FleetAppShards is FleetApp with a requested shard count. Shard counts
+// above one get their own cache line (" shards=N" key fragment): the
+// simulation outcome is byte-identical at any count — that is the whole
+// contract — but the identity tests need both executions to actually
+// run, and a shards≤1 request keeps the exact historical key.
+func (e *Engine) FleetAppShards(seed int64, spec scenario.Spec, cfg core.Config, dur time.Duration, shards int) Future[*FleetAppRun] {
+	extra := spec.Key()
+	if shards > 1 {
+		extra += fmt.Sprintf(" shards=%d", shards)
+	}
+	key := JobKey{Kind: "fleetapp", Seed: seed, Cfg: cfg, Dur: dur, Extra: extra}
 	return Future[*FleetAppRun]{f: e.memoize(key, func() any {
-		run, err := RunFleetAppWorkload(seed, spec, cfg, dur)
+		run, err := RunFleetAppWorkloadSharded(seed, spec, cfg, dur, shards)
 		if err != nil {
 			// Spec validity is checked by the runners before scheduling;
 			// reaching this is a programming error, not a data error.
@@ -297,7 +323,7 @@ func runFleetSweep(r *Report, o Options, def string, app workload.Kind, values [
 	for i, n := range values {
 		spec := base
 		set(&spec, n)
-		futs[i] = eng.FleetApp(o.Seed, spec, core.DefaultConfig(), dur)
+		futs[i] = eng.FleetAppShards(o.Seed, spec, core.DefaultConfig(), dur, o.shardCount())
 	}
 	for i, n := range values {
 		r.AddRow(row(n, futs[i].Wait())...)

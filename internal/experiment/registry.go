@@ -44,6 +44,9 @@ var registry = map[string]Runner{
 
 	// Fault-injection resilience sweep (DESIGN.md §9).
 	"scale-faults": ScaleFaults,
+
+	// Sharded-execution identity sweep (DESIGN.md §10).
+	"scale-shard": ScaleShard,
 }
 
 // IDs returns all experiment ids in a stable order.

@@ -27,6 +27,12 @@ type Options struct {
 	// in internal/scenario.Parse syntax. Empty keeps each experiment's
 	// default. Paper figures ignore it.
 	Scenario string
+	// Shards requests sharded single-run execution: each fleet simulation
+	// runs as this many coupled event kernels when its scenario supports
+	// an exact spatial partition (districted spec on the indexed radio
+	// path), and falls back to the serial path otherwise. Results are
+	// byte-identical either way; 0 means 1.
+	Shards int
 }
 
 // DefaultOptions returns full-scale options with a fixed seed.
@@ -39,6 +45,14 @@ func (o Options) engine() *Engine {
 		return o.Engine
 	}
 	return newInlineEngine()
+}
+
+// shardCount returns the requested shard count, at least 1.
+func (o Options) shardCount() int {
+	if o.Shards < 1 {
+		return 1
+	}
+	return o.Shards
 }
 
 // scaled returns max(1, round(n·Scale)) for trial counts.

@@ -55,11 +55,17 @@ type FaultReport struct {
 // exact delivery path (and bytes) they had before fault injection
 // existed.
 type faultRecorder struct {
-	k           *sim.Kernel
-	bins        []bool
-	pending     []time.Duration
-	recovered   int
-	recoverySum time.Duration
+	k    *sim.Kernel
+	bins []bool
+	// restores records every outage-restore instant in timeline order;
+	// recoveredAt[i] holds the first delivery at or after restores[i]
+	// (negative while unresolved). The positional form is what makes
+	// shard recorders mergeable: the restore timeline is identical in
+	// every shard, and the fleet-wide first delivery after a restore is
+	// the minimum of the shards' local first deliveries.
+	restores    []time.Duration
+	recoveredAt []time.Duration
+	next        int // first unresolved restore index
 }
 
 func newFaultRecorder(k *sim.Kernel, dur time.Duration) *faultRecorder {
@@ -83,32 +89,68 @@ func (r *faultRecorder) delivery() {
 	if b := int(now / time.Second); b >= 0 && b < len(r.bins) {
 		r.bins[b] = true
 	}
-	if len(r.pending) == 0 {
-		return
+	for ; r.next < len(r.restores); r.next++ {
+		r.recoveredAt[r.next] = now
 	}
-	for _, at := range r.pending {
-		r.recoverySum += now - at
-	}
-	r.recovered += len(r.pending)
-	r.pending = r.pending[:0]
 }
 
 // restored is the InstallFaults onRestore callback.
 func (r *faultRecorder) restored(at time.Duration) {
-	r.pending = append(r.pending, at)
+	r.restores = append(r.restores, at)
+	r.recoveredAt = append(r.recoveredAt, -1)
+}
+
+// mergeFaultRecorders folds per-shard recorders into the fleet-wide view
+// a serial run's single recorder would have produced: delivery bins OR
+// together, and each restore's recovery resolves at the earliest local
+// delivery any shard saw. Every shard runs the identical fault timeline,
+// so the restore instants agree positionally by construction.
+func mergeFaultRecorders(recs []*faultRecorder) *faultRecorder {
+	m := &faultRecorder{
+		k:           recs[0].k,
+		bins:        make([]bool, len(recs[0].bins)),
+		restores:    append([]time.Duration(nil), recs[0].restores...),
+		recoveredAt: make([]time.Duration, len(recs[0].restores)),
+	}
+	for i := range m.recoveredAt {
+		m.recoveredAt[i] = -1
+	}
+	for _, r := range recs {
+		if len(r.restores) != len(m.restores) {
+			panic("experiment: shard fault timelines diverged")
+		}
+		for i, b := range r.bins {
+			if b {
+				m.bins[i] = true
+			}
+		}
+		for i, at := range r.recoveredAt {
+			if at >= 0 && (m.recoveredAt[i] < 0 || at < m.recoveredAt[i]) {
+				m.recoveredAt[i] = at
+			}
+		}
+	}
+	return m
 }
 
 // report folds the recorder and the planned timeline into the run's
 // FaultReport.
 func (r *faultRecorder) report(tl fault.Timeline) *FaultReport {
 	sum := tl.Summarize()
-	rep := &FaultReport{Restores: sum.Restores, Recovered: r.recovered}
+	recovered, recoverySum := 0, time.Duration(0)
+	for i, at := range r.restores {
+		if r.recoveredAt[i] >= 0 {
+			recovered++
+			recoverySum += r.recoveredAt[i] - at
+		}
+	}
+	rep := &FaultReport{Restores: sum.Restores, Recovered: recovered}
 	for l := range rep.Windows {
 		rep.Windows[l] = sum.ByLayer[l].Outages
 		rep.DownSec[l] = sum.ByLayer[l].Down.Seconds()
 	}
-	if r.recovered > 0 {
-		rep.RecoveryMeanSec = (r.recoverySum / time.Duration(r.recovered)).Seconds()
+	if recovered > 0 {
+		rep.RecoveryMeanSec = (recoverySum / time.Duration(recovered)).Seconds()
 	}
 	first := -1
 	for i, b := range r.bins {

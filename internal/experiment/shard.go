@@ -1,0 +1,283 @@
+package experiment
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+
+	"github.com/vanlan/vifi/internal/core"
+	"github.com/vanlan/vifi/internal/fault"
+	"github.com/vanlan/vifi/internal/radio"
+	"github.com/vanlan/vifi/internal/scenario"
+	"github.com/vanlan/vifi/internal/sim"
+	"github.com/vanlan/vifi/internal/workload"
+)
+
+// This file carries sharded single-scenario execution: one city runs as
+// K spatially partitioned shards, each a full sim.Kernel advancing in
+// bounded rounds under the conservative coupler (internal/sim), with
+// cross-shard backplane messages exchanged at window barriers. The
+// partition is exact — districted scenarios separate districts by more
+// than the radio conflict reach and give each district its own gateway —
+// so the sharded run is byte-identical to the serial run at any K.
+
+// ShardRunStats is one shard's execution diagnostics after a sharded run.
+type ShardRunStats struct {
+	Shard    int
+	BSes     int // basestations owned (full protocol stacks)
+	Vehicles int // fleet slots owned
+	Events   uint64
+	Rounds   int
+	Stalled  int // barrier rounds in which this shard ran no event
+	HaloSent int // cross-shard events posted by this shard
+	HaloRecv int // cross-shard events injected into this shard
+}
+
+// ShardLogEntry records one sharded execution for command-line
+// diagnostics (vifi-sim/vifi-bench print these on stderr).
+type ShardLogEntry struct {
+	SpecKey string
+	Shards  int
+	Stats   []ShardRunStats
+}
+
+var (
+	shardLogMu sync.Mutex
+	shardLog   []ShardLogEntry
+)
+
+// TakeShardLog drains the recorded sharded executions, sorted by spec
+// key for stable output under a parallel engine.
+func TakeShardLog() []ShardLogEntry {
+	shardLogMu.Lock()
+	defer shardLogMu.Unlock()
+	out := shardLog
+	shardLog = nil
+	sort.Slice(out, func(i, j int) bool { return out[i].SpecKey < out[j].SpecKey })
+	return out
+}
+
+func logShards(e ShardLogEntry) {
+	shardLogMu.Lock()
+	shardLog = append(shardLog, e)
+	shardLogMu.Unlock()
+}
+
+// FprintShardLog renders drained shard-log entries for the commands'
+// stderr diagnostics: per shard, the owned node counts, events executed,
+// barrier rounds (and how many stalled with no work), and halo traffic.
+func FprintShardLog(w io.Writer, entries []ShardLogEntry) {
+	for _, e := range entries {
+		fmt.Fprintf(w, "sharded run (%d shards): %s\n", e.Shards, e.SpecKey)
+		for _, s := range e.Stats {
+			fmt.Fprintf(w, "  shard %d: %d BS / %d veh · %d events · %d rounds (%d stalled) · halo %d sent / %d recv\n",
+				s.Shard, s.BSes, s.Vehicles, s.Events, s.Rounds, s.Stalled, s.HaloSent, s.HaloRecv)
+		}
+	}
+}
+
+// shardPlan decides whether a spec can run sharded and, if so, assigns
+// districts to shards (balanced contiguous groups). The partition is
+// exact only when (a) the spec is districted — stripes separated by more
+// than the radio conflict reach, one gateway per district — and (b) the
+// channel runs the spatially indexed path, whose reception state is a
+// pure function of in-range peers; the legacy full sweep folds every
+// attached radio into per-receiver state, which ghost attachment cannot
+// reproduce. Anything else falls back to the serial path (effective 1),
+// keeping results byte-identical by construction.
+func shardPlan(spec scenario.Spec, opts core.CellOptions, shards int) ([]int, int) {
+	d := spec.Districts
+	if shards < 2 || d < 2 || opts.LinkFactory != nil {
+		return nil, 1
+	}
+	threshold := radio.DefaultIndexThreshold
+	if opts.Radio.IndexThresholdNodes > 0 {
+		threshold = opts.Radio.IndexThresholdNodes
+	}
+	if spec.BS+spec.Vehicles < threshold {
+		return nil, 1
+	}
+	if shards > d {
+		shards = d
+	}
+	m := make([]int, d)
+	for i := range m {
+		m[i] = i * shards / d
+	}
+	return m, shards
+}
+
+// RunFleetAppWorkloadSharded is RunFleetAppWorkload executed as `shards`
+// coupled kernels. Every shard runs the same seed, builds the same
+// layout, attaches every radio (foreign nodes as position-only ghosts)
+// and plans the same fault timeline, so all RNG stream labels, NodeIDs
+// and draw orders match the serial run exactly; only event execution is
+// partitioned. The merged result is byte-identical to the serial one at
+// any shard count — ShardExec aside, which is wall-clock bookkeeping.
+func RunFleetAppWorkloadSharded(seed int64, spec scenario.Spec, cfg core.Config, duration time.Duration, shards int) (*FleetAppRun, error) {
+	opts := core.DefaultCellOptions()
+	opts.Protocol = cfg
+	districtShard, eff := shardPlan(spec, opts, shards)
+	if eff <= 1 {
+		return RunFleetAppWorkload(seed, spec, cfg, duration)
+	}
+
+	fs, err := spec.FaultSpec()
+	if err != nil {
+		return nil, err
+	}
+	key := spec.Key()
+	appcfg := spec.AppConfig()
+
+	kernels := make([]*sim.Kernel, eff)
+	cells := make([]*core.Cell, eff)
+	recs := make([]*faultRecorder, eff)
+	drivers := make([][]workload.Driver, eff)
+	var lay *scenario.Layout
+	var tl fault.Timeline
+	coupler := sim.NewCoupler()
+
+	for s := 0; s < eff; s++ {
+		k := sim.NewKernel(seed)
+		cell, l, err := scenario.BuildShardCell(k, spec, opts, districtShard, s)
+		if err != nil {
+			return nil, err
+		}
+		if !cell.Channel.Indexed() {
+			panic("experiment: shard plan accepted a non-indexed channel")
+		}
+		kernels[s], cells[s], lay = k, cell, l
+		if idx := coupler.AddShard(k); idx != s {
+			panic("experiment: shard index mismatch")
+		}
+
+		// Mirror the serial setup order exactly: faults first, then the
+		// workload mix, then the drivers — only the driver set is
+		// filtered to locally owned fleet slots.
+		nv := len(cell.Vehicles)
+		if !fs.Empty() {
+			tl = fault.Plan(k, key, fs, duration, len(cell.BSes), nv)
+			recs[s] = newFaultRecorder(k, duration)
+			scenario.InstallFaults(k, cell, &tl, recs[s].restored)
+		}
+		kinds := make([]workload.Kind, nv)
+		if spec.App == workload.MixedKind {
+			kinds = workload.SplitKinds(k.RNG("workload", key, "mix"), appcfg.Mix, nv)
+		} else {
+			for i := range kinds {
+				kinds[i] = spec.App
+			}
+		}
+		drivers[s] = make([]workload.Driver, nv)
+		for i := 0; i < nv; i++ {
+			if !cell.LocalVehicle(i) {
+				continue
+			}
+			start := l.Departs[i] + fleetWarm +
+				appStagger(kinds[i], appcfg)*time.Duration(i)/time.Duration(nv)
+			end := duration
+			if start > end {
+				start = end
+			}
+			rng := k.RNG("workload", key, "veh", strconv.Itoa(i))
+			d := workload.New(k, appcfg, kinds[i], workload.CellPort(cell, i), i, start, end, rng)
+			if recs[s] != nil {
+				recs[s].bind(cell, i, d)
+			} else {
+				workload.Bind(cell, i, d)
+			}
+			d.Start()
+			drivers[s][i] = d
+		}
+	}
+
+	// Couple the backplanes: the only subsystem that can carry an event
+	// across districts, hence across shards. Its minimum transit delay is
+	// the lookahead; a cross-shard send posts the arrival at its exact
+	// already-computed timestamp into the destination shard's mailbox.
+	coupler.AddLookahead(cells[0].Backplane.MinTransitDelay())
+	for s := 0; s < eff; s++ {
+		src := s
+		cells[s].Backplane.SetCrossPost(func(dstShard int, arriveAt time.Duration, from, to uint16, payload []byte) {
+			coupler.Post(src, dstShard, arriveAt, func() {
+				cells[dstShard].Backplane.InjectArrive(from, to, payload)
+			})
+		})
+	}
+
+	stats := coupler.Run(duration + time.Second)
+
+	// Merge in global node order, so every float accumulation and every
+	// slice append happens in exactly the serial iteration order.
+	nv := len(cells[0].Vehicles)
+	run := &FleetAppRun{
+		SpecKey:  key,
+		App:      spec.App,
+		BSCount:  len(cells[0].BSes),
+		Vehicles: nv,
+		Duration: duration,
+	}
+	vehOwner := func(i int) int { return districtShard[lay.VehDistrict[i]] }
+	run.PerVehicle = make([]workload.Metrics, nv)
+	for i := 0; i < nv; i++ {
+		run.PerVehicle[i] = drivers[vehOwner(i)][i].Stop()
+	}
+	run.Apps = workload.Aggregate(run.PerVehicle)
+	for s := 0; s < eff; s++ {
+		st := cells[s].Channel.Stats()
+		run.Transmissions += st.Transmissions
+		run.Collisions += st.Collisions
+	}
+	if recs[0] != nil {
+		run.Faults = mergeFaultRecorders(recs).report(tl)
+	}
+
+	var nbr []uint16
+	for i := range cells[0].BSes {
+		c := cells[districtShard[lay.BSDistrict[i]]]
+		bs := c.BSes[i]
+		now := c.K.Now()
+		run.FreshPeersBS += float64(len(bs.Probs().FreshLocalPeers(bs.Addr(), now)))
+		run.ReportBS += float64(len(bs.Probs().Report(bs.Addr(), now)))
+		nbr = bs.MAC().Neighbors(nbr[:0])
+		run.GridNbrsBS += float64(len(nbr))
+	}
+	if n := float64(run.BSCount); n > 0 {
+		run.FreshPeersBS /= n
+		run.ReportBS /= n
+		run.GridNbrsBS /= n
+	}
+	for i := 0; i < nv; i++ {
+		run.AuxPerVeh += float64(cells[vehOwner(i)].Vehicles[i].AuxCount())
+	}
+	if nv > 0 {
+		run.AuxPerVeh /= float64(nv)
+	}
+	assembleLink(run, appcfg.CBRSlot)
+
+	run.ShardExec = make([]ShardRunStats, eff)
+	for s := 0; s < eff; s++ {
+		nb, nvl := 0, 0
+		for i := range cells[s].BSLocal {
+			if cells[s].BSLocal[i] {
+				nb++
+			}
+		}
+		for i := range cells[s].VehLocal {
+			if cells[s].VehLocal[i] {
+				nvl++
+			}
+		}
+		run.ShardExec[s] = ShardRunStats{
+			Shard: s, BSes: nb, Vehicles: nvl,
+			Events: stats[s].Events, Rounds: stats[s].Rounds,
+			Stalled: stats[s].StalledRounds,
+			HaloSent: stats[s].Posted, HaloRecv: stats[s].Injected,
+		}
+	}
+	logShards(ShardLogEntry{SpecKey: key, Shards: eff, Stats: run.ShardExec})
+	return run, nil
+}

@@ -1,0 +1,150 @@
+package experiment
+
+import (
+	"os"
+	"reflect"
+	"testing"
+	"time"
+
+	"github.com/vanlan/vifi/internal/core"
+	"github.com/vanlan/vifi/internal/scenario"
+)
+
+// shardTestSpec is a districted deployment big enough for the indexed
+// channel path (124+8 = 132 radios ≥ radio.DefaultIndexThreshold) but
+// affordable in the unit suite.
+const shardTestSpec = "metro-districts,bs=124,vehicles=8"
+
+// stripShardExec clears the one field that legitimately differs between
+// shard counts: per-shard wall-clock bookkeeping.
+func stripShardExec(r *FleetAppRun) *FleetAppRun {
+	c := *r
+	c.ShardExec = nil
+	return &c
+}
+
+// TestShardedMatchesSerial is the tentpole acceptance contract: a
+// districted scenario run as 2 and 4 coupled shard kernels produces a
+// FleetAppRun deeply equal to the serial run — every per-vehicle metric,
+// channel counter, occupancy figure and link slot, with and without the
+// multi-layer chaos fault mix.
+func TestShardedMatchesSerial(t *testing.T) {
+	for _, faults := range []string{"", chaosFaults} {
+		spec, err := scenario.Parse(shardTestSpec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		spec.Faults = faults
+		dur := 12 * time.Second
+		serial, err := RunFleetAppWorkload(11, spec, core.DefaultConfig(), dur)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if serial.Transmissions == 0 || len(serial.PerVehicle) == 0 {
+			t.Fatalf("faults=%q: serial run saw no traffic — identity would be vacuous", faults)
+		}
+		for _, k := range []int{2, 4} {
+			sharded, err := RunFleetAppWorkloadSharded(11, spec, core.DefaultConfig(), dur, k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(sharded.ShardExec) != k {
+				t.Fatalf("faults=%q shards=%d: ran %d shards", faults, k, len(sharded.ShardExec))
+			}
+			if !reflect.DeepEqual(stripShardExec(serial), stripShardExec(sharded)) {
+				t.Errorf("faults=%q shards=%d: sharded run diverged from serial:\nserial  %+v\nsharded %+v",
+					faults, k, serial, sharded)
+			}
+		}
+	}
+}
+
+// TestShardedFallbackSerial pins the conservative gate: an undistricted
+// scenario (grid-metro) requested at -shards 4 must run the exact serial
+// path — same result, no shard bookkeeping.
+func TestShardedFallbackSerial(t *testing.T) {
+	spec, err := scenario.Parse("grid-metro,vehicles=4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dur := 8 * time.Second
+	serial, err := RunFleetAppWorkload(7, spec, core.DefaultConfig(), dur)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sharded, err := RunFleetAppWorkloadSharded(7, spec, core.DefaultConfig(), dur, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sharded.ShardExec != nil {
+		t.Fatal("undistricted spec did not fall back to the serial path")
+	}
+	if !reflect.DeepEqual(serial, sharded) {
+		t.Error("fallback run diverged from serial")
+	}
+}
+
+// scaleShardTestScale keeps the sweep affordable: the 216-basestation
+// districted metro runs ~5 simulated seconds per arm, five arms.
+const scaleShardTestScale = 0.02
+
+// TestScaleShardDeterminism pins the sharded-execution sweep: golden
+// bytes across versions, and — the reason the report exists — identical
+// metric cells across shard counts within each fault variant.
+func TestScaleShardDeterminism(t *testing.T) {
+	rep, err := Run("scale-shard", Options{Seed: 17, Scale: scaleShardTestScale, Engine: NewEngine(4)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rows) != len(scaleShardArms) {
+		t.Fatalf("got %d rows, want %d", len(rep.Rows), len(scaleShardArms))
+	}
+	metrics := func(row []string) []string { return row[1:] } // drop the arm label
+	for i := 1; i <= 2; i++ {
+		if !reflect.DeepEqual(metrics(rep.Rows[0]), metrics(rep.Rows[i])) {
+			t.Errorf("plain arm %q diverged from serial:\n%v\n%v", rep.Rows[i][0], rep.Rows[0], rep.Rows[i])
+		}
+	}
+	if !reflect.DeepEqual(metrics(rep.Rows[3]), metrics(rep.Rows[4])) {
+		t.Errorf("chaos arms diverged:\n%v\n%v", rep.Rows[3], rep.Rows[4])
+	}
+	path := "testdata/golden_scale-shard.txt"
+	if *updateGolden {
+		if err := os.WriteFile(path, []byte(rep.String()), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run with -update-golden to create)", err)
+	}
+	if rep.String() != string(want) {
+		t.Errorf("scale-shard diverged from committed golden %s:\n%s", path, rep)
+	}
+}
+
+// TestShardPlanShape pins the partitioner: balanced contiguous district
+// groups, conservative fallbacks for sub-threshold and undistricted
+// specs, and clamping to the district count.
+func TestShardPlanShape(t *testing.T) {
+	opts := core.DefaultCellOptions()
+	spec, _ := scenario.Parse(shardTestSpec)
+	m, eff := shardPlan(spec, opts, 2)
+	if eff != 2 || !reflect.DeepEqual(m, []int{0, 0, 1, 1}) {
+		t.Errorf("K=2: plan %v eff %d", m, eff)
+	}
+	m, eff = shardPlan(spec, opts, 8)
+	if eff != 4 || !reflect.DeepEqual(m, []int{0, 1, 2, 3}) {
+		t.Errorf("K=8 clamps to districts: plan %v eff %d", m, eff)
+	}
+	small := spec
+	small.BS = 60 // 60+8 < index threshold: full-sweep path, must not shard
+	if _, eff = shardPlan(small, opts, 4); eff != 1 {
+		t.Errorf("sub-threshold spec sharded (eff %d)", eff)
+	}
+	flat, _ := scenario.Parse("grid-metro")
+	if _, eff = shardPlan(flat, opts, 4); eff != 1 {
+		t.Errorf("undistricted spec sharded (eff %d)", eff)
+	}
+}

@@ -239,6 +239,12 @@ func TestDaySchedule(t *testing.T) {
 // once, never revalidated) and route movers advertise their constant
 // route speed — a true upper bound, since the vehicle parks before
 // departure.
+// Compile-time contract: both concrete movers advertise speed bounds.
+var (
+	_ SpeedBounded = Fixed{}
+	_ SpeedBounded = (*RouteMover)(nil)
+)
+
 func TestSpeedBounds(t *testing.T) {
 	if got := (Fixed{X: 3}).MaxSpeedMPS(); got != 0 {
 		t.Errorf("Fixed speed bound = %v, want 0", got)

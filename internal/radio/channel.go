@@ -212,7 +212,16 @@ type Channel struct {
 	activeTx []*node
 	grid     *grid
 	cutoff   float64 // cached P.CutoffM()
-	stats    Stats
+	// revalAt is the timestamp of the earliest pending revalidation event;
+	// revalPending is false when none is scheduled. Revalidation is
+	// event-driven (scheduled at the grid's exact drift deadlines) rather
+	// than piggybacked on Broadcast, so bucket state at any instant is a
+	// pure function of node positions and speed bounds — never of when the
+	// local traffic happened to query the index. Sharded runs depend on
+	// that: every shard sees identical bucket state at identical times.
+	revalAt      time.Duration
+	revalPending bool
+	stats        Stats
 }
 
 // NewChannel creates a channel over the kernel with the given parameters.
@@ -307,6 +316,12 @@ func (c *Channel) Attach(name string, mover mobility.Mover, recv Receiver) NodeI
 	c.nodes = append(c.nodes, &node{id: id, name: name, mover: mover, recv: recv})
 	if c.lazy == nil && max(len(c.nodes), c.capHint) >= c.indexThreshold() {
 		c.migrateLazy()
+	}
+	if c.grid != nil {
+		c.grid.insert(id, mover, c.K.Now())
+		c.scheduleReval()
+	} else if c.indexed() {
+		c.buildGrid()
 	}
 	if c.lazy != nil {
 		return id
@@ -633,23 +648,67 @@ func (c *Channel) NeighborIDs(id NodeID, buf []NodeID) []NodeID {
 	return buf
 }
 
-// ensureGrid builds the spatial index on first use, folds in nodes
-// attached since, and runs any due position revalidation.
+// buildGrid creates the spatial index and buckets every attached node at
+// its current position. Called from Attach the moment the channel crosses
+// the index threshold, so insertion order is attachment order and bucket
+// state never depends on when the first broadcast happens.
+func (c *Channel) buildGrid() {
+	// Cells are sized by the reception cutoff alone: the grid serves
+	// only Broadcast — carrier sense scans the active-transmitter
+	// list, never the grid — so folding SenseRangeM in would only
+	// inflate the candidate sets.
+	g := newGrid(c.cutoff)
+	c.grid = g
+	now := c.K.Now()
+	for _, n := range c.nodes {
+		g.insert(n.id, n.mover, now)
+	}
+	c.scheduleReval()
+}
+
+// scheduleReval arranges a kernel event at the grid's earliest drift
+// deadline. Revalidation thereby happens at instants that are a pure
+// function of positions and speed bounds — identical in every shard of a
+// partitioned run — instead of at whatever time the next local broadcast
+// queried the index. An event made stale by an earlier deadline (insert
+// can lower nextDeadline) reschedules itself without sweeping.
+func (c *Channel) scheduleReval() {
+	g := c.grid
+	if g == nil || g.nextDeadline == never {
+		return
+	}
+	if c.revalPending && c.revalAt <= g.nextDeadline {
+		return
+	}
+	c.revalPending = true
+	c.revalAt = g.nextDeadline
+	at := g.nextDeadline
+	c.K.At(at, func() {
+		if c.revalAt == at {
+			c.revalPending = false
+		}
+		g := c.grid
+		if g != nil && c.K.Now() >= g.nextDeadline {
+			g.revalidate(c.nodes, c.K.Now())
+		}
+		c.scheduleReval()
+	})
+}
+
+// ensureGrid returns the spatial index, folding in any nodes attached
+// since it was built. Revalidation is not triggered here — it runs on its
+// own scheduled deadlines (see scheduleReval).
 func (c *Channel) ensureGrid(now time.Duration) *grid {
 	g := c.grid
 	if g == nil {
-		// Cells are sized by the reception cutoff alone: the grid serves
-		// only Broadcast — carrier sense scans the active-transmitter
-		// list, never the grid — so folding SenseRangeM in would only
-		// inflate the candidate sets.
-		g = newGrid(c.cutoff)
-		c.grid = g
+		c.buildGrid()
+		g = c.grid
 	}
 	for len(g.nodes) < len(c.nodes) {
 		id := NodeID(len(g.nodes))
 		g.insert(id, c.nodes[id].mover, now)
+		c.scheduleReval()
 	}
-	g.revalidate(c.nodes, now)
 	return g
 }
 

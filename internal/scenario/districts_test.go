@@ -1,0 +1,157 @@
+package scenario
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"github.com/vanlan/vifi/internal/core"
+	"github.com/vanlan/vifi/internal/radio"
+	"github.com/vanlan/vifi/internal/sim"
+)
+
+// TestDistrictLayoutDeterministic pins districted generation: equal
+// (seed, spec) reproduce the identical layout — positions, routes,
+// departures and district assignments — which is what lets every shard
+// kernel regenerate the same city independently.
+func TestDistrictLayoutDeterministic(t *testing.T) {
+	spec, err := Parse("metro-districts")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := Generate(sim.NewKernel(5), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(sim.NewKernel(5), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Error("equal seeds generated different districted layouts")
+	}
+	if got := a.Districts(); got != spec.Districts {
+		t.Fatalf("Districts() = %d, want %d", got, spec.Districts)
+	}
+}
+
+// TestDistrictSeparation pins the radio-isolation invariant the sharded
+// partition rests on: every node — basestation position and every route
+// waypoint — stays inside its district's stripe, and adjacent stripes
+// are separated by more than the radio conflict reach (reception cutoff
+// and carrier-sense range), so districts share no radio state at all.
+func TestDistrictSeparation(t *testing.T) {
+	spec, err := Parse("metro-districts")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lay, err := Generate(sim.NewKernel(3), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := radio.DefaultParams()
+	reach := math.Max(p.CutoffM(), p.SenseRangeM)
+	if lay.MoatM <= reach {
+		t.Fatalf("moat %.1f m does not clear the conflict reach %.1f m", lay.MoatM, reach)
+	}
+	for d := 1; d < lay.Districts(); d++ {
+		if gap := lay.DistrictX0[d] - lay.DistrictX1[d-1]; gap < lay.MoatM-1e-9 {
+			t.Fatalf("districts %d/%d separated by %.1f m, want ≥ %.1f m", d-1, d, gap, lay.MoatM)
+		}
+	}
+	for i, pt := range lay.BSes {
+		d := lay.BSDistrict[i]
+		if pt.X < lay.DistrictX0[d]-1e-9 || pt.X > lay.DistrictX1[d]+1e-9 {
+			t.Errorf("bs %d at x=%.1f outside district %d span [%.1f, %.1f]",
+				i, pt.X, d, lay.DistrictX0[d], lay.DistrictX1[d])
+		}
+	}
+	for i, r := range lay.Routes {
+		d := lay.VehDistrict[i]
+		for _, wp := range r.Waypoints {
+			if wp.X < lay.DistrictX0[d]-1e-9 || wp.X > lay.DistrictX1[d]+1e-9 {
+				t.Errorf("vehicle %d waypoint x=%.1f outside district %d span [%.1f, %.1f]",
+					i, wp.X, d, lay.DistrictX0[d], lay.DistrictX1[d])
+			}
+		}
+	}
+}
+
+// TestDistrictSpecValidation pins the spec-level guards.
+func TestDistrictSpecValidation(t *testing.T) {
+	for _, bad := range []string{
+		"metro-districts,topology=strip", // districts need the grid generator
+		"metro-districts,bs=3",           // fewer basestations than districts
+		"metro-districts,vehicles=2",     // fewer vehicles than districts
+		"metro-districts,districts=-1",   // negative
+	} {
+		if s, err := Parse(bad); err == nil {
+			if err := s.Validate(); err == nil {
+				t.Errorf("%q validated", bad)
+			}
+		}
+	}
+	// Too narrow for the moats: caught at generation time.
+	s, err := Parse("metro-districts,w=3000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Generate(sim.NewKernel(1), s); err == nil {
+		t.Error("3000 m wide 4-district spec generated")
+	}
+}
+
+// TestShardCellMatchesSerialIdentity pins ghost attachment: shard cells
+// assign every node — owned or ghost — the same channel NodeID the
+// serial districted cell assigns, and per-shard ownership covers each
+// node exactly once.
+func TestShardCellMatchesSerialIdentity(t *testing.T) {
+	spec, err := Parse("metro-districts,bs=124,vehicles=8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := core.DefaultCellOptions()
+	serial, _, err := BuildCell(sim.NewKernel(9), spec, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	districtShard := []int{0, 0, 1, 1}
+	bsOwners := make([]int, len(serial.BSes))
+	vehOwners := make([]int, len(serial.Vehicles))
+	for shard := 0; shard < 2; shard++ {
+		cell, _, err := BuildShardCell(sim.NewKernel(9), spec, opts, districtShard, shard)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(cell.BSRadioIDs, serial.BSRadioIDs) ||
+			!reflect.DeepEqual(cell.VehRadioIDs, serial.VehRadioIDs) {
+			t.Fatalf("shard %d radio IDs diverge from serial cell", shard)
+		}
+		for i, local := range cell.BSLocal {
+			if local != (cell.BSes[i] != nil) {
+				t.Fatalf("shard %d bs %d: locality flag disagrees with node presence", shard, i)
+			}
+			if local {
+				bsOwners[i]++
+			}
+		}
+		for i, local := range cell.VehLocal {
+			if local != (cell.Vehicles[i] != nil) {
+				t.Fatalf("shard %d vehicle %d: locality flag disagrees with node presence", shard, i)
+			}
+			if local {
+				vehOwners[i]++
+			}
+		}
+	}
+	for i, n := range bsOwners {
+		if n != 1 {
+			t.Errorf("bs %d owned by %d shards, want exactly 1", i, n)
+		}
+	}
+	for i, n := range vehOwners {
+		if n != 1 {
+			t.Errorf("vehicle %d owned by %d shards, want exactly 1", i, n)
+		}
+	}
+}

@@ -35,6 +35,12 @@ type faultDriver struct {
 // Determinism: the timeline is pre-sorted and events are scheduled here
 // in that order, so equal-timestamp fault events always fire in timeline
 // order regardless of how the plan was produced.
+//
+// Sharded runs install the same plan on every shard cell: depth counters
+// advance globally in every shard (the timeline is identical), actions on
+// protocol state apply only where the node is local, and backplane
+// SetDown flips the remote mirrors everywhere so sending-side checks stay
+// in lockstep with the owning shard.
 func InstallFaults(k *sim.Kernel, c *core.Cell, tl *fault.Timeline, onRestore func(at time.Duration)) {
 	d := &faultDriver{
 		c:         c,
@@ -59,8 +65,10 @@ func (d *faultDriver) begin(o fault.Outage) {
 		}
 		d.bsDepth[o.Node]++
 		if d.bsDepth[o.Node] == 1 {
-			c.Channel.SetDown(c.BSes[o.Node].MAC().ID())
-			c.Backplane.SetDown(c.BSes[o.Node].Addr(), true)
+			if c.LocalBS(o.Node) {
+				c.Channel.SetDown(c.BSRadioIDs[o.Node])
+			}
+			c.Backplane.SetDown(uint16(c.BSRadioIDs[o.Node]), true)
 		}
 	case fault.LayerBP:
 		d.bpDepth++
@@ -78,8 +86,8 @@ func (d *faultDriver) begin(o fault.Outage) {
 			return
 		}
 		d.vehDepth[o.Node]++
-		if d.vehDepth[o.Node] == 1 {
-			c.Channel.SetDown(c.Vehicles[o.Node].MAC().ID())
+		if d.vehDepth[o.Node] == 1 && c.LocalVehicle(o.Node) {
+			c.Channel.SetDown(c.VehRadioIDs[o.Node])
 		}
 	}
 }
@@ -97,9 +105,13 @@ func (d *faultDriver) end(o fault.Outage) {
 		}
 		// Restart order: cold protocol state first, then reconnect, so
 		// the first frames the revived node handles meet fresh state.
-		c.BSes[o.Node].ColdRestart()
-		c.Backplane.SetDown(c.BSes[o.Node].Addr(), false)
-		c.Channel.SetUp(c.BSes[o.Node].MAC().ID())
+		if c.LocalBS(o.Node) {
+			c.BSes[o.Node].ColdRestart()
+		}
+		c.Backplane.SetDown(uint16(c.BSRadioIDs[o.Node]), false)
+		if c.LocalBS(o.Node) {
+			c.Channel.SetUp(c.BSRadioIDs[o.Node])
+		}
 	case fault.LayerBP:
 		d.bpDepth--
 		if d.bpDepth > 0 {
@@ -114,7 +126,9 @@ func (d *faultDriver) end(o fault.Outage) {
 		if d.vehDepth[o.Node] > 0 {
 			return
 		}
-		c.Channel.SetUp(c.Vehicles[o.Node].MAC().ID())
+		if c.LocalVehicle(o.Node) {
+			c.Channel.SetUp(c.VehRadioIDs[o.Node])
+		}
 	}
 	if d.onRestore != nil {
 		d.onRestore(d.c.K.Now())

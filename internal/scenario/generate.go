@@ -7,16 +7,54 @@ import (
 
 	"github.com/vanlan/vifi/internal/core"
 	"github.com/vanlan/vifi/internal/mobility"
+	"github.com/vanlan/vifi/internal/radio"
 	"github.com/vanlan/vifi/internal/sim"
 )
 
 // Layout is a generated deployment: basestation positions plus one route
-// and departure time per vehicle.
+// and departure time per vehicle. For districted specs (Spec.Districts ≥
+// 2) the district fields record the stripe partition; otherwise they are
+// zero/nil and Districts reads as 1.
 type Layout struct {
 	Spec    Spec
 	BSes    []mobility.Point
 	Routes  []*mobility.Route
 	Departs []time.Duration
+
+	// BSDistrict/VehDistrict map each basestation and vehicle index to its
+	// district; DistrictX0/DistrictX1 bound each district's usable x-span
+	// (basestations and routes never leave it); MoatM is the stripe gap.
+	BSDistrict  []int
+	VehDistrict []int
+	DistrictX0  []float64
+	DistrictX1  []float64
+	MoatM       float64
+}
+
+// Districts returns the district count (1 for undistricted layouts).
+func (l *Layout) Districts() int {
+	if l.Spec.Districts < 2 {
+		return 1
+	}
+	return l.Spec.Districts
+}
+
+// moatFrac oversizes the inter-district moat relative to the radio
+// conflict reach so float jitter at the stripe edges can never close the
+// gap below the reach.
+const moatFrac = 1.05
+
+// MoatM returns the inter-district stripe gap for the spec: moatFrac
+// times the radio conflict reach — the larger of the reception cutoff
+// and the carrier-sense range — under the spec's radio overrides. Beyond
+// the reach no frame can be received and no transmitter is sensed, so
+// nodes in different districts share no radio state at all.
+func (s Spec) MoatM() float64 {
+	p := radio.DefaultParams()
+	if s.RangeM > 0 {
+		p.D50 = s.RangeM
+	}
+	return math.Max(p.CutoffM(), p.SenseRangeM) * moatFrac
 }
 
 // Generate derives the deployment geometry from the kernel's seed and the
@@ -27,6 +65,9 @@ type Layout struct {
 func Generate(k *sim.Kernel, s Spec) (*Layout, error) {
 	if err := s.Validate(); err != nil {
 		return nil, err
+	}
+	if s.Districts >= 2 {
+		return generateDistricts(k, s)
 	}
 	key := s.GeomKey()
 	lay := &Layout{Spec: s}
@@ -51,6 +92,73 @@ func Generate(k *sim.Kernel, s Spec) (*Layout, error) {
 		lay.Departs[i] = time.Duration(i) * s.DepartStagger
 	}
 	return lay, nil
+}
+
+// generateDistricts lays out a districted spec: D vertical stripes of
+// equal usable width separated by moats wider than the radio conflict
+// reach. Each district is generated as an independent grid sub-deployment
+// in stripe-local coordinates — with its own "bs" RNG stream, so district
+// geometry is independent of the others — then translated to its stripe.
+// Vehicle i belongs to district i mod D; its route stays inside the
+// stripe (route generators inset from the sub-region bounds), and its
+// departure keeps the global stagger.
+func generateDistricts(k *sim.Kernel, s Spec) (*Layout, error) {
+	D := s.Districts
+	moat := s.MoatM()
+	stripeW := (s.Width - float64(D-1)*moat) / float64(D)
+	if stripeW <= 2*s.JitterM {
+		return nil, fmt.Errorf("scenario: width %g cannot hold %d districts with %.0fm moats (stripe %.0fm)",
+			s.Width, D, moat, stripeW)
+	}
+	key := s.GeomKey()
+	lay := &Layout{Spec: s, MoatM: moat}
+
+	// Largest-remainder split of the basestations, district-major order.
+	base, rem := s.BS/D, s.BS%D
+	subs := make([]Spec, D)
+	for d := 0; d < D; d++ {
+		sub := s
+		sub.Districts = 0
+		sub.Width = stripeW
+		sub.BS = base
+		if d < rem {
+			sub.BS++
+		}
+		subs[d] = sub
+		off := float64(d) * (stripeW + moat)
+		lay.DistrictX0 = append(lay.DistrictX0, off)
+		lay.DistrictX1 = append(lay.DistrictX1, off+stripeW)
+		pts := placeBSes(k.RNG("scenario", key, "bs", fmt.Sprint(d)), sub)
+		for _, p := range pts {
+			lay.BSes = append(lay.BSes, p.Add(off, 0))
+			lay.BSDistrict = append(lay.BSDistrict, d)
+		}
+	}
+
+	lay.Routes = make([]*mobility.Route, s.Vehicles)
+	lay.Departs = make([]time.Duration, s.Vehicles)
+	lay.VehDistrict = make([]int, s.Vehicles)
+	for i := 0; i < s.Vehicles; i++ {
+		d := i % D
+		lay.VehDistrict[i] = d
+		rng := k.RNG("scenario", key, "route", fmt.Sprint(i))
+		speed := mobility.KmhToMps(s.SpeedKmh) * (0.9 + 0.2*rng.Float64())
+		cols, rows := gridDims(subs[d])
+		r := mobility.GridTour(rng, stripeW, s.Height, cols, rows, s.RouteStops, speed)
+		lay.Routes[i] = translateRoute(r, lay.DistrictX0[d])
+		lay.Departs[i] = time.Duration(i) * s.DepartStagger
+	}
+	return lay, nil
+}
+
+// translateRoute shifts a route along the x axis (stripe-local to global
+// coordinates).
+func translateRoute(r *mobility.Route, dx float64) *mobility.Route {
+	wps := make([]mobility.Point, len(r.Waypoints))
+	for i, p := range r.Waypoints {
+		wps[i] = p.Add(dx, 0)
+	}
+	return mobility.NewRoute(wps, r.SpeedMPS, r.Loop)
 }
 
 // gridDims chooses a lattice shape matching the region's aspect ratio:
@@ -146,19 +254,50 @@ func (s Spec) Apply(opts core.CellOptions) core.CellOptions {
 // BuildCell generates the layout and wires a running fleet cell over it:
 // fixed basestations, one route-driven vehicle per fleet slot with its
 // staggered departure, and the spec's radio/backplane parameters.
+// Districted specs get one gateway per district so the wired side is
+// partitioned exactly like the radio side.
 func BuildCell(k *sim.Kernel, s Spec, opts core.CellOptions) (*core.Cell, *Layout, error) {
 	lay, err := Generate(k, s)
 	if err != nil {
 		return nil, nil, err
 	}
-	opts = s.Apply(opts)
-	bs := make([]mobility.Mover, len(lay.BSes))
+	bs, vehs := layoutMovers(lay)
+	if lay.Spec.Districts >= 2 {
+		cell := core.NewDistrictFleetCell(k, s.Apply(opts), bs, vehs,
+			lay.BSDistrict, lay.VehDistrict, lay.Districts())
+		return cell, lay, nil
+	}
+	return core.NewFleetCell(k, s.Apply(opts), bs, vehs), lay, nil
+}
+
+// BuildShardCell generates the same layout and wires shard `shard` of it:
+// district d's nodes are full stacks when districtShard[d] == shard and
+// position-only ghosts otherwise. The layout — and every NodeID and RNG
+// stream label — is identical to BuildCell's on the same kernel seed.
+func BuildShardCell(k *sim.Kernel, s Spec, opts core.CellOptions, districtShard []int, shard int) (*core.Cell, *Layout, error) {
+	lay, err := Generate(k, s)
+	if err != nil {
+		return nil, nil, err
+	}
+	if lay.Spec.Districts < 2 {
+		return nil, nil, fmt.Errorf("scenario: shard cells need a districted spec")
+	}
+	bs, vehs := layoutMovers(lay)
+	cell := core.NewDistrictShardCell(k, s.Apply(opts), bs, vehs,
+		lay.BSDistrict, lay.VehDistrict, lay.Districts(), districtShard, shard)
+	return cell, lay, nil
+}
+
+// layoutMovers materializes the layout's movers: fixed basestations and
+// one route-driven vehicle per fleet slot with its staggered departure.
+func layoutMovers(lay *Layout) (bs, vehs []mobility.Mover) {
+	bs = make([]mobility.Mover, len(lay.BSes))
 	for i, p := range lay.BSes {
 		bs[i] = mobility.Fixed(p)
 	}
-	vehs := make([]mobility.Mover, len(lay.Routes))
+	vehs = make([]mobility.Mover, len(lay.Routes))
 	for i, r := range lay.Routes {
 		vehs[i] = &mobility.RouteMover{Route: r, Depart: lay.Departs[i]}
 	}
-	return core.NewFleetCell(k, opts, bs, vehs), lay, nil
+	return bs, vehs
 }

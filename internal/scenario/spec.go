@@ -76,6 +76,17 @@ type Spec struct {
 	RouteStops    int
 	DepartStagger time.Duration
 
+	// Districts splits the region into that many radio-isolated vertical
+	// stripes (0 and 1 mean a single connected region). Each district gets
+	// its own Internet gateway and a proportional share of basestations
+	// and vehicles; adjacent stripes are separated by a moat wider than
+	// the radio conflict reach, so no frame, carrier-sense or backplane
+	// interaction crosses a district boundary. Districted scenarios are
+	// what the sharded execution path partitions (one shard = a contiguous
+	// group of districts); they also model multi-campus deployments whose
+	// sites share nothing but the Internet. Grid topology only.
+	Districts int
+
 	// RangeM overrides the radio model's 50%-reception distance when
 	// positive (0 keeps radio.DefaultParams).
 	RangeM float64
@@ -145,6 +156,14 @@ func presets() map[string]Spec {
 			Topology: Grid, BS: 484, Width: 7200, Height: 4500, JitterM: 30,
 			Vehicles: 16, SpeedKmh: 40, RouteStops: 10, DepartStagger: 200 * time.Millisecond,
 		},
+		// Four radio-isolated districts at grid-city density, each with its
+		// own gateway — the reference scenario for sharded execution
+		// (scale-shard): big enough for the indexed radio path (232 nodes)
+		// and structurally partitionable at 1, 2 or 4 shards.
+		"metro-districts": {
+			Topology: Grid, BS: 216, Districts: 4, Width: 14400, Height: 1500, JitterM: 30,
+			Vehicles: 16, SpeedKmh: 40, RouteStops: 10, DepartStagger: 200 * time.Millisecond,
+		},
 		// A corridor deployment: basestations along a highway.
 		"strip-highway": {
 			Topology: Strip, BS: 40, Width: 6000, Height: 400, JitterM: 20,
@@ -196,8 +215,9 @@ func Preset(name string) (Spec, error) {
 //
 //	grid-city,vehicles=30,bs=72,w=3000,stagger=5s
 //
-// Keys: bs, clusters, w, h, jitter, vehicles, speed, stops, stagger,
-// range, bprate, bpdelay, bploss, topology, app, xfer, think, mix.
+// Keys: bs, clusters, w, h, jitter, vehicles, districts, speed, stops,
+// stagger, range, bprate, bpdelay, bploss, topology, app, xfer, think,
+// mix, faults.
 func Parse(s string) (Spec, error) {
 	parts := strings.Split(s, ",")
 	name := strings.TrimSpace(parts[0])
@@ -251,6 +271,8 @@ func (s *Spec) set(key, val string) error {
 		s.JitterM, err = getf()
 	case "vehicles":
 		s.Vehicles, err = geti()
+	case "districts":
+		s.Districts, err = geti()
 	case "speed":
 		s.SpeedKmh, err = getf()
 	case "stops":
@@ -327,6 +349,14 @@ func (s Spec) Validate() error {
 		return fmt.Errorf("scenario: cluster topology needs clusters ≥ 1")
 	case s.DepartStagger < 0:
 		return fmt.Errorf("scenario: stagger must be ≥ 0")
+	case s.Districts < 0:
+		return fmt.Errorf("scenario: districts = %d, need ≥ 0", s.Districts)
+	case s.Districts >= 2 && s.Topology != Grid:
+		return fmt.Errorf("scenario: districts need grid topology, have %s", s.Topology)
+	case s.Districts >= 2 && s.BS < s.Districts:
+		return fmt.Errorf("scenario: bs = %d < districts = %d", s.BS, s.Districts)
+	case s.Districts >= 2 && s.Vehicles < s.Districts:
+		return fmt.Errorf("scenario: vehicles = %d < districts = %d", s.Vehicles, s.Districts)
 	case s.App < workload.CBRKind || s.App > workload.MixedKind:
 		return fmt.Errorf("scenario: app %d out of range", int(s.App))
 	case s.AppXferBytes < 0 || s.AppThink < 0:
@@ -367,10 +397,17 @@ func (s Spec) Key() string {
 // regenerates the city: comparisons across workloads run on identical
 // basestations and routes.
 func (s Spec) GeomKey() string {
-	return fmt.Sprintf("%s bs=%d cl=%d w=%g h=%g j=%g v=%d spd=%g stops=%d stg=%s rng=%g bpr=%g bpd=%s bpl=%g",
+	key := fmt.Sprintf("%s bs=%d cl=%d w=%g h=%g j=%g v=%d spd=%g stops=%d stg=%s rng=%g bpr=%g bpd=%s bpl=%g",
 		s.Topology, s.BS, s.Clusters, s.Width, s.Height, s.JitterM,
 		s.Vehicles, s.SpeedKmh, s.RouteStops, s.DepartStagger,
 		s.RangeM, s.BackplaneRateBps, s.BackplaneDelay, s.BackplaneLoss)
+	// The districts fragment joins the key only when the region is
+	// actually split, so every pre-existing spec keeps its exact
+	// historical key (goldens, cache lines, RNG stream labels).
+	if s.Districts >= 2 {
+		key += fmt.Sprintf(" d=%d", s.Districts)
+	}
+	return key
 }
 
 // String implements fmt.Stringer.

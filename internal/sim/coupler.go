@@ -1,0 +1,250 @@
+// Coupler runs several Kernels as one coherent simulation: each kernel is
+// a shard advancing through bounded time windows in lockstep, and events
+// that cross shard boundaries are exchanged at window barriers and injected
+// at their exact timestamps. The scheme is classic conservative parallel
+// discrete-event simulation: if every cross-shard interaction takes at
+// least L (the lookahead) of simulated time to arrive, then a window of
+// width L can run in every shard concurrently — no event posted during
+// window [T, T+L) can be due before T+L, so by the time any shard needs it,
+// the barrier has already delivered it.
+//
+// Determinism contract: injection order at a barrier is sorted by
+// (arrival time, posting time, source shard, per-source sequence), a total
+// order independent of goroutine scheduling, and each injected event is
+// scheduled before any window event runs, so the receiving kernel's
+// (at, seq) heap order — and therefore its behavior — is a pure function
+// of the posted events, never of wall-clock interleaving.
+package sim
+
+import (
+	"fmt"
+	"sort"
+	"time"
+)
+
+// crossEvent is one cross-shard event in flight between barriers.
+type crossEvent struct {
+	at       time.Duration // arrival timestamp in the destination shard
+	schedAt  time.Duration // source-shard clock when posted
+	srcShard int
+	seq      uint64 // per-source posting sequence
+	dst      int
+	fn       Event
+}
+
+// ShardStats reports one shard's execution counters after a coupled run.
+type ShardStats struct {
+	Events        uint64 // events executed by the shard's kernel
+	Rounds        int    // windows the shard advanced through
+	StalledRounds int    // windows in which the shard ran no event at all
+	Posted        int    // cross-shard events this shard posted
+	Injected      int    // cross-shard events injected into this shard
+}
+
+// Coupler synchronizes a set of shard kernels under a conservative
+// lookahead. Zero value is not usable; construct with NewCoupler, add
+// shards and at least one lookahead bound, then Run.
+type Coupler struct {
+	kernels   []*Kernel
+	lookahead time.Duration
+	windowEnd time.Duration // current window's exclusive upper bound
+	running   bool
+
+	// outbox[s] collects events posted by shard s during the current
+	// window. Only shard s's goroutine touches it between barriers.
+	outbox  [][]crossEvent
+	postSeq []uint64
+	stats   []ShardStats
+}
+
+// NewCoupler returns an empty coupler. Lookahead starts unset; every
+// coupled subsystem must register its minimum cross-shard latency with
+// AddLookahead before Run.
+func NewCoupler() *Coupler {
+	return &Coupler{}
+}
+
+// AddShard registers a kernel as the next shard and returns its index.
+func (c *Coupler) AddShard(k *Kernel) int {
+	c.kernels = append(c.kernels, k)
+	c.outbox = append(c.outbox, nil)
+	c.postSeq = append(c.postSeq, 0)
+	c.stats = append(c.stats, ShardStats{})
+	return len(c.kernels) - 1
+}
+
+// AddLookahead lowers the coupling window to d if it is tighter than the
+// current bound. Every subsystem able to carry an event across shards
+// (the backplane's minimum transit delay, a radio halo margin) must
+// register its bound; the coupler runs at the minimum.
+func (c *Coupler) AddLookahead(d time.Duration) {
+	if d <= 0 {
+		panic(fmt.Sprintf("sim: coupler lookahead %v must be positive", d))
+	}
+	if c.lookahead == 0 || d < c.lookahead {
+		c.lookahead = d
+	}
+}
+
+// Lookahead returns the effective coupling window width (0 before any
+// AddLookahead call).
+func (c *Coupler) Lookahead() time.Duration { return c.lookahead }
+
+// Post schedules fn to run in shard dst at absolute time at. It must be
+// called from shard src's goroutine while that shard is inside a window
+// (i.e. from an event executing under Run). at must be at least the end of
+// the current window — a violation means the poster's latency undercuts
+// the registered lookahead, which would break the conservative contract.
+func (c *Coupler) Post(src, dst int, at time.Duration, fn Event) {
+	if !c.running {
+		panic("sim: coupler Post outside Run")
+	}
+	if at < c.windowEnd {
+		panic(fmt.Sprintf("sim: coupler Post at %v inside current window (ends %v): lookahead violated", at, c.windowEnd))
+	}
+	c.postSeq[src]++
+	c.stats[src].Posted++
+	c.outbox[src] = append(c.outbox[src], crossEvent{
+		at:       at,
+		schedAt:  c.kernels[src].Now(),
+		srcShard: src,
+		seq:      c.postSeq[src],
+		dst:      dst,
+		fn:       fn,
+	})
+}
+
+// Run advances every shard to exactly `until` (clock included), executing
+// all events with timestamps ≤ until and exchanging cross-shard events at
+// window barriers. Single-shard couplers run the plain serial path.
+// Events posted with timestamps > until are dropped, matching the serial
+// semantics of RunUntil leaving post-deadline events unexecuted.
+func (c *Coupler) Run(until time.Duration) []ShardStats {
+	if len(c.kernels) == 0 {
+		panic("sim: coupler Run with no shards")
+	}
+	if len(c.kernels) == 1 {
+		k := c.kernels[0]
+		before := k.EventsRun()
+		k.RunUntil(until)
+		c.stats[0].Events = k.EventsRun() - before
+		c.stats[0].Rounds = 1
+		return c.stats
+	}
+	if c.lookahead <= 0 {
+		panic("sim: coupler Run with no registered lookahead")
+	}
+	c.running = true
+	defer func() { c.running = false }()
+
+	// Persistent worker goroutines, one per shard: each waits for a window
+	// deadline, advances its kernel, and reports back. Channel round-trips
+	// per window are the entire synchronization cost.
+	type windowCmd struct {
+		deadline time.Duration
+		final    bool
+	}
+	n := len(c.kernels)
+	cmds := make([]chan windowCmd, n)
+	done := make(chan int, n)
+	panics := make([]any, n)
+	for s := 0; s < n; s++ {
+		cmds[s] = make(chan windowCmd, 1)
+		go func(s int, k *Kernel) {
+			window := func(cmd windowCmd) {
+				defer func() { panics[s] = recover() }()
+				before := k.EventsRun()
+				if cmd.final {
+					k.RunUntil(cmd.deadline)
+				} else {
+					k.RunBefore(cmd.deadline)
+				}
+				ran := k.EventsRun() - before
+				c.stats[s].Events += ran
+				c.stats[s].Rounds++
+				if ran == 0 {
+					c.stats[s].StalledRounds++
+				}
+			}
+			for cmd := range cmds[s] {
+				window(cmd)
+				done <- s
+			}
+		}(s, c.kernels[s])
+	}
+	runWindow := func(deadline time.Duration, final bool) int {
+		c.windowEnd = deadline
+		for s := 0; s < n; s++ {
+			cmds[s] <- windowCmd{deadline: deadline, final: final}
+		}
+		for i := 0; i < n; i++ {
+			<-done
+		}
+		// Re-raise a shard panic on the coordinator goroutine so callers
+		// see it as a normal panic out of Run, not a process crash.
+		for s := 0; s < n; s++ {
+			if p := panics[s]; p != nil {
+				for t := 0; t < n; t++ {
+					close(cmds[t])
+				}
+				panic(p)
+			}
+		}
+		return c.exchange(until)
+	}
+	for t := time.Duration(0); t < until; t += c.lookahead {
+		end := t + c.lookahead
+		if end > until {
+			end = until
+		}
+		runWindow(end, false)
+	}
+	// Final pass: include events at exactly `until`, like serial RunUntil.
+	// An event posted here can arrive at exactly `until` (the conservative
+	// bound is inclusive), which serial execution would still run — so
+	// drain until a pass injects nothing due.
+	for runWindow(until, true) > 0 {
+	}
+	for s := 0; s < n; s++ {
+		close(cmds[s])
+	}
+	return c.stats
+}
+
+// exchange drains every shard's outbox and injects the events into their
+// destination kernels in the deterministic merge order, returning how many
+// were injected. Events landing beyond `until` are dropped: their serial
+// counterparts would sit unexecuted in the heap past the deadline.
+func (c *Coupler) exchange(until time.Duration) int {
+	var all []crossEvent
+	for s := range c.outbox {
+		all = append(all, c.outbox[s]...)
+		c.outbox[s] = c.outbox[s][:0]
+	}
+	if len(all) == 0 {
+		return 0
+	}
+	sort.Slice(all, func(i, j int) bool {
+		a, b := all[i], all[j]
+		if a.at != b.at {
+			return a.at < b.at
+		}
+		if a.schedAt != b.schedAt {
+			return a.schedAt < b.schedAt
+		}
+		if a.srcShard != b.srcShard {
+			return a.srcShard < b.srcShard
+		}
+		return a.seq < b.seq
+	})
+	injected := 0
+	for _, ev := range all {
+		if ev.at > until {
+			continue
+		}
+		c.kernels[ev.dst].At(ev.at, ev.fn)
+		c.stats[ev.dst].Injected++
+		injected++
+	}
+	return injected
+}

@@ -1,0 +1,198 @@
+package sim
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+	"time"
+)
+
+func TestRunBeforeStopsAtDeadline(t *testing.T) {
+	k := NewKernel(1)
+	var fired []int
+	k.At(10*time.Millisecond, func() { fired = append(fired, 1) })
+	k.At(20*time.Millisecond, func() { fired = append(fired, 2) })
+	k.At(30*time.Millisecond, func() { fired = append(fired, 3) })
+	k.RunBefore(20 * time.Millisecond)
+	if !reflect.DeepEqual(fired, []int{1}) {
+		t.Fatalf("RunBefore ran %v, want [1] (strictly before the deadline)", fired)
+	}
+	if k.Now() != 20*time.Millisecond {
+		t.Fatalf("clock at %v, want exactly the deadline", k.Now())
+	}
+	// Injection at exactly the deadline is legal; it runs after the
+	// earlier-scheduled event at the same instant ((at, seq) order).
+	k.At(20*time.Millisecond, func() { fired = append(fired, 4) })
+	k.RunUntil(30 * time.Millisecond)
+	if !reflect.DeepEqual(fired, []int{1, 2, 4, 3}) {
+		t.Fatalf("after injection got %v", fired)
+	}
+}
+
+// relayNode is a toy protocol entity for the coupled-vs-serial harness:
+// on each tick it records (time, hop) and forwards the token to a peer
+// with a fixed transit delay. Identical logic runs once on a single
+// kernel and once split across two coupled shards; the recorded traces
+// must match exactly.
+type relayTrace struct {
+	at  time.Duration
+	hop int
+}
+
+func TestCouplerMatchesSerialReference(t *testing.T) {
+	const transit = 5 * time.Millisecond
+	const until = 200 * time.Millisecond
+
+	// Coupled: two kernels exchanging a bouncing token through Post.
+	k0, k1 := NewKernel(7), NewKernel(7)
+	c := NewCoupler()
+	s0 := c.AddShard(k0)
+	s1 := c.AddShard(k1)
+	c.AddLookahead(transit)
+	shards := []int{s0, s1}
+	kernels := []*Kernel{k0, k1}
+
+	var coupledTrace []relayTrace
+	var bounce func(hop int) func()
+	bounce = func(hop int) func() {
+		return func() {
+			at := time.Duration(hop) * transit
+			coupledTrace = append(coupledTrace, relayTrace{at: at, hop: hop})
+			src := hop % 2
+			dst := (hop + 1) % 2
+			c.Post(shards[src], shards[dst], at+transit, bounce(hop+1))
+		}
+	}
+	kernels[0].At(0, bounce(0))
+	stats := c.Run(until)
+
+	// Serial reference: the same token logic on one kernel.
+	serialK2 := NewKernel(7)
+	var ref []relayTrace
+	var sbounce func(hop int) func()
+	sbounce = func(hop int) func() {
+		return func() {
+			at := time.Duration(hop) * transit
+			ref = append(ref, relayTrace{at: at, hop: hop})
+			serialK2.At(at+transit, sbounce(hop+1))
+		}
+	}
+	serialK2.At(0, sbounce(0))
+	serialK2.RunUntil(until)
+
+	if !reflect.DeepEqual(coupledTrace, ref) {
+		t.Fatalf("coupled trace diverged from serial:\ncoupled %v\nserial  %v", coupledTrace, ref)
+	}
+	if len(ref) == 0 {
+		t.Fatal("reference ran nothing")
+	}
+	// The token visited both shards; every post except the last (whose
+	// arrival lands past `until`) was injected.
+	if stats[0].Posted == 0 || stats[1].Posted == 0 {
+		t.Fatalf("expected posts from both shards: %+v", stats)
+	}
+	posted := stats[0].Posted + stats[1].Posted
+	injected := stats[0].Injected + stats[1].Injected
+	if injected != posted-1 {
+		t.Fatalf("injected %d of %d posts (exactly one arrival lies beyond until): %+v", injected, posted, stats)
+	}
+}
+
+// TestCouplerTieMergeOrder pins the barrier merge order: two shards post
+// events due at the same instant into a third; injection must follow
+// (at, schedAt, srcShard, seq), not goroutine timing.
+func TestCouplerTieMergeOrder(t *testing.T) {
+	const L = 10 * time.Millisecond
+	for trial := 0; trial < 20; trial++ {
+		ks := []*Kernel{NewKernel(1), NewKernel(2), NewKernel(3)}
+		c := NewCoupler()
+		for _, k := range ks {
+			c.AddShard(k)
+		}
+		c.AddLookahead(L)
+		var got []string
+		// Shards 1 and 2 each post two events due at exactly 2L into shard 0.
+		for _, src := range []int{1, 2} {
+			src := src
+			ks[src].At(L/2, func() {
+				for i := 0; i < 2; i++ {
+					i := i
+					c.Post(src, 0, 2*L, func() { got = append(got, fmt.Sprintf("s%d-%d", src, i)) })
+				}
+			})
+		}
+		c.Run(3 * L)
+		want := []string{"s1-0", "s1-1", "s2-0", "s2-1"}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("trial %d: merge order %v, want %v", trial, got, want)
+		}
+	}
+}
+
+func TestCouplerFinalWindowEdgeEvent(t *testing.T) {
+	// An event posted in the final window arriving at exactly `until` must
+	// still run (serial RunUntil executes events at ≤ deadline).
+	const L = 10 * time.Millisecond
+	until := 2 * L
+	ks := []*Kernel{NewKernel(1), NewKernel(2)}
+	c := NewCoupler()
+	for _, k := range ks {
+		c.AddShard(k)
+	}
+	c.AddLookahead(L)
+	ran := false
+	ks[0].At(L+L/2, func() {
+		c.Post(0, 1, until, func() { ran = true })
+	})
+	c.Run(until)
+	if !ran {
+		t.Fatal("event due at exactly `until` was dropped")
+	}
+}
+
+func TestCouplerSingleShardPassthrough(t *testing.T) {
+	k := NewKernel(5)
+	c := NewCoupler()
+	c.AddShard(k)
+	n := 0
+	k.At(time.Millisecond, func() { n++ })
+	stats := c.Run(time.Second)
+	if n != 1 || stats[0].Events != 1 {
+		t.Fatalf("passthrough ran %d events, stats %+v", n, stats)
+	}
+	if k.Now() != time.Second {
+		t.Fatalf("clock %v, want 1s", k.Now())
+	}
+}
+
+func TestCouplerLookaheadViolationPanics(t *testing.T) {
+	ks := []*Kernel{NewKernel(1), NewKernel(2)}
+	c := NewCoupler()
+	for _, k := range ks {
+		c.AddShard(k)
+	}
+	c.AddLookahead(10 * time.Millisecond)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("posting inside the current window did not panic")
+		}
+	}()
+	ks[0].At(time.Millisecond, func() {
+		// Window ends at 10ms; arriving at 5ms undercuts the lookahead.
+		c.Post(0, 1, 5*time.Millisecond, func() {})
+	})
+	c.Run(20 * time.Millisecond)
+}
+
+func TestCouplerPostOutsideRunPanics(t *testing.T) {
+	c := NewCoupler()
+	c.AddShard(NewKernel(1))
+	c.AddShard(NewKernel(2))
+	c.AddLookahead(time.Millisecond)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Post outside Run did not panic")
+		}
+	}()
+	c.Post(0, 1, time.Second, func() {})
+}

@@ -202,6 +202,21 @@ func (k *Kernel) RunUntil(deadline time.Duration) {
 	}
 }
 
+// RunBefore executes events with timestamps strictly < deadline, then
+// advances the clock to deadline. It is the windowed-stepping primitive of
+// the Coupler: after RunBefore(T) the kernel sits exactly at T with every
+// pre-T event executed, so events injected at ≥ T (cross-shard arrivals
+// whose timestamps land on the window edge) are legal to schedule and will
+// run in a later window in exact (at, seq) order.
+func (k *Kernel) RunBefore(deadline time.Duration) {
+	for len(k.heap) > 0 && k.heap[0].at < deadline {
+		k.Step()
+	}
+	if k.now < deadline {
+		k.now = deadline
+	}
+}
+
 // --- event heap -----------------------------------------------------------
 //
 // The heap slots carry the ordering key (at, seq) inline next to the pool

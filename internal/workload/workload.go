@@ -220,14 +220,16 @@ func Bind(c *core.Cell, i int, d Driver) {
 		func(id frame.PacketID, p []byte, from uint16) { d.DeliverUp(p) })
 }
 
-// CellPort returns the datagram port for fleet slot i of the cell.
+// CellPort returns the datagram port for fleet slot i of the cell. The
+// downstream leg goes through the gateway serving the slot's district.
 func CellPort(c *core.Cell, i int) Port {
 	v := c.Vehicles[i]
 	addr := v.Addr()
+	gw := c.GatewayFor(i)
 	return Port{
 		K:        c.K,
 		SendUp:   v.SendData,
-		SendDown: func(p []byte) bool { return c.Gateway.Send(addr, p) },
+		SendDown: func(p []byte) bool { return gw.Send(addr, p) },
 	}
 }
 

@@ -11,6 +11,7 @@ package vifi
 
 import (
 	"testing"
+	"time"
 
 	"github.com/vanlan/vifi/internal/experiment"
 )
@@ -116,6 +117,25 @@ func BenchmarkAblateRetx(b *testing.B) { benchExperiment(b, "ablate-retx") }
 // BenchmarkScaleFleet regenerates the fleet-size scaling sweep over the
 // generated city grid.
 func BenchmarkScaleFleet(b *testing.B) { benchExperiment(b, "scale-fleet") }
+
+// BenchmarkScaleFleetMetrics is BenchmarkScaleFleet with FTDC-style
+// sampling attached at a 1 s sim-time interval; the delta against
+// ScaleFleet is the observability layer's whole overhead budget, and
+// the benchcmp gate keeps it pinned.
+func BenchmarkScaleFleetMetrics(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_, err := experiment.Run("scale-fleet", experiment.Options{
+			Seed: int64(42 + i), Scale: benchScale, Metrics: time.Second,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(experiment.TakeRecordings()) == 0 {
+			b.Fatal("sampling produced no recordings")
+		}
+	}
+}
 
 // BenchmarkScaleDensity regenerates the basestation-density scaling sweep.
 func BenchmarkScaleDensity(b *testing.B) { benchExperiment(b, "scale-density") }

@@ -51,6 +51,7 @@ import (
 
 	"github.com/vanlan/vifi/internal/benchfmt"
 	"github.com/vanlan/vifi/internal/experiment"
+	"github.com/vanlan/vifi/internal/obs"
 	"github.com/vanlan/vifi/internal/scenario"
 )
 
@@ -73,6 +74,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		cpuprofile = fs.String("cpuprofile", "", "write a pprof CPU profile to this file")
 		memprofile = fs.String("memprofile", "", "write a pprof heap profile to this file at exit")
 		benchjson  = fs.String("benchjson", "", "write per-experiment ns/op, allocs/op, B/op to this JSON file (forces -parallel 1)")
+		metrics    = fs.String("metrics", "", "write an FTDC-style metrics recording of every executed run to this file (reports stay byte-identical)")
+		minterv    = fs.Duration("metrics-interval", time.Second, "sim-time sampling cadence for -metrics")
 	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -156,7 +159,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	eng := experiment.NewEngine(*parallel)
-	opts := experiment.Options{Seed: *seed, Scale: *scale, Engine: eng, Scenario: *scn, Shards: *shards}
+	if *metrics != "" {
+		eng.EnableMetrics(*minterv)
+	}
+	opts := experiment.Options{Seed: *seed, Scale: *scale, Engine: eng, Scenario: *scn, Shards: *shards, Metrics: eng.MetricsInterval()}
 
 	type outcome struct {
 		rep     *experiment.Report
@@ -174,6 +180,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 			// shared run-cache would otherwise charge a memoized job's
 			// whole cost to whichever experiment happened to run it first.
 			runOpts.Engine = experiment.NewEngine(1)
+			runOpts.Engine.EnableMetrics(eng.MetricsInterval())
 			engines[i] = runOpts.Engine
 			runtime.GC()
 			runtime.ReadMemStats(&before)
@@ -248,6 +255,20 @@ func run(args []string, stdout, stderr io.Writer) int {
 	// Per-shard execution stats for any sharded simulations, next to the
 	// engine stats; stdout stays byte-identical for any -shards value.
 	experiment.FprintShardLog(stderr, experiment.TakeShardLog())
+
+	if *metrics != "" {
+		f, err := os.Create(*metrics)
+		if err == nil {
+			err = obs.WriteAll(f, experiment.TakeRecordings())
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if err != nil {
+			fmt.Fprintln(stderr, "vifi-bench:", err)
+			return 1
+		}
+	}
 
 	if measure {
 		bf := benchfmt.File{

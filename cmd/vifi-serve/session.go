@@ -1,0 +1,270 @@
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"time"
+
+	"github.com/vanlan/vifi/internal/core"
+	"github.com/vanlan/vifi/internal/experiment"
+	"github.com/vanlan/vifi/internal/obs"
+	"github.com/vanlan/vifi/internal/scenario"
+)
+
+// session is one hosted scenario run: a fleet simulation advancing on
+// its own goroutine in barrier-aligned steps, pausable between steps,
+// with a live metrics history accumulated from the per-shard sampling
+// callbacks. All mutable state is guarded by mu; cond signals
+// pause/resume transitions to the runner goroutine.
+type session struct {
+	id       string
+	specStr  string
+	spec     scenario.Spec
+	protocol string
+	cfg      core.Config
+	seed     int64
+	shards   int
+	duration time.Duration
+	interval time.Duration
+
+	mu   sync.Mutex
+	cond *sync.Cond
+
+	state     string // starting | running | paused | done | failed
+	now       time.Duration
+	end       time.Duration
+	eff       int
+	wantPause bool
+	pauseAt   time.Duration // pending pause barrier (0 = none)
+	err       error
+
+	run       *experiment.FleetAppRun
+	report    []byte
+	recording *obs.Recording
+
+	// Live metrics: per-tick rows summed across shards. pending holds
+	// partially merged ticks until every shard has contributed.
+	series   []obs.SeriesDef
+	samples  []liveSample
+	pending  map[time.Duration][]int64
+	pendingN map[time.Duration]int
+
+	subs    map[int]chan liveSample
+	nextSub int
+}
+
+// liveSample is one fully merged sampling tick.
+type liveSample struct {
+	At     time.Duration `json:"at_ns"`
+	Values []int64       `json:"values"`
+}
+
+func newSession(id string) *session {
+	s := &session{
+		id:       id,
+		state:    "starting",
+		pending:  map[time.Duration][]int64{},
+		pendingN: map[time.Duration]int{},
+		subs:     map[int]chan liveSample{},
+	}
+	s.cond = sync.NewCond(&s.mu)
+	return s
+}
+
+// onSample is the sampling callback; it runs on shard worker goroutines
+// during a step and merges rows tick-by-tick. A tick is published once
+// all effective shards have contributed.
+func (s *session) onSample(shard int, at time.Duration, row []int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	p := s.pending[at]
+	if p == nil {
+		p = make([]int64, len(row))
+		s.pending[at] = p
+	}
+	for i, v := range row {
+		p[i] += v
+	}
+	s.pendingN[at]++
+	if s.pendingN[at] < s.eff {
+		return
+	}
+	delete(s.pending, at)
+	delete(s.pendingN, at)
+	sm := liveSample{At: at, Values: p}
+	s.samples = append(s.samples, sm)
+	for _, ch := range s.subs {
+		select {
+		case ch <- sm:
+		default: // slow subscriber: drop rather than stall the run
+		}
+	}
+}
+
+// subscribe registers a live-sample listener and returns it with the
+// history snapshot taken under the same lock (no tick is lost between
+// snapshot and subscription).
+func (s *session) subscribe() (int, chan liveSample, []liveSample, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	hist := append([]liveSample(nil), s.samples...)
+	if s.state == "done" || s.state == "failed" {
+		return 0, nil, hist, false
+	}
+	id := s.nextSub
+	s.nextSub++
+	ch := make(chan liveSample, 256)
+	s.subs[id] = ch
+	return id, ch, hist, true
+}
+
+func (s *session) unsubscribe(id int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if ch, ok := s.subs[id]; ok {
+		delete(s.subs, id)
+		close(ch)
+	}
+}
+
+// finishSubs closes every live subscriber once the run ends.
+func (s *session) finishSubs() {
+	for id, ch := range s.subs {
+		delete(s.subs, id)
+		close(ch)
+	}
+}
+
+// pause requests a pause: immediately (at ≤ 0, lands at the next
+// barrier) or once the clock reaches the given sim time.
+func (s *session) pause(at time.Duration) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	switch s.state {
+	case "done", "failed":
+		return fmt.Errorf("session %s already %s", s.id, s.state)
+	}
+	if at <= 0 || s.now >= at {
+		s.wantPause = true
+	} else {
+		s.pauseAt = at
+	}
+	return nil
+}
+
+// resume clears any pause state and wakes the runner.
+func (s *session) resume() {
+	s.mu.Lock()
+	s.wantPause = false
+	s.pauseAt = 0
+	s.cond.Broadcast()
+	s.mu.Unlock()
+}
+
+// liveRecording rebuilds an obs.Recording from the merged live history.
+// Unlike the samplers' own buffers (touched by kernel goroutines during
+// a step), the history is session-owned, so this is safe at any time —
+// including mid-run and while paused.
+func (s *session) liveRecording() *obs.Recording {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.recording != nil {
+		return s.recording
+	}
+	meta := map[string]string{
+		"kind":     "serve",
+		"session":  s.id,
+		"spec":     s.spec.Key(),
+		"protocol": s.protocol,
+		"seed":     fmt.Sprint(s.seed),
+		"duration": s.duration.String(),
+	}
+	rec := obs.NewRecording(meta, s.interval, s.interval, s.series)
+	for _, sm := range s.samples {
+		rec.Append(sm.Values...)
+	}
+	return rec
+}
+
+// runLoop drives the session to completion. slots bounds the number of
+// concurrently advancing sessions; a paused session gives its slot back
+// so pausing can never starve other sessions.
+func (s *session) runLoop(slots chan struct{}) {
+	slots <- struct{}{}
+	defer func() { <-slots }()
+
+	l, err := experiment.StartLiveRun(s.seed, s.spec, s.cfg, s.duration, s.shards, s.interval, s.onSample)
+	if err != nil {
+		s.mu.Lock()
+		s.state, s.err = "failed", err
+		s.finishSubs()
+		s.cond.Broadcast()
+		s.mu.Unlock()
+		return
+	}
+	s.mu.Lock()
+	s.state = "running"
+	s.end = l.End()
+	s.eff = l.Shards()
+	s.series = l.Series()
+	s.mu.Unlock()
+
+	for {
+		s.mu.Lock()
+		for s.wantPause {
+			s.state = "paused"
+			s.mu.Unlock()
+			<-slots // release while paused
+			s.mu.Lock()
+			for s.wantPause {
+				s.cond.Wait()
+			}
+			s.mu.Unlock()
+			slots <- struct{}{}
+			s.mu.Lock()
+		}
+		s.state = "running"
+		s.mu.Unlock()
+
+		t, done := l.Step()
+
+		s.mu.Lock()
+		s.now = t
+		if s.pauseAt > 0 && t >= s.pauseAt {
+			s.wantPause, s.pauseAt = true, 0
+		}
+		s.mu.Unlock()
+		if done {
+			break
+		}
+	}
+
+	run := l.Finish()
+	var buf bytes.Buffer
+	experiment.FprintFleetReport(&buf, run, s.protocol, s.duration, s.seed)
+	rec := l.Recording()
+
+	s.mu.Lock()
+	s.run = run
+	s.report = buf.Bytes()
+	s.recording = rec
+	s.state = "done"
+	s.finishSubs()
+	s.cond.Broadcast()
+	s.mu.Unlock()
+
+	// Sharded diagnostics accumulate in the experiment package's shard
+	// log; drain so a long-lived daemon doesn't grow it without bound.
+	experiment.TakeShardLog()
+	experiment.TakeRecordings()
+}
+
+// waitDone blocks until the session reaches a terminal state (tests).
+func (s *session) waitDone() {
+	s.mu.Lock()
+	for s.state != "done" && s.state != "failed" {
+		s.cond.Wait()
+	}
+	s.mu.Unlock()
+}

@@ -36,8 +36,8 @@ import (
 	"github.com/vanlan/vifi/internal/core"
 	"github.com/vanlan/vifi/internal/experiment"
 	"github.com/vanlan/vifi/internal/fault"
+	"github.com/vanlan/vifi/internal/obs"
 	"github.com/vanlan/vifi/internal/scenario"
-	"github.com/vanlan/vifi/internal/workload"
 )
 
 func main() {
@@ -56,6 +56,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		seed     = fs.Int64("seed", 42, "random seed")
 		parallel = fs.Int("parallel", runtime.GOMAXPROCS(0), "simulation worker-pool width; 1 = serial")
 		shards   = fs.Int("shards", 1, "run each scenario simulation as this many coupled shard kernels (districted scenarios only; results are byte-identical to -shards 1)")
+		metrics  = fs.String("metrics", "", "write an FTDC-style metrics recording of every run to this file (sampling is pure observation: results are byte-identical with or without it)")
+		minterv  = fs.Duration("metrics-interval", time.Second, "sim-time sampling cadence for -metrics")
 	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -107,6 +109,19 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	eng := experiment.NewEngine(*parallel)
+	if *metrics != "" {
+		eng.EnableMetrics(*minterv)
+	}
+	writeMetrics := func() int {
+		if *metrics == "" {
+			return 0
+		}
+		if err := dumpRecordings(*metrics); err != nil {
+			fmt.Fprintln(stderr, "vifi-sim:", err)
+			return 1
+		}
+		return 0
+	}
 
 	if *scn != "" {
 		spec, err := scenario.Parse(*scn)
@@ -119,17 +134,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 			futs[i] = eng.FleetAppShards(*seed, spec, cfg, *duration, *shards)
 		}
 		for i, name := range names {
-			run := futs[i].Wait()
-			fmt.Fprintf(stdout, "scenario=%s protocol=%s duration=%v seed=%d\n", spec.Key(), name, *duration, *seed)
-			fmt.Fprintf(stdout, "deployment:             %d basestations, %d vehicles\n", run.BSCount, run.Vehicles)
-			printFleetApps(stdout, run)
-			printFaults(stdout, run.Faults)
-			fmt.Fprintf(stdout, "rx collisions:          %d over %d transmissions\n\n", run.Collisions, run.Transmissions)
+			experiment.FprintFleetReport(stdout, futs[i].Wait(), name, *duration, *seed)
 		}
 		// Per-shard execution stats next to the results, stdout untouched:
 		// reports stay byte-identical for any -shards value.
 		experiment.FprintShardLog(stderr, experiment.TakeShardLog())
-		return 0
+		return writeMetrics()
 	}
 
 	switch *wkld {
@@ -180,69 +190,23 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "vifi-sim: unknown workload %q\n", *wkld)
 		return 2
 	}
-	return 0
+	return writeMetrics()
 }
 
 func printHeader(w io.Writer, e experiment.Env, protocol string, d time.Duration, seed int64) {
 	fmt.Fprintf(w, "environment=%s protocol=%s duration=%v seed=%d\n", e, protocol, d, seed)
 }
 
-// printFleetApps renders one application-metric block per app present in
-// the fleet (a pure-CBR fleet reads exactly like the original link-level
-// output; mixed fleets get one block per assigned app).
-func printFleetApps(w io.Writer, run *experiment.FleetAppRun) {
-	if cbr := run.Apps.App(workload.CBRKind); cbr.Vehicles > 0 {
-		fmt.Fprintf(w, "aggregate delivered:    %.1f pkt/s (both directions)\n", run.DeliveredPerSec())
-		fmt.Fprintf(w, "fleet delivery ratio:   %.0f%%\n", 100*run.DeliveryRatio())
-		fmt.Fprintf(w, "median session (1s,50%%): %.0f s\n", run.MedianSession(time.Second, 0.5))
-		fmt.Fprintf(w, "interruptions:          %.0f per vehicle-hour\n", run.Interruptions())
+// dumpRecordings writes the engine's accumulated metrics recordings as a
+// binary FTDC-style stream (read back with vifi-metrics or obs.ReadAll).
+func dumpRecordings(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
 	}
-	if tcp := run.Apps.App(workload.TCPKind); tcp.Vehicles > 0 {
-		fmt.Fprintf(w, "tcp transfers:          completed %d, aborted %d (%d vehicles)\n",
-			tcp.Completed, tcp.Aborted, tcp.Vehicles)
-		fmt.Fprintf(w, "median transfer time:   %.2f s (p90 %.2f s)\n",
-			tcp.MedianTransferSec, tcp.P90TransferSec)
+	if err := obs.WriteAll(f, experiment.TakeRecordings()); err != nil {
+		f.Close()
+		return err
 	}
-	if v := run.Apps.App(workload.VoIPKind); v.Vehicles > 0 {
-		fmt.Fprintf(w, "voip calls:             %d vehicles, mean MoS %.2f\n", v.Vehicles, v.MeanMoS)
-		fmt.Fprintf(w, "median disruption-free session: %.0f s\n", v.MedianSessionSec)
-		fmt.Fprintf(w, "voip disruptions:       %d (%.2f per call-minute)\n",
-			v.Disruptions, v.DisruptionsPerMin)
-	}
-	if web := run.Apps.App(workload.WebKind); web.Vehicles > 0 {
-		fmt.Fprintf(w, "web pages:              loaded %d, aborted %d (%d vehicles)\n",
-			web.Completed, web.Aborted, web.Vehicles)
-		fmt.Fprintf(w, "median page time:       %.2f s (p90 %.2f s)\n",
-			web.MedianTransferSec, web.P90TransferSec)
-	}
-}
-
-// printFaults renders the injected-fault timeline summary of a faulted
-// run; fault-free runs (nil report) print nothing.
-func printFaults(w io.Writer, f *experiment.FaultReport) {
-	if f == nil {
-		return
-	}
-	fmt.Fprintf(w, "injected faults:       ")
-	any := false
-	for l := fault.Layer(0); l < fault.NumLayers; l++ {
-		if f.Windows[l] == 0 {
-			continue
-		}
-		if any {
-			fmt.Fprintf(w, ",")
-		}
-		fmt.Fprintf(w, " %s: %d outages (%.1fs down)", l, f.Windows[l], f.DownSec[l])
-		any = true
-	}
-	if !any {
-		fmt.Fprintf(w, " none (processes drew no outages)")
-	}
-	fmt.Fprintln(w)
-	fmt.Fprintf(w, "fleet availability:     %.1f%% (%d silent bins, %d fault-attributable)\n",
-		100*f.Availability, f.GapBins, f.GapBinsFault)
-	if f.Restores > 0 {
-		fmt.Fprintf(w, "post-restore recovery:  %d/%d recovered, mean %.2f s to first delivery\n",
-			f.Recovered, f.Restores, f.RecoveryMeanSec)
-	}
+	return f.Close()
 }

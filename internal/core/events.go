@@ -60,6 +60,9 @@ const (
 	EvSalvaged
 	// EvAnchorChange: the vehicle designated a new anchor.
 	EvAnchorChange
+
+	// NumEventKinds sizes per-kind counter arrays; keep it last.
+	NumEventKinds = int(EvAnchorChange) + 1
 )
 
 // Medium tells which plane carried a relay.

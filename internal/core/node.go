@@ -171,6 +171,12 @@ type Node struct {
 	relayH  relayTask
 
 	beaconSeq uint32
+
+	// evCounts tallies every probe event by kind whether or not a
+	// collector is installed — the observability layer's rolling
+	// counters (EventCount). Plain increments on the emit funnel: no
+	// allocation, no behavior change.
+	evCounts [NumEventKinds]uint64
 }
 
 // newNode wires a protocol entity onto its MAC and (for basestations)
@@ -218,6 +224,13 @@ func (n *Node) Anchor() uint16 { return n.anchor }
 // AuxCount returns the vehicle's current number of designated auxiliary
 // basestations (Table 1 row A1 samples this).
 func (n *Node) AuxCount() int { return len(n.auxList) }
+
+// EventCount returns how many probe events of the given kind this node
+// has emitted so far. Maintained unconditionally (collector or not), so
+// the observability layer can sample protocol activity — anchor changes,
+// salvages, deliveries — as rolling counters without installing an
+// EventFunc. Pure read.
+func (n *Node) EventCount(kind EventKind) uint64 { return n.evCounts[kind] }
 
 // SetDeliver installs the application delivery callback (vehicle side).
 func (n *Node) SetDeliver(d DeliverFunc) { n.deliver = d }
@@ -269,6 +282,7 @@ func (n *Node) ensureVeh(veh uint16) *vehState {
 
 // emit sends a probe event if a collector is installed.
 func (n *Node) emit(kind EventKind, dir Direction, id frame.PacketID, attempt uint8, peer uint16, medium Medium) {
+	n.evCounts[kind]++
 	if n.events == nil {
 		return
 	}

@@ -268,6 +268,20 @@ func (t *ProbTable) peekIndex(self uint16) *probIndex {
 	return nil
 }
 
+// IndexOccupancy reports the current member counts of self's incremental
+// index: fresh local peers and fresh gossip targets. It is a pure read
+// for the observability layer — it neither builds a missing index (a
+// node that never queried reads 0/0) nor ages members out, so counts can
+// exceed the freshness-accurate FreshLocalPeers by entries the wheels
+// have not lazily expired yet (at most one staleness window behind).
+func (t *ProbTable) IndexOccupancy(self uint16) (local, gossip int) {
+	ix := t.peekIndex(self)
+	if ix == nil {
+		return 0, 0
+	}
+	return len(ix.local.members), len(ix.gossip.members)
+}
+
 // indexFor returns the index for self, building it on first query with
 // one sweep of the stored slots (the only full scan the table ever does
 // per self; every later update is incremental).

@@ -183,6 +183,12 @@ func medianTimeWeighted(lens []float64) float64 {
 
 // RunProbeWorkload drives the §5.2 experiment for one protocol config.
 func RunProbeWorkload(seed int64, env Env, cfg core.Config, duration time.Duration, events core.EventFunc) *ProbeRun {
+	return runProbeWorkload(seed, env, cfg, duration, events, 0)
+}
+
+// runProbeWorkload is RunProbeWorkload with an optional metrics-sampling
+// cadence (engine jobs thread the engine's interval through here).
+func runProbeWorkload(seed int64, env Env, cfg core.Config, duration time.Duration, events core.EventFunc, mi time.Duration) *ProbeRun {
 	cfg.MaxRetx = 0 // link-layer experiments disable retransmissions
 	k := sim.NewKernel(seed)
 	cell, limit := buildCell(k, env, cfg, events)
@@ -232,7 +238,11 @@ func RunProbeWorkload(seed int64, env Env, cfg core.Config, duration time.Durati
 			}
 		})
 	}
-	k.RunUntil(warm + time.Duration(slots)*slot + 2*time.Second)
+	until := warm + time.Duration(slots)*slot + 2*time.Second
+	publish := attachCellMetrics(k, cell, nil, nil, mi, until,
+		runMeta("probe", env.String(), seed, 1, duration, cfg))
+	k.RunUntil(until)
+	publish()
 	return run
 }
 
@@ -249,6 +259,12 @@ type TCPRun struct {
 // RunTCPWorkload drives the §5.3.1 workload: repeated 10 KB downloads
 // through the cell with the 10 s stall abort.
 func RunTCPWorkload(seed int64, env Env, cfg core.Config, duration time.Duration) *TCPRun {
+	return runTCPWorkload(seed, env, cfg, duration, 0)
+}
+
+// runTCPWorkload is RunTCPWorkload with an optional metrics-sampling
+// cadence.
+func runTCPWorkload(seed int64, env Env, cfg core.Config, duration time.Duration, mi time.Duration) *TCPRun {
 	k := sim.NewKernel(seed)
 	col := NewCollector()
 	cell, limit := buildCell(k, env, cfg, col.Handle)
@@ -264,7 +280,8 @@ func RunTCPWorkload(seed int64, env Env, cfg core.Config, duration time.Duration
 		}
 	}
 	k.After(2*time.Second, sample)
-	st := tcpOnCell(k, cell, duration)
+	st := tcpOnCellMetrics(k, cell, duration, mi,
+		runMeta("tcp", env.String(), seed, 1, duration, cfg))
 	return &TCPRun{Stats: st, Collector: col, Duration: duration - 2*time.Second, Salvaged: col.Salvaged}
 }
 
@@ -273,11 +290,19 @@ func RunTCPWorkload(seed int64, env Env, cfg core.Config, duration time.Duration
 // is the workload.TCP driver; this wrapper only binds it to the cell's
 // single vehicle and runs the clock.
 func tcpOnCell(k *sim.Kernel, cell *core.Cell, duration time.Duration) *transport.WorkloadStats {
+	return tcpOnCellMetrics(k, cell, duration, 0, nil)
+}
+
+// tcpOnCellMetrics is tcpOnCell with an optional sampler attached for
+// the run (mi ≤ 0 disables it).
+func tcpOnCellMetrics(k *sim.Kernel, cell *core.Cell, duration time.Duration, mi time.Duration, meta map[string]string) *transport.WorkloadStats {
 	d := workload.NewTCP(k, transport.DefaultWorkloadConfig(), workload.CellPort(cell, 0),
 		0, 2*time.Second, duration)
 	workload.Bind(cell, 0, d)
 	d.Start()
+	publish := attachCellMetrics(k, cell, []workload.Driver{d}, []workload.Kind{workload.TCPKind}, mi, duration, meta)
 	k.RunUntil(duration)
+	publish()
 	return d.Workload().Stop()
 }
 
@@ -308,21 +333,35 @@ type VoIPRun struct {
 // rule. Link-layer retransmissions stay enabled (≤3) as in the paper's
 // application experiments.
 func RunVoIPWorkload(seed int64, env Env, cfg core.Config, duration time.Duration) *VoIPRun {
+	return runVoIPWorkload(seed, env, cfg, duration, 0)
+}
+
+// runVoIPWorkload is RunVoIPWorkload with an optional metrics-sampling
+// cadence.
+func runVoIPWorkload(seed int64, env Env, cfg core.Config, duration time.Duration, mi time.Duration) *VoIPRun {
 	k := sim.NewKernel(seed)
 	cell, limit := buildCell(k, env, cfg, nil)
 	if limit > 0 && duration > limit {
 		duration = limit
 	}
-	return &VoIPRun{Quality: voipOnCell(k, cell, duration)}
+	return &VoIPRun{Quality: voipOnCellMetrics(k, cell, duration, mi,
+		runMeta("voip", env.String(), seed, 1, duration, cfg))}
 }
 
 // voipOnCell runs the bidirectional G.729 stream over an already-built
 // cell and scores the call. The stream, loss accounting and §5.3.2
 // disruption classifier live in the workload.VoIP driver.
 func voipOnCell(k *sim.Kernel, cell *core.Cell, duration time.Duration) voip.Quality {
+	return voipOnCellMetrics(k, cell, duration, 0, nil)
+}
+
+// voipOnCellMetrics is voipOnCell with an optional sampler attached.
+func voipOnCellMetrics(k *sim.Kernel, cell *core.Cell, duration time.Duration, mi time.Duration, meta map[string]string) voip.Quality {
 	d := workload.NewVoIP(k, workload.CellPort(cell, 0), 0, 2*time.Second, duration)
 	workload.Bind(cell, 0, d)
 	d.Start()
+	publish := attachCellMetrics(k, cell, []workload.Driver{d}, []workload.Kind{workload.VoIPKind}, mi, duration+time.Second, meta)
 	k.RunUntil(duration + time.Second)
+	publish()
 	return d.Stop().VoIP
 }

@@ -34,6 +34,12 @@ type Engine struct {
 	// configured.
 	inline bool
 
+	// metricsInterval, when positive, makes every executed run attach an
+	// obs sampler at this sim-time cadence (see metrics.go). Set once via
+	// EnableMetrics before scheduling; engine-constant, so it never
+	// appears in job keys.
+	metricsInterval time.Duration
+
 	mu   sync.Mutex
 	memo map[JobKey]*future
 

@@ -2,13 +2,10 @@ package experiment
 
 import (
 	"fmt"
-	"strconv"
 	"time"
 
 	"github.com/vanlan/vifi/internal/core"
-	"github.com/vanlan/vifi/internal/fault"
 	"github.com/vanlan/vifi/internal/scenario"
-	"github.com/vanlan/vifi/internal/sim"
 	"github.com/vanlan/vifi/internal/voip"
 	"github.com/vanlan/vifi/internal/workload"
 )
@@ -123,106 +120,7 @@ func appStagger(kind workload.Kind, cfg workload.Config) time.Duration {
 // (seed, spec, cfg, duration); all driver randomness flows through
 // streams labeled with the spec's canonical key and the vehicle index.
 func RunFleetAppWorkload(seed int64, spec scenario.Spec, cfg core.Config, duration time.Duration) (*FleetAppRun, error) {
-	k := sim.NewKernel(seed)
-	opts := core.DefaultCellOptions()
-	opts.Protocol = cfg
-	cell, lay, err := scenario.BuildCell(k, spec, opts)
-	if err != nil {
-		return nil, err
-	}
-	nv := len(cell.Vehicles)
-	key := spec.Key()
-	appcfg := spec.AppConfig()
-
-	// Fault injection: planned against the canonical spec key (so a
-	// faulted run's draws live on their own streams) and installed before
-	// any driver starts. Fault-free specs plan nothing and draw nothing —
-	// their execution is byte-identical to a build without this block.
-	fs, err := spec.FaultSpec()
-	if err != nil {
-		return nil, err
-	}
-	var rec *faultRecorder
-	var tl fault.Timeline
-	if !fs.Empty() {
-		tl = fault.Plan(k, key, fs, duration, len(cell.BSes), nv)
-		rec = newFaultRecorder(k, duration)
-		scenario.InstallFaults(k, cell, &tl, rec.restored)
-	}
-
-	kinds := make([]workload.Kind, nv)
-	if spec.App == workload.MixedKind {
-		kinds = workload.SplitKinds(k.RNG("workload", key, "mix"), appcfg.Mix, nv)
-	} else {
-		for i := range kinds {
-			kinds[i] = spec.App
-		}
-	}
-
-	drivers := make([]workload.Driver, nv)
-	for i := range cell.Vehicles {
-		start := lay.Departs[i] + fleetWarm +
-			appStagger(kinds[i], appcfg)*time.Duration(i)/time.Duration(nv)
-		end := duration
-		if start > end {
-			start = end // departed too late: zero-length session
-		}
-		rng := k.RNG("workload", key, "veh", strconv.Itoa(i))
-		d := workload.New(k, appcfg, kinds[i], workload.CellPort(cell, i), i, start, end, rng)
-		if rec != nil {
-			rec.bind(cell, i, d)
-		} else {
-			workload.Bind(cell, i, d)
-		}
-		d.Start()
-		drivers[i] = d
-	}
-
-	k.RunUntil(duration + time.Second)
-
-	run := &FleetAppRun{
-		SpecKey:  key,
-		App:      spec.App,
-		BSCount:  len(cell.BSes),
-		Vehicles: nv,
-		Duration: duration,
-	}
-	run.PerVehicle = make([]workload.Metrics, nv)
-	for i, d := range drivers {
-		run.PerVehicle[i] = d.Stop()
-	}
-	run.Apps = workload.Aggregate(run.PerVehicle)
-	st := cell.Channel.Stats()
-	run.Transmissions = st.Transmissions
-	run.Collisions = st.Collisions
-	if rec != nil {
-		run.Faults = rec.report(tl)
-	}
-
-	// Occupancy sample: read-only with respect to the metrics above (the
-	// drivers have already stopped), so it cannot perturb any report.
-	now := k.Now()
-	var nbr []uint16
-	for _, bs := range cell.BSes {
-		run.FreshPeersBS += float64(len(bs.Probs().FreshLocalPeers(bs.Addr(), now)))
-		run.ReportBS += float64(len(bs.Probs().Report(bs.Addr(), now)))
-		nbr = bs.MAC().Neighbors(nbr[:0])
-		run.GridNbrsBS += float64(len(nbr))
-	}
-	if n := float64(len(cell.BSes)); n > 0 {
-		run.FreshPeersBS /= n
-		run.ReportBS /= n
-		run.GridNbrsBS /= n
-	}
-	for _, v := range cell.Vehicles {
-		run.AuxPerVeh += float64(v.AuxCount())
-	}
-	if nv > 0 {
-		run.AuxPerVeh /= float64(nv)
-	}
-
-	assembleLink(run, appcfg.CBRSlot)
-	return run, nil
+	return runFleetApp(seed, spec, cfg, duration, 1, 0)
 }
 
 // assembleLink rebuilds the slot-level FleetRun from the CBR vehicles so
@@ -272,7 +170,7 @@ func (e *Engine) FleetAppShards(seed int64, spec scenario.Spec, cfg core.Config,
 	}
 	key := JobKey{Kind: "fleetapp", Seed: seed, Cfg: cfg, Dur: dur, Extra: extra}
 	return Future[*FleetAppRun]{f: e.memoize(key, func() any {
-		run, err := RunFleetAppWorkloadSharded(seed, spec, cfg, dur, shards)
+		run, err := runFleetApp(seed, spec, cfg, dur, shards, e.metricsInterval)
 		if err != nil {
 			// Spec validity is checked by the runners before scheduling;
 			// reaching this is a programming error, not a data error.

@@ -22,7 +22,7 @@ func (e *Engine) Probe(seed int64, env Env, cfg core.Config, dur time.Duration) 
 	cfg.MaxRetx = 0
 	key := JobKey{Kind: "probe", Seed: seed, Env: env, Cfg: cfg, Dur: dur}
 	return Future[*ProbeRun]{f: e.memoize(key, func() any {
-		return RunProbeWorkload(seed, env, cfg, dur, nil)
+		return runProbeWorkload(seed, env, cfg, dur, nil, e.metricsInterval)
 	})}
 }
 
@@ -44,7 +44,7 @@ func (e *Engine) ProbeCollect(seed int64, env Env, cfg core.Config, dur time.Dur
 func (e *Engine) TCP(seed int64, env Env, cfg core.Config, dur time.Duration) Future[*TCPRun] {
 	key := JobKey{Kind: "tcp", Seed: seed, Env: env, Cfg: cfg, Dur: dur}
 	return Future[*TCPRun]{f: e.memoize(key, func() any {
-		run := RunTCPWorkload(seed, env, cfg, dur)
+		run := runTCPWorkload(seed, env, cfg, dur, e.metricsInterval)
 		// Freeze lazily-sorting state before publication: Sample.Quantile
 		// sorts in place, and two figures quantiling one cached run
 		// concurrently would race on it.
@@ -57,7 +57,7 @@ func (e *Engine) TCP(seed int64, env Env, cfg core.Config, dur time.Duration) Fu
 func (e *Engine) VoIP(seed int64, env Env, cfg core.Config, dur time.Duration) Future[*VoIPRun] {
 	key := JobKey{Kind: "voip", Seed: seed, Env: env, Cfg: cfg, Dur: dur}
 	return Future[*VoIPRun]{f: e.memoize(key, func() any {
-		return RunVoIPWorkload(seed, env, cfg, dur)
+		return runVoIPWorkload(seed, env, cfg, dur, e.metricsInterval)
 	})}
 }
 

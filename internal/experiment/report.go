@@ -8,6 +8,7 @@ package experiment
 import (
 	"fmt"
 	"strings"
+	"time"
 )
 
 // Options control experiment scale and reproducibility.
@@ -33,6 +34,12 @@ type Options struct {
 	// path), and falls back to the serial path otherwise. Results are
 	// byte-identical either way; 0 means 1.
 	Shards int
+	// Metrics, when positive, samples every run's obs registry at this
+	// sim-time cadence and publishes recordings to TakeRecordings.
+	// Sampling is pure observation: reports are byte-identical with it
+	// on or off. Applies to the inline engine created when Engine is
+	// nil; a provided Engine's own EnableMetrics setting wins.
+	Metrics time.Duration
 }
 
 // DefaultOptions returns full-scale options with a fixed seed.
@@ -44,7 +51,9 @@ func (o Options) engine() *Engine {
 	if o.Engine != nil {
 		return o.Engine
 	}
-	return newInlineEngine()
+	e := newInlineEngine()
+	e.EnableMetrics(o.Metrics)
+	return e
 }
 
 // shardCount returns the requested shard count, at least 1.

@@ -4,16 +4,12 @@ import (
 	"fmt"
 	"io"
 	"sort"
-	"strconv"
 	"sync"
 	"time"
 
 	"github.com/vanlan/vifi/internal/core"
-	"github.com/vanlan/vifi/internal/fault"
 	"github.com/vanlan/vifi/internal/radio"
 	"github.com/vanlan/vifi/internal/scenario"
-	"github.com/vanlan/vifi/internal/sim"
-	"github.com/vanlan/vifi/internal/workload"
 )
 
 // This file carries sharded single-scenario execution: one city runs as
@@ -118,166 +114,5 @@ func shardPlan(spec scenario.Spec, opts core.CellOptions, shards int) ([]int, in
 // partitioned. The merged result is byte-identical to the serial one at
 // any shard count — ShardExec aside, which is wall-clock bookkeeping.
 func RunFleetAppWorkloadSharded(seed int64, spec scenario.Spec, cfg core.Config, duration time.Duration, shards int) (*FleetAppRun, error) {
-	opts := core.DefaultCellOptions()
-	opts.Protocol = cfg
-	districtShard, eff := shardPlan(spec, opts, shards)
-	if eff <= 1 {
-		return RunFleetAppWorkload(seed, spec, cfg, duration)
-	}
-
-	fs, err := spec.FaultSpec()
-	if err != nil {
-		return nil, err
-	}
-	key := spec.Key()
-	appcfg := spec.AppConfig()
-
-	kernels := make([]*sim.Kernel, eff)
-	cells := make([]*core.Cell, eff)
-	recs := make([]*faultRecorder, eff)
-	drivers := make([][]workload.Driver, eff)
-	var lay *scenario.Layout
-	var tl fault.Timeline
-	coupler := sim.NewCoupler()
-
-	for s := 0; s < eff; s++ {
-		k := sim.NewKernel(seed)
-		cell, l, err := scenario.BuildShardCell(k, spec, opts, districtShard, s)
-		if err != nil {
-			return nil, err
-		}
-		if !cell.Channel.Indexed() {
-			panic("experiment: shard plan accepted a non-indexed channel")
-		}
-		kernels[s], cells[s], lay = k, cell, l
-		if idx := coupler.AddShard(k); idx != s {
-			panic("experiment: shard index mismatch")
-		}
-
-		// Mirror the serial setup order exactly: faults first, then the
-		// workload mix, then the drivers — only the driver set is
-		// filtered to locally owned fleet slots.
-		nv := len(cell.Vehicles)
-		if !fs.Empty() {
-			tl = fault.Plan(k, key, fs, duration, len(cell.BSes), nv)
-			recs[s] = newFaultRecorder(k, duration)
-			scenario.InstallFaults(k, cell, &tl, recs[s].restored)
-		}
-		kinds := make([]workload.Kind, nv)
-		if spec.App == workload.MixedKind {
-			kinds = workload.SplitKinds(k.RNG("workload", key, "mix"), appcfg.Mix, nv)
-		} else {
-			for i := range kinds {
-				kinds[i] = spec.App
-			}
-		}
-		drivers[s] = make([]workload.Driver, nv)
-		for i := 0; i < nv; i++ {
-			if !cell.LocalVehicle(i) {
-				continue
-			}
-			start := l.Departs[i] + fleetWarm +
-				appStagger(kinds[i], appcfg)*time.Duration(i)/time.Duration(nv)
-			end := duration
-			if start > end {
-				start = end
-			}
-			rng := k.RNG("workload", key, "veh", strconv.Itoa(i))
-			d := workload.New(k, appcfg, kinds[i], workload.CellPort(cell, i), i, start, end, rng)
-			if recs[s] != nil {
-				recs[s].bind(cell, i, d)
-			} else {
-				workload.Bind(cell, i, d)
-			}
-			d.Start()
-			drivers[s][i] = d
-		}
-	}
-
-	// Couple the backplanes: the only subsystem that can carry an event
-	// across districts, hence across shards. Its minimum transit delay is
-	// the lookahead; a cross-shard send posts the arrival at its exact
-	// already-computed timestamp into the destination shard's mailbox.
-	coupler.AddLookahead(cells[0].Backplane.MinTransitDelay())
-	for s := 0; s < eff; s++ {
-		src := s
-		cells[s].Backplane.SetCrossPost(func(dstShard int, arriveAt time.Duration, from, to uint16, payload []byte) {
-			coupler.Post(src, dstShard, arriveAt, func() {
-				cells[dstShard].Backplane.InjectArrive(from, to, payload)
-			})
-		})
-	}
-
-	stats := coupler.Run(duration + time.Second)
-
-	// Merge in global node order, so every float accumulation and every
-	// slice append happens in exactly the serial iteration order.
-	nv := len(cells[0].Vehicles)
-	run := &FleetAppRun{
-		SpecKey:  key,
-		App:      spec.App,
-		BSCount:  len(cells[0].BSes),
-		Vehicles: nv,
-		Duration: duration,
-	}
-	vehOwner := func(i int) int { return districtShard[lay.VehDistrict[i]] }
-	run.PerVehicle = make([]workload.Metrics, nv)
-	for i := 0; i < nv; i++ {
-		run.PerVehicle[i] = drivers[vehOwner(i)][i].Stop()
-	}
-	run.Apps = workload.Aggregate(run.PerVehicle)
-	for s := 0; s < eff; s++ {
-		st := cells[s].Channel.Stats()
-		run.Transmissions += st.Transmissions
-		run.Collisions += st.Collisions
-	}
-	if recs[0] != nil {
-		run.Faults = mergeFaultRecorders(recs).report(tl)
-	}
-
-	var nbr []uint16
-	for i := range cells[0].BSes {
-		c := cells[districtShard[lay.BSDistrict[i]]]
-		bs := c.BSes[i]
-		now := c.K.Now()
-		run.FreshPeersBS += float64(len(bs.Probs().FreshLocalPeers(bs.Addr(), now)))
-		run.ReportBS += float64(len(bs.Probs().Report(bs.Addr(), now)))
-		nbr = bs.MAC().Neighbors(nbr[:0])
-		run.GridNbrsBS += float64(len(nbr))
-	}
-	if n := float64(run.BSCount); n > 0 {
-		run.FreshPeersBS /= n
-		run.ReportBS /= n
-		run.GridNbrsBS /= n
-	}
-	for i := 0; i < nv; i++ {
-		run.AuxPerVeh += float64(cells[vehOwner(i)].Vehicles[i].AuxCount())
-	}
-	if nv > 0 {
-		run.AuxPerVeh /= float64(nv)
-	}
-	assembleLink(run, appcfg.CBRSlot)
-
-	run.ShardExec = make([]ShardRunStats, eff)
-	for s := 0; s < eff; s++ {
-		nb, nvl := 0, 0
-		for i := range cells[s].BSLocal {
-			if cells[s].BSLocal[i] {
-				nb++
-			}
-		}
-		for i := range cells[s].VehLocal {
-			if cells[s].VehLocal[i] {
-				nvl++
-			}
-		}
-		run.ShardExec[s] = ShardRunStats{
-			Shard: s, BSes: nb, Vehicles: nvl,
-			Events: stats[s].Events, Rounds: stats[s].Rounds,
-			Stalled: stats[s].StalledRounds,
-			HaloSent: stats[s].Posted, HaloRecv: stats[s].Injected,
-		}
-	}
-	logShards(ShardLogEntry{SpecKey: key, Shards: eff, Stats: run.ShardExec})
-	return run, nil
+	return runFleetApp(seed, spec, cfg, duration, shards, 0)
 }

@@ -1,0 +1,87 @@
+// Package obs is the simulator's observability layer: named int64 time
+// series sampled on a fixed simulation-time cadence into delta-encoded,
+// FTDC-style recordings (the full-time-diagnostic-data-capture shape:
+// schema'd columnar chunks of first-value + varint deltas).
+//
+// The contract that makes it safe to leave enabled everywhere:
+//
+//   - Sampling is pure observation. Series are pull-based — each reads a
+//     value the instrumented subsystem already maintains — so a sampler
+//     tick draws no randomness and mutates no protocol state. Ticks run
+//     as ordinary kernel events, which shifts the sequence numbers of
+//     later-scheduled events but never the relative order of any two
+//     protocol events; every report and golden stays byte-identical with
+//     sampling on or off (internal/experiment pins this).
+//   - The tick is allocation-free. Pull closures are built once at
+//     registration and the recording's backing array is sized up front
+//     from the run duration, so steady-state sampling costs reads and
+//     appends only (obs_test.go guards AllocsPerRun == 0).
+package obs
+
+// Kind says how a series' values relate over time: a Counter is a
+// monotone running total (rates come from deltas), a Gauge is an
+// instantaneous level. The codec treats both identically; summaries and
+// dashboards use the kind to pick between rate and level views.
+type Kind uint8
+
+// Series kinds.
+const (
+	Counter Kind = iota
+	Gauge
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	if k == Counter {
+		return "counter"
+	}
+	return "gauge"
+}
+
+// SeriesDef names one series of a recording's schema.
+type SeriesDef struct {
+	Name string
+	Kind Kind
+}
+
+// Registry is an ordered set of series definitions with their pull
+// functions. Registration order is the schema order — register
+// deterministically (never from map iteration) so equal runs produce
+// byte-identical recordings and per-shard registries stay mergeable.
+// Register everything before attaching a Sampler.
+type Registry struct {
+	defs []SeriesDef
+	pull []func() int64
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry { return &Registry{} }
+
+// Add registers a series; f is invoked once per sampler tick and must be
+// a pure read of state the subsystem maintains anyway.
+func (r *Registry) Add(kind Kind, name string, f func() int64) {
+	r.defs = append(r.defs, SeriesDef{Name: name, Kind: kind})
+	r.pull = append(r.pull, f)
+}
+
+// Counter registers a monotone running-total series.
+func (r *Registry) Counter(name string, f func() int64) { r.Add(Counter, name, f) }
+
+// Gauge registers an instantaneous-level series.
+func (r *Registry) Gauge(name string, f func() int64) { r.Add(Gauge, name, f) }
+
+// Len returns the number of registered series.
+func (r *Registry) Len() int { return len(r.defs) }
+
+// Defs returns the schema in registration order. The slice is shared;
+// treat it as read-only.
+func (r *Registry) Defs() []SeriesDef { return r.defs }
+
+// sample appends one value per series to data and returns the extended
+// slice. It performs no allocation when data has capacity.
+func (r *Registry) sample(data []int64) []int64 {
+	for _, f := range r.pull {
+		data = append(data, f())
+	}
+	return data
+}

@@ -1,0 +1,219 @@
+package obs
+
+import (
+	"bytes"
+	"math"
+	"testing"
+	"time"
+
+	"github.com/vanlan/vifi/internal/sim"
+)
+
+// mkRecording builds a recording from explicit rows.
+func mkRecording(meta map[string]string, series []SeriesDef, rows [][]int64) *Recording {
+	r := NewRecording(meta, time.Second, time.Second, series)
+	for _, row := range rows {
+		r.Append(row...)
+	}
+	return r
+}
+
+// TestBinaryRoundTrip pins encode→decode equality across the encoder's
+// edge cases: extreme magnitudes (MinInt64/MaxInt64 deltas), sign
+// alternation, zero runs spanning chunk boundaries, empty recordings and
+// multi-recording streams.
+func TestBinaryRoundTrip(t *testing.T) {
+	series := []SeriesDef{{Name: "a", Kind: Counter}, {Name: "b", Kind: Gauge}}
+	long := make([][]int64, 3*chunkRows+7)
+	for i := range long {
+		// Column a: long flat stretches (zero-RLE across chunk borders)
+		// broken by occasional jumps; column b: alternating extremes.
+		a := int64(i / 300)
+		b := int64(math.MaxInt64)
+		if i%2 == 1 {
+			b = math.MinInt64
+		}
+		long[i] = []int64{a, b}
+	}
+	recs := []*Recording{
+		mkRecording(map[string]string{"spec": "grid-city", "seed": "17"}, series, [][]int64{
+			{0, 5}, {3, -5}, {3, math.MaxInt64}, {math.MinInt64, math.MaxInt64}, {math.MaxInt64, 0},
+		}),
+		mkRecording(nil, series, nil), // zero rows
+		mkRecording(map[string]string{"k": ""}, series, long),
+		mkRecording(nil, nil, nil), // zero series
+	}
+	var buf bytes.Buffer
+	if err := WriteAll(&buf, recs); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadAll(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(recs) {
+		t.Fatalf("decoded %d recordings, wrote %d", len(got), len(recs))
+	}
+	for i := range recs {
+		if !recs[i].Equal(got[i]) {
+			t.Errorf("recording %d did not round-trip", i)
+		}
+	}
+}
+
+// TestBinaryCompresssesFlatCounters sanity-checks the point of the delta
+// encoding: a flat counter costs roughly a token per chunk, not per row.
+func TestBinaryCompressesFlatCounters(t *testing.T) {
+	series := []SeriesDef{{Name: "flat", Kind: Counter}}
+	rows := make([][]int64, 10000)
+	for i := range rows {
+		rows[i] = []int64{123456}
+	}
+	var buf bytes.Buffer
+	if err := WriteAll(&buf, []*Recording{mkRecording(nil, series, rows)}); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() > 1024 {
+		t.Errorf("10000 flat samples encoded to %d bytes; want ≤ 1 KiB", buf.Len())
+	}
+}
+
+// TestJSONRoundTrip pins the JSON codec against the same recordings.
+func TestJSONRoundTrip(t *testing.T) {
+	series := []SeriesDef{{Name: "x", Kind: Counter}, {Name: "y", Kind: Gauge}}
+	recs := []*Recording{
+		mkRecording(map[string]string{"spec": "s"}, series, [][]int64{{1, -1}, {2, math.MinInt64}}),
+		mkRecording(nil, series, nil),
+	}
+	var buf bytes.Buffer
+	if err := WriteJSONAll(&buf, recs); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadJSONAll(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(recs) {
+		t.Fatalf("decoded %d recordings, wrote %d", len(got), len(recs))
+	}
+	for i := range recs {
+		if !recs[i].Equal(got[i]) {
+			t.Errorf("recording %d did not round-trip through JSON", i)
+		}
+	}
+}
+
+// TestReadRejectsGarbage pins the header validation.
+func TestReadRejectsGarbage(t *testing.T) {
+	if _, err := ReadAll(bytes.NewReader([]byte("not a recording stream"))); err == nil {
+		t.Error("garbage stream decoded without error")
+	}
+	if _, err := ReadAll(bytes.NewReader(nil)); err == nil {
+		t.Error("empty stream decoded without error")
+	}
+}
+
+// TestMerge pins the elementwise sum-merge and its schema guards.
+func TestMerge(t *testing.T) {
+	series := []SeriesDef{{Name: "n", Kind: Counter}}
+	a := mkRecording(map[string]string{"shard": "0"}, series, [][]int64{{1}, {2}, {3}})
+	b := mkRecording(map[string]string{"shard": "1"}, series, [][]int64{{10}, {20}, {30}})
+	m, err := Merge([]*Recording{a, b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int64{11, 22, 33}
+	for i, w := range want {
+		if got := m.Row(i)[0]; got != w {
+			t.Errorf("merged row %d = %d, want %d", i, got, w)
+		}
+	}
+	// Merging must not mutate the inputs.
+	if a.Row(0)[0] != 1 || b.Row(0)[0] != 10 {
+		t.Error("merge mutated an input recording")
+	}
+	short := mkRecording(nil, series, [][]int64{{1}})
+	if _, err := Merge([]*Recording{a, short}); err == nil {
+		t.Error("row-count mismatch merged without error")
+	}
+	other := mkRecording(nil, []SeriesDef{{Name: "m", Kind: Counter}}, [][]int64{{1}, {2}, {3}})
+	if _, err := Merge([]*Recording{a, other}); err == nil {
+		t.Error("schema mismatch merged without error")
+	}
+}
+
+// TestSamplerCadence pins the tick schedule and the recorded values: one
+// row per interval multiple in (0, until], reading the pull functions at
+// exactly the tick's simulation time.
+func TestSamplerCadence(t *testing.T) {
+	k := sim.NewKernel(1)
+	var events int64
+	reg := NewRegistry()
+	reg.Counter("events", func() int64 { return events })
+	reg.Gauge("clock.ms", func() int64 { return int64(k.Now() / time.Millisecond) })
+	s := Attach(k, reg, 10*time.Millisecond, 95*time.Millisecond, map[string]string{"run": "t"})
+	for i := 1; i <= 9; i++ {
+		k.At(time.Duration(i)*10*time.Millisecond-time.Millisecond, func() { events++ })
+	}
+	k.RunUntil(200 * time.Millisecond)
+	rec := s.Recording()
+	if rec.Rows() != 9 {
+		t.Fatalf("rows = %d, want 9 (ticks at 10ms..90ms)", rec.Rows())
+	}
+	for i := 0; i < rec.Rows(); i++ {
+		if at := rec.At(i); at != time.Duration(i+1)*10*time.Millisecond {
+			t.Errorf("row %d at %v, want %v", i, at, time.Duration(i+1)*10*time.Millisecond)
+		}
+		row := rec.Row(i)
+		if row[0] != int64(i+1) {
+			t.Errorf("row %d events = %d, want %d", i, row[0], i+1)
+		}
+		if row[1] != int64((i+1)*10) {
+			t.Errorf("row %d clock = %d, want %d", i, row[1], (i+1)*10)
+		}
+	}
+}
+
+// TestSamplerOnSample pins the live-row fanout used by vifi-serve.
+func TestSamplerOnSample(t *testing.T) {
+	k := sim.NewKernel(1)
+	var v int64
+	reg := NewRegistry()
+	reg.Counter("v", func() int64 { v++; return v })
+	s := Attach(k, reg, time.Millisecond, 3*time.Millisecond, nil)
+	var ats []time.Duration
+	var vals []int64
+	s.SetOnSample(func(at time.Duration, row []int64) {
+		ats = append(ats, at)
+		vals = append(vals, row[0])
+	})
+	k.RunUntil(10 * time.Millisecond)
+	if len(ats) != 3 || ats[2] != 3*time.Millisecond || vals[2] != 3 {
+		t.Errorf("onSample saw ats=%v vals=%v", ats, vals)
+	}
+}
+
+// TestSamplerTickDoesNotAllocate guards the hot path: once the kernel
+// and the recording's backing array are warm, a sampler tick (pull every
+// series, append the row, reschedule) must not allocate.
+func TestSamplerTickDoesNotAllocate(t *testing.T) {
+	k := sim.NewKernel(1)
+	var a, b, c int64
+	reg := NewRegistry()
+	reg.Counter("a", func() int64 { return a })
+	reg.Counter("b", func() int64 { return b })
+	reg.Gauge("c", func() int64 { return c })
+	Attach(k, reg, time.Millisecond, time.Second, nil)
+	k.RunUntil(100 * time.Millisecond) // warm: heap grown, backing array live
+	now := 100 * time.Millisecond
+	allocs := testing.AllocsPerRun(200, func() {
+		a++
+		b += 3
+		c = a - b
+		now += time.Millisecond
+		k.RunUntil(now)
+	})
+	if allocs != 0 {
+		t.Errorf("sampler tick allocated %.1f objects/run, want 0", allocs)
+	}
+}

@@ -1,0 +1,155 @@
+package obs
+
+import (
+	"fmt"
+	"time"
+)
+
+// Recording is one run's sampled series: a fixed schema, a fixed cadence
+// and a row-major backing array (row i holds every series' value at time
+// Start + i·Interval). Recordings come out of a Sampler or a decoder and
+// are plain data — safe to share once sampling has stopped.
+type Recording struct {
+	// Meta carries the run's identity (spec key, seed, shard count…) as
+	// opaque key/value pairs; codecs persist it sorted by key.
+	Meta map[string]string
+
+	// Interval is the sampling cadence; Start is the simulated time of
+	// row 0 (the first tick, normally == Interval).
+	Interval time.Duration
+	Start    time.Duration
+
+	// Series is the schema, in column order.
+	Series []SeriesDef
+
+	// data is row-major: len == Rows()·len(Series).
+	data []int64
+}
+
+// NewRecording builds an empty recording with the given schema; decoders
+// and tests use it, samplers build their own.
+func NewRecording(meta map[string]string, interval, start time.Duration, series []SeriesDef) *Recording {
+	return &Recording{Meta: meta, Interval: interval, Start: start, Series: series}
+}
+
+// Append adds one row (one value per series, in schema order).
+func (r *Recording) Append(row ...int64) {
+	if len(row) != len(r.Series) {
+		panic(fmt.Sprintf("obs: Append row width %d, schema width %d", len(row), len(r.Series)))
+	}
+	r.data = append(r.data, row...)
+}
+
+// Rows returns the number of samples taken.
+func (r *Recording) Rows() int {
+	if len(r.Series) == 0 {
+		return 0
+	}
+	return len(r.data) / len(r.Series)
+}
+
+// At returns the simulated time of row i.
+func (r *Recording) At(i int) time.Duration {
+	return r.Start + time.Duration(i)*r.Interval
+}
+
+// Row returns row i as a view into the backing array; copy to retain
+// across further sampling.
+func (r *Recording) Row(i int) []int64 {
+	n := len(r.Series)
+	return r.data[i*n : (i+1)*n]
+}
+
+// SeriesIndex returns the column of the named series, -1 if absent.
+func (r *Recording) SeriesIndex(name string) int {
+	for i, d := range r.Series {
+		if d.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// Column copies out one series' full history; nil if the name is absent.
+func (r *Recording) Column(name string) []int64 {
+	j := r.SeriesIndex(name)
+	if j < 0 {
+		return nil
+	}
+	n := len(r.Series)
+	out := make([]int64, r.Rows())
+	for i := range out {
+		out[i] = r.data[i*n+j]
+	}
+	return out
+}
+
+// Equal reports deep value equality (schema, cadence, meta and data) —
+// the determinism tests' comparison.
+func (r *Recording) Equal(o *Recording) bool {
+	if r.Interval != o.Interval || r.Start != o.Start ||
+		len(r.Series) != len(o.Series) || len(r.data) != len(o.data) ||
+		len(r.Meta) != len(o.Meta) {
+		return false
+	}
+	for i := range r.Series {
+		if r.Series[i] != o.Series[i] {
+			return false
+		}
+	}
+	for i := range r.data {
+		if r.data[i] != o.data[i] {
+			return false
+		}
+	}
+	for k, v := range r.Meta {
+		if ov, ok := o.Meta[k]; !ok || ov != v {
+			return false
+		}
+	}
+	return true
+}
+
+// Merge sums recordings elementwise into a new one: same schema, same
+// cadence, same row count required. This is how per-shard recordings of
+// one sharded run combine — every standard series is a sum-merge
+// (counters count disjoint local work; occupancy gauges partition over
+// owned nodes), so the merged series of shard-local subsystems equals
+// the serial run's. Meta is taken from the first recording.
+func Merge(recs []*Recording) (*Recording, error) {
+	if len(recs) == 0 {
+		return nil, fmt.Errorf("obs: merge of zero recordings")
+	}
+	first := recs[0]
+	out := &Recording{
+		Meta:     first.Meta,
+		Interval: first.Interval,
+		Start:    first.Start,
+		Series:   first.Series,
+		data:     append([]int64(nil), first.data...),
+	}
+	for _, r := range recs[1:] {
+		if r.Interval != first.Interval || r.Start != first.Start {
+			return nil, fmt.Errorf("obs: merge cadence mismatch (%v/%v vs %v/%v)",
+				r.Interval, r.Start, first.Interval, first.Start)
+		}
+		if len(r.Series) != len(first.Series) {
+			return nil, fmt.Errorf("obs: merge schema width mismatch (%d vs %d)",
+				len(r.Series), len(first.Series))
+		}
+		for i := range r.Series {
+			if r.Series[i] != first.Series[i] {
+				return nil, fmt.Errorf("obs: merge schema mismatch at column %d (%q vs %q)",
+					i, r.Series[i].Name, first.Series[i].Name)
+			}
+		}
+		if len(r.data) != len(first.data) {
+			return nil, fmt.Errorf("obs: merge row count mismatch (%d vs %d rows)",
+				r.Rows(), first.Rows())
+		}
+		for i, v := range r.data {
+			out.data[i] += v
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,79 @@
+package obs
+
+import (
+	"time"
+
+	"github.com/vanlan/vifi/internal/sim"
+)
+
+// Sampler drives a Registry on a fixed simulation-time cadence: one tick
+// at every multiple of the interval in (0, until], each appending one row
+// to the recording. It schedules itself as an ordinary kernel event
+// through the closure-free Handler path, so attaching it to a running
+// simulation costs one heap entry per tick and zero allocations in
+// steady state.
+type Sampler struct {
+	k        *sim.Kernel
+	reg      *Registry
+	interval time.Duration
+	until    time.Duration
+	next     time.Duration
+	rec      *Recording
+
+	// onSample, when set, observes each row as it is appended. The row
+	// slice aliases the recording's backing array — copy to retain. Used
+	// by vifi-serve to fan samples out to live subscribers; batch runs
+	// leave it nil, which keeps the tick allocation-free.
+	onSample func(at time.Duration, row []int64)
+}
+
+// Attach registers a sampler on the kernel: ticks at interval,
+// 2·interval, … up to and including until (the simulated horizon sizes
+// the recording's backing array). meta is stored verbatim in the
+// recording. The registry must be fully populated; series added later
+// would corrupt the row stride.
+func Attach(k *sim.Kernel, reg *Registry, interval, until time.Duration, meta map[string]string) *Sampler {
+	if interval <= 0 {
+		panic("obs: sampler interval must be positive")
+	}
+	rows := int(until / interval)
+	if rows < 0 {
+		rows = 0
+	}
+	s := &Sampler{
+		k: k, reg: reg, interval: interval, until: until, next: interval,
+		rec: &Recording{
+			Meta:     meta,
+			Interval: interval,
+			Start:    interval,
+			Series:   reg.Defs(),
+			data:     make([]int64, 0, rows*reg.Len()),
+		},
+	}
+	if s.next <= s.until {
+		k.AtHandler(s.next, s)
+	}
+	return s
+}
+
+// SetOnSample installs the live-row observer (see the field comment).
+// Call before the first tick.
+func (s *Sampler) SetOnSample(fn func(at time.Duration, row []int64)) { s.onSample = fn }
+
+// OnEvent implements sim.Handler: take one sample row, reschedule.
+func (s *Sampler) OnEvent() {
+	base := len(s.rec.data)
+	s.rec.data = s.reg.sample(s.rec.data)
+	if s.onSample != nil {
+		s.onSample(s.next, s.rec.data[base:])
+	}
+	s.next += s.interval
+	if s.next <= s.until {
+		s.k.AtHandler(s.next, s)
+	}
+}
+
+// Recording returns the rows accumulated so far. The recording keeps
+// growing until the horizon passes; readers that copy rows out (Row
+// returns views) must do so before further kernel advancement.
+func (s *Sampler) Recording() *Recording { return s.rec }

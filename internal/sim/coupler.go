@@ -120,39 +120,78 @@ func (c *Coupler) Post(src, dst int, at time.Duration, fn Event) {
 // Events posted with timestamps > until are dropped, matching the serial
 // semantics of RunUntil leaving post-deadline events unexecuted.
 func (c *Coupler) Run(until time.Duration) []ShardStats {
-	if len(c.kernels) == 0 {
-		panic("sim: coupler Run with no shards")
+	r := c.Begin(until)
+	for {
+		if _, done := r.Step(); done {
+			return r.Finish()
+		}
 	}
+}
+
+// windowCmd is one window order to a shard worker.
+type windowCmd struct {
+	deadline time.Duration
+	final    bool
+}
+
+// CoupledRun is an in-flight coupled execution. Begin starts the shard
+// workers; each Step advances every shard through exactly one more
+// window barrier; Finish returns the stats once Step reported done.
+//
+// The window-command sequence a CoupledRun issues is a pure function of
+// (until, lookahead, the posted events) — identical whether Steps run
+// back to back (Run) or with arbitrary wall-clock pauses in between.
+// That is what lets a serving frontend pause a sharded session at a
+// barrier and resume it later with byte-identical results: simulation
+// state only ever changes inside Step.
+type CoupledRun struct {
+	c     *Coupler
+	until time.Duration
+	t     time.Duration // next non-final window start
+	phase int           // 0 windows, 1 drain, 2 done
+
+	cmds   []chan windowCmd
+	done   chan int
+	panics []any
+}
+
+// ShardStatsAt exposes shard s's live execution counters for sampling.
+// During a window only shard s's own goroutine may read them (its
+// events/rounds fields are being written there); between barriers — or
+// after the run — any goroutine may.
+func (c *Coupler) ShardStatsAt(s int) *ShardStats { return &c.stats[s] }
+
+// Begin starts a coupled execution toward `until` and returns the
+// stepping handle. Single-shard couplers skip the worker machinery: the
+// one Step runs the plain serial path.
+func (c *Coupler) Begin(until time.Duration) *CoupledRun {
+	if len(c.kernels) == 0 {
+		panic("sim: coupler Begin with no shards")
+	}
+	if c.running {
+		panic("sim: coupler Begin while a run is active")
+	}
+	r := &CoupledRun{c: c, until: until}
 	if len(c.kernels) == 1 {
-		k := c.kernels[0]
-		before := k.EventsRun()
-		k.RunUntil(until)
-		c.stats[0].Events = k.EventsRun() - before
-		c.stats[0].Rounds = 1
-		return c.stats
+		return r
 	}
 	if c.lookahead <= 0 {
-		panic("sim: coupler Run with no registered lookahead")
+		panic("sim: coupler Begin with no registered lookahead")
 	}
 	c.running = true
-	defer func() { c.running = false }()
 
 	// Persistent worker goroutines, one per shard: each waits for a window
 	// deadline, advances its kernel, and reports back. Channel round-trips
 	// per window are the entire synchronization cost.
-	type windowCmd struct {
-		deadline time.Duration
-		final    bool
-	}
 	n := len(c.kernels)
-	cmds := make([]chan windowCmd, n)
-	done := make(chan int, n)
-	panics := make([]any, n)
+	r.cmds = make([]chan windowCmd, n)
+	r.done = make(chan int, n)
+	r.panics = make([]any, n)
 	for s := 0; s < n; s++ {
-		cmds[s] = make(chan windowCmd, 1)
+		r.cmds[s] = make(chan windowCmd, 1)
 		go func(s int, k *Kernel) {
 			window := func(cmd windowCmd) {
-				defer func() { panics[s] = recover() }()
+				defer func() { r.panics[s] = recover() }()
 				before := k.EventsRun()
 				if cmd.final {
 					k.RunUntil(cmd.deadline)
@@ -166,49 +205,96 @@ func (c *Coupler) Run(until time.Duration) []ShardStats {
 					c.stats[s].StalledRounds++
 				}
 			}
-			for cmd := range cmds[s] {
+			for cmd := range r.cmds[s] {
 				window(cmd)
-				done <- s
+				r.done <- s
 			}
 		}(s, c.kernels[s])
 	}
-	runWindow := func(deadline time.Duration, final bool) int {
-		c.windowEnd = deadline
-		for s := 0; s < n; s++ {
-			cmds[s] <- windowCmd{deadline: deadline, final: final}
-		}
-		for i := 0; i < n; i++ {
-			<-done
-		}
-		// Re-raise a shard panic on the coordinator goroutine so callers
-		// see it as a normal panic out of Run, not a process crash.
-		for s := 0; s < n; s++ {
-			if p := panics[s]; p != nil {
-				for t := 0; t < n; t++ {
-					close(cmds[t])
-				}
-				panic(p)
-			}
-		}
-		return c.exchange(until)
-	}
-	for t := time.Duration(0); t < until; t += c.lookahead {
-		end := t + c.lookahead
-		if end > until {
-			end = until
-		}
-		runWindow(end, false)
-	}
-	// Final pass: include events at exactly `until`, like serial RunUntil.
-	// An event posted here can arrive at exactly `until` (the conservative
-	// bound is inclusive), which serial execution would still run — so
-	// drain until a pass injects nothing due.
-	for runWindow(until, true) > 0 {
-	}
+	return r
+}
+
+// runWindow advances every shard through one window and exchanges the
+// posted events, returning how many were injected.
+func (r *CoupledRun) runWindow(deadline time.Duration, final bool) int {
+	c := r.c
+	n := len(c.kernels)
+	c.windowEnd = deadline
 	for s := 0; s < n; s++ {
-		close(cmds[s])
+		r.cmds[s] <- windowCmd{deadline: deadline, final: final}
 	}
-	return c.stats
+	for i := 0; i < n; i++ {
+		<-r.done
+	}
+	// Re-raise a shard panic on the coordinator goroutine so callers
+	// see it as a normal panic out of Step, not a process crash.
+	for s := 0; s < n; s++ {
+		if p := r.panics[s]; p != nil {
+			r.close()
+			panic(p)
+		}
+	}
+	return c.exchange(r.until)
+}
+
+func (r *CoupledRun) close() {
+	for _, ch := range r.cmds {
+		close(ch)
+	}
+	r.cmds = nil
+	r.c.running = false
+	r.phase = 2
+}
+
+// Step advances every shard through one more window barrier and returns
+// the barrier's simulation time plus whether the run is complete. After
+// the bounded windows reach `until`, Step keeps draining final passes —
+// a pass can inject events due at exactly `until` (the conservative
+// bound is inclusive), which serial execution would still run — until
+// one injects nothing.
+func (r *CoupledRun) Step() (time.Duration, bool) {
+	c := r.c
+	if len(c.kernels) == 1 {
+		// Serial passthrough: one window is the whole run.
+		if r.phase != 2 {
+			k := c.kernels[0]
+			before := k.EventsRun()
+			k.RunUntil(r.until)
+			c.stats[0].Events += k.EventsRun() - before
+			c.stats[0].Rounds++
+			r.phase = 2
+		}
+		return r.until, true
+	}
+	switch r.phase {
+	case 0:
+		end := r.t + c.lookahead
+		if end > r.until {
+			end = r.until
+		}
+		r.runWindow(end, false)
+		r.t += c.lookahead
+		if r.t >= r.until {
+			r.phase = 1
+		}
+		return end, false
+	case 1:
+		if r.runWindow(r.until, true) == 0 {
+			r.close()
+			return r.until, true
+		}
+		return r.until, false
+	default:
+		return r.until, true
+	}
+}
+
+// Finish asserts completion and returns the accumulated per-shard stats.
+func (r *CoupledRun) Finish() []ShardStats {
+	if r.phase != 2 {
+		panic("sim: CoupledRun.Finish before Step reported done")
+	}
+	return r.c.stats
 }
 
 // exchange drains every shard's outbox and injects the events into their

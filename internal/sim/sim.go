@@ -6,8 +6,8 @@
 // kernel so that every experiment is reproducible bit-for-bit from a seed.
 // The kernel is single-goroutine by design — wireless simulations are
 // latency-dominated, not CPU-parallel, and determinism matters more than
-// core count here. The UDP emulator (internal/emu) is the concurrent,
-// wall-clock twin of this kernel.
+// core count here. Parallelism happens above the kernel: the Coupler in
+// this package runs several kernels as conservatively coupled shards.
 package sim
 
 import (

@@ -19,6 +19,9 @@ type CBR struct {
 	slot     time.Duration
 	bytes    int
 	up, down []bool
+	// upN/downN mirror the set-bit counts of up/down for Live: maintained
+	// on the delivery path so sampling never rescans the slot tables.
+	upN, downN int
 }
 
 // NewCBR builds the driver: slots cover [start, end).
@@ -66,17 +69,22 @@ func (c *CBR) decode(p []byte) (slot int, ok bool) {
 
 // DeliverUp marks an upstream slot delivered at the gateway.
 func (c *CBR) DeliverUp(p []byte) {
-	if s, ok := c.decode(p); ok {
+	if s, ok := c.decode(p); ok && !c.up[s] {
 		c.up[s] = true
+		c.upN++
 	}
 }
 
 // DeliverDown marks a downstream slot delivered at the vehicle.
 func (c *CBR) DeliverDown(p []byte) {
-	if s, ok := c.decode(p); ok {
+	if s, ok := c.decode(p); ok && !c.down[s] {
 		c.down[s] = true
+		c.downN++
 	}
 }
+
+// Live reports slots delivered so far (both directions).
+func (c *CBR) Live() LiveStats { return LiveStats{Delivered: c.upN + c.downN} }
 
 // Stop reports the per-slot outcome tables.
 func (c *CBR) Stop() Metrics {

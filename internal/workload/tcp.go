@@ -52,6 +52,12 @@ func (t *TCP) DeliverDown(p []byte) { t.w.ClientDeliver(p) }
 // DeliverUp feeds a datagram that arrived at the gateway (the server).
 func (t *TCP) DeliverUp(p []byte) { t.w.ServerDeliver(p) }
 
+// Live reports transfers completed and aborted so far.
+func (t *TCP) Live() LiveStats {
+	st := t.w.Stats()
+	return LiveStats{Completed: st.Completed, Aborted: st.Aborted}
+}
+
 // Stop halts the loop and reports transfer metrics.
 func (t *TCP) Stop() Metrics {
 	if t.done {

@@ -20,6 +20,7 @@ type VoIP struct {
 	start, end time.Duration
 	call       *voip.Call
 	up, down   []voipSent
+	recvN      int // packets scored as received, for Live
 	done       bool
 	final      Metrics
 }
@@ -79,6 +80,7 @@ func (v *VoIP) record(list []voipSent, p []byte) {
 		return
 	}
 	list[seq].done = true
+	v.recvN++
 	now := v.k.Now()
 	v.call.Add(voip.PacketOutcome{
 		SentAt:   list[seq].at - v.start,
@@ -92,6 +94,9 @@ func (v *VoIP) DeliverUp(p []byte) { v.record(v.up, p) }
 
 // DeliverDown records a downstream packet's arrival at the vehicle.
 func (v *VoIP) DeliverDown(p []byte) { v.record(v.down, p) }
+
+// Live reports call packets received so far (both directions).
+func (v *VoIP) Live() LiveStats { return LiveStats{Delivered: v.recvN} }
 
 // Stop counts unreceived packets as losses and scores the call.
 func (v *VoIP) Stop() Metrics {

@@ -152,6 +152,9 @@ func (w *Web) DeliverUp(p []byte) {
 	w.sender.Deliver(p)
 }
 
+// Live reports pages loaded and aborted so far.
+func (w *Web) Live() LiveStats { return LiveStats{Completed: w.completed, Aborted: w.aborted} }
+
 // Stop halts the session and reports page metrics.
 func (w *Web) Stop() Metrics {
 	if w.stopped {

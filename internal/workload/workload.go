@@ -103,6 +103,20 @@ type Driver interface {
 	DeliverDown(payload []byte)
 	DeliverUp(payload []byte)
 	Stop() Metrics
+
+	// Live reports the session's rolling progress so far. It is a pure
+	// read for the observability layer — callable at any simulation time,
+	// allocation-free, and without effect on the final Metrics.
+	Live() LiveStats
+}
+
+// LiveStats is a driver's rolling mid-run progress: payload deliveries
+// recorded (both directions), and completed/aborted transfer units
+// (TCP transfers, web pages). Fields an app does not track stay zero.
+type LiveStats struct {
+	Delivered int
+	Completed int
+	Aborted   int
 }
 
 // Config parameterizes driver construction for a fleet.

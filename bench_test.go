@@ -161,6 +161,12 @@ const shardScale = 0.02
 // barrier exchange, per-port backplane streams) against regressions.
 func BenchmarkScaleShard(b *testing.B) { benchExperimentScaled(b, "scale-shard", shardScale) }
 
+// BenchmarkScaleShardHalo regenerates the halo-band sharding identity
+// sweep on the un-districted metro grid; its gate pins the stripe-lane
+// delivery path (gang dispatch, lane pools, candidate-order commit)
+// against wall-time and allocation regressions.
+func BenchmarkScaleShardHalo(b *testing.B) { benchExperimentScaled(b, "scale-shard-halo", shardScale) }
+
 // BenchmarkScaleAppTCP regenerates the per-vehicle TCP application sweep.
 func BenchmarkScaleAppTCP(b *testing.B) { benchExperiment(b, "scale-app-tcp") }
 

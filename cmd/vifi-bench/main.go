@@ -70,7 +70,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		all        = fs.Bool("all", false, "run everything, including ablations")
 		parallel   = fs.Int("parallel", runtime.GOMAXPROCS(0), "simulation worker-pool width; 1 = serial")
 		scn        = fs.String("scenario", "", "base scenario for the scale-* experiments (preset[,key=value...]); empty keeps their defaults")
-		shards     = fs.Int("shards", 1, "run each fleet simulation as this many coupled shard kernels where the scenario supports it (reports stay byte-identical)")
+		shards     = fs.Int("shards", 1, "run each fleet simulation this many ways parallel — coupled shard kernels (districted) or halo-band stripe lanes (un-districted indexed); reports stay byte-identical, fallbacks to serial say why on stderr")
 		cpuprofile = fs.String("cpuprofile", "", "write a pprof CPU profile to this file")
 		memprofile = fs.String("memprofile", "", "write a pprof heap profile to this file at exit")
 		benchjson  = fs.String("benchjson", "", "write per-experiment ns/op, allocs/op, B/op to this JSON file (forces -parallel 1)")

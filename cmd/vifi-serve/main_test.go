@@ -129,6 +129,34 @@ func TestServeShardedReportMatchesBatch(t *testing.T) {
 	}
 }
 
+func TestServeHaloShardedReportMatchesBatch(t *testing.T) {
+	sv, ts := startTestServer(t, 2)
+	// grid-metro is un-districted, so shards=4 engages the halo-band
+	// stripe lanes inside a single kernel rather than coupled kernels.
+	id := createSession(t, ts,
+		`{"scenario":"grid-metro,bs=180,vehicles=8","duration":"10s","seed":7,"shards":4}`)
+	waitDone(t, sv, id)
+
+	code, got := get(t, ts, "/v1/sessions/"+id+"/report")
+	if code != http.StatusOK {
+		t.Fatalf("report: status %d: %s", code, got)
+	}
+	want := batchReport(t, "grid-metro,bs=180,vehicles=8", 7, 10*time.Second, 1)
+	if string(got) != want {
+		t.Errorf("halo serve report differs from serial batch:\n--- serve ---\n%s--- batch ---\n%s", got, want)
+	}
+
+	var info sessionInfo
+	_, b := get(t, ts, "/v1/sessions/"+id)
+	if err := json.Unmarshal(b, &info); err != nil {
+		t.Fatal(err)
+	}
+	// One kernel (one sampler contribution per tick), four stripe lanes.
+	if info.Shards != 1 || info.Lanes != 4 {
+		t.Errorf("info shards=%d lanes=%d, want shards=1 lanes=4", info.Shards, info.Lanes)
+	}
+}
+
 func TestServePauseResumeDeterminism(t *testing.T) {
 	sv, ts := startTestServer(t, 2)
 	spec := `{"scenario":"grid-small","duration":"40s","seed":3}`

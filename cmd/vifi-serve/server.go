@@ -133,6 +133,7 @@ type sessionInfo struct {
 	Protocol string `json:"protocol"`
 	Seed     int64  `json:"seed"`
 	Shards   int    `json:"shards"`
+	Lanes    int    `json:"lanes,omitempty"`
 	Duration string `json:"duration"`
 	Interval string `json:"interval"`
 	State    string `json:"state"`
@@ -152,6 +153,7 @@ func (s *session) info() sessionInfo {
 		Protocol: s.protocol,
 		Seed:     s.seed,
 		Shards:   s.eff,
+		Lanes:    s.lanes,
 		Duration: s.duration.String(),
 		Interval: s.interval.String(),
 		State:    s.state,

@@ -35,6 +35,7 @@ type session struct {
 	now       time.Duration
 	end       time.Duration
 	eff       int
+	lanes     int // halo-band stripe lanes inside the single kernel (0 = none)
 	wantPause bool
 	pauseAt   time.Duration // pending pause barrier (0 = none)
 	err       error
@@ -207,6 +208,7 @@ func (s *session) runLoop(slots chan struct{}) {
 	s.state = "running"
 	s.end = l.End()
 	s.eff = l.Shards()
+	s.lanes = l.Lanes()
 	s.series = l.Series()
 	s.mu.Unlock()
 

@@ -80,6 +80,35 @@ func (c *Cell) LocalBS(i int) bool { return c.BSLocal == nil || c.BSLocal[i] }
 // this cell (always true outside shard cells).
 func (c *Cell) LocalVehicle(i int) bool { return c.VehLocal == nil || c.VehLocal[i] }
 
+// StartRadioShards enables halo-band stripe-sharded delivery on the
+// cell's channel — the single-kernel sharding mode for un-districted
+// cities whose stripes share radio edges, complementing the multi-kernel
+// NewDistrictShardCell partition. Returns the effective lane count (1
+// when the channel keeps the serial path). The caller must
+// StopRadioShards before dropping the cell.
+func (c *Cell) StartRadioShards(lanes int) int { return c.Channel.StartShards(lanes) }
+
+// StopRadioShards tears halo-band sharding down (no-op when inactive).
+func (c *Cell) StopRadioShards() { c.Channel.StopShards() }
+
+// RadioLaneCounts reports how many basestations and fleet slots each
+// delivery lane currently owns (by live stripe ownership of their
+// radios). Zero-length results on an unsharded channel.
+func (c *Cell) RadioLaneCounts() (bs, veh []int) {
+	lanes := c.Channel.ShardLanes()
+	if lanes == 0 {
+		return nil, nil
+	}
+	bs, veh = make([]int, lanes), make([]int, lanes)
+	for _, id := range c.BSRadioIDs {
+		bs[c.Channel.LaneOf(id)]++
+	}
+	for _, id := range c.VehRadioIDs {
+		veh[c.Channel.LaneOf(id)]++
+	}
+	return bs, veh
+}
+
 // newCellBase wires the shared substrate: channel, backplane, gateway and
 // basestations (addresses 0..len(bsMovers)-1, in order). vehicles is the
 // number of vehicles the caller will attach afterwards: the channel uses

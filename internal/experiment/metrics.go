@@ -201,6 +201,51 @@ func buildRegistry(k *sim.Kernel, cell *core.Cell, drivers []workload.Driver, ki
 	return reg
 }
 
+// addShardSeries registers per-shard execution-balance series
+// (shard.<i>.events/rounds/stalled/halo_sent/halo_recv) on one shard's
+// registry, so vifi-metrics and vifi-serve can show shard balance live.
+// Serial runs register nothing — their schema is unchanged.
+//
+// Coupled mode: every shard registers the full K-shard layout (obs.Merge
+// demands an identical schema), but pulls real values only for its own
+// index — a sampler tick runs on its shard's goroutine, which may read
+// only its own coupler stats mid-window — so the merged sum reconstructs
+// every shard's true series. Halo mode: the single kernel's sampler reads
+// every lane directly (lane counters are quiescent between dispatches,
+// and sampling runs in the kernel phase).
+func (s *fleetSession) addShardSeries(reg *obs.Registry, sh int) {
+	switch {
+	case s.coupler != nil:
+		for i := 0; i < s.eff; i++ {
+			prefix := fmt.Sprintf("shard.%d.", i)
+			if i != sh {
+				zero := func() int64 { return 0 }
+				for _, name := range [...]string{"events", "rounds", "stalled", "halo_sent", "halo_recv"} {
+					reg.Counter(prefix+name, zero)
+				}
+				continue
+			}
+			st := s.coupler.ShardStatsAt(i)
+			reg.Counter(prefix+"events", func() int64 { return int64(st.Events) })
+			reg.Counter(prefix+"rounds", func() int64 { return int64(st.Rounds) })
+			reg.Counter(prefix+"stalled", func() int64 { return int64(st.StalledRounds) })
+			reg.Counter(prefix+"halo_sent", func() int64 { return int64(st.Posted) })
+			reg.Counter(prefix+"halo_recv", func() int64 { return int64(st.Injected) })
+		}
+	case s.haloLanes > 1:
+		ch := s.cells[0].Channel
+		for i := 0; i < s.haloLanes; i++ {
+			i := i
+			prefix := fmt.Sprintf("shard.%d.", i)
+			reg.Counter(prefix+"events", func() int64 { return int64(ch.LaneStat(i).Computed) })
+			reg.Counter(prefix+"rounds", func() int64 { return int64(ch.LaneStat(i).Rounds) })
+			reg.Counter(prefix+"stalled", func() int64 { return int64(ch.LaneStat(i).Idle) })
+			reg.Counter(prefix+"halo_sent", func() int64 { return int64(ch.LaneStat(i).HaloSent) })
+			reg.Counter(prefix+"halo_recv", func() int64 { return int64(ch.LaneStat(i).HaloRecv) })
+		}
+	}
+}
+
 // runMeta builds the recording meta for one run. It carries every job
 // input that can distinguish two sampled runs — the metaKey sort in
 // TakeRecordings relies on distinct runs having distinct meta.

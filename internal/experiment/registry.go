@@ -45,8 +45,9 @@ var registry = map[string]Runner{
 	// Fault-injection resilience sweep (DESIGN.md §9).
 	"scale-faults": ScaleFaults,
 
-	// Sharded-execution identity sweep (DESIGN.md §10).
-	"scale-shard": ScaleShard,
+	// Sharded-execution identity sweeps (DESIGN.md §10).
+	"scale-shard":      ScaleShard,
+	"scale-shard-halo": ScaleShardHalo,
 }
 
 // IDs returns all experiment ids in a stable order.

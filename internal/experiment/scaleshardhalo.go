@@ -1,0 +1,86 @@
+package experiment
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/vanlan/vifi/internal/core"
+	"github.com/vanlan/vifi/internal/workload"
+)
+
+// This file carries the halo-band sharding sweep: the same un-districted
+// metro grid — stripes sharing radio edges, the case PR 8's district
+// partition had to refuse — executed serially and with the delivery
+// fan-out halo-sharded across 2, 4 and 8 stripe lanes, with and without
+// the chaos fault mix. As in scale-shard, the interesting result is that
+// the metric columns do NOT change down the rows: byte-identical cells
+// across lane counts are the report-level proof that halo-band sharding
+// is an execution strategy, not a model change. Wall-clock gains are
+// measured by BenchmarkScaleShardHalo.
+
+// scaleShardHaloArms pairs a lane count with a fault variant. The chaos
+// arms pin that fault injection — radio mutes voiding in-flight frames,
+// backplane brownouts, blackouts — stays deterministic under the lane
+// partition too (trivially so: one kernel, one event order).
+var scaleShardHaloArms = []struct {
+	label  string
+	faults string
+	shards int
+}{
+	{"lanes=1", "", 1},
+	{"lanes=2", "", 2},
+	{"lanes=4", "", 4},
+	{"lanes=8", "", 8},
+	{"chaos lanes=1", chaosFaults, 1},
+	{"chaos lanes=4", chaosFaults, 4},
+}
+
+// ScaleShardHalo runs the un-districted grid-metro deployment at halo
+// lane counts 1, 2, 4 and 8 — plain and under the chaos fault mix — and
+// reports the same metric cells for each: equal rows across lane counts
+// are the golden contract that halo-band sharded execution reproduces
+// the serial run exactly even when every stripe shares radio edges with
+// its neighbors. Options.Scenario overrides the base deployment (its app
+// is forced to cbr); Options.Shards is ignored — each arm pins its own
+// count.
+func ScaleShardHalo(o Options) *Report {
+	r := &Report{
+		ID:     "scale-shard-halo",
+		Title:  "Halo-band sharded vs serial execution identity on an un-districted metro grid",
+		Header: shardHeader,
+	}
+	base, err := o.baseScenario("grid-metro")
+	if err != nil {
+		r.AddNote("invalid -scenario: %v", err)
+		return r
+	}
+	base = forceApp(base, workload.CBRKind)
+	eng := o.engine()
+	dur := time.Duration(o.scaled(240)) * time.Second
+	futs := make([]Future[*FleetAppRun], len(scaleShardHaloArms))
+	for i, arm := range scaleShardHaloArms {
+		spec := base
+		spec.Faults = arm.faults
+		futs[i] = eng.FleetAppShards(o.Seed, spec, core.DefaultConfig(), dur, arm.shards)
+	}
+	for i, arm := range scaleShardHaloArms {
+		run := futs[i].Wait()
+		avail, rec := "-", "-"
+		if f := run.Faults; f != nil {
+			avail = pct1(f.Availability)
+			rec = f2(f.RecoveryMeanSec)
+		}
+		r.AddRow(
+			arm.label,
+			fmt.Sprintf("%d", run.BSCount),
+			fmt.Sprintf("%d", run.Vehicles),
+			f1(run.DeliveredPerSec()),
+			pct(run.DeliveryRatio()),
+			f1(run.MedianSession(time.Second, 0.5)),
+			avail, rec,
+		)
+	}
+	r.AddNote("scenario base: %s", base.Key())
+	r.AddNote("identity contract: every metric cell must be byte-identical across lane counts within a fault variant — the stripe partition moves delivery computations across worker lanes, never a coin flip or an event")
+	return r
+}

@@ -21,8 +21,10 @@ import (
 // wrappers that build a session and drive it to completion in one call.
 
 // fleetSession is one fleet application execution between build and
-// finish. eff==1 runs a single kernel on the serial path; eff>1 runs
-// coupled shard kernels. The setup order inside each branch mirrors the
+// finish. eff==1 runs a single kernel — serially, or with the channel's
+// delivery fan-out halo-sharded across stripe lanes (haloLanes>1) when
+// the planner chose shardModeHalo; eff>1 runs coupled shard kernels
+// (districted specs). The setup order inside each branch mirrors the
 // historical one-shot runners exactly — that equivalence is what the
 // sampling-identity and shard-identity goldens pin.
 type fleetSession struct {
@@ -34,8 +36,11 @@ type fleetSession struct {
 	key      string
 	appcfg   workload.Config
 
-	eff           int
-	districtShard []int // nil on the serial path
+	eff           int   // kernel count: >1 only for coupled shards
+	haloLanes     int   // delivery lanes on the halo path (0/1 otherwise)
+	requested     int   // shard count the caller asked for
+	reason        string // why a shards>1 request degraded to serial
+	districtShard []int  // nil off the coupled path
 	kernels       []*sim.Kernel
 	cells         []*core.Cell
 	recs          []*faultRecorder
@@ -59,7 +64,11 @@ type fleetSession struct {
 func newFleetSession(seed int64, spec scenario.Spec, cfg core.Config, duration time.Duration, shards int) (*fleetSession, error) {
 	opts := core.DefaultCellOptions()
 	opts.Protocol = cfg
-	districtShard, eff := shardPlan(spec, opts, shards)
+	plan := shardPlan(spec, opts, shards)
+	eff := 1 // kernel count; the halo mode parallelizes inside one kernel
+	if plan.mode == shardModeCoupled {
+		eff = plan.eff
+	}
 
 	fs, err := spec.FaultSpec()
 	if err != nil {
@@ -69,7 +78,8 @@ func newFleetSession(seed int64, spec scenario.Spec, cfg core.Config, duration t
 		seed: seed, spec: spec, cfg: cfg,
 		duration: duration, until: duration + time.Second,
 		key: spec.Key(), appcfg: spec.AppConfig(),
-		eff: eff, districtShard: districtShard,
+		eff: eff, districtShard: plan.districtShard,
+		requested: shards, reason: plan.reason,
 		kernels: make([]*sim.Kernel, eff),
 		cells:   make([]*core.Cell, eff),
 		recs:    make([]*faultRecorder, eff),
@@ -86,7 +96,7 @@ func newFleetSession(seed int64, spec scenario.Spec, cfg core.Config, duration t
 		if s.coupler == nil {
 			cell, lay, err = scenario.BuildCell(k, spec, opts)
 		} else {
-			cell, lay, err = scenario.BuildShardCell(k, spec, opts, districtShard, sh)
+			cell, lay, err = scenario.BuildShardCell(k, spec, opts, plan.districtShard, sh)
 		}
 		if err != nil {
 			return nil, err
@@ -144,6 +154,21 @@ func newFleetSession(seed int64, spec scenario.Spec, cfg core.Config, duration t
 		}
 	}
 
+	if plan.mode == shardModeHalo {
+		// Halo-band sharding: one kernel, serial event order, with the
+		// channel's per-broadcast delivery fan-out partitioned across
+		// stripe-owned lanes. Engaged only after the whole cell is built
+		// so every radio is attached (and the grid exists) first. The
+		// channel can still decline — e.g. degenerate radio params keep
+		// the full sweep — in which case the run proceeds serially and
+		// the reason is surfaced like any other fallback.
+		if got := s.cells[0].StartRadioShards(plan.eff); got == plan.eff {
+			s.haloLanes = plan.eff
+		} else {
+			s.reason = "channel declined the stripe plan (not on the spatially indexed path)"
+		}
+	}
+
 	if s.coupler != nil {
 		// Couple the backplanes: the only subsystem that can carry an
 		// event across districts, hence across shards. Its minimum
@@ -172,10 +197,15 @@ func newFleetSession(seed int64, spec scenario.Spec, cfg core.Config, duration t
 // non-nil, fires synchronously on each shard's tick with a transient
 // view of the sampled row.
 func (s *fleetSession) attachMetrics(interval time.Duration, onSample func(shard int, at time.Duration, row []int64)) {
-	meta := runMeta("fleetapp", s.key, s.seed, s.eff, s.duration, s.cfg)
+	par := s.eff
+	if s.haloLanes > 1 {
+		par = s.haloLanes // the meta records effective parallelism
+	}
+	meta := runMeta("fleetapp", s.key, s.seed, par, s.duration, s.cfg)
 	s.samplers = make([]*obs.Sampler, s.eff)
 	for sh := 0; sh < s.eff; sh++ {
 		reg := buildRegistry(s.kernels[sh], s.cells[sh], s.drivers[sh], s.kinds)
+		s.addShardSeries(reg, sh)
 		s.samplers[sh] = obs.Attach(s.kernels[sh], reg, interval, s.until, meta)
 		if onSample != nil {
 			sh := sh
@@ -335,6 +365,33 @@ func (s *fleetSession) finish() *FleetAppRun {
 		}
 		logShards(ShardLogEntry{SpecKey: s.key, Shards: s.eff, Stats: run.ShardExec})
 	}
+	if s.haloLanes > 1 {
+		// Halo execution bookkeeping mirrors the coupled fields: Events
+		// counts in-cutoff delivery computations, Rounds the broadcast
+		// dispatches, Stalled the dispatches a lane sat idle. All of it is
+		// a pure function of the simulation (stripe ownership and the
+		// candidate sets are deterministic), so ShardExec is reproducible
+		// across hosts despite measuring parallel execution.
+		ch := s.cells[0].Channel
+		bsN, vehN := s.cells[0].RadioLaneCounts()
+		run.ShardExec = make([]ShardRunStats, s.haloLanes)
+		for i := range run.ShardExec {
+			ls := ch.LaneStat(i)
+			run.ShardExec[i] = ShardRunStats{
+				Shard: i, BSes: bsN[i], Vehicles: vehN[i],
+				Events: ls.Computed, Rounds: int(ls.Rounds), Stalled: int(ls.Idle),
+				HaloSent: int(ls.HaloSent), HaloRecv: int(ls.HaloRecv),
+			}
+		}
+		logShards(ShardLogEntry{SpecKey: s.key, Shards: s.haloLanes, Halo: true, Stats: run.ShardExec})
+		s.cells[0].StopRadioShards()
+	}
+	if s.reason != "" && s.requested > 1 {
+		// The caller asked for sharding and did not get it: say why on the
+		// shard log (the CLIs drain it to stderr) instead of silently
+		// having run serial.
+		logShards(ShardLogEntry{SpecKey: s.key, Shards: s.requested, Reason: s.reason})
+	}
 	return run
 }
 
@@ -414,8 +471,14 @@ func (l *LiveRun) Done() bool { return l.done }
 // second, matching the batch runners).
 func (l *LiveRun) End() time.Duration { return l.s.until }
 
-// Shards returns the effective shard count (1 = serial).
+// Shards returns the kernel/sampler count (1 = serial or halo-sharded):
+// the number of independent metric-sample contributors per tick, which
+// is what the serve layer's merge threshold counts.
 func (l *LiveRun) Shards() int { return l.s.eff }
+
+// Lanes returns the halo delivery-lane count (0 when the run is not
+// halo-sharded). Lane balance is visible live through the shard.* series.
+func (l *LiveRun) Lanes() int { return l.s.haloLanes }
 
 // SpecKey returns the scenario's canonical key.
 func (l *LiveRun) SpecKey() string { return l.s.key }

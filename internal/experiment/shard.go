@@ -12,13 +12,26 @@ import (
 	"github.com/vanlan/vifi/internal/scenario"
 )
 
-// This file carries sharded single-scenario execution: one city runs as
-// K spatially partitioned shards, each a full sim.Kernel advancing in
-// bounded rounds under the conservative coupler (internal/sim), with
-// cross-shard backplane messages exchanged at window barriers. The
-// partition is exact — districted scenarios separate districts by more
-// than the radio conflict reach and give each district its own gateway —
-// so the sharded run is byte-identical to the serial run at any K.
+// This file carries sharded single-scenario execution in its two exact
+// forms:
+//
+//   - Coupled (districted cities): K spatially partitioned shards, each
+//     a full sim.Kernel advancing in bounded rounds under the
+//     conservative coupler (internal/sim), with cross-shard backplane
+//     messages exchanged at window barriers. Exact because districts are
+//     separated by more than the radio conflict reach.
+//
+//   - Halo (un-districted indexed cities, PR 10): one kernel whose
+//     indexed radio channel fans each broadcast's delivery computations
+//     out across K stripe-owned worker lanes (radio.StartShards),
+//     replaying halo-band transmissions — deliveries whose transmitter
+//     is homed in another stripe — on the receiver-owning lane with the
+//     same per-link label-derived RNG streams as serial. Exact because
+//     the kernel's event order is untouched; only the draw-site moves.
+//
+// Either way the sharded run is byte-identical to the serial run at any
+// K; anything the planner cannot prove exact falls back to serial, with
+// the reason surfaced on the shard log instead of silently degrading.
 
 // ShardRunStats is one shard's execution diagnostics after a sharded run.
 type ShardRunStats struct {
@@ -32,11 +45,16 @@ type ShardRunStats struct {
 	HaloRecv int // cross-shard events injected into this shard
 }
 
-// ShardLogEntry records one sharded execution for command-line
-// diagnostics (vifi-sim/vifi-bench print these on stderr).
+// ShardLogEntry records one sharded execution — or one refused request —
+// for command-line diagnostics (vifi-sim/vifi-bench print these on
+// stderr). Halo marks single-kernel stripe-lane execution; a non-empty
+// Reason marks a requested shard count that degraded to serial, with
+// Stats nil.
 type ShardLogEntry struct {
 	SpecKey string
 	Shards  int
+	Halo    bool
+	Reason  string
 	Stats   []ShardRunStats
 }
 
@@ -67,6 +85,19 @@ func logShards(e ShardLogEntry) {
 // barrier rounds (and how many stalled with no work), and halo traffic.
 func FprintShardLog(w io.Writer, entries []ShardLogEntry) {
 	for _, e := range entries {
+		if e.Reason != "" {
+			fmt.Fprintf(w, "sharded run requested (-shards %d) fell back to serial: %s: %s\n",
+				e.Shards, e.SpecKey, e.Reason)
+			continue
+		}
+		if e.Halo {
+			fmt.Fprintf(w, "halo-sharded run (%d lanes): %s\n", e.Shards, e.SpecKey)
+			for _, s := range e.Stats {
+				fmt.Fprintf(w, "  lane %d: %d BS / %d veh · %d deliveries computed · %d rounds (%d idle) · halo %d sent / %d recv\n",
+					s.Shard, s.BSes, s.Vehicles, s.Events, s.Rounds, s.Stalled, s.HaloSent, s.HaloRecv)
+			}
+			continue
+		}
 		fmt.Fprintf(w, "sharded run (%d shards): %s\n", e.Shards, e.SpecKey)
 		for _, s := range e.Stats {
 			fmt.Fprintf(w, "  shard %d: %d BS / %d veh · %d events · %d rounds (%d stalled) · halo %d sent / %d recv\n",
@@ -75,44 +106,74 @@ func FprintShardLog(w io.Writer, entries []ShardLogEntry) {
 	}
 }
 
-// shardPlan decides whether a spec can run sharded and, if so, assigns
-// districts to shards (balanced contiguous groups). The partition is
-// exact only when (a) the spec is districted — stripes separated by more
-// than the radio conflict reach, one gateway per district — and (b) the
-// channel runs the spatially indexed path, whose reception state is a
-// pure function of in-range peers; the legacy full sweep folds every
-// attached radio into per-receiver state, which ghost attachment cannot
-// reproduce. Anything else falls back to the serial path (effective 1),
-// keeping results byte-identical by construction.
-func shardPlan(spec scenario.Spec, opts core.CellOptions, shards int) ([]int, int) {
-	d := spec.Districts
-	if shards < 2 || d < 2 || opts.LinkFactory != nil {
-		return nil, 1
+// shardMode selects the execution strategy the planner proved exact.
+type shardMode int
+
+const (
+	shardModeSerial  shardMode = iota
+	shardModeCoupled           // districted: K coupled kernels
+	shardModeHalo              // un-districted indexed: stripe lanes in one kernel
+)
+
+// shardPlanResult is the planner's decision: the mode, the effective
+// parallelism (coupled kernels or halo lanes; 1 for serial), the
+// district→shard map (coupled only), and — when a request for shards>1
+// degraded to serial — the reason, so the CLIs can say so on stderr
+// instead of silently running serial.
+type shardPlanResult struct {
+	mode          shardMode
+	eff           int
+	districtShard []int
+	reason        string
+}
+
+// shardPlan decides how a spec runs at the requested shard count. Both
+// sharded modes require the spatially indexed channel path, whose
+// reception state is a pure function of in-range peers; the legacy full
+// sweep folds every attached radio into per-receiver state, which
+// neither ghost attachment nor stripe ownership can partition. Districted
+// specs get coupled kernels (districts are separated by more than the
+// radio conflict reach; balanced contiguous district groups, clamped to
+// the district count). Un-districted indexed specs get halo lanes: the
+// stripes share radio edges, so the partition moves inside the kernel
+// (see radio.StartShards). Anything else falls back to serial with the
+// reason recorded, keeping results byte-identical by construction.
+func shardPlan(spec scenario.Spec, opts core.CellOptions, shards int) shardPlanResult {
+	if shards < 2 {
+		return shardPlanResult{mode: shardModeSerial, eff: 1}
+	}
+	if opts.LinkFactory != nil {
+		return shardPlanResult{mode: shardModeSerial, eff: 1,
+			reason: "custom LinkFactory keeps the full-sweep channel path (no derivable cutoff, no stripe plan)"}
 	}
 	threshold := radio.DefaultIndexThreshold
 	if opts.Radio.IndexThresholdNodes > 0 {
 		threshold = opts.Radio.IndexThresholdNodes
 	}
-	if spec.BS+spec.Vehicles < threshold {
-		return nil, 1
+	if n := spec.BS + spec.Vehicles; n < threshold {
+		return shardPlanResult{mode: shardModeSerial, eff: 1,
+			reason: fmt.Sprintf("population %d below the index threshold %d: full-sweep channel path has no stripe plan", n, threshold)}
 	}
-	if shards > d {
-		shards = d
+	if d := spec.Districts; d >= 2 {
+		if shards > d {
+			shards = d
+		}
+		m := make([]int, d)
+		for i := range m {
+			m[i] = i * shards / d
+		}
+		return shardPlanResult{mode: shardModeCoupled, eff: shards, districtShard: m}
 	}
-	m := make([]int, d)
-	for i := range m {
-		m[i] = i * shards / d
-	}
-	return m, shards
+	return shardPlanResult{mode: shardModeHalo, eff: shards}
 }
 
-// RunFleetAppWorkloadSharded is RunFleetAppWorkload executed as `shards`
-// coupled kernels. Every shard runs the same seed, builds the same
-// layout, attaches every radio (foreign nodes as position-only ghosts)
-// and plans the same fault timeline, so all RNG stream labels, NodeIDs
-// and draw orders match the serial run exactly; only event execution is
-// partitioned. The merged result is byte-identical to the serial one at
-// any shard count — ShardExec aside, which is wall-clock bookkeeping.
+// RunFleetAppWorkloadSharded is RunFleetAppWorkload executed at `shards`
+// parallelism — coupled kernels for districted specs, halo stripe lanes
+// for un-districted indexed ones (see shardPlan). Both preserve every
+// RNG stream label, NodeID and draw order of the serial run; only event
+// execution (coupled) or the delivery fan-out (halo) is partitioned. The
+// result is byte-identical to the serial one at any shard count —
+// ShardExec aside, which is execution bookkeeping.
 func RunFleetAppWorkloadSharded(seed int64, spec scenario.Spec, cfg core.Config, duration time.Duration, shards int) (*FleetAppRun, error) {
 	return runFleetApp(seed, spec, cfg, duration, shards, 0)
 }

@@ -3,10 +3,12 @@ package experiment
 import (
 	"os"
 	"reflect"
+	"strings"
 	"testing"
 	"time"
 
 	"github.com/vanlan/vifi/internal/core"
+	"github.com/vanlan/vifi/internal/radio"
 	"github.com/vanlan/vifi/internal/scenario"
 )
 
@@ -59,11 +61,123 @@ func TestShardedMatchesSerial(t *testing.T) {
 	}
 }
 
-// TestShardedFallbackSerial pins the conservative gate: an undistricted
-// scenario (grid-metro) requested at -shards 4 must run the exact serial
-// path — same result, no shard bookkeeping.
+// haloTestSpec is an un-districted deployment big enough for the indexed
+// channel path (180+8 = 188 radios ≥ radio.DefaultIndexThreshold) but
+// affordable in the unit suite. grid-metro has no districts, so the
+// planner must choose the halo-band stripe lanes, not coupled kernels.
+const haloTestSpec = "grid-metro,bs=180,vehicles=8"
+
+// TestShardedHaloMatchesSerial is the PR 10 tentpole acceptance
+// contract: an un-districted scenario run with the delivery fan-out
+// halo-sharded across 2, 4 and 8 stripe lanes produces a FleetAppRun
+// deeply equal to the serial run — every per-vehicle metric, channel
+// counter, occupancy figure and link slot, with and without the
+// multi-layer chaos fault mix.
+func TestShardedHaloMatchesSerial(t *testing.T) {
+	for _, faults := range []string{"", chaosFaults} {
+		spec, err := scenario.Parse(haloTestSpec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		spec.Faults = faults
+		dur := 10 * time.Second
+		serial, err := RunFleetAppWorkload(11, spec, core.DefaultConfig(), dur)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if serial.Transmissions == 0 || len(serial.PerVehicle) == 0 {
+			t.Fatalf("faults=%q: serial run saw no traffic — identity would be vacuous", faults)
+		}
+		if serial.ShardExec != nil {
+			t.Fatal("serial run grew shard bookkeeping")
+		}
+		for _, k := range []int{2, 4, 8} {
+			sharded, err := RunFleetAppWorkloadSharded(11, spec, core.DefaultConfig(), dur, k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(sharded.ShardExec) != k {
+				t.Fatalf("faults=%q lanes=%d: ran %d lanes", faults, k, len(sharded.ShardExec))
+			}
+			var halo int
+			for _, s := range sharded.ShardExec {
+				halo += s.HaloRecv
+			}
+			if halo == 0 {
+				t.Errorf("faults=%q lanes=%d: no halo-band traffic — stripes never shared a radio edge, the partition is untested", faults, k)
+			}
+			if !reflect.DeepEqual(stripShardExec(serial), stripShardExec(sharded)) {
+				t.Errorf("faults=%q lanes=%d: halo-sharded run diverged from serial:\nserial  %+v\nsharded %+v",
+					faults, k, serial, sharded)
+			}
+		}
+	}
+	// The executed halo runs must have logged halo-marked entries.
+	entries := TakeShardLog()
+	haloLogged := false
+	for _, e := range entries {
+		if e.Halo && len(e.Stats) > 0 && e.Reason == "" {
+			haloLogged = true
+		}
+	}
+	if !haloLogged {
+		t.Error("no halo-marked shard-log entry recorded")
+	}
+}
+
+// TestShardedHaloRecordingSharedSeries pins the metrics half of the
+// identity bar: the halo run's recording carries the serial schema's
+// series with byte-identical data — the per-lane shard.* balance series
+// and the shards meta key are strict additions.
+func TestShardedHaloRecordingSharedSeries(t *testing.T) {
+	spec, err := scenario.Parse(haloTestSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dur := 8 * time.Second
+	TakeRecordings() // drain anything earlier tests left behind
+	if _, err := runFleetApp(5, spec, core.DefaultConfig(), dur, 1, time.Second); err != nil {
+		t.Fatal(err)
+	}
+	serialRecs := TakeRecordings()
+	if _, err := runFleetApp(5, spec, core.DefaultConfig(), dur, 4, time.Second); err != nil {
+		t.Fatal(err)
+	}
+	haloRecs := TakeRecordings()
+	if len(serialRecs) != 1 || len(haloRecs) != 1 {
+		t.Fatalf("expected one recording per run, got %d and %d", len(serialRecs), len(haloRecs))
+	}
+	serial, halo := serialRecs[0], haloRecs[0]
+	if serial.Rows() == 0 || serial.Rows() != halo.Rows() {
+		t.Fatalf("row counts: serial %d, halo %d", serial.Rows(), halo.Rows())
+	}
+	for _, def := range serial.Series {
+		if !reflect.DeepEqual(serial.Column(def.Name), halo.Column(def.Name)) {
+			t.Errorf("series %s diverged between serial and halo recordings", def.Name)
+		}
+	}
+	if halo.SeriesIndex("shard.0.events") < 0 || halo.SeriesIndex("shard.3.halo_recv") < 0 {
+		t.Fatal("halo recording lacks the per-lane shard.* balance series")
+	}
+	if serial.SeriesIndex("shard.0.events") >= 0 {
+		t.Error("serial recording grew shard.* series")
+	}
+	col := halo.Column("shard.0.halo_recv")
+	if col[len(col)-1] == 0 {
+		t.Error("lane 0 recorded no halo traffic over the whole run")
+	}
+	if halo.Meta["shards"] != "4" {
+		t.Errorf("halo recording meta shards=%q, want 4", halo.Meta["shards"])
+	}
+}
+
+// TestShardedFallbackSerial pins the conservative gate and its new
+// visibility: a sub-threshold spec (64 radios, full-sweep channel path)
+// requested at -shards 4 must run the exact serial path — same result,
+// no shard bookkeeping — and must say why on the shard log instead of
+// silently degrading.
 func TestShardedFallbackSerial(t *testing.T) {
-	spec, err := scenario.Parse("grid-metro,vehicles=4")
+	spec, err := scenario.Parse("grid-metro,bs=60,vehicles=4")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -72,15 +186,25 @@ func TestShardedFallbackSerial(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	TakeShardLog() // drain earlier tests' entries
 	sharded, err := RunFleetAppWorkloadSharded(7, spec, core.DefaultConfig(), dur, 4)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if sharded.ShardExec != nil {
-		t.Fatal("undistricted spec did not fall back to the serial path")
+		t.Fatal("sub-threshold spec did not fall back to the serial path")
 	}
 	if !reflect.DeepEqual(serial, sharded) {
 		t.Error("fallback run diverged from serial")
+	}
+	var reasons []string
+	for _, e := range TakeShardLog() {
+		if e.Reason != "" {
+			reasons = append(reasons, e.Reason)
+		}
+	}
+	if len(reasons) != 1 || !strings.Contains(reasons[0], "index threshold") {
+		t.Errorf("fallback reason not surfaced: %q", reasons)
 	}
 }
 
@@ -124,27 +248,72 @@ func TestScaleShardDeterminism(t *testing.T) {
 	}
 }
 
+// TestScaleShardHaloDeterminism pins the halo-band sharding sweep:
+// golden bytes across versions, and — the reason the report exists —
+// identical metric cells across lane counts within each fault variant.
+func TestScaleShardHaloDeterminism(t *testing.T) {
+	rep, err := Run("scale-shard-halo", Options{Seed: 17, Scale: scaleShardTestScale, Engine: NewEngine(4)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rows) != len(scaleShardHaloArms) {
+		t.Fatalf("got %d rows, want %d", len(rep.Rows), len(scaleShardHaloArms))
+	}
+	metrics := func(row []string) []string { return row[1:] } // drop the arm label
+	for i := 1; i <= 3; i++ {
+		if !reflect.DeepEqual(metrics(rep.Rows[0]), metrics(rep.Rows[i])) {
+			t.Errorf("plain arm %q diverged from serial:\n%v\n%v", rep.Rows[i][0], rep.Rows[0], rep.Rows[i])
+		}
+	}
+	if !reflect.DeepEqual(metrics(rep.Rows[4]), metrics(rep.Rows[5])) {
+		t.Errorf("chaos arms diverged:\n%v\n%v", rep.Rows[4], rep.Rows[5])
+	}
+	path := "testdata/golden_scale-shard-halo.txt"
+	if *updateGolden {
+		if err := os.WriteFile(path, []byte(rep.String()), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run with -update-golden to create)", err)
+	}
+	if rep.String() != string(want) {
+		t.Errorf("scale-shard-halo diverged from committed golden %s:\n%s", path, rep)
+	}
+}
+
 // TestShardPlanShape pins the partitioner: balanced contiguous district
-// groups, conservative fallbacks for sub-threshold and undistricted
-// specs, and clamping to the district count.
+// groups for districted specs (clamped to the district count), halo
+// stripe lanes for un-districted indexed specs, and reasoned serial
+// fallbacks for everything the planner cannot prove exact.
 func TestShardPlanShape(t *testing.T) {
 	opts := core.DefaultCellOptions()
 	spec, _ := scenario.Parse(shardTestSpec)
-	m, eff := shardPlan(spec, opts, 2)
-	if eff != 2 || !reflect.DeepEqual(m, []int{0, 0, 1, 1}) {
-		t.Errorf("K=2: plan %v eff %d", m, eff)
+	p := shardPlan(spec, opts, 2)
+	if p.mode != shardModeCoupled || p.eff != 2 || !reflect.DeepEqual(p.districtShard, []int{0, 0, 1, 1}) {
+		t.Errorf("K=2: plan %+v", p)
 	}
-	m, eff = shardPlan(spec, opts, 8)
-	if eff != 4 || !reflect.DeepEqual(m, []int{0, 1, 2, 3}) {
-		t.Errorf("K=8 clamps to districts: plan %v eff %d", m, eff)
+	p = shardPlan(spec, opts, 8)
+	if p.mode != shardModeCoupled || p.eff != 4 || !reflect.DeepEqual(p.districtShard, []int{0, 1, 2, 3}) {
+		t.Errorf("K=8 clamps to districts: plan %+v", p)
 	}
 	small := spec
 	small.BS = 60 // 60+8 < index threshold: full-sweep path, must not shard
-	if _, eff = shardPlan(small, opts, 4); eff != 1 {
-		t.Errorf("sub-threshold spec sharded (eff %d)", eff)
+	if p = shardPlan(small, opts, 4); p.mode != shardModeSerial || p.eff != 1 || p.reason == "" {
+		t.Errorf("sub-threshold spec: plan %+v, want reasoned serial", p)
 	}
 	flat, _ := scenario.Parse("grid-metro")
-	if _, eff = shardPlan(flat, opts, 4); eff != 1 {
-		t.Errorf("undistricted spec sharded (eff %d)", eff)
+	if p = shardPlan(flat, opts, 4); p.mode != shardModeHalo || p.eff != 4 || p.districtShard != nil {
+		t.Errorf("un-districted indexed spec: plan %+v, want 4 halo lanes", p)
+	}
+	custom := opts
+	custom.LinkFactory = func(from, to radio.NodeID) radio.LinkModel { return radio.FixedLink(1) }
+	if p = shardPlan(flat, custom, 4); p.mode != shardModeSerial || p.reason == "" {
+		t.Errorf("custom LinkFactory: plan %+v, want reasoned serial", p)
+	}
+	if p = shardPlan(flat, opts, 1); p.mode != shardModeSerial || p.reason != "" {
+		t.Errorf("unrequested sharding: plan %+v, want silent serial", p)
 	}
 }

@@ -94,10 +94,17 @@ func (r *reception) OnEvent() {
 // instantiated them before the cache existed; a 3×3 neighborhood holds
 // several times more candidates than the cutoff disc, and materializing
 // links for the fringe would multiply the lazy table for pairs that may
-// never exchange a frame.
+// never exchange a frame. (The sharded path is the exception: it
+// resolves links eagerly at cache build, because worker lanes must never
+// touch the lazy map — see broadcastSharded.)
+//
+// owner is the delivery lane owning this candidate (the stripe of its
+// bucket cell column), filled only by the sharded path; the serial path
+// leaves it zero and never reads it.
 type nbrEntry struct {
-	dst *node
-	ls  *linkState
+	dst   *node
+	ls    *linkState
+	owner uint8
 }
 
 // node is the channel's view of one attached radio.
@@ -222,6 +229,11 @@ type Channel struct {
 	revalAt      time.Duration
 	revalPending bool
 	stats        Stats
+	// shard, when non-nil, fans each indexed broadcast's delivery
+	// computations out across stripe-owned worker lanes (see shard.go).
+	// Byte-identity with serial holds by construction: one kernel, one
+	// event order, same per-link streams, commit in candidate order.
+	shard *channelShard
 }
 
 // NewChannel creates a channel over the kernel with the given parameters.
@@ -387,8 +399,21 @@ func (c *Channel) Down(id NodeID) bool { return c.nodes[id].down }
 // NumNodes returns the number of attached radios.
 func (c *Channel) NumNodes() int { return len(c.nodes) }
 
-// Stats returns a copy of the channel counters.
-func (c *Channel) Stats() Stats { return c.stats }
+// Stats returns a copy of the channel counters. On a sharded channel the
+// per-lane counters (collision, half-duplex and channel-loss decisions
+// run on worker lanes) are folded in, so the totals match a serial run
+// exactly at any point between broadcasts.
+func (c *Channel) Stats() Stats {
+	st := c.stats
+	if c.shard != nil {
+		for _, ln := range c.shard.lanes {
+			st.HalfDuplex += ln.stats.HalfDuplex
+			st.Collisions += ln.stats.Collisions
+			st.ChannelLosses += ln.stats.ChannelLosses
+		}
+	}
+	return st
+}
 
 // Buffers exposes the channel's buffer pool so the MAC layer can marshal
 // frames into recycled buffers.
@@ -543,7 +568,9 @@ func (c *Channel) Broadcast(from NodeID, payload []byte, txDone sim.Handler) tim
 	}
 
 	srcPos := src.mover.Position(now)
-	if c.indexed() {
+	if c.shard != nil {
+		c.broadcastSharded(src, srcPos, payload, now, end)
+	} else if c.indexed() {
 		c.broadcastIndexed(src, srcPos, payload, now, end)
 	} else {
 		for _, dst := range c.nodes {

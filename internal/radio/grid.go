@@ -179,13 +179,27 @@ func (g *grid) rebucket(id NodeID, m mobility.Mover, now time.Duration) {
 // deterministic function of the simulation history, so the visit order —
 // and therefore the order of scheduled receptions — is reproducible.
 func (g *grid) neighborhood(pos mobility.Point, visit func(NodeID)) {
+	g.neighborhoodCells(pos, func(id NodeID, _ int32) { visit(id) })
+}
+
+// neighborhoodCells is neighborhood with each node's bucket cell column
+// (cellX) passed alongside its ID. The column is what the sharded
+// channel folds into stripe ownership: it is a pure function of bucket
+// state — itself a pure function of simulation history — so lane
+// assignment is deterministic without ever reading a true position.
+func (g *grid) neighborhoodCells(pos mobility.Point, visit func(NodeID, int32)) {
 	cx := int32(math.Floor(pos.X / g.cellM))
 	cy := int32(math.Floor(pos.Y / g.cellM))
 	for dy := int32(-1); dy <= 1; dy++ {
 		for dx := int32(-1); dx <= 1; dx++ {
 			for _, id := range g.buckets[packCell(cx+dx, cy+dy)] {
-				visit(id)
+				visit(id, cx+dx)
 			}
 		}
 	}
+}
+
+// cellX returns the cell column of a position.
+func (g *grid) cellX(pos mobility.Point) int32 {
+	return int32(math.Floor(pos.X / g.cellM))
 }

@@ -1,0 +1,166 @@
+package sim
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Gang is a bulk-synchronous worker pool for phase-parallel fan-out
+// inside a single kernel event: the coordinator (the goroutine running
+// the kernel) dispatches one function across n lanes, every lane runs it
+// concurrently over a disjoint slice of state, and Dispatch returns only
+// after all lanes finished. Between dispatches the workers first spin
+// (dispatches arrive microseconds apart on a hot channel) and then park
+// on a wake channel, so an idle gang costs nothing.
+//
+// The memory model contract callers lean on: everything written before
+// Dispatch is visible to every lane (the epoch counter is advanced with
+// a sync/atomic add the workers observe), and everything a lane wrote is
+// visible to the coordinator when Dispatch returns (each lane decrements
+// the pending counter after its work; the coordinator observes zero).
+// Both edges are plain Go happens-before, so code using a Gang is clean
+// under the race detector without any per-field synchronization.
+//
+// Lane 0 always runs on the coordinator's own goroutine — a Gang of n
+// lanes owns n-1 worker goroutines — so a single-lane gang degenerates
+// to a plain function call. Dispatch and Stop must be called from the
+// coordinator only; a Gang never synchronizes two dispatchers.
+type Gang struct {
+	n       int
+	fn      func(lane int)
+	epoch   atomic.Uint64
+	pending atomic.Int64
+	stopped atomic.Bool
+	workers []gangWorker
+	wg      sync.WaitGroup
+}
+
+// gangWorker is the park/wake state of one worker goroutine. The parked
+// flag is the handshake: a worker raises it before blocking on wake, and
+// whoever lowers it (Swap true→false) owes exactly one wake token.
+type gangWorker struct {
+	parked atomic.Bool
+	wake   chan struct{}
+	// pad spaces the per-worker atomics onto separate cache lines so
+	// parking one lane never bounces another lane's flag.
+	_ [104]byte
+}
+
+// gangSpin is the number of polls a worker spends waiting for the next
+// epoch before parking. Broadcasts arrive tens of microseconds apart in
+// the workloads the radio lanes serve, so the spin usually absorbs the
+// gap; the Gosched every 256 polls keeps a spinning gang from starving
+// the coordinator on small GOMAXPROCS.
+const gangSpin = 1 << 14
+
+// NewGang starts a gang of n lanes (n-1 worker goroutines). n must be
+// at least 1.
+func NewGang(n int) *Gang {
+	if n < 1 {
+		panic("sim: gang needs at least one lane")
+	}
+	g := &Gang{n: n}
+	if n == 1 {
+		return g
+	}
+	g.workers = make([]gangWorker, n-1)
+	for i := range g.workers {
+		g.workers[i].wake = make(chan struct{}, 1)
+	}
+	g.wg.Add(n - 1)
+	for lane := 1; lane < n; lane++ {
+		go g.work(lane)
+	}
+	return g
+}
+
+// Lanes returns the gang's lane count.
+func (g *Gang) Lanes() int { return g.n }
+
+// Dispatch runs fn(lane) on every lane concurrently and returns when all
+// lanes have finished. fn must confine each lane to disjoint state; the
+// gang provides the phase barrier, not the partition.
+func (g *Gang) Dispatch(fn func(lane int)) {
+	if g.n == 1 {
+		fn(0)
+		return
+	}
+	g.fn = fn
+	g.pending.Store(int64(g.n - 1))
+	g.epoch.Add(1)
+	for i := range g.workers {
+		w := &g.workers[i]
+		if w.parked.Swap(false) {
+			w.wake <- struct{}{}
+		}
+	}
+	fn(0)
+	for i := 0; g.pending.Load() != 0; i++ {
+		if i&63 == 63 {
+			runtime.Gosched()
+		}
+	}
+}
+
+// Stop terminates the worker goroutines and waits for them to exit. The
+// gang must not be dispatched again afterwards. Stop is idempotent.
+func (g *Gang) Stop() {
+	if g.n == 1 || g.stopped.Swap(true) {
+		return
+	}
+	for i := range g.workers {
+		w := &g.workers[i]
+		if w.parked.Swap(false) {
+			w.wake <- struct{}{}
+		}
+	}
+	g.wg.Wait()
+}
+
+// work is the worker goroutine body: run each new epoch's fn, then wait
+// for the next epoch (spin, then park).
+func (g *Gang) work(lane int) {
+	defer g.wg.Done()
+	w := &g.workers[lane-1]
+	var seen uint64
+	for {
+		if e := g.epoch.Load(); e != seen {
+			seen = e
+			g.fn(lane)
+			g.pending.Add(-1)
+			continue
+		}
+		if g.stopped.Load() {
+			return
+		}
+		g.await(w, seen)
+	}
+}
+
+// await blocks until something happens: a new epoch, a stop, or a
+// spurious wake (the caller's loop re-checks everything).
+func (g *Gang) await(w *gangWorker, seen uint64) {
+	for i := 0; i < gangSpin; i++ {
+		if g.epoch.Load() != seen || g.stopped.Load() {
+			return
+		}
+		if i&255 == 255 {
+			runtime.Gosched()
+		}
+	}
+	w.parked.Store(true)
+	// Drain a stale token (left when we previously un-parked ourselves
+	// after the dispatcher had already sent one) so the blocking receive
+	// below can only be satisfied by a fresh wake.
+	select {
+	case <-w.wake:
+	default:
+	}
+	if g.epoch.Load() != seen || g.stopped.Load() {
+		w.parked.Store(false)
+		return
+	}
+	<-w.wake
+	w.parked.Store(false)
+}

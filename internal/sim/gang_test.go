@@ -1,0 +1,84 @@
+package sim
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestGangDispatchRunsEveryLane checks the core contract: every dispatch
+// runs fn exactly once per lane, lane writes are visible to the
+// coordinator after Dispatch returns, and coordinator writes before
+// Dispatch are visible to the lanes.
+func TestGangDispatchRunsEveryLane(t *testing.T) {
+	const lanes = 4
+	const rounds = 2000
+	g := NewGang(lanes)
+	defer g.Stop()
+
+	input := 0
+	sums := make([]int, lanes*16) // spaced to keep the test honest, not fast
+	for r := 0; r < rounds; r++ {
+		input = r
+		g.Dispatch(func(lane int) {
+			sums[lane*16] += input // reads coordinator write, no extra sync
+		})
+	}
+	want := rounds * (rounds - 1) / 2
+	for lane := 0; lane < lanes; lane++ {
+		if sums[lane*16] != want {
+			t.Errorf("lane %d sum %d, want %d", lane, sums[lane*16], want)
+		}
+	}
+}
+
+// TestGangParkWake forces the park path: long idle gaps between
+// dispatches make the workers exhaust their spin budget and block, and
+// the next dispatch must wake them.
+func TestGangParkWake(t *testing.T) {
+	g := NewGang(3)
+	defer g.Stop()
+	var runs atomic.Int64
+	for r := 0; r < 3; r++ {
+		// Long enough for gangSpin polls to run out on any machine.
+		time.Sleep(50 * time.Millisecond)
+		g.Dispatch(func(lane int) { runs.Add(1) })
+	}
+	if got := runs.Load(); got != 9 {
+		t.Fatalf("ran %d lane invocations, want 9", got)
+	}
+}
+
+// TestGangStopParked pins that Stop terminates workers that are parked
+// (blocked on the wake channel), not just spinning ones.
+func TestGangStopParked(t *testing.T) {
+	g := NewGang(4)
+	g.Dispatch(func(lane int) {})
+	time.Sleep(50 * time.Millisecond) // let the workers park
+	done := make(chan struct{})
+	go func() { g.Stop(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Stop hung on parked workers")
+	}
+	g.Stop() // idempotent
+}
+
+// TestGangSingleLane pins the degenerate case: one lane runs inline with
+// no goroutines, so Dispatch composes with code that must stay on the
+// calling goroutine.
+func TestGangSingleLane(t *testing.T) {
+	g := NewGang(1)
+	defer g.Stop()
+	n := 0
+	g.Dispatch(func(lane int) {
+		if lane != 0 {
+			t.Fatalf("lane %d on a single-lane gang", lane)
+		}
+		n++
+	})
+	if n != 1 {
+		t.Fatalf("fn ran %d times", n)
+	}
+}
